@@ -1,0 +1,39 @@
+# TACTIC reproduction — common entry points.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench repro repro-full demo-keys clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/transport/ ./internal/forwarder/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure (reduced scale, ~7 min).
+repro:
+	$(GO) run ./cmd/tacticbench -csv results
+
+# The paper's full scale (2000 s x 5 seeds; hours).
+repro-full:
+	$(GO) run ./cmd/tacticbench -duration 2000s -seeds 5 -csv results
+
+# Identities for the live-network walkthrough in README.md.
+demo-keys:
+	$(GO) run ./cmd/tactickey gen -locator /prov0/KEY/1 -out prov0
+	$(GO) run ./cmd/tactickey gen -locator /users/alice/KEY/1 -out alice
+
+clean:
+	rm -f prov0.key prov0.pub alice.key alice.pub

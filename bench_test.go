@@ -1,0 +1,315 @@
+package tactic
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§8), plus the §8.B microbenchmarks whose measured costs
+// the simulator injects as delay models.
+//
+// The per-figure benchmarks run scaled-down simulations (Topology 1,
+// tens of simulated seconds) and report the figure's headline quantity
+// with b.ReportMetric; the full-scale regeneration lives in
+// cmd/tacticbench (go run ./cmd/tacticbench -duration 2000s -seeds 5).
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/baseline"
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/experiment"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+	"github.com/tactic-icn/tactic/internal/sim"
+)
+
+// benchDuration keeps testing.B iterations affordable: the paper's
+// trends are visible within tens of simulated seconds.
+const benchDuration = 40 * time.Second
+
+// runScenario executes one simulation per benchmark iteration.
+func runScenario(b *testing.B, sc experiment.Scenario) *experiment.Result {
+	b.Helper()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		res, err := experiment.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	return last
+}
+
+// --- Microbenchmarks (paper §8.B: BF lookup, BF insertion, signature
+// verification measured on real hardware) -----------------------------------
+
+func benchItems(n int) [][]byte {
+	items := make([][]byte, n)
+	for i := range items {
+		buf := make([]byte, 200) // tag-sized keys
+		binary.LittleEndian.PutUint64(buf, uint64(i))
+		items[i] = buf
+	}
+	return items
+}
+
+func BenchmarkMicroBFLookup(b *testing.B) {
+	f, err := bloom.NewPaper(1000, 1e-4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := benchItems(2000)
+	for _, it := range items[:500] {
+		f.Add(it)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(items[i%len(items)])
+	}
+}
+
+func BenchmarkMicroBFInsert(b *testing.B) {
+	f, err := bloom.NewPaper(1000, 1e-4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := benchItems(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(items[i%len(items)])
+		if f.Saturated() {
+			f.Reset()
+		}
+	}
+}
+
+func BenchmarkMicroSigVerifyECDSA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	signer, err := pki.GenerateECDSA(rng, names.MustParse("/p/KEY/1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag, err := core.IssueTag(signer, names.MustParse("/u/KEY/1"), 3, 0, time.Unix(1<<31, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := signer.Public()
+	msg := tag.SigningBytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Verify(msg, tag.Signature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroSigVerifyFast(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	signer, err := pki.GenerateFast(rng, names.MustParse("/p/KEY/1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag, err := core.IssueTag(signer, names.MustParse("/u/KEY/1"), 3, 0, time.Unix(1<<31, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := signer.Public()
+	msg := tag.SigningBytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Verify(msg, tag.Signature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroTagEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	signer, err := pki.GenerateFast(rng, names.MustParse("/p/KEY/1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag, err := core.IssueTag(signer, names.MustParse("/u/KEY/1"), 3, core.AccessPath(i), time.Unix(1<<31, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tag.Encode()
+	}
+}
+
+func BenchmarkMicroTagDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	signer, err := pki.GenerateFast(rng, names.MustParse("/p/KEY/1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag, err := core.IssueTag(signer, names.MustParse("/u/KEY/1"), 3, 0, time.Unix(1<<31, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := tag.Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DecodeTag(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroCalibration reproduces the paper's delay-model fitting.
+func BenchmarkMicroCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := sim.CalibrateDelays(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(d.BFLookup.Mean.Nanoseconds()), "bf-lookup-ns")
+		b.ReportMetric(float64(d.BFInsert.Mean.Nanoseconds()), "bf-insert-ns")
+		b.ReportMetric(float64(d.SigVerify.Mean.Nanoseconds()), "sig-verify-ns")
+	}
+}
+
+// --- Fig. 5: latency vs Bloom-filter size ------------------------------------
+
+func benchFig5(b *testing.B, bfSize int) {
+	res := runScenario(b, experiment.Scenario{
+		Name: "bench/fig5", PaperTopology: 1, Duration: benchDuration,
+		BFCapacity: bfSize, PaperFidelity: true,
+	})
+	b.ReportMetric(res.ClientLatency.Mean().Seconds()*1000, "latency-ms")
+	b.ReportMetric(float64(res.EdgeOps.Resets), "edge-resets")
+}
+
+func BenchmarkFig5LatencyBF500(b *testing.B)   { benchFig5(b, 500) }
+func BenchmarkFig5LatencyBF2500(b *testing.B)  { benchFig5(b, 2500) }
+func BenchmarkFig5LatencyBF10000(b *testing.B) { benchFig5(b, 10000) }
+
+// --- Table IV: delivery ratios --------------------------------------------------
+
+func BenchmarkTable4Delivery(b *testing.B) {
+	res := runScenario(b, experiment.Scenario{
+		Name: "bench/table4", PaperTopology: 1, Duration: benchDuration, PaperFidelity: true,
+	})
+	b.ReportMetric(res.ClientDelivery.Ratio(), "client-rate")
+	b.ReportMetric(res.AttackerDelivery.Ratio(), "attacker-rate")
+	b.ReportMetric(float64(res.ClientDelivery.Requested), "client-chunks")
+}
+
+// --- Fig. 6: tag request/receive rates -------------------------------------------
+
+func benchFig6(b *testing.B, ttl time.Duration) {
+	res := runScenario(b, experiment.Scenario{
+		Name: "bench/fig6", PaperTopology: 1, Duration: benchDuration,
+		TagTTL: ttl, PaperFidelity: true,
+	})
+	b.ReportMetric(res.TagQRate(), "Q-tags-per-s")
+	b.ReportMetric(res.TagRRate(), "R-tags-per-s")
+}
+
+func BenchmarkFig6TagRatesTTL10(b *testing.B)  { benchFig6(b, 10*time.Second) }
+func BenchmarkFig6TagRatesTTL100(b *testing.B) { benchFig6(b, 100*time.Second) }
+
+// --- Fig. 7: router operations ---------------------------------------------------
+
+func BenchmarkFig7RouterOps(b *testing.B) {
+	res := runScenario(b, experiment.Scenario{
+		Name: "bench/fig7", PaperTopology: 1, Duration: benchDuration, PaperFidelity: true,
+	})
+	b.ReportMetric(float64(res.EdgeOps.Lookups), "edge-L")
+	b.ReportMetric(float64(res.EdgeOps.Insertions), "edge-I")
+	b.ReportMetric(float64(res.EdgeOps.Verifications), "edge-V")
+	b.ReportMetric(float64(res.CoreOps.Lookups), "core-L")
+	b.ReportMetric(float64(res.CoreOps.Verifications), "core-V")
+}
+
+// --- Fig. 8: requests per Bloom-filter reset --------------------------------------
+
+func benchFig8(b *testing.B, fpp float64, ttl time.Duration) {
+	res := runScenario(b, experiment.Scenario{
+		Name: "bench/fig8", PaperTopology: 1, Duration: benchDuration,
+		BFMaxFPP: fpp, TagTTL: ttl, PaperFidelity: true,
+	})
+	ops := res.EdgeOps
+	b.ReportMetric(ops.MeanResetThreshold(), "edge-req-per-reset")
+}
+
+func BenchmarkFig8ResetFPP4TTL10(b *testing.B)  { benchFig8(b, 1e-4, 10*time.Second) }
+func BenchmarkFig8ResetFPP4TTL100(b *testing.B) { benchFig8(b, 1e-4, 100*time.Second) }
+func BenchmarkFig8ResetFPP2TTL10(b *testing.B)  { benchFig8(b, 1e-2, 10*time.Second) }
+
+// --- Table V: reset counts ---------------------------------------------------------
+
+func benchTable5(b *testing.B, size int, fpp float64) {
+	res := runScenario(b, experiment.Scenario{
+		Name: "bench/table5", PaperTopology: 1, Duration: benchDuration,
+		BFCapacity: size, BFMaxFPP: fpp, PaperFidelity: true,
+	})
+	b.ReportMetric(float64(res.EdgeOps.Resets), "edge-resets")
+	b.ReportMetric(float64(res.CoreOps.Resets), "core-resets")
+}
+
+func BenchmarkTable5ResetsBF500FPP4(b *testing.B)  { benchTable5(b, 500, 1e-4) }
+func BenchmarkTable5ResetsBF500FPP2(b *testing.B)  { benchTable5(b, 500, 1e-2) }
+func BenchmarkTable5ResetsBF5000FPP4(b *testing.B) { benchTable5(b, 5000, 1e-4) }
+func BenchmarkTable5ResetsBF5000FPP2(b *testing.B) { benchTable5(b, 5000, 1e-2) }
+
+// --- Table II: baseline schemes ------------------------------------------------------
+
+func benchBaseline(b *testing.B, scheme baseline.Scheme) {
+	res := runScenario(b, experiment.Scenario{
+		Name: "bench/table2", PaperTopology: 1, Duration: benchDuration,
+		Baseline: scheme, PaperFidelity: true,
+	})
+	b.ReportMetric(res.ClientDelivery.Ratio(), "client-rate")
+	b.ReportMetric(res.AttackerDelivery.Ratio(), "attacker-rate")
+	b.ReportMetric(float64(res.ProviderContentServed), "origin-served")
+	b.ReportMetric(res.ClientLatency.Mean().Seconds()*1000, "latency-ms")
+}
+
+func BenchmarkBaselineTACTIC(b *testing.B)         { benchBaseline(b, baseline.TACTIC) }
+func BenchmarkBaselineOpenNDN(b *testing.B)        { benchBaseline(b, baseline.OpenNDN) }
+func BenchmarkBaselineClientSideAC(b *testing.B)   { benchBaseline(b, baseline.ClientSideAC) }
+func BenchmarkBaselineProviderAuthAC(b *testing.B) { benchBaseline(b, baseline.ProviderAuthAC) }
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------------------
+
+func benchAblation(b *testing.B, mutate func(*experiment.Scenario)) {
+	sc := experiment.Scenario{
+		Name: "bench/ablation", PaperTopology: 1, Duration: benchDuration, PaperFidelity: true,
+	}
+	mutate(&sc)
+	res := runScenario(b, sc)
+	b.ReportMetric(res.ClientDelivery.Ratio(), "client-rate")
+	b.ReportMetric(res.AttackerDelivery.Ratio(), "attacker-rate")
+	b.ReportMetric(float64(res.EdgeOps.Verifications+res.CoreOps.Verifications), "router-verifs")
+	b.ReportMetric(res.ClientLatency.Mean().Seconds()*1000, "latency-ms")
+}
+
+func BenchmarkAblationNone(b *testing.B) {
+	benchAblation(b, func(*experiment.Scenario) {})
+}
+
+func BenchmarkAblationNoBloomFilter(b *testing.B) {
+	benchAblation(b, func(sc *experiment.Scenario) { sc.Ablations.DisableBloomFilter = true })
+}
+
+func BenchmarkAblationNoCollaboration(b *testing.B) {
+	benchAblation(b, func(sc *experiment.Scenario) { sc.Ablations.DisableCollaboration = true })
+}
+
+func BenchmarkAblationNoPrecheck(b *testing.B) {
+	benchAblation(b, func(sc *experiment.Scenario) { sc.Ablations.DisablePrecheck = true })
+}
+
+func BenchmarkAblationNoAutoReset(b *testing.B) {
+	benchAblation(b, func(sc *experiment.Scenario) { sc.Ablations.DisableAutoReset = true })
+}
+
+func BenchmarkAblationDropOnNACK(b *testing.B) {
+	benchAblation(b, func(sc *experiment.Scenario) { sc.DropContentOnNACK = true })
+}

@@ -1,0 +1,137 @@
+// Command tacticd runs a real-time TACTIC forwarder: an NDN router that
+// enforces tag-based access control on live TCP connections.
+//
+//	# a core router forwarding /prov0 toward the producer
+//	tacticd -listen :6363 -role core -id core-0 \
+//	        -trust prov0.pub -route /prov0=127.0.0.1:7000
+//
+//	# an edge router running Protocol 2 for its clients
+//	tacticd -listen :6362 -role edge -id edge-0 \
+//	        -trust prov0.pub -route /prov0=127.0.0.1:6363
+//
+// Clients connect to the edge's listen address (see cmd/tacticget); the
+// edge's -id is the access-path entity its clients' tags bind to.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/forwarder"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tacticd:", err)
+		os.Exit(1)
+	}
+}
+
+// dialWithRetry tolerates upstreams that are still starting.
+func dialWithRetry(fwd *forwarder.Forwarder, addr string) (face ndn.FaceID, err error) {
+	const attempts = 20
+	for i := 0; i < attempts; i++ {
+		face, err = fwd.DialUpstream(addr)
+		if err == nil {
+			return face, nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return face, err
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tacticd", flag.ContinueOnError)
+	listen := fs.String("listen", ":6363", "downstream listen address")
+	role := fs.String("role", "core", "router role: edge|core")
+	id := fs.String("id", "", "node identity (edge IDs bind client access paths)")
+	bfSize := fs.Int("bf", 500, "Bloom-filter capacity")
+	bfFPP := fs.Float64("fpp", 1e-4, "Bloom-filter max FPP")
+	csSize := fs.Int("cs", 4096, "content-store capacity (chunks)")
+	var trusts, routes multiFlag
+	fs.Var(&trusts, "trust", "provider public-key PEM file (repeatable)")
+	fs.Var(&routes, "route", "prefix=upstreamAddr (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	var r forwarder.Role
+	switch *role {
+	case "edge":
+		r = forwarder.RoleEdge
+	case "core":
+		r = forwarder.RoleCore
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+
+	registry := pki.NewRegistry()
+	for _, path := range trusts {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		locator, pub, err := pki.UnmarshalPublic(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := registry.Register(locator, pub); err != nil {
+			return err
+		}
+		log.Printf("trusted %s (%s)", locator, pki.FingerprintHex(pub))
+	}
+
+	fwd, err := forwarder.New(forwarder.Config{
+		ID:         *id,
+		Role:       r,
+		Registry:   registry,
+		BFCapacity: *bfSize,
+		BFMaxFPP:   *bfFPP,
+		CSCapacity: *csSize,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer fwd.Close()
+
+	for _, route := range routes {
+		prefixStr, addr, ok := strings.Cut(route, "=")
+		if !ok {
+			return fmt.Errorf("bad -route %q (want prefix=addr)", route)
+		}
+		prefix, err := names.Parse(prefixStr)
+		if err != nil {
+			return err
+		}
+		face, err := dialWithRetry(fwd, addr)
+		if err != nil {
+			return err
+		}
+		fwd.AddRoute(prefix, face)
+		log.Printf("route %s -> %s (face %d)", prefix, addr, face)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("tacticd %s (%s) listening on %s", *id, *role, ln.Addr())
+	return fwd.Serve(ln)
+}

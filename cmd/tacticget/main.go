@@ -1,0 +1,84 @@
+// Command tacticget fetches a TACTIC-protected object through an edge
+// forwarder: it registers for a tag, fetches every chunk, verifies and
+// decrypts, and writes the reassembled object.
+//
+//	tacticget -edge 127.0.0.1:6362 -edge-id edge-0 -key alice.key \
+//	          -name /prov0/report -out report.pdf
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/forwarder"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tacticget:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tacticget", flag.ContinueOnError)
+	edge := fs.String("edge", "127.0.0.1:6362", "edge forwarder address")
+	edgeID := fs.String("edge-id", "", "edge node identity (binds the tag's access path)")
+	keyPath := fs.String("key", "", "client private key PEM (tactickey gen)")
+	nameStr := fs.String("name", "", "object name, e.g. /prov0/report")
+	out := fs.String("out", "", "output file (default stdout)")
+	timeout := fs.Duration("timeout", 4*time.Second, "per-chunk timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *edgeID == "" || *keyPath == "" || *nameStr == "" {
+		return fmt.Errorf("-edge-id, -key, and -name are required")
+	}
+	objName, err := names.Parse(*nameStr)
+	if err != nil {
+		return err
+	}
+	keyPEM, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	signer, err := pki.UnmarshalECDSAPrivate(keyPEM, rand.Reader)
+	if err != nil {
+		return err
+	}
+	identity, err := core.NewClient(signer, rand.Reader)
+	if err != nil {
+		return err
+	}
+	nodeID := pki.FingerprintHex(signer.Public())
+
+	client, err := forwarder.Dial(*edge, identity, nodeID, *edgeID)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	start := time.Now()
+	payload, chunks, err := client.FetchObject(objName, *timeout)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if *out == "" {
+		if _, err := os.Stdout.Write(payload); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fetched %s: %d bytes in %d chunks (%s, %.1f KB/s)\n",
+		objName, len(payload), chunks, elapsed.Round(time.Millisecond),
+		float64(len(payload))/1024/elapsed.Seconds())
+	return nil
+}

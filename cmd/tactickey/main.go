@@ -1,0 +1,94 @@
+// Command tactickey generates and inspects TACTIC identities:
+//
+//	tactickey gen  -locator /users/alice/KEY/1 -out alice      # alice.key + alice.pub
+//	tactickey show -in alice.pub
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tactickey:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: tactickey gen|show [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "show":
+		return runShow(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen|show)", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("tactickey gen", flag.ContinueOnError)
+	locator := fs.String("locator", "", "key locator name, e.g. /users/alice/KEY/1")
+	out := fs.String("out", "identity", "output basename (<out>.key, <out>.pub)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *locator == "" {
+		return fmt.Errorf("-locator is required")
+	}
+	loc, err := names.Parse(*locator)
+	if err != nil {
+		return err
+	}
+	kp, err := pki.GenerateECDSA(rand.Reader, loc)
+	if err != nil {
+		return err
+	}
+	privPEM, err := pki.MarshalECDSAPrivate(kp)
+	if err != nil {
+		return err
+	}
+	pubPEM, err := pki.MarshalPublic(kp.Locator(), kp.Public())
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out+".key", privPEM, 0o600); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out+".pub", pubPEM, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("generated %s (%s.key, %s.pub), fingerprint %s\n",
+		loc, *out, *out, pki.FingerprintHex(kp.Public()))
+	return nil
+}
+
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("tactickey show", flag.ContinueOnError)
+	in := fs.String("in", "", "public key PEM file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	locator, pub, err := pki.UnmarshalPublic(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("locator:     %s\nfingerprint: %s\n", locator, pki.FingerprintHex(pub))
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenAndShow(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "alice")
+	if err := run([]string{"gen", "-locator", "/users/alice/KEY/1", "-out", base}); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".key", ".pub"} {
+		if _, err := os.Stat(base + suffix); err != nil {
+			t.Errorf("missing %s: %v", suffix, err)
+		}
+	}
+	// Private key files must be owner-only.
+	info, err := os.Stat(base + ".key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("private key mode = %v, want 0600", info.Mode().Perm())
+	}
+	if err := run([]string{"show", "-in", base + ".pub"}); err != nil {
+		t.Errorf("show: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"gen"},                      // missing -locator
+		{"gen", "-locator", "nopfx"}, // invalid name
+		{"show"},                     // missing -in
+		{"show", "-in", "/nonexistent/file.pub"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command tacticsim runs a single TACTIC simulation scenario and prints
+// a full report: delivery ratios, latency, tag rates, router operation
+// counts, drop reasons, and per-threat attacker outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/baseline"
+	"github.com/tactic-icn/tactic/internal/experiment"
+	"github.com/tactic-icn/tactic/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tacticsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tacticsim", flag.ContinueOnError)
+	topo := fs.Int("topo", 1, "Table III topology (1-4)")
+	seed := fs.Int64("seed", 1, "run seed")
+	duration := fs.Duration("duration", 200*time.Second, "simulated time")
+	bfSize := fs.Int("bf", 500, "Bloom-filter capacity")
+	bfFPP := fs.Float64("fpp", 1e-4, "Bloom-filter max FPP")
+	ttl := fs.Duration("ttl", 10*time.Second, "tag expiry period")
+	fidelity := fs.Bool("fidelity", true, "paper-fidelity mode")
+	ecdsa := fs.Bool("ecdsa", false, "use real ECDSA P-256 signatures")
+	scheme := fs.String("scheme", "tactic", "access-control scheme: tactic|open-ndn|client-side-ac|provider-auth-ac")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := experiment.Scenario{
+		Name:          fmt.Sprintf("tacticsim/topo%d", *topo),
+		PaperTopology: *topo,
+		Seed:          *seed,
+		Duration:      *duration,
+		BFCapacity:    *bfSize,
+		BFMaxFPP:      *bfFPP,
+		TagTTL:        *ttl,
+		PaperFidelity: *fidelity,
+		UseECDSA:      *ecdsa,
+	}
+	switch *scheme {
+	case "tactic":
+		sc.Baseline = baseline.TACTIC
+	case "open-ndn":
+		sc.Baseline = baseline.OpenNDN
+	case "client-side-ac":
+		sc.Baseline = baseline.ClientSideAC
+	case "provider-auth-ac":
+		sc.Baseline = baseline.ProviderAuthAC
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	start := time.Now()
+	res, err := experiment.Run(sc)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("TACTIC simulation — topology %d, seed %d, %s simulated (%s wall, %d events)\n\n",
+		*topo, *seed, *duration, wall.Round(time.Millisecond), res.Events)
+	fmt.Printf("scheme: %s   BF capacity %d @ max FPP %g   tag TTL %s   fidelity %v\n\n",
+		sc.Baseline, *bfSize, *bfFPP, *ttl, *fidelity)
+
+	printDelivery := func(label string, d metrics.Delivery) {
+		fmt.Printf("%-10s requested %9d   received %9d   delivery rate %.4f\n",
+			label, d.Requested, d.Received, d.Ratio())
+	}
+	printDelivery("clients", res.ClientDelivery)
+	printDelivery("attackers", res.AttackerDelivery)
+	fmt.Println()
+
+	fmt.Printf("client latency: mean %s  min %s  max %s  (%d samples)\n",
+		res.ClientLatency.Mean().Round(10*time.Microsecond),
+		res.ClientLatency.Min().Round(10*time.Microsecond),
+		res.ClientLatency.Max().Round(10*time.Microsecond),
+		res.ClientLatency.Count())
+	fmt.Printf("tag rates: Q %.2f/s  R %.2f/s   registrations issued %d, dropped %d\n\n",
+		res.TagQRate(), res.TagRRate(), res.RegistrationsIssued, res.RegistrationsFailed)
+
+	fmt.Printf("router ops      %12s %12s %12s %8s\n", "lookups", "insertions", "verifications", "resets")
+	fmt.Printf("  edge routers  %12d %12d %12d %8d\n",
+		res.EdgeOps.Lookups, res.EdgeOps.Insertions, res.EdgeOps.Verifications, res.EdgeOps.Resets)
+	fmt.Printf("  core routers  %12d %12d %12d %8d\n",
+		res.CoreOps.Lookups, res.CoreOps.Insertions, res.CoreOps.Verifications, res.CoreOps.Resets)
+	fmt.Printf("  providers: served %d, verifications %d\n\n", res.ProviderContentServed, res.ProviderVerifications)
+
+	hitRatio := 0.0
+	if res.CSHits+res.CSMisses > 0 {
+		hitRatio = float64(res.CSHits) / float64(res.CSHits+res.CSMisses)
+	}
+	fmt.Printf("content store: hits %d, misses %d (hit ratio %.3f)\n\n", res.CSHits, res.CSMisses, hitRatio)
+
+	if len(res.AttackerByKind) > 0 {
+		fmt.Println("attacker outcomes by threat scenario:")
+		kinds := make([]string, 0, len(res.AttackerByKind))
+		for k := range res.AttackerByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			d := res.AttackerByKind[k]
+			fmt.Printf("  %-14s requested %7d  received %5d  rate %.4f\n", k, d.Requested, d.Received, d.Ratio())
+		}
+		fmt.Println()
+	}
+
+	if len(res.Drops) > 0 {
+		fmt.Println("router drops by reason:")
+		reasons := make([]string, 0, len(res.Drops))
+		for r := range res.Drops {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Printf("  %-24s %d\n", r, res.Drops[r])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunShortSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	if err := run([]string{"-topo", "1", "-duration", "10s", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBaselineScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	if err := run([]string{"-topo", "1", "-duration", "5s", "-scheme", "open-ndn"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-topo", "9", "-duration", "1s"}); err == nil {
+		t.Error("invalid topology accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Command topogen generates the paper's scale-free evaluation topologies
+// (Table III) and prints their structural properties: node counts by
+// kind, degree distribution of the router core, connectivity, and
+// hop-count statistics from clients to providers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/tactic-icn/tactic/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	topo := fs.Int("topo", 0, "paper topology 1-4 (0 = use custom sizes)")
+	core := fs.Int("core", 80, "core routers (custom mode)")
+	edge := fs.Int("edge", 20, "edge routers (custom mode)")
+	providers := fs.Int("providers", 10, "providers (custom mode)")
+	clients := fs.Int("clients", 35, "clients (custom mode)")
+	attackers := fs.Int("attackers", 15, "attackers (custom mode)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	edges := fs.Bool("edges", false, "also print the edge list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *topology.Graph
+	var err error
+	if *topo > 0 {
+		g, err = topology.Paper(*topo, *seed)
+	} else {
+		g, err = topology.Generate(topology.Config{
+			CoreRouters: *core,
+			EdgeRouters: *edge,
+			Providers:   *providers,
+			Clients:     *clients,
+			Attackers:   *attackers,
+			Seed:        *seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("nodes: %d   links: %d   connected: %v\n\n", len(g.Nodes), len(g.Edges), g.Connected())
+	for _, kind := range []topology.Kind{
+		topology.KindCoreRouter, topology.KindEdgeRouter, topology.KindAccessPoint,
+		topology.KindClient, topology.KindAttacker, topology.KindProvider,
+	} {
+		fmt.Printf("  %-9s %4d\n", kind, len(g.OfKind(kind)))
+	}
+
+	// Core degree distribution.
+	coreIdx := g.OfKind(topology.KindCoreRouter)
+	degrees := make([]int, 0, len(coreIdx))
+	for _, n := range coreIdx {
+		degrees = append(degrees, g.Degree(n))
+	}
+	sort.Ints(degrees)
+	sum := 0
+	for _, d := range degrees {
+		sum += d
+	}
+	fmt.Printf("\ncore degree: min %d  median %d  mean %.1f  max %d (scale-free hubs)\n",
+		degrees[0], degrees[len(degrees)/2], float64(sum)/float64(len(degrees)), degrees[len(degrees)-1])
+
+	// Client -> provider hop counts.
+	provIdx := g.OfKind(topology.KindProvider)
+	if len(provIdx) > 0 {
+		parent := g.BFSFrom(provIdx[0])
+		hops := make([]int, 0)
+		for _, c := range g.OfKind(topology.KindClient) {
+			hops = append(hops, len(topology.PathToRoot(parent, c))-1)
+		}
+		if len(hops) > 0 {
+			sort.Ints(hops)
+			fmt.Printf("client->provider0 hops: min %d  median %d  max %d\n",
+				hops[0], hops[len(hops)/2], hops[len(hops)-1])
+		}
+	}
+
+	if *edges {
+		fmt.Println("\nedges:")
+		for _, e := range g.Edges {
+			fmt.Printf("  %-12s -- %-12s  %s\n", g.Nodes[e.A].ID, g.Nodes[e.B].ID, e.Spec.Latency)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunPaperTopology(t *testing.T) {
+	if err := run([]string{"-topo", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomTopology(t *testing.T) {
+	if err := run([]string{"-core", "20", "-edge", "4", "-providers", "2", "-clients", "5", "-attackers", "2", "-edges"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-topo", "9"}); err == nil {
+		t.Error("invalid paper topology accepted")
+	}
+	if err := run([]string{"-core", "1"}); err == nil {
+		t.Error("degenerate custom topology accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

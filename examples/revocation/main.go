@@ -1,0 +1,82 @@
+// Revocation contrasts TACTIC's time-based revocation with the
+// client-side access-control baseline the paper's motivation criticises
+// (§1: mechanisms where "all users can retrieve the content from the
+// network" are "prone to wasting of network bandwidth and potential
+// network Distributed Denial of Service (DDoS) attack by unauthenticated
+// or revoked users").
+//
+// Both runs use the same topology, workload, and a population of revoked
+// clients that keep replaying their stale (expired) tags:
+//
+//   - Under TACTIC, routers drop the requests at the edge pre-check; the
+//     revoked users receive nothing and their stale requests never reach
+//     the core.
+//   - Under client-side AC, the network happily delivers ciphertext the
+//     revoked users can still decrypt with their old keys unless the
+//     provider re-encrypts everything — the expensive practice TACTIC
+//     eliminates. The run measures the wasted downstream bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/baseline"
+	"github.com/tactic-icn/tactic/internal/experiment"
+	"github.com/tactic-icn/tactic/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	base := experiment.Scenario{
+		Topology: topology.Config{
+			CoreRouters: 20,
+			EdgeRouters: 6,
+			Providers:   3,
+			Clients:     12,
+			Attackers:   6, // the revoked users
+		},
+		Seed:               3,
+		Duration:           60 * time.Second,
+		AttackerMix:        []experiment.AttackerKind{experiment.AttackExpiredTag},
+		ObjectsPerProvider: 20,
+		ChunksPerObject:    20,
+		ChunkSize:          1024,
+	}
+
+	fmt.Println("revocation under TACTIC vs client-side access control")
+	fmt.Println("(6 revoked users replay their stale tags for 60 s)")
+	fmt.Println()
+
+	for _, scheme := range []baseline.Scheme{baseline.TACTIC, baseline.ClientSideAC} {
+		sc := base
+		sc.Name = "revocation/" + scheme.String()
+		sc.Baseline = scheme
+		res, err := experiment.Run(sc)
+		if err != nil {
+			return err
+		}
+		wastedKB := res.AttackerDelivery.Received * uint64(base.ChunkSize) / 1024
+		fmt.Printf("%-16s revoked users received %6d/%6d chunks (%.4f)",
+			scheme, res.AttackerDelivery.Received, res.AttackerDelivery.Requested,
+			res.AttackerDelivery.Ratio())
+		switch scheme {
+		case baseline.TACTIC:
+			fmt.Printf(" — blocked at the edge (%d expired-tag drops)\n", res.Drops["tag-expired"])
+		case baseline.ClientSideAC:
+			fmt.Printf(" — %d KiB of ciphertext wasted; consumable with their cached keys until re-encryption\n", wastedKB)
+		}
+		fmt.Printf("%-16s legitimate clients: %.4f delivery, mean latency %s\n\n",
+			"", res.ClientDelivery.Ratio(), res.ClientLatency.Mean().Round(10*time.Microsecond))
+	}
+
+	fmt.Println("TACTIC's revocation cost: one tag request per client per TTL — no re-encryption,")
+	fmt.Println("no network-wide key redistribution, no always-online authentication server.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/tactic-icn/tactic
+
+go 1.22

@@ -1,0 +1,84 @@
+// Package baseline defines the comparator access-control schemes used to
+// turn the paper's qualitative Table II into a measured comparison.
+// Each scheme maps onto the same NDN substrate with different
+// enforcement placement:
+//
+//   - TACTIC — the paper's design: routers enforce; caches serve
+//     authorized requests; revocation is tag expiry.
+//   - OpenNDN — no access control at all; the latency/throughput floor.
+//   - ClientSideAC — the client-end-authorization family the paper's
+//     motivation criticises ([3],[5],[7] in the paper): every request is
+//     satisfied with ciphertext and only key possession gates
+//     consumption. Unauthorized users waste bandwidth and can mount the
+//     DDoS the paper warns about; revocation requires re-encryption
+//     (modelled as its cost: revoked users keep receiving ciphertext).
+//   - ProviderAuthAC — the always-online-provider family ([9],[14],[16]):
+//     private content is never served from caches; the provider
+//     authenticates every request, so provider load scales with total
+//     request volume and cache utility vanishes.
+package baseline
+
+// Scheme selects an access-control baseline.
+type Scheme int
+
+// Schemes.
+const (
+	// TACTIC is the paper's design (the default).
+	TACTIC Scheme = iota
+	// OpenNDN disables access control entirely.
+	OpenNDN
+	// ClientSideAC delegates authorization to end clients.
+	ClientSideAC
+	// ProviderAuthAC requires per-request provider authentication.
+	ProviderAuthAC
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case TACTIC:
+		return "tactic"
+	case OpenNDN:
+		return "open-ndn"
+	case ClientSideAC:
+		return "client-side-ac"
+	case ProviderAuthAC:
+		return "provider-auth-ac"
+	default:
+		return "unknown"
+	}
+}
+
+// All lists every scheme in comparison order.
+func All() []Scheme {
+	return []Scheme{TACTIC, OpenNDN, ClientSideAC, ProviderAuthAC}
+}
+
+// RouterBehaviour describes how a scheme configures the forwarding
+// plane.
+type RouterBehaviour struct {
+	// DisableEnforcement turns off all router-side tag processing:
+	// every request is served (OpenNDN, ClientSideAC).
+	DisableEnforcement bool
+	// NoPrivateCache prevents caching and cache-serving of non-Public
+	// content, forcing private requests to the origin (ProviderAuthAC).
+	NoPrivateCache bool
+}
+
+// Behaviour returns the forwarding-plane configuration for a scheme.
+func (s Scheme) Behaviour() RouterBehaviour {
+	switch s {
+	case OpenNDN, ClientSideAC:
+		return RouterBehaviour{DisableEnforcement: true}
+	case ProviderAuthAC:
+		return RouterBehaviour{NoPrivateCache: true}
+	default:
+		return RouterBehaviour{}
+	}
+}
+
+// CiphertextGated reports whether delivered private content is useless
+// without a decryption key (true for ClientSideAC: attackers receive
+// ciphertext but cannot consume it; their deliveries are pure bandwidth
+// waste).
+func (s Scheme) CiphertextGated() bool { return s == ClientSideAC }

@@ -1,0 +1,53 @@
+package baseline
+
+import "testing"
+
+func TestSchemeStrings(t *testing.T) {
+	wants := map[Scheme]string{
+		TACTIC:         "tactic",
+		OpenNDN:        "open-ndn",
+		ClientSideAC:   "client-side-ac",
+		ProviderAuthAC: "provider-auth-ac",
+		Scheme(99):     "unknown",
+	}
+	for s, want := range wants {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestAllCoversEveryScheme(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() has %d schemes", len(all))
+	}
+	if all[0] != TACTIC {
+		t.Error("TACTIC should lead the comparison")
+	}
+}
+
+func TestBehaviourMapping(t *testing.T) {
+	if b := TACTIC.Behaviour(); b.DisableEnforcement || b.NoPrivateCache {
+		t.Errorf("TACTIC behaviour = %+v, want full enforcement", b)
+	}
+	for _, s := range []Scheme{OpenNDN, ClientSideAC} {
+		if b := s.Behaviour(); !b.DisableEnforcement || b.NoPrivateCache {
+			t.Errorf("%v behaviour = %+v, want enforcement off", s, b)
+		}
+	}
+	if b := ProviderAuthAC.Behaviour(); b.DisableEnforcement || !b.NoPrivateCache {
+		t.Errorf("ProviderAuthAC behaviour = %+v, want private-cache off", b)
+	}
+}
+
+func TestCiphertextGated(t *testing.T) {
+	if !ClientSideAC.CiphertextGated() {
+		t.Error("client-side AC gates consumption by key possession")
+	}
+	for _, s := range []Scheme{TACTIC, OpenNDN, ProviderAuthAC} {
+		if s.CiphertextGated() {
+			t.Errorf("%v should not be ciphertext-gated", s)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package bloom implements the Bloom filters that TACTIC routers use to
+// cache tag-validation results.
+//
+// A router verifies a tag's signature once, inserts the tag into its
+// filter, and answers subsequent requests with a constant-time lookup
+// instead of a signature verification. The package follows the classic
+// construction analysed by Mullin ("A second look at Bloom filters",
+// CACM 1983, the paper's reference [18]): m bits, k independent hash
+// functions realised by double hashing, and the false-positive
+// probability FPP = (1 - e^(-kn/m))^k for n inserted elements.
+//
+// TACTIC's auto-reset policy (Section 8.A of the paper) is provided via
+// Saturated: when the live FPP estimate reaches the configured maximum,
+// the router clears the filter and re-validates tags as they reappear.
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Errors returned by filter construction.
+var (
+	// ErrBadCapacity is returned for non-positive capacities.
+	ErrBadCapacity = errors.New("bloom: capacity must be positive")
+	// ErrBadFPP is returned for target false-positive probabilities
+	// outside (0, 1).
+	ErrBadFPP = errors.New("bloom: target FPP must be in (0, 1)")
+	// ErrBadShape is returned for invalid explicit (bits, hashes) shapes.
+	ErrBadShape = errors.New("bloom: bits and hashes must be positive")
+)
+
+// Stats counts filter operations since construction. TACTIC's evaluation
+// (Fig. 7, Fig. 8, Table V) reports exactly these counters.
+type Stats struct {
+	// Lookups counts Contains calls.
+	Lookups uint64
+	// Insertions counts Add calls.
+	Insertions uint64
+	// Resets counts Reset calls (including auto-resets driven by the
+	// caller observing Saturated).
+	Resets uint64
+}
+
+// Filter is a counting-free Bloom filter. It is not safe for concurrent
+// use; in the simulator each router owns exactly one filter and the
+// discrete-event engine serialises accesses.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes uint32
+	count  uint64 // elements inserted since last reset
+	maxFPP float64
+	stats  Stats
+	// requestsSinceReset counts lookups since the last reset; the paper's
+	// Fig. 8 reports the number of requests a filter absorbs per reset.
+	requestsSinceReset uint64
+	resetThresholds    []uint64
+}
+
+// New creates a filter sized for the given expected capacity and target
+// false-positive probability using the optimal parameters
+// m = -n·ln(p)/ln(2)² and k = (m/n)·ln(2).
+func New(capacity int, targetFPP float64) (*Filter, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	if targetFPP <= 0 || targetFPP >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadFPP, targetFPP)
+	}
+	nbits := uint64(math.Ceil(-float64(capacity) * math.Log(targetFPP) / (math.Ln2 * math.Ln2)))
+	if nbits == 0 {
+		nbits = 1
+	}
+	hashes := uint32(math.Round(float64(nbits) / float64(capacity) * math.Ln2))
+	if hashes == 0 {
+		hashes = 1
+	}
+	return NewWithShape(nbits, hashes, targetFPP)
+}
+
+// NewWithShape creates a filter with an explicit number of bits and hash
+// functions; maxFPP sets the saturation threshold used by Saturated. The
+// paper's simulations fix hashes = 5 and maxFPP = 1e-4.
+func NewWithShape(nbits uint64, hashes uint32, maxFPP float64) (*Filter, error) {
+	if nbits == 0 || hashes == 0 {
+		return nil, ErrBadShape
+	}
+	if maxFPP <= 0 || maxFPP >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadFPP, maxFPP)
+	}
+	return &Filter{
+		bits:   make([]uint64, (nbits+63)/64),
+		nbits:  nbits,
+		hashes: hashes,
+		maxFPP: maxFPP,
+	}, nil
+}
+
+// NewPaper creates a filter with the paper's simulation parameters:
+// capacity items to index, exactly 5 hash functions, bits sized for the
+// given maximum FPP at that capacity.
+func NewPaper(capacity int, maxFPP float64) (*Filter, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	if maxFPP <= 0 || maxFPP >= 1 {
+		return nil, fmt.Errorf("%w: %g", ErrBadFPP, maxFPP)
+	}
+	const paperHashes = 5
+	// Solve (1 - e^(-k·n/m))^k = p for m with k fixed:
+	// m = -k·n / ln(1 - p^(1/k)).
+	p := math.Pow(maxFPP, 1.0/paperHashes)
+	nbits := uint64(math.Ceil(-paperHashes * float64(capacity) / math.Log(1-p)))
+	return NewWithShape(nbits, paperHashes, maxFPP)
+}
+
+// NewPaperWithDesign creates a filter whose bit array is sized for
+// `capacity` items at a *design* FPP, while Saturated still triggers at
+// the (typically much lower) maxFPP. This reconstructs the paper's
+// evaluation setup: filters "index 500 tags" at an ordinary design point
+// (~1e-2) but reset as soon as the estimated FPP reaches the maximum
+// (1e-4), which happens well before the design capacity — the reason
+// Fig. 8(a) shows a reset every ~50-250 requests for a "500-item"
+// filter.
+func NewPaperWithDesign(capacity int, designFPP, maxFPP float64) (*Filter, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	if designFPP <= 0 || designFPP >= 1 || maxFPP <= 0 || maxFPP >= 1 {
+		return nil, fmt.Errorf("%w: design %g max %g", ErrBadFPP, designFPP, maxFPP)
+	}
+	const paperHashes = 5
+	p := math.Pow(designFPP, 1.0/paperHashes)
+	nbits := uint64(math.Ceil(-paperHashes * float64(capacity) / math.Log(1-p)))
+	return NewWithShape(nbits, paperHashes, maxFPP)
+}
+
+// hashPair produces two independent 64-bit hashes for double hashing.
+func hashPair(item []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(item) //nolint:errcheck // fnv never errors
+	h1 := h.Sum64()
+	// SplitMix64 finalizer over h1 gives a decorrelated second hash.
+	z := h1 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	h2 := z ^ (z >> 31)
+	// h2 must be odd so that successive probes cover the bit space even
+	// when nbits is even.
+	return h1, h2 | 1
+}
+
+// Add inserts an item.
+func (f *Filter) Add(item []byte) {
+	f.stats.Insertions++
+	f.count++
+	h1, h2 := hashPair(item)
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// Contains tests membership. False positives occur with probability FPP;
+// false negatives never occur.
+func (f *Filter) Contains(item []byte) bool {
+	f.stats.Lookups++
+	f.requestsSinceReset++
+	h1, h2 := hashPair(item)
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FPP returns the current false-positive probability estimate
+// (1 - e^(-k·n/m))^k for the n elements inserted since the last reset.
+func (f *Filter) FPP() float64 {
+	if f.count == 0 {
+		return 0
+	}
+	exp := -float64(f.hashes) * float64(f.count) / float64(f.nbits)
+	return math.Pow(1-math.Exp(exp), float64(f.hashes))
+}
+
+// MaxFPP returns the configured saturation threshold.
+func (f *Filter) MaxFPP() float64 { return f.maxFPP }
+
+// Saturated reports whether the live FPP estimate has reached the
+// configured maximum; per the paper, the owning router should Reset.
+func (f *Filter) Saturated() bool { return f.FPP() >= f.maxFPP }
+
+// Reset clears all bits and the element count, recording the number of
+// lookups the filter absorbed since the previous reset (the paper's
+// "BF reset threshold", Fig. 8).
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+	f.stats.Resets++
+	f.resetThresholds = append(f.resetThresholds, f.requestsSinceReset)
+	f.requestsSinceReset = 0
+}
+
+// Count returns the number of elements inserted since the last reset.
+func (f *Filter) Count() uint64 { return f.count }
+
+// Bits returns the filter's bit-array size m.
+func (f *Filter) Bits() uint64 { return f.nbits }
+
+// Hashes returns the number of hash functions k.
+func (f *Filter) Hashes() uint32 { return f.hashes }
+
+// Stats returns a copy of the operation counters.
+func (f *Filter) Stats() Stats { return f.stats }
+
+// ResetThresholds returns a copy of the per-reset lookup counts: element
+// i is the number of Contains calls between reset i-1 and reset i.
+func (f *Filter) ResetThresholds() []uint64 {
+	out := make([]uint64, len(f.resetThresholds))
+	copy(out, f.resetThresholds)
+	return out
+}
+
+// RequestsSinceReset returns the number of lookups since the last reset.
+func (f *Filter) RequestsSinceReset() uint64 { return f.requestsSinceReset }
+
+// FillRatio returns the fraction of set bits, a diagnostic for tests.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// TheoreticalFPP computes the textbook FPP for a filter with m bits and
+// k hashes holding n elements. Exposed for experiment harnesses and
+// tests.
+func TheoreticalFPP(m uint64, k uint32, n uint64) float64 {
+	if n == 0 || m == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(m)), float64(k))
+}
+
+// CapacityAtFPP returns the number of elements a filter with m bits and
+// k hashes can hold before its FPP reaches p: the inverse of
+// TheoreticalFPP in n.
+func CapacityAtFPP(m uint64, k uint32, p float64) uint64 {
+	if p <= 0 || p >= 1 || m == 0 || k == 0 {
+		return 0
+	}
+	// n = -m/k · ln(1 - p^(1/k))
+	inner := 1 - math.Pow(p, 1/float64(k))
+	if inner <= 0 {
+		return 0
+	}
+	n := -float64(m) / float64(k) * math.Log(inner)
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}

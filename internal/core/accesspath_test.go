@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessPathAccumulate(t *testing.T) {
+	ap := EmptyAccessPath.Accumulate("ap0")
+	if ap == EmptyAccessPath {
+		t.Error("accumulating an entity should change the path")
+	}
+	if ap != AccessPath(HashEntityID("ap0")) {
+		t.Error("single-entity path should equal the entity hash")
+	}
+}
+
+func TestAccessPathOf(t *testing.T) {
+	if AccessPathOf() != EmptyAccessPath {
+		t.Error("empty entity list should give the empty path")
+	}
+	a := AccessPathOf("ap0", "relay1")
+	b := EmptyAccessPath.Accumulate("ap0").Accumulate("relay1")
+	if a != b {
+		t.Error("AccessPathOf should equal incremental accumulation")
+	}
+}
+
+func TestAccessPathDistinguishesLocations(t *testing.T) {
+	// Threat (e): a tag shared with a user at a different access point
+	// yields a different accumulated path.
+	home := AccessPathOf("ap-home")
+	away := AccessPathOf("ap-away")
+	if home.Matches(away) {
+		t.Error("different access points should produce different paths")
+	}
+	// Co-located users (same AP) are indistinguishable — the paper's
+	// explicit assumption (§3.B).
+	if !home.Matches(AccessPathOf("ap-home")) {
+		t.Error("same access point should match")
+	}
+}
+
+func TestPropertyAccessPathOrderIndependent(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return AccessPathOf(a, b, c) == AccessPathOf(c, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAccessPathSelfInverse(t *testing.T) {
+	// XOR accumulation: adding the same entity twice cancels out.
+	f := func(a, b string) bool {
+		return AccessPathOf(b).Accumulate(a).Accumulate(a) == AccessPathOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAccessPathIncremental(t *testing.T) {
+	// Rolling accumulation equals batch computation for arbitrary paths.
+	f := func(ids []string) bool {
+		rolling := EmptyAccessPath
+		for _, id := range ids {
+			rolling = rolling.Accumulate(id)
+		}
+		return rolling == AccessPathOf(ids...)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEntityIDDeterministic(t *testing.T) {
+	if HashEntityID("router-7") != HashEntityID("router-7") {
+		t.Error("entity hash must be deterministic")
+	}
+	if HashEntityID("router-7") == HashEntityID("router-8") {
+		t.Error("distinct entities should hash differently")
+	}
+}

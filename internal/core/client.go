@@ -1,0 +1,112 @@
+package core
+
+import (
+	"crypto/ecdh"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+// Client is the consumer side of TACTIC: it holds one tag per provider,
+// refreshes tags on expiry ("the client side complexity of TACTIC is
+// only obtaining a fresh tag from the providers upon tag expiry", §9),
+// builds signed registration requests, and decrypts content with the
+// unwrapped content keys.
+type Client struct {
+	signer      pki.Signer
+	kem         *ecdh.PrivateKey
+	tags        map[string]*Tag                     // provider prefix -> tag
+	contentKeys map[string][pki.ContentKeySize]byte // provider prefix -> content key
+	nonce       uint64
+	requested   uint64 // tags requested (Fig. 6's Q series)
+	received    uint64 // tags received (Fig. 6's R series)
+}
+
+// NewClient creates a client identity. rng seeds the KEM key pair used
+// to receive wrapped content keys.
+func NewClient(signer pki.Signer, rng io.Reader) (*Client, error) {
+	kem, err := pki.GenerateKEMKeyPair(rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: client kem key: %w", err)
+	}
+	return &Client{
+		signer:      signer,
+		kem:         kem,
+		tags:        make(map[string]*Tag),
+		contentKeys: make(map[string][pki.ContentKeySize]byte),
+	}, nil
+}
+
+// KeyLocator returns the client's public key locator Pub_u.
+func (c *Client) KeyLocator() names.Name { return c.signer.Locator() }
+
+// KEMPublic returns the client's key-wrapping public key.
+func (c *Client) KEMPublic() *ecdh.PublicKey { return c.kem.PublicKey() }
+
+// TagFor returns the client's unexpired tag for a provider prefix, or
+// nil when the client must (re-)register. A mobile client that changed
+// location must also re-register because the tag's access path no longer
+// matches (§4.A); callers model that by comparing currentAP.
+func (c *Client) TagFor(providerPrefix names.Name, currentAP AccessPath, now time.Time) *Tag {
+	t, ok := c.tags[providerPrefix.Key()]
+	if !ok || t.Expired(now) || !t.AccessPath.Matches(currentAP) {
+		return nil
+	}
+	return t
+}
+
+// NewRegistrationRequest builds and signs a registration request bound
+// to the client's current access path.
+func (c *Client) NewRegistrationRequest(ap AccessPath) (RegistrationRequest, error) {
+	c.nonce++
+	req := RegistrationRequest{
+		ClientKey:  c.signer.Locator(),
+		AccessPath: ap,
+		Nonce:      c.nonce,
+		KEMPublic:  c.kem.PublicKey(),
+	}
+	cred, err := c.signer.Sign(req.SigningBytes())
+	if err != nil {
+		return RegistrationRequest{}, fmt.Errorf("core: sign registration: %w", err)
+	}
+	req.Credential = cred
+	c.requested++
+	return req, nil
+}
+
+// StoreRegistration installs the tag (and unwrapped content key, when
+// present) from a registration response.
+func (c *Client) StoreRegistration(providerPrefix names.Name, resp *RegistrationResponse) error {
+	c.tags[providerPrefix.Key()] = resp.Tag
+	c.received++
+	if resp.WrappedContentKey != nil {
+		key, err := pki.UnwrapContentKey(c.kem, resp.WrappedContentKey)
+		if err != nil {
+			return fmt.Errorf("core: unwrap content key from %s: %w", providerPrefix, err)
+		}
+		c.contentKeys[providerPrefix.Key()] = key
+	}
+	return nil
+}
+
+// Decrypt decrypts a non-Public content payload using the stored content
+// key for its provider prefix.
+func (c *Client) Decrypt(providerPrefix names.Name, content *Content) ([]byte, error) {
+	if content.Meta.Level == Public {
+		return content.Payload, nil
+	}
+	key, ok := c.contentKeys[providerPrefix.Key()]
+	if !ok {
+		return nil, fmt.Errorf("core: no content key for %s", providerPrefix)
+	}
+	return pki.DecryptContent(key, content.Meta.Name.String(), content.Payload)
+}
+
+// TagStats returns the number of tags requested (Q) and received (R) —
+// the per-client contributions to the paper's Fig. 6.
+func (c *Client) TagStats() (requested, received uint64) {
+	return c.requested, c.received
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+func TestContentEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	signer, err := pki.GenerateFast(rng, names.MustParse("/prov0/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := NewProvider(names.MustParse("/prov0"), signer, time.Minute, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, err := prov.Publish(names.MustParse("/prov0/obj/c0"), 2, []byte("the payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeContent(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeContent(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Meta.Name.Equal(content.Meta.Name) || back.Meta.Level != content.Meta.Level ||
+		!back.Meta.ProviderKey.Equal(content.Meta.ProviderKey) {
+		t.Errorf("meta mismatch: %+v vs %+v", back.Meta, content.Meta)
+	}
+	if !bytes.Equal(back.Payload, content.Payload) || !bytes.Equal(back.Signature, content.Signature) {
+		t.Error("payload/signature mismatch")
+	}
+	// The decoded content still verifies: the signature survives the
+	// round trip bit-exactly.
+	reg := pki.NewRegistry()
+	if err := reg.Register(signer.Locator(), signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyContent(reg, back); err != nil {
+		t.Errorf("decoded content failed verification: %v", err)
+	}
+}
+
+func TestContentDecodeTruncation(t *testing.T) {
+	content := &Content{
+		Meta:      ContentMeta{Name: names.MustParse("/p/o/c"), Level: 1, ProviderKey: names.MustParse("/p/KEY/1")},
+		Payload:   []byte("xyz"),
+		Signature: []byte{1, 2, 3, 4},
+	}
+	enc, err := EncodeContent(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut += 3 {
+		if _, err := DecodeContent(enc[:cut]); err == nil {
+			t.Fatalf("truncated content at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99
+	if _, err := DecodeContent(bad); err == nil {
+		t.Error("unknown content version accepted")
+	}
+}
+
+func TestRegistrationRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	signer, err := pki.GenerateFast(rng, names.MustParse("/u/alice/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(signer, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := cl.NewRegistrationRequest(AccessPathOf("ap0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeRegistrationRequest(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRegistrationRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ClientKey.Equal(req.ClientKey) || back.AccessPath != req.AccessPath ||
+		back.Nonce != req.Nonce || !bytes.Equal(back.Credential, req.Credential) {
+		t.Error("registration request fields mismatch")
+	}
+	if back.KEMPublic == nil || !bytes.Equal(back.KEMPublic.Bytes(), req.KEMPublic.Bytes()) {
+		t.Error("KEM key mismatch")
+	}
+	// The decoded request still passes credential verification.
+	if err := signer.Public().Verify(back.SigningBytes(), back.Credential); err != nil {
+		t.Errorf("decoded credential invalid: %v", err)
+	}
+}
+
+func TestRegistrationRequestWithoutKEM(t *testing.T) {
+	req := &RegistrationRequest{
+		ClientKey:  names.MustParse("/u/bob/KEY/1"),
+		AccessPath: 42,
+		Nonce:      7,
+		Credential: []byte{9, 9},
+	}
+	enc, err := EncodeRegistrationRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRegistrationRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.KEMPublic != nil {
+		t.Error("phantom KEM key decoded")
+	}
+	for cut := 0; cut < len(enc); cut += 3 {
+		if _, err := DecodeRegistrationRequest(enc[:cut]); err == nil {
+			t.Fatalf("truncated request at %d accepted", cut)
+		}
+	}
+}
+
+func TestRegistrationResponseRoundTrip(t *testing.T) {
+	prov := newTestSigner(t, 3, "/prov0/KEY/1")
+	tag, err := IssueTag(prov, names.MustParse("/u/alice/KEY/1"), 2, 5, testTime(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &RegistrationResponse{Tag: tag, WrappedContentKey: []byte{1, 2, 3, 4, 5}}
+	enc, err := EncodeRegistrationResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRegistrationResponse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tag.Level != tag.Level || !back.Tag.ClientKey.Equal(tag.ClientKey) ||
+		!bytes.Equal(back.Tag.Signature, tag.Signature) {
+		t.Error("tag mismatch after round trip")
+	}
+	if !bytes.Equal(back.WrappedContentKey, resp.WrappedContentKey) {
+		t.Error("wrapped key mismatch")
+	}
+	// Without a tag the encoder refuses.
+	if _, err := EncodeRegistrationResponse(&RegistrationResponse{}); err == nil {
+		t.Error("tagless response encoded")
+	}
+	// Empty wrapped key decodes as nil.
+	enc2, err := EncodeRegistrationResponse(&RegistrationResponse{Tag: tag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := DecodeRegistrationResponse(enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.WrappedContentKey != nil {
+		t.Error("phantom wrapped key")
+	}
+}
+
+func TestPropertyContentRoundTrip(t *testing.T) {
+	f := func(payload []byte, level uint16, sig []byte) bool {
+		if len(payload) > 60000 || len(sig) > 60000 {
+			return true
+		}
+		c := &Content{
+			Meta:      ContentMeta{Name: names.MustParse("/p/o/c"), Level: AccessLevel(level), ProviderKey: names.MustParse("/p/KEY/1")},
+			Payload:   payload,
+			Signature: sig,
+		}
+		enc, err := EncodeContent(c)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeContent(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back.Payload, payload) && back.Meta.Level == AccessLevel(level) &&
+			bytes.Equal(back.Signature, sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDecodersNeverPanic(t *testing.T) {
+	// Tag/content/registration decoders face wire input; arbitrary
+	// bytes must produce errors, never panics.
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodeTag(data)
+		_, _ = DecodeContent(data)
+		_, _ = DecodeRegistrationRequest(data)
+		_, _ = DecodeRegistrationResponse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+func TestEdgeValidateOnMissVerifiesAndInserts(t *testing.T) {
+	r, prov := testRouter(t, 50, Config{EdgeValidateOnMiss: true})
+	now := testTime(10)
+	tag := issueTestTag(t, prov, 1, AccessPathOf("ap0"), testTime(100))
+
+	// First sight: BF miss -> signature verified, inserted, F = FPP.
+	d := r.EdgeOnInterest(tag, AccessPathOf("ap0"), testContentName, now)
+	if d.Drop {
+		t.Fatalf("valid tag dropped: %v", d.Reason)
+	}
+	if d.Flag <= 0 {
+		t.Errorf("flag = %g, want FPP > 0 after edge validation", d.Flag)
+	}
+	if r.Validator().Verifications() != 1 {
+		t.Errorf("verifications = %d, want 1", r.Validator().Verifications())
+	}
+	if !r.Bloom().Contains(tag.CacheKey()) {
+		t.Error("validated tag not inserted")
+	}
+	// Second sight: BF hit, no extra verification.
+	d = r.EdgeOnInterest(tag, AccessPathOf("ap0"), testContentName, now)
+	if d.Drop || d.Flag <= 0 {
+		t.Fatalf("second interest: %+v", d)
+	}
+	if r.Validator().Verifications() != 1 {
+		t.Error("BF hit still verified")
+	}
+}
+
+func TestEdgeValidateOnMissDropsForged(t *testing.T) {
+	r, prov := testRouter(t, 51, Config{EdgeValidateOnMiss: true})
+	forged := issueTestTag(t, prov, 1, 0, testTime(100))
+	forged.Signature = append([]byte(nil), forged.Signature...)
+	forged.Signature[0] ^= 1
+	d := r.EdgeOnInterest(forged, 0, testContentName, testTime(10))
+	if !d.Drop || !errors.Is(d.Reason, ErrTagForged) {
+		t.Errorf("forged tag at validating edge: %+v", d)
+	}
+	if r.Bloom().Count() != 0 {
+		t.Error("forged tag inserted")
+	}
+}
+
+func TestRequestDrivenResetCadence(t *testing.T) {
+	prov := newTestSigner(t, 52, "/prov0/KEY/1")
+	reg := newTestRegistry(t, prov)
+	// Sized for 500 items at design FPP 1e-2, resetting at max FPP 1e-4:
+	// the filter absorbs CapacityAtFPP(m, k, 1e-4) lookups per reset.
+	bf, err := bloom.NewPaperWithDesign(500, 1e-2, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := bloom.CapacityAtFPP(bf.Bits(), bf.Hashes(), 1e-4)
+	if threshold < 50 || threshold > 400 {
+		t.Fatalf("threshold = %d, want the paper's ~50-250 band", threshold)
+	}
+	r := NewRouter("r", bf, NewTagValidator(reg), rand.New(rand.NewSource(52)), Config{RequestDrivenReset: true})
+	tag := issueTestTag(t, prov, 1, 0, testTime(100))
+	meta := ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+
+	const rounds = 3
+	for i := uint64(0); i < threshold*rounds+1; i++ {
+		r.ContentOnInterest(tag, meta, 0, testTime(10))
+	}
+	resets := bf.Stats().Resets
+	if resets < rounds-1 || resets > rounds+1 {
+		t.Errorf("resets = %d after %d lookups (threshold %d), want ~%d",
+			resets, threshold*rounds, threshold, rounds)
+	}
+	// Every reset re-validates on the next sight: verification count
+	// tracks reset count + 1 (initial).
+	if v := r.Validator().Verifications(); v < resets || v > resets+2 {
+		t.Errorf("verifications = %d, want ~resets+1 (%d)", v, resets+1)
+	}
+}
+
+// TestAggregateALBypassAndHardening pins the access-control gap this
+// reproduction found: aggregated PIT tags are validated by signature
+// only (Protocol 2 lines 22-23, Protocol 4 lines 11-26), so a valid tag
+// with insufficient access level slips through on the aggregation path —
+// and the EnforceALOnAggregates hardening closes it.
+func TestAggregateALBypassAndHardening(t *testing.T) {
+	now := testTime(10)
+	highMeta := func(prov pki.Signer) ContentMeta {
+		return ContentMeta{Name: testContentName, Level: 3, ProviderKey: prov.Locator()}
+	}
+
+	// Paper-faithful router: the low-level tag is delivered.
+	r, prov := testRouter(t, 54, Config{})
+	low := issueTestTag(t, prov, 1, 0, testTime(100)) // AL_u=1 < AL_D=3
+	if d := r.ContentOnInterest(low, highMeta(prov), 0, now); !d.NACK {
+		t.Fatal("content router should reject the low-level tag (Protocol 1)")
+	}
+	if !r.EdgeOnAggregatedData(low, highMeta(prov), now) {
+		t.Error("paper-faithful aggregate path should (incorrectly) deliver — the documented flaw")
+	}
+	if d := r.IntermediateOnAggregatedContent(low, highMeta(prov), 0, now); d.NACK {
+		t.Error("paper-faithful intermediate aggregate path should (incorrectly) forward")
+	}
+
+	// Hardened router: both aggregate paths reject it.
+	hr, hprov := testRouter(t, 55, Config{EnforceALOnAggregates: true})
+	hlow := issueTestTag(t, hprov, 1, 0, testTime(100))
+	if hr.EdgeOnAggregatedData(hlow, highMeta(hprov), now) {
+		t.Error("hardened edge aggregate path delivered a low-level tag")
+	}
+	if d := hr.IntermediateOnAggregatedContent(hlow, highMeta(hprov), 0, now); !d.NACK ||
+		!errors.Is(d.Reason, ErrInsufficientLevel) {
+		t.Errorf("hardened intermediate aggregate path: %+v", d)
+	}
+	// Valid high-level tags still pass under hardening.
+	high := issueTestTag(t, hprov, 3, 0, testTime(100))
+	if !hr.EdgeOnAggregatedData(high, highMeta(hprov), now) {
+		t.Error("hardening broke legitimate aggregate delivery")
+	}
+}
+
+func TestRequestDrivenResetRespectsDisableAutoReset(t *testing.T) {
+	prov := newTestSigner(t, 53, "/prov0/KEY/1")
+	reg := newTestRegistry(t, prov)
+	bf, err := bloom.NewPaperWithDesign(100, 1e-2, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter("r", bf, NewTagValidator(reg), rand.New(rand.NewSource(53)),
+		Config{RequestDrivenReset: true, DisableAutoReset: true})
+	tag := issueTestTag(t, prov, 1, 0, testTime(100))
+	meta := ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+	for i := 0; i < 5000; i++ {
+		r.ContentOnInterest(tag, meta, 0, testTime(10))
+	}
+	if bf.Stats().Resets != 0 {
+		t.Errorf("resets = %d with auto-reset disabled", bf.Stats().Resets)
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// Config selects TACTIC features on a router. The zero value is the
+// paper's full design; each flag disables one mechanism for the ablation
+// studies catalogued in DESIGN.md §5.
+type Config struct {
+	// DisableBloomFilter makes the router verify every signature instead
+	// of caching validations (ablation "NoBloomFilter").
+	DisableBloomFilter bool
+	// DisableCollaboration makes the router ignore the flag F set by
+	// downstream routers, treating every request as unvalidated
+	// (ablation "NoCollaboration").
+	DisableCollaboration bool
+	// DisablePrecheck skips Protocol 1, letting expired or mismatched
+	// tags reach the Bloom-filter/signature stage (ablation
+	// "NoPrecheck").
+	DisablePrecheck bool
+	// DisableAutoReset stops the router from resetting a saturated Bloom
+	// filter, letting its FPP grow without bound (ablation "NoReset").
+	DisableAutoReset bool
+	// RequestDrivenReset reproduces the reset cadence visible in the
+	// paper's evaluation: filters reset after absorbing as many
+	// *requests* as the filter can hold at its maximum FPP, rather than
+	// on unique-tag saturation. The paper's Fig. 8 (a reset every
+	// ~50-250 requests, insensitive to tag expiry) and Table V (tens of
+	// thousands of edge resets per run) are only consistent with
+	// request-driven saturation; the default unique-tag policy resets
+	// orders of magnitude less often under the same workload. See
+	// DESIGN.md ("paper-fidelity mode").
+	RequestDrivenReset bool
+	// EnforceALOnAggregates closes an access-control gap this
+	// reproduction found in the paper's protocols: Protocol 2 lines
+	// 22-23 and Protocol 4 lines 11-26 validate aggregated PIT tags by
+	// signature and freshness only, so a *valid* tag with insufficient
+	// access level (threat (d)) that aggregates behind an authorized
+	// request for the same content receives the content — Protocol 1's
+	// AL_D <= AL_u check runs only at content routers, which aggregated
+	// requests never reach. With this flag, aggregate validation also
+	// runs the content half of Protocol 1 against the arriving Data's
+	// metadata. Off by default for fidelity to the paper; EXPERIMENTS.md
+	// quantifies the leak.
+	EnforceALOnAggregates bool
+	// EdgeValidateOnMiss makes the edge router verify a tag's signature
+	// (and insert it on success) when the Bloom filter misses at
+	// Interest time, per §4.B's router description ("a router verifies
+	// a received tag's signature and inserts the tag to its BF if the
+	// signature is valid") and §8.B's observation that "after each BF
+	// reset, the corresponding edge router needs to validate tags and
+	// insert them into its BF". Protocol 2's pseudocode instead defers
+	// validation upstream via F = 0; both behaviours are provided and
+	// the fidelity mode uses this one.
+	EdgeValidateOnMiss bool
+}
+
+// Router holds the TACTIC state of one router: its Bloom filter, its tag
+// validator, and the randomness stream driving probabilistic
+// re-validation. A Router implements the decision logic of Protocols
+// 2-4; packet plumbing (faces, PIT, links) is the caller's concern.
+//
+// Router is not safe for concurrent use; the discrete-event simulator
+// serialises all accesses, and a real forwarder would shard by worker.
+type Router struct {
+	id        string
+	bf        *bloom.Filter
+	validator *TagValidator
+	rng       *rand.Rand
+	cfg       Config
+	// requestResetThreshold is the lookups-per-reset budget in
+	// RequestDrivenReset mode: the number of elements the filter can
+	// hold before its FPP reaches the maximum.
+	requestResetThreshold uint64
+}
+
+// NewRouter creates a TACTIC router.
+func NewRouter(id string, bf *bloom.Filter, validator *TagValidator, rng *rand.Rand, cfg Config) *Router {
+	r := &Router{id: id, bf: bf, validator: validator, rng: rng, cfg: cfg}
+	if cfg.RequestDrivenReset {
+		r.requestResetThreshold = bloom.CapacityAtFPP(bf.Bits(), bf.Hashes(), bf.MaxFPP())
+		if r.requestResetThreshold == 0 {
+			r.requestResetThreshold = 1
+		}
+	}
+	return r
+}
+
+// ID returns the router's identity (also its access-path entity ID).
+func (r *Router) ID() string { return r.id }
+
+// Bloom exposes the router's filter for metric collection.
+func (r *Router) Bloom() *bloom.Filter { return r.bf }
+
+// Validator exposes the router's validator for metric collection.
+func (r *Router) Validator() *TagValidator { return r.validator }
+
+// bfContains performs the Bloom-filter lookup honouring the
+// DisableBloomFilter ablation.
+func (r *Router) bfContains(t *Tag) bool {
+	if r.cfg.DisableBloomFilter {
+		return false
+	}
+	hit := r.bf.Contains(t.CacheKey())
+	if r.cfg.RequestDrivenReset && !r.cfg.DisableAutoReset &&
+		r.bf.RequestsSinceReset() >= r.requestResetThreshold {
+		r.bf.Reset()
+	}
+	return hit
+}
+
+// bfInsert inserts a validated tag, applying the paper's auto-reset
+// policy: when the filter's FPP estimate reaches its maximum, the filter
+// is cleared before the insert so the newly validated tag survives.
+func (r *Router) bfInsert(t *Tag) {
+	if r.cfg.DisableBloomFilter {
+		return
+	}
+	if !r.cfg.DisableAutoReset && r.bf.Saturated() {
+		r.bf.Reset()
+	}
+	r.bf.Add(t.CacheKey())
+}
+
+// decideRevalidate implements the probabilistic re-validation of
+// Protocols 3-4: an upstream router re-checks a tag the edge already
+// validated with probability equal to the edge filter's false-positive
+// probability, carried in F.
+func (r *Router) decideRevalidate(flag float64) bool {
+	return r.rng.Float64() < flag
+}
+
+// --- Protocol 2: edge router ------------------------------------------------
+
+// EdgeInterestDecision is the outcome of Protocol 2's On-Interest
+// procedure.
+type EdgeInterestDecision struct {
+	// Drop indicates the request must be dropped and a NACK returned to
+	// the client (Protocol 2 line 2).
+	Drop bool
+	// Reason records why a request was dropped; nil when forwarded.
+	Reason error
+	// Flag is the F value to set in the forwarded Interest: 0 when the
+	// tag was not in the edge Bloom filter, the filter's FPP otherwise.
+	Flag float64
+}
+
+// EdgeOnInterest runs Protocol 2's On-Interest procedure plus the edge
+// half of Protocol 1's pre-check.
+//
+// A nil tag is forwarded with F = 0 rather than dropped: the edge cannot
+// know whether the target content is Public (AL_D = NULL) — only a
+// content router holding the data can, and Protocol 1's content half
+// enforces it there.
+func (r *Router) EdgeOnInterest(t *Tag, requestAP AccessPath, contentName names.Name, now time.Time) EdgeInterestDecision {
+	if t == nil {
+		return EdgeInterestDecision{Flag: 0}
+	}
+	if !r.cfg.DisablePrecheck {
+		if err := PreCheckEdge(t, contentName, now); err != nil {
+			return EdgeInterestDecision{Drop: true, Reason: err}
+		}
+	}
+	if !t.AccessPath.Matches(requestAP) {
+		return EdgeInterestDecision{Drop: true, Reason: ErrAccessPathMismatch}
+	}
+	if r.bfContains(t) {
+		return EdgeInterestDecision{Flag: r.bf.FPP()}
+	}
+	if r.cfg.EdgeValidateOnMiss {
+		if err := r.validator.Validate(t, now); err != nil {
+			return EdgeInterestDecision{Drop: true, Reason: err}
+		}
+		r.bfInsert(t)
+		return EdgeInterestDecision{Flag: r.bf.FPP()}
+	}
+	return EdgeInterestDecision{Flag: 0}
+}
+
+// EdgeOnTagResponse handles a registration response (a fresh tag T_u^new
+// coming from the producer): the edge inserts it into its Bloom filter
+// and forwards it to the client (Protocol 2 lines 11-12).
+func (r *Router) EdgeOnTagResponse(t *Tag) {
+	r.bfInsert(t)
+}
+
+// EdgeOnData runs Protocol 2's On-Content procedure for the Interest's
+// primary tag. It reports whether the content should be delivered to the
+// requesting client; on a NACKed response the entry is dropped (lines
+// 19-20). When the Data's F is zero the edge learns the upstream
+// validated the tag and inserts it (lines 14-15); a non-zero F means the
+// tag was already in this filter, so re-insertion is skipped (lines
+// 16-17) — the optimisation that makes edge insertions outnumber edge
+// verifications in the paper's Fig. 7(a).
+func (r *Router) EdgeOnData(t *Tag, dataFlag float64, nack bool) (deliver bool) {
+	if nack {
+		return false
+	}
+	if t != nil && dataFlag == 0 {
+		r.bfInsert(t)
+	}
+	return true
+}
+
+// EdgeOnAggregatedData validates one aggregated PIT tag on content
+// arrival (Protocol 2 lines 22-23): deliver if the tag is in the Bloom
+// filter; otherwise verify the signature, insert on success, and drop on
+// failure. meta is the arriving content's access metadata, consulted
+// only under the EnforceALOnAggregates hardening (the paper's pseudocode
+// never re-checks AL on this path — see Config.EnforceALOnAggregates).
+func (r *Router) EdgeOnAggregatedData(t *Tag, meta ContentMeta, now time.Time) (deliver bool) {
+	if t == nil {
+		return false
+	}
+	if r.cfg.EnforceALOnAggregates && PreCheckContent(t, meta) != nil {
+		return false
+	}
+	if r.bfContains(t) {
+		return true
+	}
+	if err := r.validator.Validate(t, now); err != nil {
+		return false
+	}
+	r.bfInsert(t)
+	return true
+}
+
+// --- Protocol 3: content router -----------------------------------------------
+
+// ContentDecision is the outcome of Protocol 3. The content is returned
+// in every case (even alongside a NACK) so that valid requests
+// aggregated in downstream PITs can still be satisfied — the paper's
+// deliberate bandwidth/abuse trade-off (§5.B).
+type ContentDecision struct {
+	// NACK indicates the tag failed validation: return <D, T, NACK>.
+	NACK bool
+	// Reason records why the tag failed; nil on success.
+	Reason error
+	// Flag is the F value to set in the returned Data packet.
+	Flag float64
+}
+
+// ContentOnInterest runs Protocol 3 plus the content half of Protocol
+// 1's pre-check for a request that hit this router's content store.
+func (r *Router) ContentOnInterest(t *Tag, meta ContentMeta, flag float64, now time.Time) ContentDecision {
+	if meta.Level == Public {
+		// "We set the AL_D (of a publicly available data) to NULL, which
+		// allows an r_C^c to return the requested content without tag
+		// verification" (§5).
+		return ContentDecision{Flag: flag}
+	}
+	if t == nil {
+		return ContentDecision{NACK: true, Reason: ErrNoTag}
+	}
+	if !r.cfg.DisablePrecheck {
+		if err := PreCheckContent(t, meta); err != nil {
+			return ContentDecision{NACK: true, Reason: err, Flag: flag}
+		}
+	}
+	if r.cfg.DisableCollaboration {
+		flag = 0
+	}
+	if flag == 0 {
+		if r.bfContains(t) {
+			return ContentDecision{Flag: 0}
+		}
+		if err := r.validator.Validate(t, now); err != nil {
+			return ContentDecision{NACK: true, Reason: err, Flag: 0}
+		}
+		r.bfInsert(t)
+		return ContentDecision{Flag: 0}
+	}
+	// F != 0: the edge vouches for the tag; re-validate only with
+	// probability F (the edge filter's false-positive probability).
+	if r.decideRevalidate(flag) {
+		if err := r.validator.Validate(t, now); err != nil {
+			return ContentDecision{NACK: true, Reason: err, Flag: flag}
+		}
+	}
+	return ContentDecision{Flag: flag}
+}
+
+// --- Protocol 4: intermediate router -------------------------------------------
+
+// AggregateDecision is Protocol 4's per-aggregated-tag outcome on
+// content arrival.
+type AggregateDecision struct {
+	// NACK indicates the tag failed validation: forward
+	// <D, T_w, NACK> on the tag's in-face.
+	NACK bool
+	// Reason records why; nil on success.
+	Reason error
+	// Flag is the F value to set in the Data forwarded for this tag.
+	Flag float64
+}
+
+// IntermediateOnAggregatedContent validates one aggregated PIT tuple
+// <T_w, F, InFace_w> when the content arrives (Protocol 4 lines 11-26).
+// A Bloom-filter hit short-circuits signature verification on the F = 0
+// path, per §4.B's router procedure ("cheaper BF lookup operations for
+// the majority of the subsequent requests"). meta is consulted only
+// under the EnforceALOnAggregates hardening.
+func (r *Router) IntermediateOnAggregatedContent(t *Tag, meta ContentMeta, flag float64, now time.Time) AggregateDecision {
+	if t == nil {
+		return AggregateDecision{NACK: true, Reason: ErrNoTag, Flag: flag}
+	}
+	if r.cfg.EnforceALOnAggregates {
+		if err := PreCheckContent(t, meta); err != nil {
+			return AggregateDecision{NACK: true, Reason: err, Flag: flag}
+		}
+	}
+	if r.cfg.DisableCollaboration {
+		flag = 0
+	}
+	if flag != 0 && !r.decideRevalidate(flag) {
+		return AggregateDecision{Flag: flag}
+	}
+	if flag == 0 && r.bfContains(t) {
+		return AggregateDecision{Flag: 0}
+	}
+	if err := r.validator.Validate(t, now); err != nil {
+		return AggregateDecision{NACK: true, Reason: err, Flag: flag}
+	}
+	r.bfInsert(t)
+	return AggregateDecision{Flag: flag}
+}

@@ -1,0 +1,248 @@
+// Package core implements TACTIC, the paper's primary contribution: a
+// tag-based access-control framework in which providers delegate
+// authentication and authorization to the (semi-trusted) routers of an
+// ISP edge network.
+//
+// A client registers once with a provider and receives a signed Tag —
+// the tuple <Pub_p, AL_u, Pub_u, AP_u, T_e> of provider key locator,
+// access level, client key locator, access path, and expiry (paper §4.A;
+// with the provider's signature this is the paper's "6-tuple"). The tag
+// rides in every Interest. Routers validate tags with the pre-check of
+// Protocol 1 followed by Bloom-filter-cached signature verification, and
+// collaborate through the flag F so that a tag is verified once near the
+// edge and only probabilistically re-verified upstream (Protocols 2–4).
+//
+// The protocol logic in this package is pure: every decision function
+// takes explicit state and the current time and returns an action.
+// Wiring those actions to faces, PITs, and links lives in
+// internal/experiment, which keeps Protocols 1–4 unit-testable without a
+// simulator.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+// AccessLevel is a hierarchical access level (paper §5): a tag with
+// level L can retrieve content with any level ≤ L. Public is the paper's
+// "NULL" level: content routers return Public content without any tag
+// verification.
+type AccessLevel uint16
+
+// Public marks publicly available data (the paper sets AL_D to NULL).
+const Public AccessLevel = 0
+
+// Satisfies reports whether a tag with level l may access content with
+// level d (AL_D ≤ AL_u).
+func (l AccessLevel) Satisfies(d AccessLevel) bool { return d <= l }
+
+// Tag is a TACTIC authentication tag. Tags are immutable after issuance;
+// mutating a field invalidates the signature.
+type Tag struct {
+	// ProviderKey is Pub_p, the provider's public key locator. Routers
+	// use it to fetch the verification key and to match against the
+	// content's key locator (Protocol 1, lines 10-11).
+	ProviderKey names.Name
+	// Level is AL_u, the client's access level at this provider.
+	Level AccessLevel
+	// ClientKey is Pub_u, the client's public key locator.
+	ClientKey names.Name
+	// AccessPath is AP_u, the XOR-accumulated hashed identities of the
+	// entities between the client and its edge router (paper §4.A).
+	AccessPath AccessPath
+	// Expiry is T_e. Expiry is TACTIC's sole revocation mechanism: a
+	// revoked client simply never receives a fresh tag.
+	Expiry time.Time
+	// Signature is the provider's signature over SigningBytes.
+	Signature []byte
+
+	// enc caches the wire encoding; see Encode.
+	enc []byte
+}
+
+// Tag encoding/decoding errors.
+var (
+	// ErrTagTruncated is returned when decoding runs out of bytes.
+	ErrTagTruncated = errors.New("core: truncated tag encoding")
+	// ErrTagVersion is returned for unknown encoding versions.
+	ErrTagVersion = errors.New("core: unsupported tag encoding version")
+)
+
+const tagEncodingVersion = 1
+
+// SigningBytes returns the canonical bytes the provider signs: every tag
+// field except the signature.
+func (t *Tag) SigningBytes() []byte {
+	return t.encodeFields(nil)
+}
+
+func (t *Tag) encodeFields(dst []byte) []byte {
+	prov := t.ProviderKey.String()
+	cli := t.ClientKey.String()
+	dst = append(dst, tagEncodingVersion)
+	dst = appendLenPrefixed(dst, []byte(prov))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(t.Level))
+	dst = appendLenPrefixed(dst, []byte(cli))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(t.AccessPath))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(t.Expiry.UnixNano()))
+	return dst
+}
+
+func appendLenPrefixed(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b)))
+	return append(dst, b...)
+}
+
+// Encode returns the full wire encoding (fields + signature). The result
+// is cached; callers must not mutate it. The paper sizes a tag at "a
+// couple hundred bytes" — Size reports the exact figure.
+func (t *Tag) Encode() []byte {
+	if t.enc == nil {
+		enc := t.encodeFields(make([]byte, 0, 96+len(t.Signature)))
+		enc = appendLenPrefixed(enc, t.Signature)
+		t.enc = enc
+	}
+	return t.enc
+}
+
+// Size returns the wire size in bytes.
+func (t *Tag) Size() int { return len(t.Encode()) }
+
+// CacheKey returns the byte string identifying this tag in router Bloom
+// filters. Two tags differing in any field (including signature) have
+// different keys.
+func (t *Tag) CacheKey() []byte { return t.Encode() }
+
+// DecodeTag parses a wire-encoded tag.
+func DecodeTag(b []byte) (*Tag, error) {
+	d := decoder{buf: b}
+	version, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if version != tagEncodingVersion {
+		return nil, fmt.Errorf("%w: %d", ErrTagVersion, version)
+	}
+	provRaw, err := d.lenPrefixed()
+	if err != nil {
+		return nil, err
+	}
+	level, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	cliRaw, err := d.lenPrefixed()
+	if err != nil {
+		return nil, err
+	}
+	ap, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	expiry, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := d.lenPrefixed()
+	if err != nil {
+		return nil, err
+	}
+	prov, err := names.Parse(string(provRaw))
+	if err != nil {
+		return nil, fmt.Errorf("core: decode tag provider key: %w", err)
+	}
+	cli, err := names.Parse(string(cliRaw))
+	if err != nil {
+		return nil, fmt.Errorf("core: decode tag client key: %w", err)
+	}
+	return &Tag{
+		ProviderKey: prov,
+		Level:       AccessLevel(level),
+		ClientKey:   cli,
+		AccessPath:  AccessPath(ap),
+		Expiry:      time.Unix(0, int64(expiry)),
+		Signature:   append([]byte(nil), sig...),
+	}, nil
+}
+
+// decoder is a cursor over an encoded tag.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if d.off+n > len(d.buf) {
+		return ErrTagTruncated
+	}
+	return nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) lenPrefixed() ([]byte, error) {
+	n, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+// IssueTag creates and signs a tag (the provider side of client
+// registration, paper §4.A). The provider "generates a new tag, signs it
+// to guarantee its integrity and provenance".
+func IssueTag(signer pki.Signer, clientKey names.Name, level AccessLevel, ap AccessPath, expiry time.Time) (*Tag, error) {
+	t := &Tag{
+		ProviderKey: signer.Locator(),
+		Level:       level,
+		ClientKey:   clientKey,
+		AccessPath:  ap,
+		Expiry:      expiry,
+	}
+	sig, err := signer.Sign(t.SigningBytes())
+	if err != nil {
+		return nil, fmt.Errorf("core: issue tag for %s: %w", clientKey, err)
+	}
+	t.Signature = sig
+	return t, nil
+}
+
+// Expired reports whether the tag is expired at now (T_e < T_current,
+// Protocol 1 line 3).
+func (t *Tag) Expired(now time.Time) bool { return t.Expiry.Before(now) }

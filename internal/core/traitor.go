@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// TraitorDetector implements the paper's stated future work (§9: "we
+// plan to augment our mechanism with a traitor tracing feature for
+// preventing the clients from sharing their tags with unauthorized
+// users and thwarting replay attack").
+//
+// The signal already exists in TACTIC: every tag carries the client's
+// key locator (Pub_u) and its registered access path (AP_u), and every
+// access-path mismatch at an edge router identifies *whose* tag was
+// replayed from the wrong location. The detector aggregates these
+// mismatch observations per client; a client whose tags repeatedly
+// surface at foreign locations is a traitor candidate, and the provider
+// can refuse its next registration — turning TACTIC's passive drop into
+// an active revocation.
+//
+// One mismatch is weak evidence (a client may have just moved and not
+// yet re-registered, §4.A), so detection uses a threshold, and
+// observations distinguish the foreign locations seen: a genuinely
+// mobile client produces a short burst from one new location, while a
+// shared tag produces sustained mismatches, often from several
+// locations.
+type TraitorDetector struct {
+	threshold int
+	perClient map[string]*traitorRecord
+}
+
+// traitorRecord accumulates evidence against one client key.
+type traitorRecord struct {
+	mismatches int
+	locations  map[AccessPath]int
+}
+
+// NewTraitorDetector creates a detector flagging clients after
+// `threshold` access-path mismatches. A threshold of ~10 tolerates
+// mobility transients (a moving client re-registers within one or two
+// requests) while catching sustained sharing.
+func NewTraitorDetector(threshold int) *TraitorDetector {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &TraitorDetector{
+		threshold: threshold,
+		perClient: make(map[string]*traitorRecord),
+	}
+}
+
+// Observe records one access-path mismatch: tag t surfaced with the
+// accumulated path observedAP at an edge router. Call it whenever
+// Protocol 2 line 1 fails.
+func (d *TraitorDetector) Observe(t *Tag, observedAP AccessPath) {
+	if t == nil {
+		return
+	}
+	k := t.ClientKey.Key()
+	rec, ok := d.perClient[k]
+	if !ok {
+		rec = &traitorRecord{locations: make(map[AccessPath]int)}
+		d.perClient[k] = rec
+	}
+	rec.mismatches++
+	rec.locations[observedAP]++
+}
+
+// Suspect reports whether a client key has crossed the evidence
+// threshold.
+func (d *TraitorDetector) Suspect(clientKey names.Name) bool {
+	rec, ok := d.perClient[clientKey.Key()]
+	return ok && rec.mismatches >= d.threshold
+}
+
+// Mismatches returns the evidence count for a client key.
+func (d *TraitorDetector) Mismatches(clientKey names.Name) int {
+	rec, ok := d.perClient[clientKey.Key()]
+	if !ok {
+		return 0
+	}
+	return rec.mismatches
+}
+
+// ForeignLocations returns the number of distinct foreign access paths a
+// client's tags surfaced from — a disambiguator between one-hop mobility
+// and wide sharing.
+func (d *TraitorDetector) ForeignLocations(clientKey names.Name) int {
+	rec, ok := d.perClient[clientKey.Key()]
+	if !ok {
+		return 0
+	}
+	return len(rec.locations)
+}
+
+// Suspects lists all flagged client keys, sorted for deterministic
+// output.
+func (d *TraitorDetector) Suspects() []string {
+	var out []string
+	for k, rec := range d.perClient {
+		if rec.mismatches >= d.threshold {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget clears the evidence for a client (after revocation or a
+// confirmed legitimate move).
+func (d *TraitorDetector) Forget(clientKey names.Name) {
+	delete(d.perClient, clientKey.Key())
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+func TestTraitorDetectorThreshold(t *testing.T) {
+	prov := newTestSigner(t, 60, "/prov0/KEY/1")
+	tag := issueTestTag(t, prov, 1, AccessPathOf("ap-home"), testTime(100))
+	d := NewTraitorDetector(3)
+
+	foreign := AccessPathOf("ap-away")
+	for i := 0; i < 2; i++ {
+		d.Observe(tag, foreign)
+	}
+	if d.Suspect(tag.ClientKey) {
+		t.Error("below threshold should not flag")
+	}
+	d.Observe(tag, foreign)
+	if !d.Suspect(tag.ClientKey) {
+		t.Error("threshold reached but not flagged")
+	}
+	if d.Mismatches(tag.ClientKey) != 3 {
+		t.Errorf("mismatches = %d", d.Mismatches(tag.ClientKey))
+	}
+	if d.ForeignLocations(tag.ClientKey) != 1 {
+		t.Errorf("foreign locations = %d", d.ForeignLocations(tag.ClientKey))
+	}
+	// A second foreign location widens the evidence.
+	d.Observe(tag, AccessPathOf("ap-third"))
+	if d.ForeignLocations(tag.ClientKey) != 2 {
+		t.Errorf("foreign locations = %d, want 2", d.ForeignLocations(tag.ClientKey))
+	}
+	suspects := d.Suspects()
+	if len(suspects) != 1 || suspects[0] != tag.ClientKey.Key() {
+		t.Errorf("suspects = %v", suspects)
+	}
+	d.Forget(tag.ClientKey)
+	if d.Suspect(tag.ClientKey) || d.Mismatches(tag.ClientKey) != 0 {
+		t.Error("Forget should clear the evidence")
+	}
+}
+
+func TestTraitorDetectorEdgeCases(t *testing.T) {
+	d := NewTraitorDetector(0) // clamps to 1
+	d.Observe(nil, 0)          // nil tags ignored
+	if len(d.Suspects()) != 0 {
+		t.Error("nil tag produced a suspect")
+	}
+	if d.Suspect(names.MustParse("/u/ghost/KEY/1")) {
+		t.Error("unknown client flagged")
+	}
+	if d.ForeignLocations(names.MustParse("/u/ghost/KEY/1")) != 0 {
+		t.Error("unknown client has locations")
+	}
+	prov := newTestSigner(t, 61, "/prov0/KEY/1")
+	tag := issueTestTag(t, prov, 1, 0, testTime(100))
+	d.Observe(tag, AccessPathOf("x"))
+	if !d.Suspect(tag.ClientKey) {
+		t.Error("threshold 1 should flag on first observation")
+	}
+}
+
+func TestTraitorDetectorSeparatesClients(t *testing.T) {
+	prov := newTestSigner(t, 62, "/prov0/KEY/1")
+	d := NewTraitorDetector(2)
+	alice, err := IssueTag(prov, names.MustParse("/u/alice/KEY/1"), 1, 0, testTime(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := IssueTag(prov, names.MustParse("/u/bob/KEY/1"), 1, 0, testTime(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Observe(alice, 1)
+	d.Observe(alice, 2)
+	d.Observe(bob, 1)
+	if !d.Suspect(alice.ClientKey) {
+		t.Error("alice should be flagged")
+	}
+	if d.Suspect(bob.ClientKey) {
+		t.Error("bob should not be flagged")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+// Validation errors, one per threat-model scenario (paper §3.C) plus the
+// pre-check outcomes of Protocol 1.
+var (
+	// ErrNoTag: a request for private content carries no tag
+	// (threat (a)).
+	ErrNoTag = errors.New("core: request carries no tag")
+	// ErrTagExpired: T_e < T_current (threat (c), Protocol 1 line 3).
+	ErrTagExpired = errors.New("core: tag expired")
+	// ErrTagForged: the provider signature does not verify (threat (b)).
+	ErrTagForged = errors.New("core: tag signature invalid")
+	// ErrPrefixMismatch: the tag's provider prefix does not match the
+	// requested content's prefix (Protocol 1 line 1 — prevents using
+	// provider A's tag to fetch provider B's content).
+	ErrPrefixMismatch = errors.New("core: tag provider prefix does not match content name")
+	// ErrAccessPathMismatch: the request's accumulated access path does
+	// not match AP_u in the tag (threat (e), Protocol 2 line 1).
+	ErrAccessPathMismatch = errors.New("core: access path mismatch")
+	// ErrInsufficientLevel: AL_D > AL_u (threat (d), Protocol 1 line 8).
+	ErrInsufficientLevel = errors.New("core: insufficient access level")
+	// ErrProviderKeyMismatch: the content's provider key locator differs
+	// from the tag's (Protocol 1 line 10 — defeats prefix hijack by a
+	// malicious provider, paper §6.B).
+	ErrProviderKeyMismatch = errors.New("core: provider key locator mismatch")
+)
+
+// ContentMeta is the access-control metadata a provider embeds in every
+// content packet, "included in the content's packets and signed by the
+// provider to guarantee its integrity and provenance" (§3.A).
+type ContentMeta struct {
+	// Name is the full content name.
+	Name names.Name
+	// Level is AL_D; Public (the paper's NULL) marks open content.
+	Level AccessLevel
+	// ProviderKey is Pub_p^D, the publishing provider's key locator.
+	ProviderKey names.Name
+}
+
+// TagValidator performs full tag validation — freshness plus signature
+// verification through a PKI verifier — and counts signature
+// verifications, the paper's most expensive router operation (Fig. 7's
+// "V" series).
+type TagValidator struct {
+	registry      pki.Verifier
+	verifications uint64
+}
+
+// NewTagValidator creates a validator over the given trust registry.
+func NewTagValidator(registry pki.Verifier) *TagValidator {
+	return &TagValidator{registry: registry}
+}
+
+// Validate checks the tag end to end: presence, expiry, and the
+// provider's signature. This is the expensive operation that Bloom
+// filters amortise.
+func (v *TagValidator) Validate(t *Tag, now time.Time) error {
+	if t == nil {
+		return ErrNoTag
+	}
+	if t.Expired(now) {
+		return fmt.Errorf("%w: at %s", ErrTagExpired, t.Expiry)
+	}
+	v.verifications++
+	if err := v.registry.Verify(t.ProviderKey, t.SigningBytes(), t.Signature); err != nil {
+		return fmt.Errorf("%w: %w", ErrTagForged, err)
+	}
+	return nil
+}
+
+// Verifications returns the number of signature verifications performed.
+func (v *TagValidator) Verifications() uint64 { return v.verifications }
+
+// PreCheckEdge is the edge-router half of Protocol 1: a cheap filter
+// applied before any Bloom-filter or signature work. It rejects tags
+// whose provider prefix does not cover the requested content and tags
+// that are already expired.
+func PreCheckEdge(t *Tag, contentName names.Name, now time.Time) error {
+	if t == nil {
+		return ErrNoTag
+	}
+	if !t.ProviderKey.ProviderPrefix().Equal(contentName.ProviderPrefix()) {
+		return fmt.Errorf("%w: tag %s vs content %s",
+			ErrPrefixMismatch, t.ProviderKey.ProviderPrefix(), contentName.ProviderPrefix())
+	}
+	if t.Expired(now) {
+		return fmt.Errorf("%w: at %s", ErrTagExpired, t.Expiry)
+	}
+	return nil
+}
+
+// PreCheckContent is the content-router half of Protocol 1: the tag's
+// access level must satisfy the content's, and the tag's provider key
+// locator must match the content's.
+func PreCheckContent(t *Tag, meta ContentMeta) error {
+	if t == nil {
+		return ErrNoTag
+	}
+	if !t.Level.Satisfies(meta.Level) {
+		return fmt.Errorf("%w: content %d > tag %d", ErrInsufficientLevel, meta.Level, t.Level)
+	}
+	if !t.ProviderKey.Equal(meta.ProviderKey) {
+		return fmt.Errorf("%w: content %s vs tag %s", ErrProviderKeyMismatch, meta.ProviderKey, t.ProviderKey)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+)
+
+// Failure-injection tests: the system must degrade gracefully, never
+// wedge, under hostile operating conditions.
+
+func TestHighPacketLoss(t *testing.T) {
+	s := smallScenario(41)
+	s.LinkLoss = 0.02 // 2% per link-hop: brutal for multi-hop paths
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivery degrades but the system keeps moving.
+	if res.ClientDelivery.Requested == 0 {
+		t.Fatal("clients stopped requesting under loss")
+	}
+	ratio := res.ClientDelivery.Ratio()
+	if ratio < 0.5 || ratio >= 1 {
+		t.Errorf("delivery under 2%% loss = %.4f, want degraded-but-working", ratio)
+	}
+	// Security is loss-independent.
+	if res.AttackerDelivery.Ratio() > 0.02 {
+		t.Errorf("attacker ratio under loss = %.4f", res.AttackerDelivery.Ratio())
+	}
+}
+
+func TestTinyContentStores(t *testing.T) {
+	s := smallScenario(42)
+	s.CSCapacity = 2 // nearly no caching: everything goes to origins
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientDelivery.Ratio() < 0.95 {
+		t.Errorf("delivery without caches = %.4f", res.ClientDelivery.Ratio())
+	}
+	// Origins carry almost all the load.
+	if res.ProviderContentServed < res.ClientDelivery.Received*8/10 {
+		t.Errorf("origins served %d of %d; caches should be useless at capacity 2",
+			res.ProviderContentServed, res.ClientDelivery.Received)
+	}
+}
+
+func TestShortPITLifetime(t *testing.T) {
+	// PIT entries shorter than the request timeout: stale entries are
+	// replaced, no delivery wedge.
+	s := smallScenario(43)
+	s.PITLifetime = 200 * time.Millisecond
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientDelivery.Ratio() < 0.9 {
+		t.Errorf("delivery with short PIT = %.4f", res.ClientDelivery.Ratio())
+	}
+}
+
+func TestAllAttackersNoClients(t *testing.T) {
+	// A network with only attackers must stay silent, not crash.
+	s := smallScenario(44)
+	s.Topology.Clients = 0
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientDelivery.Requested != 0 {
+		t.Error("phantom client requests")
+	}
+	if res.AttackerDelivery.Ratio() > 0.02 {
+		t.Errorf("attacker ratio = %.4f", res.AttackerDelivery.Ratio())
+	}
+	// Shared-tag attackers degrade to tagless when there is no victim.
+	if d, ok := res.AttackerByKind["shared-tag"]; ok && d.Received > 0 {
+		t.Error("victimless shared-tag attacker received content")
+	}
+}
+
+func TestSingleProviderManyLevels(t *testing.T) {
+	// Stress the hierarchical AL model: six levels cycling, clients at
+	// level 3 can fetch exactly levels 0-3.
+	s := smallScenario(45)
+	s.Topology.Providers = 1
+	s.Topology.Attackers = 0
+	s.ContentLevels = []core.AccessLevel{core.Public, 1, 2, 3, 4, 5}
+	s.ClientLevel = 3
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.ClientDelivery.Ratio()
+	// 4 of 6 levels are accessible; Zipf weighting makes the exact
+	// fraction fuzzy, but it must sit strictly between "all" and "none".
+	if ratio < 0.4 || ratio > 0.9 {
+		t.Errorf("mixed-level delivery = %.4f, want partial access", ratio)
+	}
+}

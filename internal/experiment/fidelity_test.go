@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFidelityLatencyShape pins the paper's Fig. 5 mechanism: in
+// paper-fidelity mode, bigger Bloom filters reset less often, so clients
+// see lower average retrieval latency, monotonically in BF capacity.
+func TestFidelityLatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation in -short mode")
+	}
+	type point struct {
+		bf      int
+		latency time.Duration
+		resets  uint64
+		thresh  float64
+	}
+	var pts []point
+	for _, bf := range []int{500, 2500, 10000} {
+		res, err := Run(Scenario{
+			PaperTopology: 1, Seed: 1, Duration: 80 * time.Second,
+			BFCapacity: bf, PaperFidelity: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ClientDelivery.Ratio() < 0.99 {
+			t.Errorf("BF %d: client ratio %.4f", bf, res.ClientDelivery.Ratio())
+		}
+		pts = append(pts, point{bf, res.ClientLatency.Mean(), res.EdgeOps.Resets, res.EdgeOps.MeanResetThreshold()})
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].latency >= pts[i-1].latency {
+			t.Errorf("latency not decreasing with BF size: BF %d -> %v, BF %d -> %v",
+				pts[i-1].bf, pts[i-1].latency, pts[i].bf, pts[i].latency)
+		}
+		if pts[i].resets >= pts[i-1].resets {
+			t.Errorf("resets not decreasing with BF size: BF %d -> %d, BF %d -> %d",
+				pts[i-1].bf, pts[i-1].resets, pts[i].bf, pts[i].resets)
+		}
+		if pts[i].thresh <= pts[i-1].thresh {
+			t.Errorf("requests-per-reset not increasing with BF size")
+		}
+	}
+	// Fig. 8(a)'s band: a 500-item filter at maxFPP 1e-4 absorbs on the
+	// order of 50-250 requests per reset.
+	if pts[0].thresh < 50 || pts[0].thresh > 400 {
+		t.Errorf("BF 500 requests-per-reset = %.0f, want the paper's ~50-250 band", pts[0].thresh)
+	}
+}
+
+// TestFidelityFPPSweep pins Fig. 8's other axis: raising the maximum FPP
+// from 1e-4 to 1e-2 significantly raises the requests a filter absorbs
+// per reset, while the tag-expiry period barely matters.
+func TestFidelityFPPSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation in -short mode")
+	}
+	run := func(fpp float64, ttl time.Duration) float64 {
+		res, err := Run(Scenario{
+			PaperTopology: 1, Seed: 2, Duration: 60 * time.Second,
+			BFCapacity: 500, BFMaxFPP: fpp, TagTTL: ttl, PaperFidelity: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.EdgeOps.MeanResetThreshold()
+	}
+	lo := run(1e-4, 10*time.Second)
+	hi := run(1e-2, 10*time.Second)
+	if hi < 2*lo {
+		t.Errorf("requests-per-reset at FPP 1e-2 (%.0f) should far exceed 1e-4 (%.0f)", hi, lo)
+	}
+	// Tag-expiry insensitivity (paper: "does not considerably change").
+	te100 := run(1e-4, 100*time.Second)
+	if te100 < lo*0.7 || te100 > lo*1.4 {
+		t.Errorf("requests-per-reset should be TE-insensitive: TE10=%.0f TE100=%.0f", lo, te100)
+	}
+}

@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/metrics"
+)
+
+// newTab builds the shared tabwriter layout.
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// fmtRatio prints a delivery ratio in the paper's 4-decimal style.
+func fmtRatio(d metrics.Delivery) string {
+	return fmt.Sprintf("%.4f", d.Ratio())
+}
+
+// fmtFloat prints a float, rendering NaN as "-".
+func fmtFloat(v float64, decimals int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// fmtSeries prints a downsampled numeric series.
+func fmtSeries(series []float64, points, decimals int) string {
+	ds := metrics.Downsample(series, points)
+	parts := make([]string, 0, len(ds))
+	for _, v := range ds {
+		parts = append(parts, fmtFloat(v, decimals))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Format renders Fig. 5 as one row per (topology, BF size) with the
+// mean latency and a downsampled per-second series.
+func (r *Fig5Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 5 — Content retrieval latency vs Bloom-filter size (per-second average)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "topo\tBF size\tmean latency\tedge resets\tlatency series (s, downsampled)")
+	for _, c := range r.Cells {
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%d\t%s\n",
+			c.Topology, c.BFSize, c.MeanLatency.Round(10*time.Microsecond),
+			c.EdgeResets, fmtSeries(c.Series, 10, 4))
+	}
+	tw.Flush()
+}
+
+// Format renders Table IV in the paper's layout.
+func (r *Table4Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table IV — Clients and attackers successful delivery ratio")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "topo\tclient req\tclient recv\tclient rate\tattacker req\tattacker recv\tattacker rate")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%s\t%d\t%d\t%s\n",
+			row.Topology,
+			row.Client.Requested, row.Client.Received, fmtRatio(row.Client),
+			row.Attacker.Requested, row.Attacker.Received, fmtRatio(row.Attacker))
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "per-threat attacker outcomes (summed over seeds):")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "topo\tthreat\trequested\treceived\trate")
+	for _, row := range r.Rows {
+		for _, kind := range DefaultAttackerMix() {
+			d, ok := row.AttackerByKind[kind.String()]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%s\n", row.Topology, kind, d.Requested, d.Received, fmtRatio(d))
+		}
+	}
+	tw.Flush()
+}
+
+// Format renders Fig. 6's tag rates.
+func (r *Fig6Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 6 — Tag-request (Q) and tag-receive (R) rates (per second, averaged)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "topo\tQ (tags/s)\tR (tags/s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\n", row.Topology, row.Q, row.R)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "inner plot — Topology 1 tag expiry sweep:")
+	tw = newTab(w)
+	fmt.Fprintln(tw, "expiry\tQ (tags/s)\tR (tags/s)")
+	fmt.Fprintf(tw, "10 s\t%.2f\t%.2f\n", r.TE10.Q, r.TE10.R)
+	fmt.Fprintf(tw, "100 s\t%.2f\t%.2f\n", r.TE100.Q, r.TE100.R)
+	tw.Flush()
+	if r.TE100.Q > 0 {
+		fmt.Fprintf(w, "rate reduction 10 s -> 100 s: %.1fx (paper: ~4x)\n", r.TE10.Q/r.TE100.Q)
+	}
+}
+
+// Format renders Fig. 7's operation counters.
+func (r *Fig7Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 7 — BF look ups (L), insertions (I), signature verifications (V)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "topo\tedge L\tedge I\tedge V\tcore L\tcore I\tcore V")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			row.Topology,
+			row.Edge.Lookups, row.Edge.Insertions, row.Edge.Verifications,
+			row.Core.Lookups, row.Core.Insertions, row.Core.Verifications)
+	}
+	tw.Flush()
+}
+
+// Format renders Fig. 8's reset thresholds.
+func (r *Fig8Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 8 — Requests absorbed per BF reset (Topology 1)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "max FPP\ttag expiry\tedge req/reset\tcore req/reset")
+	for _, c := range r.Cells {
+		fmt.Fprintf(tw, "%g\t%s\t%s\t%s\n", c.FPP, c.TTL,
+			fmtFloat(c.EdgeRequestsPerReset, 0), fmtFloat(c.CoreRequestsPerReset, 0))
+	}
+	tw.Flush()
+}
+
+// Format renders Table V with improvements.
+func (r *Table5Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table V — BF resets for size x FPP (Topology 1, 10 s expiry)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "BF size\tmax FPP\tedge resets\tcore resets")
+	for _, c := range r.Cells {
+		fmt.Fprintf(tw, "%d\t%g\t%d\t%d\n", c.BFSize, c.FPP, c.EdgeResets, c.CoreResets)
+	}
+	tw.Flush()
+	for _, fpp := range Table5FPPs {
+		edge, coreImpr := r.Improvement(fpp)
+		fmt.Fprintf(w, "improvement 500 -> 5000 at FPP %g: edge %.2f%%, core %.2f%% (paper: ~94%%, ~99%%)\n",
+			fpp, edge, coreImpr)
+	}
+}
+
+// Format renders the quantitative Table II comparison.
+func (r *Table2Result) Format(w io.Writer) {
+	fmt.Fprintln(w, "Table II (quantified) — access-control schemes on the common substrate (Topology 1)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "scheme\tclient rate\tattacker deliveries\tattacker payload\tmean latency\tcache hit ratio\torigin served\trouter sig verifs")
+	for _, row := range r.Rows {
+		payload := "blocked"
+		if row.Attacker.Received > 0 {
+			if row.AttackerGetsCiphertext {
+				payload = "ciphertext (wasted)"
+			} else {
+				payload = "plaintext"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%s\t%s\t%.3f\t%d\t%d\n",
+			row.Scheme, fmtRatio(row.Client),
+			row.Attacker.Received, row.Attacker.Requested, payload,
+			row.MeanLatency.Round(10*time.Microsecond),
+			row.CacheHitRatio, row.ProviderServed, row.RouterVerifications)
+	}
+	tw.Flush()
+}
+
+// Format renders the ablation comparison.
+func (r *AblationResult) Format(w io.Writer) {
+	fmt.Fprintln(w, "Ablations — TACTIC with one mechanism disabled (Topology 1)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "variant\tclient rate\tattacker rate\tmean latency\trouter sig verifs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\n",
+			row.Name, fmtRatio(row.Client), fmtRatio(row.Attacker),
+			row.MeanLatency.Round(10*time.Microsecond), row.RouterVerifications)
+	}
+	tw.Flush()
+}

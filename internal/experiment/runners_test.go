@@ -1,0 +1,282 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySuite runs the full runner matrix at a very small scale so the
+// wiring (caching, averaging, formatting) is exercised quickly.
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	return NewSuite(Options{
+		Seeds:      []int64{1},
+		Duration:   20 * time.Second,
+		Topologies: []int{1},
+		Fidelity:   true,
+	})
+}
+
+func TestSuiteDefaults(t *testing.T) {
+	s := NewSuite(Options{})
+	o := s.Options()
+	if len(o.Seeds) == 0 || o.Duration <= 0 || len(o.Topologies) != 4 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}
+
+func TestSuiteTable4AndCacheReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	s := tinySuite(t)
+	runs := 0
+	s.opts.Progress = func(string, ...any) { runs++ }
+
+	t4, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 1 {
+		t.Fatalf("rows = %d", len(t4.Rows))
+	}
+	row := t4.Rows[0]
+	if row.Client.Ratio() < 0.95 {
+		t.Errorf("client ratio = %.4f", row.Client.Ratio())
+	}
+	if row.Attacker.Ratio() > 0.02 {
+		t.Errorf("attacker ratio = %.4f", row.Attacker.Ratio())
+	}
+	baseRuns := runs
+
+	// Fig. 7 reuses the same base runs: no new simulations.
+	if _, err := s.Fig7(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != baseRuns {
+		t.Errorf("Fig7 re-ran the base matrix (%d -> %d runs)", baseRuns, runs)
+	}
+
+	var buf bytes.Buffer
+	t4.Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Table IV") || !strings.Contains(out, "attacker") {
+		t.Errorf("Table IV formatting:\n%s", out)
+	}
+}
+
+func TestSuiteFig6ExpirySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	s := tinySuite(t)
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.TE10.Q <= 0 || f6.TE100.Q < 0 {
+		t.Errorf("tag rates: %+v", f6)
+	}
+	// The paper's inner plot: a 10x longer TTL cuts the steady-state
+	// rate several fold (the paper reports ~4x).
+	if f6.TE100.Q > 0 && f6.TE10.Q/f6.TE100.Q < 1.5 {
+		t.Errorf("TTL 10s Q=%.2f vs TTL 100s Q=%.2f: expected a clear reduction", f6.TE10.Q, f6.TE100.Q)
+	}
+	var buf bytes.Buffer
+	f6.Format(&buf)
+	if !strings.Contains(buf.String(), "inner plot") {
+		t.Error("Fig. 6 format missing expiry sweep")
+	}
+}
+
+func TestSuiteFig5Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	s := tinySuite(t)
+	f5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Cells) != len(Fig5BFSizes) {
+		t.Fatalf("cells = %d", len(f5.Cells))
+	}
+	// Resets decrease with BF size.
+	for i := 1; i < len(f5.Cells); i++ {
+		if f5.Cells[i].EdgeResets > f5.Cells[i-1].EdgeResets {
+			t.Errorf("edge resets grew with BF size: %+v", f5.Cells)
+		}
+	}
+	var buf bytes.Buffer
+	f5.Format(&buf)
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Error("Fig. 5 format broken")
+	}
+}
+
+func TestSuiteFig8AndTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	s := tinySuite(t)
+	f8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Cells) != len(Fig8FPPs)*len(Fig8TTLs) {
+		t.Fatalf("fig8 cells = %d", len(f8.Cells))
+	}
+	// Edge requests-per-reset at FPP 1e-2 exceed 1e-4 for every TTL.
+	byKey := make(map[string]float64)
+	for _, c := range f8.Cells {
+		byKey[keyOf(c.FPP, c.TTL)] = c.EdgeRequestsPerReset
+	}
+	for _, ttl := range Fig8TTLs {
+		lo, hi := byKey[keyOf(1e-4, ttl)], byKey[keyOf(1e-2, ttl)]
+		if !math.IsNaN(lo) && !math.IsNaN(hi) && hi <= lo {
+			t.Errorf("TTL %s: req/reset at 1e-2 (%f) <= 1e-4 (%f)", ttl, hi, lo)
+		}
+	}
+
+	t5, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Cells) != 4 {
+		t.Fatalf("table5 cells = %d", len(t5.Cells))
+	}
+	edgeImpr, _ := t5.Improvement(1e-4)
+	if edgeImpr < 50 {
+		t.Errorf("edge reset improvement 500->5000 = %.1f%%, want large", edgeImpr)
+	}
+	var buf bytes.Buffer
+	f8.Format(&buf)
+	t5.Format(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 8") || !strings.Contains(out, "Table V") {
+		t.Error("format output broken")
+	}
+}
+
+func keyOf(fpp float64, ttl time.Duration) string {
+	return time.Duration(fpp*float64(time.Hour)).String() + "/" + ttl.String()
+}
+
+func TestSuiteTable2Baselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	s := tinySuite(t)
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 4 {
+		t.Fatalf("table2 rows = %d", len(t2.Rows))
+	}
+	byScheme := make(map[string]Table2Row)
+	for _, row := range t2.Rows {
+		byScheme[row.Scheme.String()] = row
+	}
+	// TACTIC blocks attackers; open schemes deliver (ciphertext).
+	if r := byScheme["tactic"]; r.Attacker.Ratio() > 0.02 {
+		t.Errorf("tactic attacker ratio = %.4f", r.Attacker.Ratio())
+	}
+	if r := byScheme["open-ndn"]; r.Attacker.Ratio() < 0.3 {
+		t.Errorf("open NDN attacker ratio = %.4f, want high (everything delivered)", r.Attacker.Ratio())
+	}
+	if r := byScheme["client-side-ac"]; !r.AttackerGetsCiphertext {
+		t.Error("client-side AC should waste ciphertext on attackers")
+	}
+	// Provider-auth serves all private traffic from the origin: origin
+	// load exceeds TACTIC's.
+	if byScheme["provider-auth-ac"].ProviderServed <= byScheme["tactic"].ProviderServed {
+		t.Errorf("provider-auth origin load (%d) should exceed TACTIC's (%d)",
+			byScheme["provider-auth-ac"].ProviderServed, byScheme["tactic"].ProviderServed)
+	}
+	var buf bytes.Buffer
+	t2.Format(&buf)
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("Table II format broken")
+	}
+}
+
+func TestSuiteAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	s := tinySuite(t)
+	ab, err := s.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 7 {
+		t.Fatalf("ablation rows = %d", len(ab.Rows))
+	}
+	byName := make(map[string]AblationRow)
+	for _, row := range ab.Rows {
+		byName[row.Name] = row
+	}
+	// Removing the Bloom filter multiplies signature verifications.
+	full := byName["tactic-full"].RouterVerifications
+	noBF := byName["no-bloom-filter"].RouterVerifications
+	if noBF < full*2 {
+		t.Errorf("no-bloom-filter verifications %d vs full %d: expected a large increase", noBF, full)
+	}
+	// Every performance-oriented variant still blocks attackers — but
+	// the pre-check is load-bearing for security: Protocol 1 lines 8-9
+	// are the *only* access-level enforcement, so disabling it lets
+	// valid-but-insufficient tags through (threat (d)).
+	// The hardened variant closes the aggregation-path AL bypass
+	// entirely.
+	if byName["harden-aggregates"].Attacker.Ratio() > byName["tactic-full"].Attacker.Ratio() {
+		t.Error("hardening should not increase attacker delivery")
+	}
+	for name, row := range byName {
+		if name == "no-precheck" {
+			if row.Attacker.Ratio() == 0 {
+				t.Error("no-precheck should leak to low-level attackers (Protocol 1 is the AL enforcement)")
+			}
+			continue
+		}
+		if row.Attacker.Ratio() > 0.05 {
+			t.Errorf("%s: attacker ratio %.4f", name, row.Attacker.Ratio())
+		}
+	}
+	var buf bytes.Buffer
+	ab.Format(&buf)
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Error("ablation format broken")
+	}
+}
+
+func TestSuiteExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite in -short mode")
+	}
+	s := tinySuite(t)
+	ext, err := s.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.TraitorSuspects == 0 {
+		t.Error("no traitor suspects under pure tag sharing")
+	}
+	if ext.CollusionAll.Ratio() <= ext.CollusionHonest.Ratio() {
+		t.Error("full collusion should leak more than honesty")
+	}
+	if ext.DoSAttackQ <= ext.DoSBaselineQ {
+		t.Errorf("short-TTL DoS should inflate Q: %.2f vs %.2f", ext.DoSAttackQ, ext.DoSBaselineQ)
+	}
+	if ext.DoSClientRate < 0.9 {
+		t.Errorf("DoS should not destroy delivery: %.4f", ext.DoSClientRate)
+	}
+	var buf bytes.Buffer
+	ext.Format(&buf)
+	if !strings.Contains(buf.String(), "Extensions") {
+		t.Error("extensions format broken")
+	}
+}

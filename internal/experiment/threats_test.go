@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestColludingEdgeLeaks pins threat (f): a compromised edge router
+// delivers encrypted content to revoked users behind it — the collusion
+// the paper concedes breaks TACTIC (§6) while noting "compromising ISP
+// routers is difficult". Honest edges stay tight.
+func TestColludingEdgeLeaks(t *testing.T) {
+	base := smallScenario(31)
+	base.AttackerMix = []AttackerKind{AttackExpiredTag}
+
+	honest, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honest.AttackerDelivery.Ratio() > 0.01 {
+		t.Fatalf("honest network leaked %.4f", honest.AttackerDelivery.Ratio())
+	}
+
+	colluding := base
+	colluding.ColludingEdges = base.Topology.EdgeRouters // all edges compromised
+	leaked, err := Run(colluding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked.AttackerDelivery.Ratio() < 0.5 {
+		t.Errorf("fully colluding edges should leak heavily: ratio %.4f (%d/%d)",
+			leaked.AttackerDelivery.Ratio(), leaked.AttackerDelivery.Received, leaked.AttackerDelivery.Requested)
+	}
+	// Clients are unaffected either way.
+	if leaked.ClientDelivery.Ratio() < 0.95 {
+		t.Errorf("collusion should not hurt legitimate clients: %.4f", leaked.ClientDelivery.Ratio())
+	}
+}
+
+// TestColludingBlastRadiusIsLocal pins the containment property: with
+// one compromised edge, only attackers behind it benefit, so the leak is
+// strictly smaller than under full collusion.
+func TestColludingBlastRadiusIsLocal(t *testing.T) {
+	base := smallScenario(32)
+	base.AttackerMix = []AttackerKind{AttackExpiredTag}
+
+	one := base
+	one.ColludingEdges = 1
+	partial, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := base
+	all.ColludingEdges = base.Topology.EdgeRouters
+	full, err := Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.AttackerDelivery.Received >= full.AttackerDelivery.Received {
+		t.Errorf("one colluding edge (%d leaked) should leak less than all (%d)",
+			partial.AttackerDelivery.Received, full.AttackerDelivery.Received)
+	}
+}
+
+// TestMaliciousProviderLowRateDoS pins §6.B's observation: a provider
+// issuing 1-second tags forces its clients into constant
+// re-registration, inflating the network's tag-request rate — but only
+// by roughly one extra request per client per second ("essentially a
+// low-rate DoS attack").
+func TestMaliciousProviderLowRateDoS(t *testing.T) {
+	base := smallScenario(33)
+	base.Duration = 40 * time.Second
+	base.Topology.Attackers = 0
+
+	normal, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dos := base
+	dos.ShortTTLProviders = 1
+	attacked, err := Run(dos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attacked.TagQRate() < normal.TagQRate()*1.5 {
+		t.Errorf("short-TTL provider should inflate Q: %.2f/s vs %.2f/s",
+			attacked.TagQRate(), normal.TagQRate())
+	}
+	// The "low-rate" part: content delivery keeps working.
+	if attacked.ClientDelivery.Ratio() < 0.95 {
+		t.Errorf("DoS provider should degrade, not destroy, delivery: %.4f",
+			attacked.ClientDelivery.Ratio())
+	}
+	// Bound: the extra load is ~#clients extra registrations per second,
+	// not a flood.
+	clients := float64(base.Topology.Clients)
+	if attacked.TagQRate() > normal.TagQRate()+3*clients {
+		t.Errorf("Q rate %.2f/s exceeds the low-rate bound (~1/client/s over %.2f)",
+			attacked.TagQRate(), normal.TagQRate())
+	}
+}

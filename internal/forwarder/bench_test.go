@@ -1,0 +1,30 @@
+package forwarder
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkLiveFetchChunk measures end-to-end chunk fetch latency
+// through the full live stack (client -> edge -> core -> producer over
+// loopback TCP, real ECDSA tags, Bloom-filter-cached validation, real
+// content stores).
+func BenchmarkLiveFetchChunk(b *testing.B) {
+	n := startLiveNetwork(b, time.Hour)
+	defer n.Close()
+
+	alice := n.newLiveClient(b, "bench", 3)
+	defer alice.Close()
+
+	name := n.prefix.MustAppend("report", "chunk0")
+	// Warm the tag and the caches.
+	if _, err := alice.Fetch(name, liveTimeout); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alice.Fetch(name, liveTimeout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

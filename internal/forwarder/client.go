@@ -1,0 +1,313 @@
+package forwarder
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/transport"
+)
+
+// Client fetches content through a TACTIC edge over a real connection:
+// it registers for tags on demand, attaches them to Interests, matches
+// responses to outstanding requests, and surfaces NACKs as errors.
+type Client struct {
+	conn     *transport.Conn
+	identity *core.Client
+	nodeID   string
+	ap       core.AccessPath
+
+	mu        sync.Mutex
+	pending   map[string]chan *ndn.Data
+	nonce     uint64
+	nonceSalt uint64
+	readErr   error
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// Client errors.
+var (
+	// ErrNACK is returned when the network rejects a request's tag.
+	ErrNACK = errors.New("forwarder: request NACKed")
+	// ErrTimeout is returned when no response arrives in time.
+	ErrTimeout = errors.New("forwarder: request timed out")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("forwarder: client closed")
+)
+
+// Dial connects a client identity to an edge forwarder. edgeID is the
+// edge's entity identity, which determines the access path tags bind to
+// (the edge is the client's first-hop entity); nodeID names this device
+// in registration Interests.
+func Dial(addr string, identity *core.Client, nodeID, edgeID string) (*Client, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("forwarder: dial edge %s: %w", addr, err)
+	}
+	var salt [8]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("forwarder: nonce salt: %w", err)
+	}
+	c := &Client{
+		conn:     transport.New(raw),
+		identity: identity,
+		nodeID:   nodeID,
+		ap:       core.EmptyAccessPath.Accumulate(edgeID),
+		// The salt keeps this client's nonces globally unique, so two
+		// clients racing for the same name are aggregated rather than
+		// mistaken for one retransmitted Interest.
+		nonceSalt: binary.BigEndian.Uint64(salt[:]) &^ 0xFFFFFFFF,
+		pending:   make(map[string]chan *ndn.Data),
+		closed:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop dispatches responses to their waiters.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		pkt, err := c.conn.Receive()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for k, ch := range c.pending {
+				close(ch)
+				delete(c.pending, k)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if pkt.Data == nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[pkt.Data.Name.Key()]
+		if ok {
+			delete(c.pending, pkt.Data.Name.Key())
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- pkt.Data
+			close(ch)
+		}
+	}
+}
+
+// await registers a waiter for a name and sends the Interest.
+func (c *Client) await(i *ndn.Interest, timeout time.Duration) (*ndn.Data, error) {
+	ch := make(chan *ndn.Data, 1)
+	key := i.Name.Key()
+	c.mu.Lock()
+	if c.readErr != nil {
+		c.mu.Unlock()
+		return nil, c.readErr
+	}
+	if _, dup := c.pending[key]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("forwarder: duplicate outstanding request for %s", i.Name)
+	}
+	c.pending[key] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.SendInterest(i); err != nil {
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case d, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return d, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, key)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrTimeout, i.Name)
+	case <-c.closed:
+		return nil, ErrClosed
+	}
+}
+
+// nextNonce returns a fresh, salted request nonce.
+func (c *Client) nextNonce() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nonce++
+	return c.nonceSalt | (c.nonce & 0xFFFFFFFF)
+}
+
+// Register obtains a fresh tag from the provider owning prefix.
+func (c *Client) Register(providerPrefix names.Name, timeout time.Duration) error {
+	req, err := c.identity.NewRegistrationRequest(c.ap)
+	if err != nil {
+		return err
+	}
+	nonce := c.nextNonce()
+	name := providerPrefix.MustAppend("register", c.nodeID, "n"+itoa(int(nonce)))
+	d, err := c.await(&ndn.Interest{
+		Name:         name,
+		Kind:         ndn.KindRegistration,
+		Nonce:        nonce,
+		Registration: &req,
+	}, timeout)
+	if err != nil {
+		return err
+	}
+	if d.Registration == nil {
+		return fmt.Errorf("forwarder: registration for %s got no tag", providerPrefix)
+	}
+	return c.identity.StoreRegistration(providerPrefix, d.Registration)
+}
+
+// Fetch retrieves one chunk, registering first when no valid tag is
+// held. The returned content is provider-signed ciphertext; use Decrypt
+// for the plaintext.
+func (c *Client) Fetch(name names.Name, timeout time.Duration) (*core.Content, error) {
+	prefix := name.ProviderPrefix()
+	tag := c.identity.TagFor(prefix, c.ap, time.Now())
+	if tag == nil {
+		if err := c.Register(prefix, timeout); err != nil {
+			return nil, fmt.Errorf("forwarder: register at %s: %w", prefix, err)
+		}
+		tag = c.identity.TagFor(prefix, c.ap, time.Now())
+	}
+	d, err := c.await(&ndn.Interest{
+		Name:  name,
+		Kind:  ndn.KindContent,
+		Nonce: c.nextNonce(),
+		Tag:   tag,
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if d.Nack || d.Content == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNACK, name)
+	}
+	return d.Content, nil
+}
+
+// DefaultWindow is FetchObject's outstanding-request window — the
+// paper's Zipf-window clients keep 5 Interests in flight.
+const DefaultWindow = 5
+
+// FetchObject retrieves an object published with Producer.PublishObject:
+// it reads the object's manifest chunk for the chunk count, fetches the
+// chunks through a DefaultWindow-sized pipeline, and concatenates the
+// decrypted payloads.
+func (c *Client) FetchObject(base names.Name, timeout time.Duration) ([]byte, int, error) {
+	return c.FetchObjectWindowed(base, DefaultWindow, timeout)
+}
+
+// FetchObjectWindowed is FetchObject with an explicit outstanding-chunk
+// window.
+func (c *Client) FetchObjectWindowed(base names.Name, window int, timeout time.Duration) ([]byte, int, error) {
+	if window < 1 {
+		window = 1
+	}
+	prefix := base.ProviderPrefix()
+	manifest, err := c.Fetch(base.MustAppend("manifest"), timeout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("forwarder: fetch manifest: %w", err)
+	}
+	countRaw, err := c.identity.Decrypt(prefix, manifest)
+	if err != nil {
+		return nil, 0, fmt.Errorf("forwarder: decrypt manifest: %w", err)
+	}
+	count, err := strconv.Atoi(string(countRaw))
+	if err != nil || count < 0 {
+		return nil, 0, fmt.Errorf("forwarder: bad manifest %q", countRaw)
+	}
+
+	// Ensure a tag exists before fanning out, so concurrent chunk
+	// fetches never race to register.
+	if c.identity.TagFor(prefix, c.ap, time.Now()) == nil {
+		if err := c.Register(prefix, timeout); err != nil {
+			return nil, 0, fmt.Errorf("forwarder: register at %s: %w", prefix, err)
+		}
+	}
+
+	type result struct {
+		chunk int
+		plain []byte
+		err   error
+	}
+	work := make(chan int)
+	results := make(chan result, window)
+	var wg sync.WaitGroup
+	for w := 0; w < window; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chunk := range work {
+				name := base.MustAppend("chunk" + itoa(chunk))
+				content, err := c.Fetch(name, timeout)
+				if err != nil {
+					results <- result{chunk: chunk, err: err}
+					continue
+				}
+				plain, err := c.identity.Decrypt(prefix, content)
+				if err != nil {
+					err = fmt.Errorf("forwarder: decrypt %s: %w", name, err)
+				}
+				results <- result{chunk: chunk, plain: plain, err: err}
+			}
+		}()
+	}
+	go func() {
+		for chunk := 0; chunk < count; chunk++ {
+			work <- chunk
+		}
+		close(work)
+		wg.Wait()
+		close(results)
+	}()
+
+	chunks := make([][]byte, count)
+	done := 0
+	var firstErr error
+	for res := range results {
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		if res.err == nil {
+			chunks[res.chunk] = res.plain
+			done++
+		}
+	}
+	if firstErr != nil {
+		return nil, done, firstErr
+	}
+	var out []byte
+	for _, p := range chunks {
+		out = append(out, p...)
+	}
+	return out, count, nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,444 @@
+// Package forwarder is the deployable counterpart of the simulator's
+// router nodes: a concurrent TACTIC forwarder that speaks the TLV wire
+// format over real connections (internal/transport), plus a Producer
+// origin server and a fetching Client. Together with cmd/tacticd,
+// cmd/tacticserve, and cmd/tacticget they form a runnable TACTIC
+// network on localhost or across machines.
+//
+// Concurrency model: one reader goroutine per face delivers packets
+// into the forwarder's single-mutex pipeline (the tables and the TACTIC
+// state are not concurrency-safe by design); sends are per-face
+// serialised by transport.Conn. A background ticker expires PIT
+// entries.
+package forwarder
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/pki"
+	"github.com/tactic-icn/tactic/internal/transport"
+)
+
+// Role selects which TACTIC protocols a forwarder runs on its
+// downstream faces.
+type Role int
+
+// Roles.
+const (
+	// RoleEdge runs Protocol 2 on downstream (client-side) faces and
+	// stamps access paths as the clients' first-hop entity.
+	RoleEdge Role = iota + 1
+	// RoleCore runs the content/intermediate protocols only.
+	RoleCore
+)
+
+// Config parameterises a forwarder.
+type Config struct {
+	// ID is the node identity; for edges it is also the access-path
+	// entity identity clients bind their tags to.
+	ID string
+	// Role selects edge or core behaviour.
+	Role Role
+	// Registry holds the trusted provider keys.
+	Registry *pki.Registry
+	// BFCapacity and BFMaxFPP shape the Bloom filter (paper defaults
+	// when zero).
+	BFCapacity int
+	BFMaxFPP   float64
+	// CSCapacity is the content-store size in chunks.
+	CSCapacity int
+	// PITLifetime bounds pending Interests (default 4 s).
+	PITLifetime time.Duration
+	// Tactic selects protocol features.
+	Tactic core.Config
+	// Seed drives probabilistic re-validation (0 = time-seeded).
+	Seed int64
+	// Logf, when non-nil, receives diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+// faceState is one attached connection.
+type faceState struct {
+	id         ndn.FaceID
+	conn       *transport.Conn
+	downstream bool
+}
+
+// Forwarder is a real-time TACTIC router.
+type Forwarder struct {
+	cfg    Config
+	tactic *core.Router
+
+	mu    sync.Mutex
+	fib   *ndn.FIB
+	pit   *ndn.PIT
+	cs    *ndn.CS
+	faces map[ndn.FaceID]*faceState
+	next  ndn.FaceID
+	stats Stats
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Stats counts forwarder activity.
+type Stats struct {
+	// Interests and Data count packets processed.
+	Interests, Data uint64
+	// CSHits counts content served from the store.
+	CSHits uint64
+	// NACKs counts invalidity signals sent.
+	NACKs uint64
+	// Drops counts packets dropped (no route, invalid, unsolicited).
+	Drops uint64
+}
+
+// New creates a forwarder.
+func New(cfg Config) (*Forwarder, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("forwarder: registry required")
+	}
+	if cfg.Role != RoleEdge && cfg.Role != RoleCore {
+		return nil, fmt.Errorf("forwarder: invalid role %d", cfg.Role)
+	}
+	if cfg.BFCapacity <= 0 {
+		cfg.BFCapacity = 500
+	}
+	if cfg.BFMaxFPP <= 0 {
+		cfg.BFMaxFPP = 1e-4
+	}
+	if cfg.CSCapacity <= 0 {
+		cfg.CSCapacity = 4096
+	}
+	if cfg.PITLifetime <= 0 {
+		cfg.PITLifetime = 4 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	bf, err := bloom.NewPaper(cfg.BFCapacity, cfg.BFMaxFPP)
+	if err != nil {
+		return nil, err
+	}
+	f := &Forwarder{
+		cfg:    cfg,
+		tactic: core.NewRouter(cfg.ID, bf, core.NewTagValidator(cfg.Registry), rand.New(rand.NewSource(seed)), cfg.Tactic),
+		fib:    ndn.NewFIB(),
+		pit:    ndn.NewPIT(),
+		cs:     ndn.NewCS(cfg.CSCapacity),
+		faces:  make(map[ndn.FaceID]*faceState),
+		closed: make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.expireLoop()
+	return f, nil
+}
+
+// logf emits a diagnostic line when logging is configured.
+func (f *Forwarder) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// expireLoop garbage-collects the PIT.
+func (f *Forwarder) expireLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.closed:
+			return
+		case now := <-t.C:
+			f.mu.Lock()
+			f.pit.ExpireBefore(now)
+			f.mu.Unlock()
+		}
+	}
+}
+
+// AddFace attaches a connection and starts its reader. downstream marks
+// client-side faces (Protocol 2 applies there at edges).
+func (f *Forwarder) AddFace(conn *transport.Conn, downstream bool) ndn.FaceID {
+	f.mu.Lock()
+	id := f.next
+	f.next++
+	fs := &faceState{id: id, conn: conn, downstream: downstream}
+	f.faces[id] = fs
+	f.mu.Unlock()
+
+	f.wg.Add(1)
+	go f.readLoop(fs)
+	return id
+}
+
+// readLoop pumps one face's packets into the pipeline.
+func (f *Forwarder) readLoop(fs *faceState) {
+	defer f.wg.Done()
+	for {
+		pkt, err := fs.conn.Receive()
+		if err != nil {
+			f.removeFace(fs.id)
+			return
+		}
+		switch {
+		case pkt.Interest != nil:
+			f.handleInterest(pkt.Interest, fs)
+		case pkt.Data != nil:
+			f.handleData(pkt.Data, fs)
+		}
+	}
+}
+
+// removeFace detaches a dead face.
+func (f *Forwarder) removeFace(id ndn.FaceID) {
+	f.mu.Lock()
+	fs, ok := f.faces[id]
+	delete(f.faces, id)
+	f.mu.Unlock()
+	if ok {
+		fs.conn.Close()
+		f.logf("face %d closed", id)
+	}
+}
+
+// AddRoute installs a prefix route toward a face.
+func (f *Forwarder) AddRoute(prefix names.Name, face ndn.FaceID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fib.Insert(prefix, face)
+}
+
+// DialUpstream connects to an upstream node and returns its face.
+func (f *Forwarder) DialUpstream(addr string) (ndn.FaceID, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return ndn.FaceNone, fmt.Errorf("forwarder: dial upstream %s: %w", addr, err)
+	}
+	return f.AddFace(transport.New(raw), false), nil
+}
+
+// Serve accepts downstream connections until the listener closes.
+func (f *Forwarder) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-f.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		f.AddFace(transport.New(conn), true)
+	}
+}
+
+// Close shuts the forwarder down and waits for its goroutines.
+func (f *Forwarder) Close() error {
+	f.once.Do(func() { close(f.closed) })
+	f.mu.Lock()
+	for id, fs := range f.faces {
+		fs.conn.Close()
+		delete(f.faces, id)
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the forwarder's counters.
+func (f *Forwarder) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Tactic exposes the router state (Bloom filter, validator) for
+// inspection.
+func (f *Forwarder) Tactic() *core.Router { return f.tactic }
+
+// send transmits a Data on a face, dropping on error.
+func (f *Forwarder) send(face ndn.FaceID, d *ndn.Data) {
+	fs, ok := f.faces[face]
+	if !ok {
+		f.stats.Drops++
+		return
+	}
+	if err := fs.conn.SendData(d); err != nil {
+		f.logf("send data on face %d: %v", face, err)
+	}
+}
+
+// handleInterest runs the Interest pipeline (the real-time analogue of
+// the simulator's RouterNode.HandleInterest).
+func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Interests++
+
+	if i.Kind == ndn.KindContent && f.cfg.Role == RoleEdge && from.downstream {
+		// The edge is its clients' first-hop entity: reset-then-stamp
+		// the access path, then run Protocol 2.
+		i.AccessPath = core.EmptyAccessPath.Accumulate(f.cfg.ID)
+		dec := f.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
+		if dec.Drop {
+			f.stats.NACKs++
+			f.send(from.id, &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason})
+			return
+		}
+		i.Flag = dec.Flag
+	}
+
+	if i.Kind == ndn.KindContent {
+		if content, ok := f.cs.Lookup(i.Name); ok {
+			dec := f.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
+			if dec.NACK {
+				f.stats.NACKs++
+			} else {
+				f.stats.CSHits++
+			}
+			f.send(from.id, &ndn.Data{
+				Name: i.Name, Content: content, Tag: i.Tag,
+				Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+			})
+			return
+		}
+	}
+
+	if entry, ok := f.pit.Lookup(i.Name); ok && entry.Expires.After(now) {
+		if entry.HasNonce(i.Nonce) {
+			f.stats.Drops++
+			return
+		}
+		f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
+			now.Add(f.cfg.PITLifetime))
+		return
+	} else if ok {
+		f.pit.Consume(i.Name)
+	}
+	f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
+		now.Add(f.cfg.PITLifetime))
+
+	face, ok := f.fib.Lookup(i.Name)
+	if !ok {
+		f.stats.Drops++
+		f.logf("no route for %s", i.Name)
+		return
+	}
+	fs, ok := f.faces[face]
+	if !ok {
+		f.stats.Drops++
+		return
+	}
+	if err := fs.conn.SendInterest(i); err != nil {
+		f.logf("send interest on face %d: %v", face, err)
+	}
+}
+
+// handleData runs the Data pipeline.
+func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Data++
+
+	if d.Registration != nil {
+		if f.cfg.Role == RoleEdge && d.Registration.Tag != nil {
+			f.tactic.EdgeOnTagResponse(d.Registration.Tag)
+		}
+		entry, ok := f.pit.Consume(d.Name)
+		if !ok {
+			f.stats.Drops++
+			return
+		}
+		for _, rec := range entry.Records {
+			f.send(rec.InFace, d)
+		}
+		return
+	}
+
+	if d.Content != nil {
+		f.cs.Insert(d.Content)
+	}
+	entry, ok := f.pit.Consume(d.Name)
+	if !ok {
+		f.stats.Drops++
+		return
+	}
+
+	primary := entry.Records[0]
+	if f.cfg.Role == RoleEdge {
+		f.edgeDeliver(d, primary, true, now)
+	} else {
+		f.send(primary.InFace, &ndn.Data{
+			Name: d.Name, Content: d.Content, Tag: primary.Tag,
+			Flag: d.Flag, Nack: d.Nack, NackReason: d.NackReason,
+		})
+	}
+	for _, rec := range entry.Records[1:] {
+		if f.cfg.Role == RoleEdge {
+			f.edgeDeliver(d, rec, false, now)
+			continue
+		}
+		if d.Content == nil {
+			f.send(rec.InFace, &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason})
+			continue
+		}
+		if rec.Tag == nil {
+			if d.Content.Meta.Level == core.Public {
+				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
+			} else {
+				f.stats.NACKs++
+				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag})
+			}
+			continue
+		}
+		dec := f.tactic.IntermediateOnAggregatedContent(rec.Tag, d.Content.Meta, rec.Flag, now)
+		if dec.NACK {
+			f.stats.NACKs++
+		}
+		f.send(rec.InFace, &ndn.Data{
+			Name: d.Name, Content: d.Content, Tag: rec.Tag,
+			Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+		})
+	}
+}
+
+// edgeDeliver applies Protocol 2's On-Content logic for one record.
+func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time) {
+	if rec.Tag == nil {
+		if d.Content != nil && d.Content.Meta.Level == core.Public && !d.Nack {
+			f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
+		} else {
+			f.stats.Drops++
+		}
+		return
+	}
+	var deliver bool
+	if isPrimary {
+		deliver = f.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack)
+	} else if d.Content != nil {
+		deliver = f.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now)
+	}
+	if !deliver {
+		f.stats.Drops++
+		// Tell the client so it can fail fast rather than time out.
+		f.send(rec.InFace, &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason})
+		return
+	}
+	f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag})
+}

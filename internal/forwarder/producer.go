@@ -1,0 +1,209 @@
+package forwarder
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/pki"
+	"github.com/tactic-icn/tactic/internal/transport"
+)
+
+// Producer is a provider origin server for the real-time stack: it
+// answers registration Interests with fresh tags and serves published
+// content, running Protocol 3 as the origin content router.
+type Producer struct {
+	mu       sync.Mutex
+	provider *core.Provider
+	tactic   *core.Router
+	store    map[string]*core.Content
+	logf     func(format string, args ...any)
+
+	served        uint64
+	nacked        uint64
+	registrations uint64
+	regFailed     uint64
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewProducer creates an origin server around a provider identity.
+func NewProducer(provider *core.Provider, registry *pki.Registry, logf func(string, ...any)) (*Producer, error) {
+	bf, err := bloom.NewPaper(500, 1e-4)
+	if err != nil {
+		return nil, err
+	}
+	return &Producer{
+		provider: provider,
+		tactic:   core.NewRouter("producer:"+provider.Prefix().String(), bf, core.NewTagValidator(registry), rand.New(rand.NewSource(time.Now().UnixNano())), core.Config{}),
+		store:    make(map[string]*core.Content),
+		logf:     logf,
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// Provider exposes the underlying provider (for enrollment).
+func (p *Producer) Provider() *core.Provider { return p.provider }
+
+// AddContent installs a published chunk.
+func (p *Producer) AddContent(c *core.Content) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store[c.Meta.Name.Key()] = c
+}
+
+// PublishObject chunks and publishes a payload as
+// <prefix>/<object>/chunk<i> plus a <prefix>/<object>/manifest chunk
+// carrying the decimal chunk count, and returns the chunk count.
+func (p *Producer) PublishObject(object string, level core.AccessLevel, payload []byte, chunkSize int) (int, error) {
+	if chunkSize <= 0 {
+		chunkSize = 1024
+	}
+	base, err := p.provider.Prefix().Append(object)
+	if err != nil {
+		return 0, err
+	}
+	chunks := 0
+	for off := 0; off < len(payload) || chunks == 0; off += chunkSize {
+		end := off + chunkSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		name := base.MustAppend("chunk" + itoa(chunks))
+		content, err := p.provider.Publish(name, level, payload[off:end])
+		if err != nil {
+			return chunks, err
+		}
+		p.AddContent(content)
+		chunks++
+	}
+	manifest, err := p.provider.Publish(base.MustAppend("manifest"), level, []byte(itoa(chunks)))
+	if err != nil {
+		return chunks, err
+	}
+	p.AddContent(manifest)
+	return chunks, nil
+}
+
+// itoa is a minimal integer formatter (avoids strconv in the hot path).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Serve accepts connections until the listener closes.
+func (p *Producer) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		c := transport.New(conn)
+		p.wg.Add(1)
+		go p.serveConn(c)
+	}
+}
+
+// serveConn answers one connection's Interests.
+func (p *Producer) serveConn(c *transport.Conn) {
+	defer p.wg.Done()
+	defer c.Close()
+	for {
+		pkt, err := c.Receive()
+		if err != nil {
+			return
+		}
+		if pkt.Interest == nil {
+			continue // producers ignore Data
+		}
+		if d := p.answer(pkt.Interest); d != nil {
+			if err := c.SendData(d); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// answer produces the response for one Interest (nil = drop).
+func (p *Producer) answer(i *ndn.Interest) *ndn.Data {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if i.Kind == ndn.KindRegistration {
+		if i.Registration == nil {
+			p.regFailed++
+			return nil
+		}
+		resp, err := p.provider.Register(*i.Registration, now)
+		if err != nil {
+			p.regFailed++
+			if p.logf != nil {
+				p.logf("registration rejected: %v", err)
+			}
+			return nil
+		}
+		p.registrations++
+		return &ndn.Data{Name: i.Name, Registration: resp}
+	}
+
+	content, ok := p.store[i.Name.Key()]
+	if !ok {
+		return nil
+	}
+	dec := p.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
+	if dec.NACK {
+		p.nacked++
+	} else {
+		p.served++
+	}
+	return &ndn.Data{
+		Name: i.Name, Content: content, Tag: i.Tag,
+		Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+	}
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (p *Producer) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	p.wg.Wait()
+	return nil
+}
+
+// ProducerStats snapshots the origin's counters.
+type ProducerStats struct {
+	// Served and NACKed count content responses.
+	Served, NACKed uint64
+	// Registrations and RegistrationsFailed count tag requests.
+	Registrations, RegistrationsFailed uint64
+}
+
+// Stats returns a snapshot of the producer's counters.
+func (p *Producer) Stats() ProducerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProducerStats{
+		Served: p.served, NACKed: p.nacked,
+		Registrations: p.registrations, RegistrationsFailed: p.regFailed,
+	}
+}

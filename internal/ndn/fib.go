@@ -1,0 +1,55 @@
+package ndn
+
+import (
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// FIB is a Forwarding Information Base mapping name prefixes to outgoing
+// faces. Lookup performs longest-prefix match, the standard NDN
+// forwarding rule.
+type FIB struct {
+	entries map[string]FaceID
+	// maxDepth bounds the LPM walk to the longest inserted prefix.
+	maxDepth int
+}
+
+// NewFIB creates an empty FIB.
+func NewFIB() *FIB {
+	return &FIB{entries: make(map[string]FaceID)}
+}
+
+// Insert adds (or replaces) a route for prefix via face.
+func (f *FIB) Insert(prefix names.Name, face FaceID) {
+	f.entries[prefix.Key()] = face
+	if prefix.Len() > f.maxDepth {
+		f.maxDepth = prefix.Len()
+	}
+}
+
+// Remove deletes the route for an exact prefix, reporting whether it
+// existed.
+func (f *FIB) Remove(prefix names.Name) bool {
+	k := prefix.Key()
+	if _, ok := f.entries[k]; !ok {
+		return false
+	}
+	delete(f.entries, k)
+	return true
+}
+
+// Lookup returns the face for the longest registered prefix of name.
+func (f *FIB) Lookup(name names.Name) (FaceID, bool) {
+	depth := name.Len()
+	if depth > f.maxDepth {
+		depth = f.maxDepth
+	}
+	for k := depth; k >= 0; k-- {
+		if face, ok := f.entries[name.Prefix(k).Key()]; ok {
+			return face, true
+		}
+	}
+	return FaceNone, false
+}
+
+// Len returns the number of routes.
+func (f *FIB) Len() int { return len(f.entries) }

@@ -1,0 +1,83 @@
+package ndn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// Wire-facing decoders process bytes from untrusted peers; none may
+// panic on arbitrary input. These property tests drive them with random
+// garbage and with randomly corrupted valid packets.
+
+func TestPropertyDecodeInterestNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodeInterest(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDecodeDataNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodeData(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptedValidPacketsFailCleanly(t *testing.T) {
+	tag, content, reg, resp := tlvFixtures(t)
+	iEnc, err := EncodeInterest(&Interest{
+		Name: names.MustParse("/prov0/obj/c0"), Kind: KindContent, Nonce: 7,
+		Tag: tag, Flag: 0.5, Registration: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dEnc, err := EncodeData(&Data{
+		Name: names.MustParse("/prov0/obj/c0"), Content: content, Tag: tag,
+		Registration: resp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		corrupt := func(src []byte) []byte {
+			out := append([]byte(nil), src...)
+			flips := 1 + rng.Intn(4)
+			for f := 0; f < flips; f++ {
+				out[rng.Intn(len(out))] ^= byte(1 + rng.Intn(255))
+			}
+			return out
+		}
+		// Either outcome (error or a decoded-but-different packet) is
+		// acceptable; a panic is not.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on corrupted input: %v", r)
+				}
+			}()
+			_, _ = DecodeInterest(corrupt(iEnc))
+			_, _ = DecodeData(corrupt(dEnc))
+		}()
+	}
+}

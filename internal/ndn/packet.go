@@ -1,0 +1,123 @@
+// Package ndn implements the Named-Data Networking data plane TACTIC
+// runs on: Interest/Data/NACK packets extended with TACTIC's tag and
+// flag fields, the Forwarding Information Base (FIB) with
+// longest-prefix-match lookup, the Pending Interest Table (PIT) with the
+// paper's <Tag, F, InFace> aggregation tuples (Protocol 4 line 4), and a
+// least-recently-used Content Store (CS).
+//
+// The structures are pure state machines — no goroutines, no I/O — so a
+// discrete-event simulator (or a real forwarder) can drive them
+// deterministically.
+package ndn
+
+import (
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// FaceID identifies one of a node's faces (interfaces). Faces are dense
+// small integers local to a node.
+type FaceID int
+
+// FaceNone marks the absence of a face.
+const FaceNone FaceID = -1
+
+// InterestKind distinguishes content requests from TACTIC registration
+// requests, which travel the same Interest pipeline but are consumed by
+// the provider's registration handler.
+type InterestKind uint8
+
+// Interest kinds.
+const (
+	// KindContent requests a content chunk.
+	KindContent InterestKind = iota + 1
+	// KindRegistration requests a fresh tag (client registration §4.A).
+	KindRegistration
+)
+
+// Interest is an NDN request, extended with TACTIC's fields: the
+// client's tag, the edge/core collaboration flag F, and the access-path
+// accumulator stamped by on-path entities between the client and its
+// edge router.
+type Interest struct {
+	// Name is the requested content name (or the provider's registration
+	// name for KindRegistration).
+	Name names.Name
+	// Kind selects the pipeline.
+	Kind InterestKind
+	// Nonce deduplicates Interests and detects loops.
+	Nonce uint64
+	// Tag is the client's authentication tag; nil for tagless requests.
+	Tag *core.Tag
+	// Flag is F: zero until an edge router that holds the tag in its
+	// Bloom filter stamps its false-positive probability (Protocol 2).
+	Flag float64
+	// AccessPath accumulates hashed identities of entities between the
+	// client and the edge router; the edge compares it to the tag's
+	// AP_u. It is frozen once the Interest passes the edge.
+	AccessPath core.AccessPath
+	// Registration carries the registration payload for
+	// KindRegistration.
+	Registration *core.RegistrationRequest
+}
+
+// interestBaseSize approximates NDN TLV framing plus nonce and flag
+// fields.
+const interestBaseSize = 48
+
+// WireSize estimates the packet's on-wire size; tags dominate ("a couple
+// hundred bytes", §4.A), which is why the paper counts the tag as the
+// scheme's communication overhead.
+func (i *Interest) WireSize() int {
+	size := interestBaseSize + len(i.Name.String())
+	if i.Tag != nil {
+		size += i.Tag.Size()
+	}
+	if i.Registration != nil {
+		size += 96 + len(i.Registration.Credential)
+	}
+	return size
+}
+
+// Data is an NDN response: the content-tag pair of Protocols 2-4,
+// optionally carrying a NACK ("the r_C^c also sends the content along
+// with the NACK to allow the downstream routers to use this content for
+// satisfying their valid pending requests", §4.B), or a registration
+// response.
+type Data struct {
+	// Name echoes the Interest name.
+	Name names.Name
+	// Content is the chunk; nil for pure NACKs and registration
+	// responses.
+	Content *core.Content
+	// Tag echoes the tag of the request this Data answers, so
+	// downstream routers know which PIT record it addresses.
+	Tag *core.Tag
+	// Flag is the F value set by the answering router (Protocol 3).
+	Flag float64
+	// Nack marks the tag invalid; the edge router must not deliver to
+	// that client (Protocol 2 lines 19-20).
+	Nack bool
+	// NackReason records why, for diagnostics and metrics.
+	NackReason error
+	// Registration carries a fresh tag for KindRegistration responses.
+	Registration *core.RegistrationResponse
+}
+
+// dataBaseSize approximates NDN TLV framing plus signature metadata.
+const dataBaseSize = 64
+
+// WireSize estimates the packet's on-wire size.
+func (d *Data) WireSize() int {
+	size := dataBaseSize + len(d.Name.String())
+	if d.Content != nil {
+		size += len(d.Content.Payload) + len(d.Content.Signature)
+	}
+	if d.Tag != nil {
+		size += d.Tag.Size()
+	}
+	if d.Registration != nil && d.Registration.Tag != nil {
+		size += d.Registration.Tag.Size() + len(d.Registration.WrappedContentKey)
+	}
+	return size
+}

@@ -1,0 +1,126 @@
+package ndn
+
+import (
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// PITRecord is one aggregated requester: the paper extends the classic
+// face-set aggregation with the full 3-tuple <T_u, F, InFace_u>
+// (Protocol 4 line 4) so the router can validate each aggregated tag
+// when the content arrives. "The addition of the tag adds an overhead to
+// the PIT entry but it is of the order of a couple hundred bytes" (§5.C).
+type PITRecord struct {
+	// Tag is T_u; nil for tagless requests.
+	Tag *core.Tag
+	// Flag is the F carried by the aggregated Interest.
+	Flag float64
+	// InFace is the face the Interest arrived on; the Data for this
+	// record is forwarded there (reverse-path forwarding).
+	InFace FaceID
+	// Nonce is the Interest's nonce, for duplicate suppression.
+	Nonce uint64
+	// Arrived is when the Interest reached this router, for latency
+	// accounting.
+	Arrived time.Time
+}
+
+// PITEntry is the pending-Interest state for one content name: the
+// primary record (the Interest actually forwarded upstream) plus every
+// aggregated record.
+type PITEntry struct {
+	// Name is the content name.
+	Name names.Name
+	// Records lists the requesters; Records[0] is the primary (the
+	// Interest that created the entry and was forwarded).
+	Records []PITRecord
+	// Expires is the entry's lifetime deadline; expired entries free
+	// their requesters' windows (the paper's 1 s request expiry, §8.B).
+	Expires time.Time
+}
+
+// HasNonce reports whether a record with the nonce is already
+// aggregated (loop/duplicate suppression).
+func (e *PITEntry) HasNonce(nonce uint64) bool {
+	for _, r := range e.Records {
+		if r.Nonce == nonce {
+			return true
+		}
+	}
+	return false
+}
+
+// PIT is a Pending Interest Table.
+type PIT struct {
+	entries    map[string]*PITEntry
+	aggregated uint64
+	created    uint64
+	expired    uint64
+}
+
+// NewPIT creates an empty PIT.
+func NewPIT() *PIT {
+	return &PIT{entries: make(map[string]*PITEntry)}
+}
+
+// Lookup returns the entry for name, if any.
+func (p *PIT) Lookup(name names.Name) (*PITEntry, bool) {
+	e, ok := p.entries[name.Key()]
+	return e, ok
+}
+
+// Insert records an Interest. When no entry exists one is created (and
+// the caller must forward the Interest upstream — Protocol 4 lines 1-2);
+// otherwise the record is aggregated into the existing entry (lines
+// 3-5). The returned bool reports whether the entry is new.
+func (p *PIT) Insert(name names.Name, rec PITRecord, expires time.Time) (*PITEntry, bool) {
+	k := name.Key()
+	if e, ok := p.entries[k]; ok {
+		e.Records = append(e.Records, rec)
+		if expires.After(e.Expires) {
+			e.Expires = expires
+		}
+		p.aggregated++
+		return e, false
+	}
+	e := &PITEntry{Name: name, Records: []PITRecord{rec}, Expires: expires}
+	p.entries[k] = e
+	p.created++
+	return e, true
+}
+
+// Consume removes and returns the entry for name — the router is about
+// to satisfy it with arriving Data.
+func (p *PIT) Consume(name names.Name) (*PITEntry, bool) {
+	k := name.Key()
+	e, ok := p.entries[k]
+	if ok {
+		delete(p.entries, k)
+	}
+	return e, ok
+}
+
+// ExpireBefore removes entries whose lifetime ended at or before now and
+// returns them so callers can account for the timed-out requesters.
+func (p *PIT) ExpireBefore(now time.Time) []*PITEntry {
+	var out []*PITEntry
+	for k, e := range p.entries {
+		if !e.Expires.After(now) {
+			out = append(out, e)
+			delete(p.entries, k)
+			p.expired++
+		}
+	}
+	return out
+}
+
+// Len returns the number of pending entries.
+func (p *PIT) Len() int { return len(p.entries) }
+
+// Stats returns entries created, Interests aggregated into existing
+// entries, and entries expired.
+func (p *PIT) Stats() (created, aggregated, expired uint64) {
+	return p.created, p.aggregated, p.expired
+}

@@ -1,0 +1,333 @@
+package ndn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// NDN-style TLV wire codec for Interest and Data packets. The framing
+// follows the NDN packet-format conventions (one-byte types,
+// variable-length lengths: values < 253 in one byte, larger values as
+// 253 followed by a 16-bit or 254 followed by a 32-bit big-endian
+// length). Standard NDN types are used where they exist (Interest 0x05,
+// Data 0x06, Name 0x07, GenericNameComponent 0x08, Nonce 0x0A, Content
+// 0x15); TACTIC's extensions ride in the application-reserved range.
+
+// TLV types.
+const (
+	tlvInterest      = 0x05
+	tlvData          = 0x06
+	tlvName          = 0x07
+	tlvNameComponent = 0x08
+	tlvNonce         = 0x0A
+	tlvContent       = 0x15
+
+	// Application-specific types (TACTIC extensions).
+	tlvTag          = 0xF0
+	tlvFlag         = 0xF1
+	tlvAccessPath   = 0xF2
+	tlvKind         = 0xF3
+	tlvRegistration = 0xF4
+	tlvNack         = 0xF5
+	tlvRegResponse  = 0xF6
+)
+
+// TLV codec errors.
+var (
+	// ErrTLVTruncated is returned when a buffer ends mid-element.
+	ErrTLVTruncated = errors.New("ndn: truncated TLV")
+	// ErrTLVType is returned for an unexpected element type.
+	ErrTLVType = errors.New("ndn: unexpected TLV type")
+)
+
+// appendTLV writes one type-length-value element.
+func appendTLV(dst []byte, typ byte, value []byte) []byte {
+	dst = append(dst, typ)
+	dst = appendVarLen(dst, uint64(len(value)))
+	return append(dst, value...)
+}
+
+// appendVarLen writes an NDN variable-length length.
+func appendVarLen(dst []byte, n uint64) []byte {
+	switch {
+	case n < 253:
+		return append(dst, byte(n))
+	case n <= math.MaxUint16:
+		dst = append(dst, 253)
+		return binary.BigEndian.AppendUint16(dst, uint16(n))
+	default:
+		dst = append(dst, 254)
+		return binary.BigEndian.AppendUint32(dst, uint32(n))
+	}
+}
+
+// tlvReader walks a TLV buffer.
+type tlvReader struct {
+	buf []byte
+	off int
+}
+
+// next returns the next element, or ok=false at the end of the buffer.
+func (r *tlvReader) next() (typ byte, value []byte, ok bool, err error) {
+	if r.off >= len(r.buf) {
+		return 0, nil, false, nil
+	}
+	if r.off+2 > len(r.buf) {
+		return 0, nil, false, ErrTLVTruncated
+	}
+	typ = r.buf[r.off]
+	r.off++
+	length, err := r.varLen()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if r.off+int(length) > len(r.buf) {
+		return 0, nil, false, ErrTLVTruncated
+	}
+	value = r.buf[r.off : r.off+int(length)]
+	r.off += int(length)
+	return typ, value, true, nil
+}
+
+// varLen reads an NDN variable-length length.
+func (r *tlvReader) varLen() (uint64, error) {
+	if r.off >= len(r.buf) {
+		return 0, ErrTLVTruncated
+	}
+	first := r.buf[r.off]
+	r.off++
+	switch {
+	case first < 253:
+		return uint64(first), nil
+	case first == 253:
+		if r.off+2 > len(r.buf) {
+			return 0, ErrTLVTruncated
+		}
+		v := binary.BigEndian.Uint16(r.buf[r.off:])
+		r.off += 2
+		return uint64(v), nil
+	case first == 254:
+		if r.off+4 > len(r.buf) {
+			return 0, ErrTLVTruncated
+		}
+		v := binary.BigEndian.Uint32(r.buf[r.off:])
+		r.off += 4
+		return uint64(v), nil
+	default:
+		return 0, fmt.Errorf("ndn: unsupported length prefix %d", first)
+	}
+}
+
+// encodeName writes a Name element.
+func encodeName(dst []byte, n names.Name) []byte {
+	var inner []byte
+	for _, c := range n.Components() {
+		inner = appendTLV(inner, tlvNameComponent, []byte(c))
+	}
+	return appendTLV(dst, tlvName, inner)
+}
+
+// decodeName parses a Name element's value.
+func decodeName(value []byte) (names.Name, error) {
+	r := tlvReader{buf: value}
+	var comps []string
+	for {
+		typ, v, ok, err := r.next()
+		if err != nil {
+			return names.Name{}, err
+		}
+		if !ok {
+			break
+		}
+		if typ != tlvNameComponent {
+			return names.Name{}, fmt.Errorf("%w: %#x inside Name", ErrTLVType, typ)
+		}
+		comps = append(comps, string(v))
+	}
+	return names.New(comps...)
+}
+
+// EncodeInterest serialises an Interest to its TLV wire form.
+func EncodeInterest(i *Interest) ([]byte, error) {
+	var body []byte
+	body = encodeName(body, i.Name)
+	body = appendTLV(body, tlvKind, []byte{byte(i.Kind)})
+	var nonce [8]byte
+	binary.BigEndian.PutUint64(nonce[:], i.Nonce)
+	body = appendTLV(body, tlvNonce, nonce[:])
+	if i.Tag != nil {
+		body = appendTLV(body, tlvTag, i.Tag.Encode())
+	}
+	if i.Flag != 0 {
+		var f [8]byte
+		binary.BigEndian.PutUint64(f[:], math.Float64bits(i.Flag))
+		body = appendTLV(body, tlvFlag, f[:])
+	}
+	if i.AccessPath != 0 {
+		var ap [8]byte
+		binary.BigEndian.PutUint64(ap[:], uint64(i.AccessPath))
+		body = appendTLV(body, tlvAccessPath, ap[:])
+	}
+	if i.Registration != nil {
+		reg, err := core.EncodeRegistrationRequest(i.Registration)
+		if err != nil {
+			return nil, err
+		}
+		body = appendTLV(body, tlvRegistration, reg)
+	}
+	return appendTLV(nil, tlvInterest, body), nil
+}
+
+// DecodeInterest reverses EncodeInterest.
+func DecodeInterest(b []byte) (*Interest, error) {
+	outer := tlvReader{buf: b}
+	typ, body, ok, err := outer.next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok || typ != tlvInterest {
+		return nil, fmt.Errorf("%w: want Interest, got %#x", ErrTLVType, typ)
+	}
+	i := &Interest{}
+	r := tlvReader{buf: body}
+	for {
+		typ, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch typ {
+		case tlvName:
+			if i.Name, err = decodeName(v); err != nil {
+				return nil, err
+			}
+		case tlvKind:
+			if len(v) != 1 {
+				return nil, fmt.Errorf("ndn: bad Kind length %d", len(v))
+			}
+			i.Kind = InterestKind(v[0])
+		case tlvNonce:
+			if len(v) != 8 {
+				return nil, fmt.Errorf("ndn: bad Nonce length %d", len(v))
+			}
+			i.Nonce = binary.BigEndian.Uint64(v)
+		case tlvTag:
+			if i.Tag, err = core.DecodeTag(v); err != nil {
+				return nil, err
+			}
+		case tlvFlag:
+			if len(v) != 8 {
+				return nil, fmt.Errorf("ndn: bad Flag length %d", len(v))
+			}
+			i.Flag = math.Float64frombits(binary.BigEndian.Uint64(v))
+		case tlvAccessPath:
+			if len(v) != 8 {
+				return nil, fmt.Errorf("ndn: bad AccessPath length %d", len(v))
+			}
+			i.AccessPath = core.AccessPath(binary.BigEndian.Uint64(v))
+		case tlvRegistration:
+			if i.Registration, err = core.DecodeRegistrationRequest(v); err != nil {
+				return nil, err
+			}
+		default:
+			// Unknown non-critical elements are skipped, per NDN's
+			// evolvability convention.
+		}
+	}
+	if i.Kind == 0 {
+		i.Kind = KindContent
+	}
+	return i, nil
+}
+
+// EncodeData serialises a Data packet to its TLV wire form. NackReason
+// is a diagnostic and does not cross the wire (a real deployment would
+// map it to a NACK reason code).
+func EncodeData(d *Data) ([]byte, error) {
+	var body []byte
+	body = encodeName(body, d.Name)
+	if d.Content != nil {
+		enc, err := core.EncodeContent(d.Content)
+		if err != nil {
+			return nil, err
+		}
+		body = appendTLV(body, tlvContent, enc)
+	}
+	if d.Tag != nil {
+		body = appendTLV(body, tlvTag, d.Tag.Encode())
+	}
+	if d.Flag != 0 {
+		var f [8]byte
+		binary.BigEndian.PutUint64(f[:], math.Float64bits(d.Flag))
+		body = appendTLV(body, tlvFlag, f[:])
+	}
+	if d.Nack {
+		body = appendTLV(body, tlvNack, nil)
+	}
+	if d.Registration != nil {
+		enc, err := core.EncodeRegistrationResponse(d.Registration)
+		if err != nil {
+			return nil, err
+		}
+		body = appendTLV(body, tlvRegResponse, enc)
+	}
+	return appendTLV(nil, tlvData, body), nil
+}
+
+// DecodeData reverses EncodeData.
+func DecodeData(b []byte) (*Data, error) {
+	outer := tlvReader{buf: b}
+	typ, body, ok, err := outer.next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok || typ != tlvData {
+		return nil, fmt.Errorf("%w: want Data, got %#x", ErrTLVType, typ)
+	}
+	d := &Data{}
+	r := tlvReader{buf: body}
+	for {
+		typ, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch typ {
+		case tlvName:
+			if d.Name, err = decodeName(v); err != nil {
+				return nil, err
+			}
+		case tlvContent:
+			if d.Content, err = core.DecodeContent(v); err != nil {
+				return nil, err
+			}
+		case tlvTag:
+			if d.Tag, err = core.DecodeTag(v); err != nil {
+				return nil, err
+			}
+		case tlvFlag:
+			if len(v) != 8 {
+				return nil, fmt.Errorf("ndn: bad Flag length %d", len(v))
+			}
+			d.Flag = math.Float64frombits(binary.BigEndian.Uint64(v))
+		case tlvNack:
+			d.Nack = true
+		case tlvRegResponse:
+			if d.Registration, err = core.DecodeRegistrationResponse(v); err != nil {
+				return nil, err
+			}
+		default:
+			// Skip unknown elements.
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,149 @@
+package network
+
+import (
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/topology"
+)
+
+// APNode is a wireless access point: the network entity between clients
+// and their edge router. It accumulates its identity into each upward
+// Interest's access path (paper §4.A: "each intermediate entity, between
+// u and her corresponding r_E, adds its identity to the rolling hash")
+// and demultiplexes downward Data to the requesting client by tag.
+//
+// Hardening note: the first on-path entity *resets* the accumulator
+// before folding in its identity, so an end host cannot pre-load the
+// field to impersonate another location (see DESIGN.md). Relay entities
+// between the AP and the edge would accumulate without resetting.
+type APNode struct {
+	net      *Network
+	index    int
+	id       string
+	upFace   ndn.FaceID
+	lifetime time.Duration
+	pending  map[string][]apRecord
+	drops    uint64
+}
+
+// apRecord is one pending downstream requester at the AP.
+type apRecord struct {
+	tagKey  string // "" for tagless
+	inFace  ndn.FaceID
+	nonce   uint64
+	expires time.Time
+}
+
+var _ Node = (*APNode)(nil)
+
+// NewAPNode creates an access point. Its upstream face is the one
+// leading to its edge router.
+func NewAPNode(net *Network, index int, lifetime time.Duration) *APNode {
+	ap := &APNode{
+		net:      net,
+		index:    index,
+		id:       net.Graph.Nodes[index].ID,
+		upFace:   ndn.FaceNone,
+		lifetime: lifetime,
+		pending:  make(map[string][]apRecord),
+	}
+	for f := 0; f < net.FaceCount(index); f++ {
+		if net.PeerKind(index, ndn.FaceID(f)) == topology.KindEdgeRouter {
+			ap.upFace = ndn.FaceID(f)
+			break
+		}
+	}
+	return ap
+}
+
+// ID returns the AP's entity identity (the access-path component).
+func (a *APNode) ID() string { return a.id }
+
+// tagKeyOf returns the pending-table key for a tag.
+func tagKeyOf(t *core.Tag) string {
+	if t == nil {
+		return ""
+	}
+	return string(t.CacheKey())
+}
+
+// HandleInterest forwards an upward Interest, stamping the access path.
+func (a *APNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
+	if from == a.upFace || a.upFace == ndn.FaceNone {
+		return // APs never route downward Interests
+	}
+	// Reset-then-accumulate: defeat accumulator pre-loading by the end
+	// host.
+	i.AccessPath = core.EmptyAccessPath.Accumulate(a.id)
+	now := a.net.Engine.Now()
+	key := i.Name.Key()
+	a.gc(key, now)
+	a.pending[key] = append(a.pending[key], apRecord{
+		tagKey:  tagKeyOf(i.Tag),
+		inFace:  from,
+		nonce:   i.Nonce,
+		expires: now.Add(a.lifetime),
+	})
+	a.net.SendInterest(a.index, a.upFace, i, 0)
+}
+
+// HandleData demultiplexes a downward Data to the client(s) whose tag it
+// answers; tagless Data reaches tagless requesters.
+func (a *APNode) HandleData(d *ndn.Data, from ndn.FaceID) {
+	key := d.Name.Key()
+	records, ok := a.pending[key]
+	if !ok {
+		a.drops++
+		return
+	}
+	var wantKey string
+	switch {
+	case d.Tag != nil:
+		wantKey = tagKeyOf(d.Tag)
+	case d.Registration != nil && d.Registration.Tag != nil:
+		// Registration responses are already client-specific names.
+		wantKey = ""
+	default:
+		wantKey = ""
+	}
+	kept := records[:0]
+	delivered := false
+	for _, rec := range records {
+		if rec.tagKey == wantKey {
+			out := *d
+			a.net.SendData(a.index, rec.inFace, &out, 0)
+			delivered = true
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	if !delivered {
+		a.drops++
+	}
+	if len(kept) == 0 {
+		delete(a.pending, key)
+	} else {
+		a.pending[key] = kept
+	}
+}
+
+// gc drops expired records for a name.
+func (a *APNode) gc(key string, now time.Time) {
+	records, ok := a.pending[key]
+	if !ok {
+		return
+	}
+	kept := records[:0]
+	for _, rec := range records {
+		if rec.expires.After(now) {
+			kept = append(kept, rec)
+		}
+	}
+	if len(kept) == 0 {
+		delete(a.pending, key)
+	} else {
+		a.pending[key] = kept
+	}
+}

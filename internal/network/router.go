@@ -1,0 +1,490 @@
+package network
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/metrics"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/pki"
+	"github.com/tactic-icn/tactic/internal/topology"
+)
+
+// RouterConfig parameterises a TACTIC router node.
+type RouterConfig struct {
+	// BFCapacity is the Bloom filter's design capacity (items indexed);
+	// the paper sweeps 500-10000.
+	BFCapacity int
+	// BFMaxFPP is the saturation threshold triggering auto-reset; the
+	// paper's default is 1e-4.
+	BFMaxFPP float64
+	// CSCapacity is the content-store size in chunks; 0 disables caching
+	// (edge routers in the paper's model do not cache).
+	CSCapacity int
+	// PITLifetime bounds pending-Interest entries.
+	PITLifetime time.Duration
+	// BFDesignFPP, when non-zero, sizes the Bloom filter for BFCapacity
+	// items at this design FPP while keeping BFMaxFPP as the saturation
+	// threshold (paper-fidelity mode; see bloom.NewPaperWithDesign).
+	BFDesignFPP float64
+	// DisableEnforcement turns off all router-side tag processing:
+	// every request is served (baselines OpenNDN / ClientSideAC).
+	DisableEnforcement bool
+	// NoPrivateCache prevents caching and cache-serving of non-Public
+	// content, forcing private requests to the origin (baseline
+	// ProviderAuthAC).
+	NoPrivateCache bool
+	// DropContentOnNACK makes a content router answer an invalid tag
+	// with a pure NACK instead of the paper's content-plus-NACK
+	// (ablation "DropOnNACK"; starves valid aggregated requests
+	// downstream).
+	DropContentOnNACK bool
+	// Traitor, when non-nil, receives every access-path mismatch the
+	// edge observes (the paper's future-work traitor-tracing feature;
+	// typically one detector shared by all edge routers of an ISP).
+	Traitor *core.TraitorDetector
+	// Colluding models threat (f) of the paper's threat model: "an
+	// unreliable router that delivers a content to unauthorized users"
+	// (§3.C) — the compromised-ISP-router collusion §6 concedes breaks
+	// TACTIC ("a malicious ISP router can collude with a revoked client
+	// to deliver him the encrypted content"). A colluding edge skips
+	// Protocol 2 entirely and delivers NACKed content anyway. The
+	// experiment suite quantifies the blast radius (only users behind
+	// the compromised edge benefit).
+	Colluding bool
+	// Tactic selects protocol features (ablations).
+	Tactic core.Config
+}
+
+// RouterNode is a TACTIC router in the simulated network: the NDN
+// forwarding pipeline (CS -> PIT -> FIB) with the paper's Protocols 1-4
+// spliced in. Edge routers additionally run Protocol 2 on their
+// client-side (access-point) faces.
+type RouterNode struct {
+	net    *Network
+	index  int
+	isEdge bool
+	tactic *core.Router
+	fib    *ndn.FIB
+	pit    *ndn.PIT
+	cs     *ndn.CS
+	cfg    RouterConfig
+	rng    *rand.Rand
+
+	interests uint64
+	dataSeen  uint64
+	nacksSent uint64
+	drops     map[string]uint64
+	opCount   uint64
+	// cpuBusyUntil serialises computational delays: a router is a
+	// single processing pipeline, so a burst of signature verifications
+	// (e.g. after a Bloom-filter reset) delays subsequent packets — the
+	// mechanism behind the paper's Fig. 5 latency spikes.
+	cpuBusyUntil time.Time
+}
+
+// pitGCStride amortises lazy PIT expiry.
+const pitGCStride = 2048
+
+// NewRouterNode creates a router for graph node index. isEdge selects
+// the Protocol 2 role; verifier is the shared trust registry.
+func NewRouterNode(net *Network, index int, isEdge bool, verifier pki.Verifier, rng *rand.Rand, cfg RouterConfig) (*RouterNode, error) {
+	bf, err := newRouterFilter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	id := net.Graph.Nodes[index].ID
+	r := &RouterNode{
+		net:    net,
+		index:  index,
+		isEdge: isEdge,
+		tactic: core.NewRouter(id, bf, core.NewTagValidator(verifier), rng, cfg.Tactic),
+		fib:    ndn.NewFIB(),
+		pit:    ndn.NewPIT(),
+		cs:     ndn.NewCS(cfg.CSCapacity),
+		cfg:    cfg,
+		rng:    rng,
+		drops:  make(map[string]uint64),
+	}
+	return r, nil
+}
+
+var _ Node = (*RouterNode)(nil)
+
+// newRouterFilter builds a router's Bloom filter per the configured
+// sizing mode.
+func newRouterFilter(cfg RouterConfig) (*bloom.Filter, error) {
+	if cfg.BFDesignFPP > 0 {
+		return bloom.NewPaperWithDesign(cfg.BFCapacity, cfg.BFDesignFPP, cfg.BFMaxFPP)
+	}
+	return bloom.NewPaper(cfg.BFCapacity, cfg.BFMaxFPP)
+}
+
+// FIB exposes the router's FIB for route installation.
+func (r *RouterNode) FIB() *ndn.FIB { return r.fib }
+
+// Index returns the router's graph index.
+func (r *RouterNode) Index() int { return r.index }
+
+// Tactic exposes the TACTIC state for tests and metrics.
+func (r *RouterNode) Tactic() *core.Router { return r.tactic }
+
+// IsEdge reports the router's role.
+func (r *RouterNode) IsEdge() bool { return r.isEdge }
+
+// drop records a dropped packet by reason.
+func (r *RouterNode) drop(reason string) { r.drops[reason]++ }
+
+// charge runs fn, samples the computational delay for the Bloom-filter
+// and signature operations it performed, and serialises that work on the
+// router's CPU. The returned duration is the total wait from now until
+// this packet's processing completes (queueing behind earlier bursts
+// included).
+func (r *RouterNode) charge(fn func()) time.Duration {
+	bfBefore := r.tactic.Bloom().Stats()
+	vBefore := r.tactic.Validator().Verifications()
+	fn()
+	bfAfter := r.tactic.Bloom().Stats()
+	vAfter := r.tactic.Validator().Verifications()
+	work := r.net.SampleOps(r.rng,
+		bfAfter.Lookups-bfBefore.Lookups,
+		bfAfter.Insertions-bfBefore.Insertions,
+		vAfter-vBefore)
+	if work == 0 {
+		return r.cpuWait(0)
+	}
+	return r.cpuWait(work)
+}
+
+// cpuWait books work on the router CPU and returns the delay from now
+// until it finishes.
+func (r *RouterNode) cpuWait(work time.Duration) time.Duration {
+	now := r.net.Engine.Now()
+	start := now
+	if r.cpuBusyUntil.After(start) {
+		start = r.cpuBusyUntil
+	}
+	end := start.Add(work)
+	r.cpuBusyUntil = end
+	return end.Sub(now)
+}
+
+// maybeGCPIT lazily expires PIT entries every pitGCStride operations.
+func (r *RouterNode) maybeGCPIT() {
+	r.opCount++
+	if r.opCount%pitGCStride == 0 {
+		r.pit.ExpireBefore(r.net.Engine.Now())
+	}
+}
+
+// HandleInterest implements the router's Interest pipeline.
+func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
+	r.interests++
+	r.maybeGCPIT()
+	now := r.net.Engine.Now()
+	var proc time.Duration
+
+	if i.Kind == ndn.KindContent && r.isEdge && !r.cfg.DisableEnforcement && !r.cfg.Colluding &&
+		r.net.PeerKind(r.index, from) == topology.KindAccessPoint {
+		// Protocol 2 (On Interest) at the edge for client-side arrivals.
+		var dec core.EdgeInterestDecision
+		proc += r.charge(func() {
+			dec = r.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
+		})
+		if dec.Drop {
+			r.drop(reasonString(dec.Reason))
+			r.nacksSent++
+			if r.cfg.Traitor != nil && errors.Is(dec.Reason, core.ErrAccessPathMismatch) {
+				r.cfg.Traitor.Observe(i.Tag, i.AccessPath)
+			}
+			nack := &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason}
+			r.net.SendData(r.index, from, nack, proc)
+			return
+		}
+		i.Flag = dec.Flag
+	}
+
+	if i.Kind == ndn.KindContent {
+		if content, ok := r.cs.Lookup(i.Name); ok && r.servableFromCache(content) {
+			if r.cfg.DisableEnforcement {
+				d := &ndn.Data{Name: i.Name, Content: content, Tag: i.Tag, Flag: i.Flag}
+				r.net.SendData(r.index, from, d, proc)
+				return
+			}
+			// Content-router role: Protocol 3.
+			var dec core.ContentDecision
+			proc += r.charge(func() {
+				dec = r.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
+			})
+			if dec.NACK {
+				r.nacksSent++
+			}
+			d := &ndn.Data{
+				Name:       i.Name,
+				Content:    content,
+				Tag:        i.Tag,
+				Flag:       dec.Flag,
+				Nack:       dec.NACK,
+				NackReason: dec.Reason,
+			}
+			if d.Nack && r.cfg.DropContentOnNACK {
+				d.Content = nil
+			}
+			r.net.SendData(r.index, from, d, proc)
+			return
+		}
+	}
+
+	// PIT: duplicate suppression, then aggregate-or-create.
+	if entry, ok := r.pit.Lookup(i.Name); ok && entry.Expires.After(now) {
+		if entry.HasNonce(i.Nonce) {
+			r.drop("duplicate-nonce")
+			return
+		}
+		r.pit.Insert(i.Name, ndn.PITRecord{
+			Tag: i.Tag, Flag: i.Flag, InFace: from, Nonce: i.Nonce, Arrived: now,
+		}, now.Add(r.cfg.PITLifetime))
+		return
+	} else if ok {
+		// Stale entry: drop it and start fresh.
+		r.pit.Consume(i.Name)
+	}
+	r.pit.Insert(i.Name, ndn.PITRecord{
+		Tag: i.Tag, Flag: i.Flag, InFace: from, Nonce: i.Nonce, Arrived: now,
+	}, now.Add(r.cfg.PITLifetime))
+
+	face, ok := r.fib.Lookup(i.Name)
+	if !ok {
+		r.drop("no-route")
+		return
+	}
+	r.net.SendInterest(r.index, face, i, proc)
+}
+
+// HandleData implements the router's Data pipeline.
+func (r *RouterNode) HandleData(d *ndn.Data, from ndn.FaceID) {
+	r.dataSeen++
+	now := r.net.Engine.Now()
+
+	if d.Registration != nil {
+		r.handleRegistrationData(d)
+		return
+	}
+
+	if d.Content != nil && r.servableFromCache(d.Content) {
+		// Pervasive caching: every router on the reverse path caches
+		// (capacity 0 disables, as configured for edge routers).
+		r.cs.Insert(d.Content)
+	}
+
+	entry, ok := r.pit.Consume(d.Name)
+	if !ok {
+		r.drop("unsolicited-data")
+		return
+	}
+
+	primary := entry.Records[0]
+	if r.cfg.DisableEnforcement {
+		for _, rec := range entry.Records {
+			out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag}
+			r.net.SendData(r.index, rec.InFace, out, 0)
+		}
+		return
+	}
+	if r.isEdge {
+		r.edgeDeliver(d, primary, true, now)
+	} else {
+		// Protocol 4 lines 6-10: the primary requester receives the
+		// content as-is, NACK included.
+		out := &ndn.Data{
+			Name: d.Name, Content: d.Content, Tag: primary.Tag,
+			Flag: d.Flag, Nack: d.Nack, NackReason: d.NackReason,
+		}
+		r.net.SendData(r.index, primary.InFace, out, 0)
+	}
+
+	// Aggregated records: validate per tag (Protocol 2 lines 22-23 at
+	// the edge, Protocol 4 lines 11-26 at core routers).
+	for _, rec := range entry.Records[1:] {
+		if d.Content == nil {
+			// Pure NACK (DropOnNACK ablation upstream): nothing can be
+			// delivered; propagate the NACK.
+			if !r.isEdge {
+				out := &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason}
+				r.net.SendData(r.index, rec.InFace, out, 0)
+			} else {
+				r.drop("edge-nack-drop")
+			}
+			continue
+		}
+		if r.isEdge {
+			r.edgeDeliver(d, rec, false, now)
+			continue
+		}
+		if rec.Tag == nil {
+			if publicContent(d) {
+				out := &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag}
+				r.net.SendData(r.index, rec.InFace, out, 0)
+			} else {
+				r.nacksSent++
+				out := &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag}
+				r.net.SendData(r.index, rec.InFace, out, 0)
+			}
+			continue
+		}
+		var dec core.AggregateDecision
+		proc := r.charge(func() {
+			dec = r.tactic.IntermediateOnAggregatedContent(rec.Tag, d.Content.Meta, rec.Flag, now)
+		})
+		if dec.NACK {
+			r.nacksSent++
+		}
+		out := &ndn.Data{
+			Name: d.Name, Content: d.Content, Tag: rec.Tag,
+			Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+		}
+		r.net.SendData(r.index, rec.InFace, out, proc)
+	}
+}
+
+// servableFromCache reports whether this router may cache/serve the
+// content (ProviderAuthAC forbids caching private content).
+func (r *RouterNode) servableFromCache(c *core.Content) bool {
+	if !r.cfg.NoPrivateCache {
+		return true
+	}
+	return c.Meta.Level == core.Public
+}
+
+// publicContent reports whether the data carries Public-level content.
+func publicContent(d *ndn.Data) bool {
+	return d.Content != nil && d.Content.Meta.Level == core.Public
+}
+
+// edgeDeliver applies Protocol 2's On-Content logic for one PIT record
+// and forwards (or drops) the content toward the client.
+func (r *RouterNode) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time) {
+	if rec.Tag == nil {
+		// Tagless requester: deliverable only for Public content.
+		if publicContent(d) && !d.Nack {
+			out := &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag}
+			r.net.SendData(r.index, rec.InFace, out, 0)
+		} else {
+			r.drop("tagless-private")
+		}
+		return
+	}
+	var deliver bool
+	var proc time.Duration
+	if r.cfg.Colluding {
+		// Threat (f): deliver regardless of the upstream verdict.
+		if d.Content != nil {
+			out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag}
+			r.net.SendData(r.index, rec.InFace, out, 0)
+		}
+		return
+	}
+	if isPrimary {
+		proc = r.charge(func() { deliver = r.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack) })
+	} else {
+		// An aggregated record's validity is independent of the primary
+		// tag's NACK: the content rides along with NACKs precisely so
+		// that valid aggregated requests can still be satisfied.
+		proc = r.charge(func() { deliver = r.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now) })
+	}
+	if !deliver {
+		r.drop("edge-nack-drop")
+		return
+	}
+	out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag}
+	r.net.SendData(r.index, rec.InFace, out, proc)
+}
+
+// handleRegistrationData forwards a registration response along the
+// reverse path, inserting the fresh tag into the edge Bloom filter
+// (Protocol 2 lines 11-12).
+func (r *RouterNode) handleRegistrationData(d *ndn.Data) {
+	var proc time.Duration
+	if r.isEdge && d.Registration.Tag != nil {
+		proc = r.charge(func() { r.tactic.EdgeOnTagResponse(d.Registration.Tag) })
+	}
+	entry, ok := r.pit.Consume(d.Name)
+	if !ok {
+		r.drop("unsolicited-registration")
+		return
+	}
+	for _, rec := range entry.Records {
+		r.net.SendData(r.index, rec.InFace, d, proc)
+	}
+}
+
+// Stats snapshots the router's counters.
+type RouterNodeStats struct {
+	// Ops are the Fig. 7 / Fig. 8 / Table V operation counters.
+	Ops metrics.RouterOps
+	// Interests and Data count packets processed.
+	Interests, Data uint64
+	// NACKsSent counts invalidity signals emitted.
+	NACKsSent uint64
+	// Drops tallies dropped packets by reason.
+	Drops map[string]uint64
+	// CSHits/CSMisses are content-store statistics.
+	CSHits, CSMisses uint64
+	// PITCreated/PITAggregated/PITExpired are PIT statistics.
+	PITCreated, PITAggregated, PITExpired uint64
+}
+
+// Stats returns a copy of the router's counters.
+func (r *RouterNode) Stats() RouterNodeStats {
+	bf := r.tactic.Bloom().Stats()
+	hits, misses, _ := r.cs.Stats()
+	created, aggregated, expired := r.pit.Stats()
+	drops := make(map[string]uint64, len(r.drops))
+	for k, v := range r.drops {
+		drops[k] = v
+	}
+	return RouterNodeStats{
+		Ops: metrics.RouterOps{
+			Lookups:         bf.Lookups,
+			Insertions:      bf.Insertions,
+			Verifications:   r.tactic.Validator().Verifications(),
+			Resets:          bf.Resets,
+			ResetThresholds: r.tactic.Bloom().ResetThresholds(),
+		},
+		Interests:  r.interests,
+		Data:       r.dataSeen,
+		NACKsSent:  r.nacksSent,
+		Drops:      drops,
+		CSHits:     hits,
+		CSMisses:   misses,
+		PITCreated: created, PITAggregated: aggregated, PITExpired: expired,
+	}
+}
+
+// reasonString maps a drop reason to a stable metric key.
+func reasonString(err error) string {
+	if err == nil {
+		return "unknown"
+	}
+	switch {
+	case errors.Is(err, core.ErrAccessPathMismatch):
+		return "access-path-mismatch"
+	case errors.Is(err, core.ErrTagExpired):
+		return "tag-expired"
+	case errors.Is(err, core.ErrPrefixMismatch):
+		return "prefix-mismatch"
+	case errors.Is(err, core.ErrTagForged):
+		return "tag-forged"
+	case errors.Is(err, core.ErrInsufficientLevel):
+		return "insufficient-level"
+	case errors.Is(err, core.ErrProviderKeyMismatch):
+		return "provider-key-mismatch"
+	case errors.Is(err, core.ErrNoTag):
+		return "no-tag"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,101 @@
+package pki
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// Certificate binds a public key to a key-locator name, signed by an
+// issuer. The paper assumes "the existence of a public key
+// infrastructure (PKI) by which routers store the providers' public keys
+// and certificates" (§3.B); this is the minimal chain model that
+// satisfies that assumption: a root trust anchor issues provider
+// certificates, and routers install provider keys only through verified
+// certificates.
+type Certificate struct {
+	// Subject is the key locator the certificate binds.
+	Subject names.Name
+	// Key is the bound public key.
+	Key PublicKey
+	// Issuer is the key locator of the signing authority.
+	Issuer names.Name
+	// NotAfter is the expiry instant.
+	NotAfter time.Time
+	// Signature covers SigningBytes, produced by the issuer.
+	Signature []byte
+}
+
+// Errors returned by certificate handling.
+var (
+	// ErrCertExpired is returned for certificates past NotAfter.
+	ErrCertExpired = errors.New("pki: certificate expired")
+	// ErrUntrustedIssuer is returned when the issuer key is not in the
+	// registry.
+	ErrUntrustedIssuer = errors.New("pki: untrusted issuer")
+)
+
+// SigningBytes returns the canonical byte string a certificate signature
+// covers: subject, issuer, expiry, and the key fingerprint.
+func (c *Certificate) SigningBytes() []byte {
+	subj := c.Subject.String()
+	iss := c.Issuer.String()
+	fp := c.Key.Fingerprint()
+	buf := make([]byte, 0, 4+len(subj)+4+len(iss)+8+len(fp))
+	buf = appendLenPrefixed(buf, []byte(subj))
+	buf = appendLenPrefixed(buf, []byte(iss))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.NotAfter.UnixNano()))
+	buf = append(buf, fp[:]...)
+	return buf
+}
+
+func appendLenPrefixed(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// IssueCertificate creates a certificate for (subject, key) signed by
+// the issuer's signer.
+func IssueCertificate(issuer Signer, subject names.Name, key PublicKey, notAfter time.Time) (*Certificate, error) {
+	cert := &Certificate{
+		Subject:  subject,
+		Key:      key,
+		Issuer:   issuer.Locator(),
+		NotAfter: notAfter,
+	}
+	sig, err := issuer.Sign(cert.SigningBytes())
+	if err != nil {
+		return nil, fmt.Errorf("pki: issue certificate for %s: %w", subject, err)
+	}
+	cert.Signature = sig
+	return cert, nil
+}
+
+// VerifyCertificate checks the certificate chain against the registry:
+// the issuer key must already be registered (directly or via a prior
+// certificate) and the signature and expiry must be valid at `now`.
+func (r *Registry) VerifyCertificate(cert *Certificate, now time.Time) error {
+	if now.After(cert.NotAfter) {
+		return fmt.Errorf("%w: %s not after %s", ErrCertExpired, cert.Subject, cert.NotAfter)
+	}
+	issuerKey, err := r.Lookup(cert.Issuer)
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrUntrustedIssuer, cert.Issuer)
+	}
+	if err := issuerKey.Verify(cert.SigningBytes(), cert.Signature); err != nil {
+		return fmt.Errorf("pki: certificate for %s: %w", cert.Subject, err)
+	}
+	return nil
+}
+
+// InstallCertificate verifies the certificate and, on success, registers
+// its subject key so later signatures by the subject verify.
+func (r *Registry) InstallCertificate(cert *Certificate, now time.Time) error {
+	if err := r.VerifyCertificate(cert, now); err != nil {
+		return err
+	}
+	return r.Register(cert.Subject, cert.Key)
+}

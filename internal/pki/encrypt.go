@@ -1,0 +1,146 @@
+package pki
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Content encryption (paper §3.B and §6): "contents are encrypted by the
+// providers. One of the first packets requested by the client contains
+// the key that a client can decrypt using a provider given key."
+//
+// The provider encrypts each content object under a symmetric content
+// key (AES-256-GCM with the content name as associated data), and wraps
+// that content key to each authorized client with an ECIES-style
+// construction over X25519: an ephemeral Diffie-Hellman exchange whose
+// shared secret keys an AES-GCM wrap. Everything is stdlib.
+
+// ContentKeySize is the size of symmetric content keys.
+const ContentKeySize = 32
+
+// ErrCiphertextTooShort is returned for truncated ciphertexts.
+var ErrCiphertextTooShort = errors.New("pki: ciphertext too short")
+
+// EncryptContent encrypts plaintext under key with AES-256-GCM, binding
+// the ciphertext to the given name (as AAD) so a ciphertext cannot be
+// replayed under a different content name. rng supplies the nonce.
+func EncryptContent(rng io.Reader, key [ContentKeySize]byte, name string, plaintext []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, fmt.Errorf("pki: nonce: %w", err)
+	}
+	out := make([]byte, 0, len(nonce)+len(plaintext)+aead.Overhead())
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plaintext, []byte(name)), nil
+}
+
+// DecryptContent reverses EncryptContent.
+func DecryptContent(key [ContentKeySize]byte, name string, ciphertext []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrCiphertextTooShort
+	}
+	nonce, body := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plain, err := aead.Open(nil, nonce, body, []byte(name))
+	if err != nil {
+		return nil, fmt.Errorf("pki: decrypt content %q: %w", name, err)
+	}
+	return plain, nil
+}
+
+func newGCM(key [ContentKeySize]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("pki: aes: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("pki: gcm: %w", err)
+	}
+	return aead, nil
+}
+
+// GenerateKEMKeyPair creates an X25519 key pair used for wrapping
+// content keys to clients.
+func GenerateKEMKeyPair(rng io.Reader) (*ecdh.PrivateKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generate kem key: %w", err)
+	}
+	return priv, nil
+}
+
+// WrapContentKey encrypts a content key to the recipient's X25519 public
+// key: ephemeral ECDH, SHA-256 KDF, AES-GCM. Output layout:
+// ephemeralPub(32) || nonce || sealed key.
+func WrapContentKey(rng io.Reader, recipient *ecdh.PublicKey, key [ContentKeySize]byte) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("pki: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(recipient)
+	if err != nil {
+		return nil, fmt.Errorf("pki: ecdh: %w", err)
+	}
+	wrapKey := kdf(shared, eph.PublicKey().Bytes(), recipient.Bytes())
+	sealed, err := EncryptContent(rng, wrapKey, "keywrap", key[:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(eph.PublicKey().Bytes())+len(sealed))
+	out = append(out, eph.PublicKey().Bytes()...)
+	return append(out, sealed...), nil
+}
+
+// UnwrapContentKey reverses WrapContentKey with the recipient's private
+// key.
+func UnwrapContentKey(priv *ecdh.PrivateKey, wrapped []byte) ([ContentKeySize]byte, error) {
+	var key [ContentKeySize]byte
+	const ephLen = 32
+	if len(wrapped) < ephLen {
+		return key, ErrCiphertextTooShort
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(wrapped[:ephLen])
+	if err != nil {
+		return key, fmt.Errorf("pki: ephemeral public key: %w", err)
+	}
+	shared, err := priv.ECDH(ephPub)
+	if err != nil {
+		return key, fmt.Errorf("pki: ecdh: %w", err)
+	}
+	wrapKey := kdf(shared, ephPub.Bytes(), priv.PublicKey().Bytes())
+	plain, err := DecryptContent(wrapKey, "keywrap", wrapped[ephLen:])
+	if err != nil {
+		return key, err
+	}
+	if len(plain) != ContentKeySize {
+		return key, fmt.Errorf("pki: unwrapped key has %d bytes, want %d", len(plain), ContentKeySize)
+	}
+	copy(key[:], plain)
+	return key, nil
+}
+
+// kdf derives a wrap key from the ECDH shared secret and both public
+// values (a fixed-size, domain-separated SHA-256 construction).
+func kdf(shared, ephPub, recipientPub []byte) [ContentKeySize]byte {
+	h := sha256.New()
+	h.Write([]byte("tactic-ecies-v1")) //nolint:errcheck // hash writes never error
+	h.Write(shared)                    //nolint:errcheck
+	h.Write(ephPub)                    //nolint:errcheck
+	h.Write(recipientPub)              //nolint:errcheck
+	var out [ContentKeySize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

@@ -1,0 +1,135 @@
+package pki
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+func TestECDSAPrivateMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kp, err := GenerateECDSA(rng, names.MustParse("/prov0/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes, err := MarshalECDSAPrivate(kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalECDSAPrivate(pemBytes, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Locator().Equal(kp.Locator()) {
+		t.Errorf("locator = %v", back.Locator())
+	}
+	// The restored key signs; the original public half verifies.
+	msg := []byte("hello")
+	sig, err := back.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kp.Public().Verify(msg, sig); err != nil {
+		t.Errorf("restored key's signature rejected: %v", err)
+	}
+	if back.Public().Fingerprint() != kp.Public().Fingerprint() {
+		t.Error("fingerprint changed across marshal")
+	}
+}
+
+func TestPublicMarshalRoundTripECDSA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kp, err := GenerateECDSA(rng, names.MustParse("/prov1/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes, err := MarshalPublic(kp.Locator(), kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	locator, pub, err := UnmarshalPublic(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !locator.Equal(kp.Locator()) {
+		t.Errorf("locator = %v", locator)
+	}
+	msg := []byte("m")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Errorf("unmarshalled public key rejects valid signature: %v", err)
+	}
+}
+
+func TestPublicMarshalRoundTripFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	kp, err := GenerateFast(rng, names.MustParse("/prov2/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes, err := MarshalPublic(kp.Locator(), kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	locator, pub, err := UnmarshalPublic(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !locator.Equal(kp.Locator()) {
+		t.Errorf("locator = %v", locator)
+	}
+	msg := []byte("m")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Errorf("unmarshalled sim key rejects valid signature: %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := UnmarshalPublic([]byte("not pem")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := UnmarshalECDSAPrivate([]byte("not pem"), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("garbage private accepted")
+	}
+	// Wrong block type.
+	rng := rand.New(rand.NewSource(5))
+	kp, err := GenerateECDSA(rng, names.MustParse("/p/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubPEM, err := MarshalPublic(kp.Locator(), kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalECDSAPrivate(pubPEM, rng); err == nil {
+		t.Error("public block parsed as private")
+	}
+}
+
+func TestNewECDSAPublicKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	kp, err := GenerateECDSA(rng, names.MustParse("/p/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := NewECDSAPublicKey(&kp.priv.PublicKey)
+	msg := []byte("x")
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped.Verify(msg, sig); err != nil {
+		t.Errorf("wrapped key rejects valid signature: %v", err)
+	}
+	if FingerprintHex(wrapped) == "" || len(FingerprintHex(wrapped)) != 16 {
+		t.Errorf("fingerprint hex = %q", FingerprintHex(wrapped))
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// NormalDelay is a normally-distributed computational delay, sampled per
+// operation and clamped at zero. The paper (§8.B) benchmarked each
+// operation on real hardware and injected the measured distribution into
+// the simulator; this type is that mechanism.
+type NormalDelay struct {
+	// Mean is the distribution mean.
+	Mean time.Duration
+	// Std is the distribution standard deviation.
+	Std time.Duration
+}
+
+// Sample draws one delay.
+func (n NormalDelay) Sample(rng *rand.Rand) time.Duration {
+	d := time.Duration(rng.NormFloat64()*float64(n.Std)) + n.Mean
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// OpDelays holds the per-operation delay models routers charge for
+// TACTIC's three computational events.
+type OpDelays struct {
+	// BFLookup is one Bloom-filter membership test.
+	BFLookup NormalDelay
+	// BFInsert is one Bloom-filter insertion.
+	BFInsert NormalDelay
+	// SigVerify is one tag signature verification.
+	SigVerify NormalDelay
+}
+
+// PaperDelays returns the means the paper measured on its Core-i7
+// 2.93 GHz machine: BF lookup ~N(9.14e-7, ·), BF insertion
+// ~N(3.35e-7, ·), signature verification ~N(1.12e-5, ·) seconds.
+//
+// The paper prints second parameters (6.51e-9, 1.73e-3, 6.49e-3) that
+// cannot all be standard deviations — 1.73e-3 s would exceed its mean by
+// four orders of magnitude and produce mostly-negative samples. We keep
+// the first value (a plausible σ for the lookup) and substitute σ = µ/10
+// where the printed value is inconsistent; DESIGN.md records this
+// substitution. CalibrateDelays measures the real operations on the
+// current machine instead, which is the paper's own methodology.
+func PaperDelays() OpDelays {
+	return OpDelays{
+		BFLookup:  NormalDelay{Mean: 914 * time.Nanosecond, Std: 7 * time.Nanosecond},
+		BFInsert:  NormalDelay{Mean: 335 * time.Nanosecond, Std: 34 * time.Nanosecond},
+		SigVerify: NormalDelay{Mean: 11200 * time.Nanosecond, Std: 1120 * time.Nanosecond},
+	}
+}
+
+// PaperLiteralDelays returns the paper's §8.B parameters read as the
+// standard N(µ, σ²) notation: BF lookup ~N(9.14e-7, 6.51e-9), BF
+// insertion ~N(3.35e-7, 1.73e-3), signature verification
+// ~N(1.12e-5, 6.49e-3) seconds — i.e. σ of ~81 µs, ~41.6 ms, and
+// ~80.6 ms respectively, sampled and clamped at zero (≈ half-normal, so
+// the average injected verification costs ~32 ms). This is the only
+// reading under which the paper's 50-350 ms Fig. 5 latencies and their
+// strong dependence on Bloom-filter reset frequency are reproducible;
+// as *measured* standard deviations the values would be physically
+// implausible (σ four orders of magnitude above µ). PaperDelays is the
+// sanitised alternative used by default.
+func PaperLiteralDelays() OpDelays {
+	return OpDelays{
+		BFLookup:  NormalDelay{Mean: 914 * time.Nanosecond, Std: sqrtDuration(6.51e-9)},
+		BFInsert:  NormalDelay{Mean: 335 * time.Nanosecond, Std: sqrtDuration(1.73e-3)},
+		SigVerify: NormalDelay{Mean: 11200 * time.Nanosecond, Std: sqrtDuration(6.49e-3)},
+	}
+}
+
+// sqrtDuration converts a variance in seconds² to a σ duration.
+func sqrtDuration(varianceSec float64) time.Duration {
+	return time.Duration(math.Sqrt(varianceSec) * float64(time.Second))
+}
+
+// FitNormal estimates a NormalDelay from observed samples.
+func FitNormal(samples []time.Duration) NormalDelay {
+	if len(samples) == 0 {
+		return NormalDelay{}
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(samples))
+	var varSum float64
+	for _, s := range samples {
+		d := float64(s) - mean
+		varSum += d * d
+	}
+	std := 0.0
+	if len(samples) > 1 {
+		std = math.Sqrt(varSum / float64(len(samples)-1))
+	}
+	return NormalDelay{Mean: time.Duration(mean), Std: time.Duration(std)}
+}
+
+// TrimOutliers returns samples with the top and bottom fraction removed,
+// stabilising calibration against scheduler noise.
+func TrimOutliers(samples []time.Duration, fraction float64) []time.Duration {
+	if fraction <= 0 || len(samples) < 10 {
+		out := make([]time.Duration, len(samples))
+		copy(out, samples)
+		return out
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	cut := int(float64(len(sorted)) * fraction)
+	return sorted[cut : len(sorted)-cut]
+}

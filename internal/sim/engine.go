@@ -1,0 +1,135 @@
+// Package sim is a deterministic discrete-event simulation engine: a
+// virtual clock, an event heap, seeded randomness streams, a link model
+// with transmission serialisation, and the computational delay models
+// the paper injects for Bloom-filter and signature operations (ndnSIM
+// "does not take the time of the computational operations into account",
+// §8.B — neither does a bare event loop, so measured costs are injected
+// as normally-distributed delays, exactly as the authors did).
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Epoch is the canonical virtual start time of every simulation.
+var Epoch = time.Unix(0, 0).UTC()
+
+// Engine is a single-threaded discrete-event scheduler. It is
+// deliberately not concurrency-safe: determinism comes from a single
+// totally-ordered event stream.
+type Engine struct {
+	now       time.Time
+	events    eventHeap
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine creates an engine with the clock at Epoch.
+func NewEngine() *Engine {
+	return &Engine{now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Elapsed returns the virtual time since Epoch.
+func (e *Engine) Elapsed() time.Duration { return e.now.Sub(Epoch) }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule enqueues fn to run after delay. Negative delays are clamped
+// to zero (run at the current instant, after already-queued events for
+// that instant).
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now.Add(delay), fn)
+}
+
+// ScheduleAt enqueues fn at an absolute virtual time. Times before the
+// current clock are clamped to now.
+func (e *Engine) ScheduleAt(at time.Time, fn func()) {
+	if at.Before(e.now) {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Step executes the earliest pending event, advancing the clock to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes every event scheduled at or before deadline, then
+// advances the clock to the deadline.
+func (e *Engine) RunUntil(deadline time.Time) {
+	for !e.stopped && len(e.events) > 0 && !e.events[0].at.After(deadline) {
+		e.Step()
+	}
+	if !e.stopped && e.now.Before(deadline) {
+		e.now = deadline
+	}
+}
+
+// RunFor is RunUntil(now + d).
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now.Add(d))
+}
+
+// Run drains the event queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Stop halts processing: Step and RunUntil become no-ops. Useful for
+// fail-fast assertions inside event handlers.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// event is one scheduled callback; seq breaks ties FIFO.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

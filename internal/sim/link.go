@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LinkSpec describes a point-to-point link's characteristics.
+type LinkSpec struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BandwidthBps is the capacity in bits per second.
+	BandwidthBps int64
+	// LossProb is the independent per-packet loss probability. The paper
+	// attributes clients' sub-100% delivery to "a minimal amount of
+	// network packet losses".
+	LossProb float64
+}
+
+// Paper link parameters (§8.A): 500 Mbps / 1 ms core links and
+// 10 Mbps / 2 ms edge links.
+var (
+	CoreLinkSpec = LinkSpec{Latency: time.Millisecond, BandwidthBps: 500_000_000}
+	EdgeLinkSpec = LinkSpec{Latency: 2 * time.Millisecond, BandwidthBps: 10_000_000}
+)
+
+// Link is one direction of a point-to-point link. It serialises
+// transmissions: a packet must wait for the previous packet to finish
+// transmitting, which models queueing at the 10 Mbps edge.
+type Link struct {
+	spec      LinkSpec
+	busyUntil time.Time
+	sent      uint64
+	lost      uint64
+	bytesSent uint64
+}
+
+// NewLink creates a link with the given spec.
+func NewLink(spec LinkSpec) *Link {
+	return &Link{spec: spec}
+}
+
+// Spec returns the link characteristics.
+func (l *Link) Spec() LinkSpec { return l.spec }
+
+// TransmissionTime returns the serialisation delay for a packet of the
+// given size.
+func (l *Link) TransmissionTime(bytes int) time.Duration {
+	if l.spec.BandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes*8) / float64(l.spec.BandwidthBps) * float64(time.Second))
+}
+
+// Send schedules a packet onto the link at virtual time now and returns
+// its arrival time at the far end, accounting for queueing behind
+// earlier packets, transmission time, and propagation latency. The
+// second result is false when the packet is lost.
+func (l *Link) Send(now time.Time, bytes int, rng *rand.Rand) (time.Time, bool) {
+	l.sent++
+	l.bytesSent += uint64(bytes)
+	if l.spec.LossProb > 0 && rng.Float64() < l.spec.LossProb {
+		l.lost++
+		return time.Time{}, false
+	}
+	start := now
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	txEnd := start.Add(l.TransmissionTime(bytes))
+	l.busyUntil = txEnd
+	return txEnd.Add(l.spec.Latency), true
+}
+
+// Stats returns packets sent, packets lost, and bytes offered.
+func (l *Link) Stats() (sent, lost, bytes uint64) {
+	return l.sent, l.lost, l.bytesSent
+}

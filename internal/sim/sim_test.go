@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v", order)
+	}
+	if e.Elapsed() != 3*time.Second {
+		t.Errorf("elapsed = %v", e.Elapsed())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("processed = %d", e.Processed())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Second, func() {
+		fired = append(fired, e.Elapsed())
+		e.Schedule(time.Second, func() {
+			fired = append(fired, e.Elapsed())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	e.RunUntil(Epoch.Add(5 * time.Second))
+	if count != 5 {
+		t.Errorf("events before deadline = %d, want 5", count)
+	}
+	if e.Now() != Epoch.Add(5*time.Second) {
+		t.Errorf("clock = %v", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.RunFor(5 * time.Second)
+	if count != 10 {
+		t.Errorf("all events = %d", count)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(time.Second)
+	ran := false
+	e.Schedule(-time.Hour, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Error("negative-delay event never ran")
+	}
+	if e.Elapsed() != time.Second {
+		t.Error("negative delay moved the clock backwards")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(time.Second, func() { count++; e.Stop() })
+	e.Schedule(2*time.Second, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Errorf("events after Stop = %d, want 1", count)
+	}
+}
+
+func TestPropertyEngineMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Epoch
+		ok := true
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				if e.Now().Before(last) {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamsDeterministicAndIndependent(t *testing.T) {
+	s1 := NewStreams(42)
+	s2 := NewStreams(42)
+	a := s1.Stream("client-0")
+	b := s2.Stream("client-0")
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed + name should give identical streams")
+		}
+	}
+	c := NewStreams(42).Stream("client-1")
+	d := NewStreams(43).Stream("client-0")
+	if c.Uint64() == NewStreams(42).Stream("client-0").Uint64() && d.Uint64() == NewStreams(42).Stream("client-0").Uint64() {
+		t.Error("different names/seeds should give different streams")
+	}
+}
+
+func TestLinkTransmission(t *testing.T) {
+	l := NewLink(LinkSpec{Latency: time.Millisecond, BandwidthBps: 8000}) // 1 KB/s
+	rng := rand.New(rand.NewSource(1))
+	arr, ok := l.Send(Epoch, 1000, rng) // 1 s transmission
+	if !ok {
+		t.Fatal("lossless link dropped a packet")
+	}
+	want := Epoch.Add(time.Second + time.Millisecond)
+	if !arr.Equal(want) {
+		t.Errorf("arrival = %v, want %v", arr, want)
+	}
+	// Second packet queues behind the first.
+	arr2, _ := l.Send(Epoch, 1000, rng)
+	want2 := Epoch.Add(2*time.Second + time.Millisecond)
+	if !arr2.Equal(want2) {
+		t.Errorf("queued arrival = %v, want %v", arr2, want2)
+	}
+	sent, lost, bytes := l.Stats()
+	if sent != 2 || lost != 0 || bytes != 2000 {
+		t.Errorf("stats = %d %d %d", sent, lost, bytes)
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	l := NewLink(LinkSpec{Latency: time.Millisecond, BandwidthBps: 1e9, LossProb: 0.5})
+	rng := rand.New(rand.NewSource(2))
+	losses := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, ok := l.Send(Epoch, 100, rng); !ok {
+			losses++
+		}
+	}
+	rate := float64(losses) / n
+	if rate < 0.45 || rate > 0.55 {
+		t.Errorf("loss rate = %.3f, want ~0.5", rate)
+	}
+}
+
+func TestLinkZeroBandwidth(t *testing.T) {
+	l := NewLink(LinkSpec{Latency: time.Millisecond})
+	if l.TransmissionTime(1000) != 0 {
+		t.Error("zero-bandwidth link should have no serialisation delay")
+	}
+}
+
+func TestPaperLinkSpecs(t *testing.T) {
+	// A 1 KB packet on the 10 Mbps edge takes 0.8 ms to serialise.
+	l := NewLink(EdgeLinkSpec)
+	if got := l.TransmissionTime(1000); got != 800*time.Microsecond {
+		t.Errorf("edge tx time = %v", got)
+	}
+	c := NewLink(CoreLinkSpec)
+	if got := c.TransmissionTime(1000); got != 16*time.Microsecond {
+		t.Errorf("core tx time = %v", got)
+	}
+}
+
+func TestNormalDelaySample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := NormalDelay{Mean: time.Microsecond, Std: 100 * time.Nanosecond}
+	var sum time.Duration
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		d := n.Sample(rng)
+		if d < 0 {
+			t.Fatal("negative delay sampled")
+		}
+		sum += d
+	}
+	mean := sum / samples
+	if mean < 900*time.Nanosecond || mean > 1100*time.Nanosecond {
+		t.Errorf("sample mean = %v, want ~1µs", mean)
+	}
+}
+
+func TestPaperDelaysOrdering(t *testing.T) {
+	// The paper's central cost claim: signature verification is an order
+	// of magnitude costlier than BF operations.
+	d := PaperDelays()
+	if d.SigVerify.Mean < 10*d.BFLookup.Mean {
+		t.Errorf("sig verify (%v) should dwarf BF lookup (%v)", d.SigVerify.Mean, d.BFLookup.Mean)
+	}
+	if d.SigVerify.Mean < 10*d.BFInsert.Mean {
+		t.Errorf("sig verify (%v) should dwarf BF insert (%v)", d.SigVerify.Mean, d.BFInsert.Mean)
+	}
+}
+
+func TestFitNormal(t *testing.T) {
+	if (FitNormal(nil) != NormalDelay{}) {
+		t.Error("empty fit should be zero")
+	}
+	samples := []time.Duration{10, 20, 30, 40, 50}
+	fit := FitNormal(samples)
+	if fit.Mean != 30 {
+		t.Errorf("mean = %v", fit.Mean)
+	}
+	if fit.Std < 14 || fit.Std > 17 { // sample std of 10..50 is ~15.8
+		t.Errorf("std = %v", fit.Std)
+	}
+}
+
+func TestTrimOutliers(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i)
+	}
+	trimmed := TrimOutliers(samples, 0.1)
+	if len(trimmed) != 80 {
+		t.Errorf("trimmed length = %d", len(trimmed))
+	}
+	for _, s := range trimmed {
+		if s < 10 || s >= 90 {
+			t.Errorf("outlier %v survived trim", s)
+		}
+	}
+	// Small inputs pass through untouched.
+	small := []time.Duration{1, 2, 3}
+	if got := TrimOutliers(small, 0.1); len(got) != 3 {
+		t.Errorf("small trim = %v", got)
+	}
+}
+
+func TestCalibrateDelays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration timing in -short mode")
+	}
+	d, err := CalibrateDelays(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BFLookup.Mean <= 0 || d.BFInsert.Mean <= 0 || d.SigVerify.Mean <= 0 {
+		t.Errorf("calibrated means must be positive: %+v", d)
+	}
+	// The paper's shape: verification is much costlier than BF ops.
+	if d.SigVerify.Mean < 5*d.BFLookup.Mean {
+		t.Errorf("calibrated sig verify (%v) should dwarf BF lookup (%v)", d.SigVerify.Mean, d.BFLookup.Mean)
+	}
+}

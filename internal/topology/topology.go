@@ -1,0 +1,313 @@
+// Package topology generates the scale-free ISP topologies the paper
+// evaluates on (§8.A): a Barabási–Albert core of routers, designated
+// edge routers, wireless access points, and the clients, attackers, and
+// providers of Table III, connected with the paper's link parameters
+// (500 Mbps / 1 ms core links, 10 Mbps / 2 ms edge links).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/tactic-icn/tactic/internal/sim"
+)
+
+// Kind classifies a topology node.
+type Kind int
+
+// Node kinds. The router split follows the paper's system model (§3.A):
+// core routers R_C, edge routers R_E, wireless access points, end users
+// (legitimate clients and attackers), and content providers P.
+const (
+	KindCoreRouter Kind = iota + 1
+	KindEdgeRouter
+	KindAccessPoint
+	KindClient
+	KindAttacker
+	KindProvider
+)
+
+// String returns a short label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCoreRouter:
+		return "core"
+	case KindEdgeRouter:
+		return "edge"
+	case KindAccessPoint:
+		return "ap"
+	case KindClient:
+		return "client"
+	case KindAttacker:
+		return "attacker"
+	case KindProvider:
+		return "provider"
+	default:
+		return "unknown"
+	}
+}
+
+// Node is one topology vertex.
+type Node struct {
+	// Index is the node's position in Graph.Nodes.
+	Index int
+	// ID is a unique, human-readable identity; it doubles as the
+	// access-path entity identity.
+	ID string
+	// Kind classifies the node.
+	Kind Kind
+}
+
+// Edge is an undirected link between two nodes.
+type Edge struct {
+	// A and B are node indices.
+	A, B int
+	// Spec carries the link's bandwidth/latency/loss parameters.
+	Spec sim.LinkSpec
+}
+
+// Neighbor is one adjacency: the peer node and the connecting edge.
+type Neighbor struct {
+	// Node is the peer's index.
+	Node int
+	// Edge is the index into Graph.Edges.
+	Edge int
+}
+
+// Graph is an undirected network topology.
+type Graph struct {
+	// Nodes lists every vertex.
+	Nodes []Node
+	// Edges lists every link.
+	Edges []Edge
+	// Adj is the adjacency list per node.
+	Adj [][]Neighbor
+}
+
+// addNode appends a node and returns its index.
+func (g *Graph) addNode(kind Kind, id string) int {
+	idx := len(g.Nodes)
+	g.Nodes = append(g.Nodes, Node{Index: idx, ID: id, Kind: kind})
+	g.Adj = append(g.Adj, nil)
+	return idx
+}
+
+// addEdge connects two nodes.
+func (g *Graph) addEdge(a, b int, spec sim.LinkSpec) {
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{A: a, B: b, Spec: spec})
+	g.Adj[a] = append(g.Adj[a], Neighbor{Node: b, Edge: idx})
+	g.Adj[b] = append(g.Adj[b], Neighbor{Node: a, Edge: idx})
+}
+
+// OfKind returns the indices of all nodes of a kind, in creation order.
+func (g *Graph) OfKind(kind Kind) []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Kind == kind {
+			out = append(out, n.Index)
+		}
+	}
+	return out
+}
+
+// Degree returns a node's degree.
+func (g *Graph) Degree(node int) int { return len(g.Adj[node]) }
+
+// BFSFrom computes a shortest-path (hop-count) tree rooted at src,
+// returning parent indices (-1 for src and unreachable nodes).
+func (g *Graph) BFSFrom(src int) []int {
+	parent := make([]int, len(g.Nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, len(g.Nodes))
+	visited[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Adj[cur] {
+			if !visited[nb.Node] {
+				visited[nb.Node] = true
+				parent[nb.Node] = cur
+				queue = append(queue, nb.Node)
+			}
+		}
+	}
+	return parent
+}
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if len(g.Nodes) == 0 {
+		return true
+	}
+	parent := g.BFSFrom(0)
+	for i := range g.Nodes {
+		if i != 0 && parent[i] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// PathToRoot walks parent pointers from node to the BFS root, returning
+// the node sequence [node, ..., root].
+func PathToRoot(parent []int, node int) []int {
+	path := []int{node}
+	for parent[node] != -1 {
+		node = parent[node]
+		path = append(path, node)
+	}
+	return path
+}
+
+// Config parameterises topology generation.
+type Config struct {
+	// CoreRouters is |R_C|.
+	CoreRouters int
+	// EdgeRouters is |R_E|.
+	EdgeRouters int
+	// Providers is |P|; the paper uses 10 everywhere.
+	Providers int
+	// Clients is the number of legitimate clients.
+	Clients int
+	// Attackers is the number of unauthorized users.
+	Attackers int
+	// AttachDegree is the Barabási–Albert m parameter (edges added per
+	// new core router).
+	AttachDegree int
+	// Seed drives the generator.
+	Seed int64
+	// CoreLink and EdgeLink override the paper's link specs when
+	// non-zero.
+	CoreLink sim.LinkSpec
+	// EdgeLink is the wireless-edge link spec.
+	EdgeLink sim.LinkSpec
+}
+
+// ErrBadConfig is returned for nonsensical configurations.
+var ErrBadConfig = errors.New("topology: invalid config")
+
+// Generate builds a topology: a Barabási–Albert scale-free core, edge
+// routers attached to core routers, one wireless access point per edge
+// router, and clients/attackers spread across the access points.
+// Providers attach to random core routers.
+func Generate(cfg Config) (*Graph, error) {
+	if cfg.CoreRouters < 2 || cfg.EdgeRouters < 1 || cfg.Providers < 1 {
+		return nil, fmt.Errorf("%w: need >=2 core, >=1 edge, >=1 provider", ErrBadConfig)
+	}
+	if cfg.AttachDegree < 1 {
+		cfg.AttachDegree = 2
+	}
+	if cfg.CoreLink == (sim.LinkSpec{}) {
+		cfg.CoreLink = sim.CoreLinkSpec
+	}
+	if cfg.EdgeLink == (sim.LinkSpec{}) {
+		cfg.EdgeLink = sim.EdgeLinkSpec
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Graph{}
+
+	// Barabási–Albert core: start from a small clique, then attach each
+	// new router with AttachDegree edges chosen preferentially by
+	// degree (realised by sampling uniformly from the endpoint
+	// multiset).
+	m := cfg.AttachDegree
+	seedSize := m + 1
+	if seedSize > cfg.CoreRouters {
+		seedSize = cfg.CoreRouters
+	}
+	core := make([]int, 0, cfg.CoreRouters)
+	for i := 0; i < cfg.CoreRouters; i++ {
+		core = append(core, g.addNode(KindCoreRouter, "core-"+strconv.Itoa(i)))
+	}
+	var endpoints []int // degree-weighted sampling pool
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			g.addEdge(core[i], core[j], cfg.CoreLink)
+			endpoints = append(endpoints, core[i], core[j])
+		}
+	}
+	for i := seedSize; i < cfg.CoreRouters; i++ {
+		seen := make(map[int]bool, m)
+		chosen := make([]int, 0, m)
+		for len(chosen) < m && len(chosen) < i {
+			target := endpoints[rng.Intn(len(endpoints))]
+			if target != core[i] && !seen[target] {
+				seen[target] = true
+				chosen = append(chosen, target)
+			}
+		}
+		for _, target := range chosen {
+			g.addEdge(core[i], target, cfg.CoreLink)
+			endpoints = append(endpoints, core[i], target)
+		}
+	}
+
+	// Edge routers: each attaches to a preferentially-chosen core
+	// router (popular cores aggregate more edges, as in real ISPs).
+	edges := make([]int, 0, cfg.EdgeRouters)
+	for i := 0; i < cfg.EdgeRouters; i++ {
+		e := g.addNode(KindEdgeRouter, "edge-"+strconv.Itoa(i))
+		target := endpoints[rng.Intn(len(endpoints))]
+		g.addEdge(e, target, cfg.CoreLink)
+		edges = append(edges, e)
+	}
+
+	// One wireless access point per edge router.
+	aps := make([]int, 0, cfg.EdgeRouters)
+	for i, e := range edges {
+		ap := g.addNode(KindAccessPoint, "ap-"+strconv.Itoa(i))
+		g.addEdge(ap, e, cfg.EdgeLink)
+		aps = append(aps, ap)
+	}
+
+	// Clients and attackers spread across access points uniformly at
+	// random (the paper "randomly selected" the user split).
+	for i := 0; i < cfg.Clients; i++ {
+		c := g.addNode(KindClient, "client-"+strconv.Itoa(i))
+		g.addEdge(c, aps[rng.Intn(len(aps))], cfg.EdgeLink)
+	}
+	for i := 0; i < cfg.Attackers; i++ {
+		a := g.addNode(KindAttacker, "attacker-"+strconv.Itoa(i))
+		g.addEdge(a, aps[rng.Intn(len(aps))], cfg.EdgeLink)
+	}
+
+	// Providers attach to random core routers over core links.
+	for i := 0; i < cfg.Providers; i++ {
+		p := g.addNode(KindProvider, "prov"+strconv.Itoa(i))
+		g.addEdge(p, core[rng.Intn(len(core))], cfg.CoreLink)
+	}
+	return g, nil
+}
+
+// PaperConfig returns the Table III configuration for topology n (1-4).
+func PaperConfig(n int, seed int64) (Config, error) {
+	base := Config{Providers: 10, AttachDegree: 2, Seed: seed}
+	switch n {
+	case 1:
+		base.CoreRouters, base.EdgeRouters, base.Clients, base.Attackers = 80, 20, 35, 15
+	case 2:
+		base.CoreRouters, base.EdgeRouters, base.Clients, base.Attackers = 180, 20, 71, 29
+	case 3:
+		base.CoreRouters, base.EdgeRouters, base.Clients, base.Attackers = 370, 30, 143, 57
+	case 4:
+		base.CoreRouters, base.EdgeRouters, base.Clients, base.Attackers = 560, 40, 213, 87
+	default:
+		return Config{}, fmt.Errorf("%w: paper topology %d (want 1-4)", ErrBadConfig, n)
+	}
+	return base, nil
+}
+
+// Paper generates Table III topology n (1-4).
+func Paper(n int, seed int64) (*Graph, error) {
+	cfg, err := PaperConfig(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(cfg)
+}

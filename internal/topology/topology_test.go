@@ -1,0 +1,221 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tactic-icn/tactic/internal/sim"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := Config{CoreRouters: 30, EdgeRouters: 5, Providers: 3, Clients: 10, Attackers: 4, Seed: 1}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Kind]int{
+		KindCoreRouter:  30,
+		KindEdgeRouter:  5,
+		KindAccessPoint: 5,
+		KindClient:      10,
+		KindAttacker:    4,
+		KindProvider:    3,
+	}
+	for kind, want := range counts {
+		if got := len(g.OfKind(kind)); got != want {
+			t.Errorf("%v count = %d, want %d", kind, got, want)
+		}
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := Generate(Config{CoreRouters: 50, EdgeRouters: 8, Providers: 4, Clients: 20, Attackers: 6, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Errorf("seed %d: graph disconnected", seed)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{CoreRouters: 1, EdgeRouters: 1, Providers: 1}); err == nil {
+		t.Error("1 core router accepted")
+	}
+	if _, err := Generate(Config{CoreRouters: 5, EdgeRouters: 0, Providers: 1}); err == nil {
+		t.Error("0 edge routers accepted")
+	}
+	if _, err := Generate(Config{CoreRouters: 5, EdgeRouters: 1, Providers: 0}); err == nil {
+		t.Error("0 providers accepted")
+	}
+}
+
+func TestPaperTopologies(t *testing.T) {
+	wants := []struct {
+		n                              int
+		core, edge, clients, attackers int
+	}{
+		{1, 80, 20, 35, 15},
+		{2, 180, 20, 71, 29},
+		{3, 370, 30, 143, 57},
+		{4, 560, 40, 213, 87},
+	}
+	for _, w := range wants {
+		g, err := Paper(w.n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(g.OfKind(KindCoreRouter)); got != w.core {
+			t.Errorf("topo %d core = %d, want %d", w.n, got, w.core)
+		}
+		if got := len(g.OfKind(KindEdgeRouter)); got != w.edge {
+			t.Errorf("topo %d edge = %d, want %d", w.n, got, w.edge)
+		}
+		if got := len(g.OfKind(KindClient)); got != w.clients {
+			t.Errorf("topo %d clients = %d, want %d", w.n, got, w.clients)
+		}
+		if got := len(g.OfKind(KindAttacker)); got != w.attackers {
+			t.Errorf("topo %d attackers = %d, want %d", w.n, got, w.attackers)
+		}
+		if got := len(g.OfKind(KindProvider)); got != 10 {
+			t.Errorf("topo %d providers = %d, want 10", w.n, got)
+		}
+		if !g.Connected() {
+			t.Errorf("topo %d disconnected", w.n)
+		}
+	}
+	if _, err := Paper(5, 1); err == nil {
+		t.Error("paper topology 5 accepted")
+	}
+	if _, err := Paper(0, 1); err == nil {
+		t.Error("paper topology 0 accepted")
+	}
+}
+
+func TestScaleFreeShape(t *testing.T) {
+	// A BA graph should have a heavy-tailed degree distribution: a few
+	// well-connected hubs and many low-degree routers.
+	g, err := Generate(Config{CoreRouters: 300, EdgeRouters: 10, Providers: 2, Seed: 7, AttachDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := g.OfKind(KindCoreRouter)
+	maxDeg, sumDeg := 0, 0
+	for _, n := range core {
+		d := g.Degree(n)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sumDeg) / float64(len(core))
+	if float64(maxDeg) < 4*mean {
+		t.Errorf("max degree %d vs mean %.1f: no hubs, not scale-free-like", maxDeg, mean)
+	}
+}
+
+func TestLinkSpecsAssigned(t *testing.T) {
+	g, err := Generate(Config{CoreRouters: 20, EdgeRouters: 4, Providers: 2, Clients: 6, Attackers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		a, b := g.Nodes[e.A].Kind, g.Nodes[e.B].Kind
+		wireless := a == KindAccessPoint || b == KindAccessPoint ||
+			a == KindClient || b == KindClient || a == KindAttacker || b == KindAttacker
+		if wireless {
+			if e.Spec != sim.EdgeLinkSpec {
+				t.Fatalf("edge link %v-%v has spec %+v", a, b, e.Spec)
+			}
+		} else if e.Spec != sim.CoreLinkSpec {
+			t.Fatalf("core link %v-%v has spec %+v", a, b, e.Spec)
+		}
+	}
+}
+
+func TestBFSAndPathToRoot(t *testing.T) {
+	g, err := Generate(Config{CoreRouters: 40, EdgeRouters: 6, Providers: 2, Clients: 8, Attackers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := g.OfKind(KindProvider)[0]
+	parent := g.BFSFrom(prov)
+	for _, c := range g.OfKind(KindClient) {
+		path := PathToRoot(parent, c)
+		if path[0] != c || path[len(path)-1] != prov {
+			t.Fatalf("path endpoints wrong: %v", path)
+		}
+		// Consecutive path nodes must be adjacent.
+		for i := 0; i+1 < len(path); i++ {
+			adjacent := false
+			for _, nb := range g.Adj[path[i]] {
+				if nb.Node == path[i+1] {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				t.Fatalf("non-adjacent hop %d-%d", path[i], path[i+1])
+			}
+		}
+		// Client -> AP -> edge router prefix.
+		if g.Nodes[path[1]].Kind != KindAccessPoint {
+			t.Errorf("client's first hop is %v, want access point", g.Nodes[path[1]].Kind)
+		}
+		if g.Nodes[path[2]].Kind != KindEdgeRouter {
+			t.Errorf("client's second hop is %v, want edge router", g.Nodes[path[2]].Kind)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{CoreRouters: 30, EdgeRouters: 4, Providers: 2, Clients: 5, Attackers: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{CoreRouters: 30, EdgeRouters: 4, Providers: 2, Clients: 5, Attackers: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i].A != b.Edges[i].A || a.Edges[i].B != b.Edges[i].B {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindCoreRouter, KindEdgeRouter, KindAccessPoint, KindClient, KindAttacker, KindProvider, Kind(99)}
+	wants := []string{"core", "edge", "ap", "client", "attacker", "provider", "unknown"}
+	for i, k := range kinds {
+		if k.String() != wants[i] {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), wants[i])
+		}
+	}
+}
+
+func TestPropertyGeneratedGraphsConnected(t *testing.T) {
+	f := func(seed int64, coreRaw, edgeRaw uint8) bool {
+		cfg := Config{
+			CoreRouters: int(coreRaw%100) + 5,
+			EdgeRouters: int(edgeRaw%10) + 1,
+			Providers:   2,
+			Clients:     3,
+			Attackers:   1,
+			Seed:        seed,
+		}
+		g, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		return g.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package transport carries TACTIC's NDN packets over real byte-stream
+// connections (TCP, Unix sockets, net.Pipe): the deployable counterpart
+// of the simulator's instantaneous delivery. Frames are the TLV
+// encodings from internal/ndn, which are self-delimiting (type byte +
+// variable-length length + body), so no extra framing layer is needed.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/tactic-icn/tactic/internal/ndn"
+)
+
+// MaxPacketSize bounds a single packet (type + length + body); frames
+// announcing more are rejected before allocation.
+const MaxPacketSize = 1 << 20
+
+// Packet types on the wire (the TLV outer types).
+const (
+	typeInterest = 0x05
+	typeData     = 0x06
+)
+
+// Transport errors.
+var (
+	// ErrPacketTooLarge is returned for frames exceeding MaxPacketSize.
+	ErrPacketTooLarge = errors.New("transport: packet exceeds maximum size")
+	// ErrBadPacketType is returned for unknown outer TLV types.
+	ErrBadPacketType = errors.New("transport: unknown packet type")
+)
+
+// Packet is one received packet: exactly one of Interest or Data is
+// non-nil.
+type Packet struct {
+	// Interest is set for Interest frames.
+	Interest *ndn.Interest
+	// Data is set for Data frames.
+	Data *ndn.Data
+}
+
+// Conn frames NDN packets over a byte stream. Reads are single-reader;
+// writes are internally serialised and safe for concurrent use.
+type Conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+	mu sync.Mutex // guards w
+}
+
+// New wraps a net.Conn.
+func New(c net.Conn) *Conn {
+	return &Conn{
+		c: c,
+		r: bufio.NewReaderSize(c, 64<<10),
+		w: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// SendInterest writes one Interest frame.
+func (c *Conn) SendInterest(i *ndn.Interest) error {
+	frame, err := ndn.EncodeInterest(i)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(frame)
+}
+
+// SendData writes one Data frame.
+func (c *Conn) SendData(d *ndn.Data) error {
+	frame, err := ndn.EncodeData(d)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(frame)
+}
+
+// writeFrame writes and flushes one frame under the write lock.
+func (c *Conn) writeFrame(frame []byte) error {
+	if len(frame) > MaxPacketSize {
+		return ErrPacketTooLarge
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(frame); err != nil {
+		return fmt.Errorf("transport: write: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// Receive blocks for the next packet. io.EOF signals a clean close.
+func (c *Conn) Receive() (Packet, error) {
+	frame, typ, err := readFrame(c.r)
+	if err != nil {
+		return Packet{}, err
+	}
+	switch typ {
+	case typeInterest:
+		i, err := ndn.DecodeInterest(frame)
+		if err != nil {
+			return Packet{}, err
+		}
+		return Packet{Interest: i}, nil
+	case typeData:
+		d, err := ndn.DecodeData(frame)
+		if err != nil {
+			return Packet{}, err
+		}
+		return Packet{Data: d}, nil
+	default:
+		return Packet{}, fmt.Errorf("%w: %#x", ErrBadPacketType, typ)
+	}
+}
+
+// readFrame reads one complete TLV frame from the stream: the outer
+// type byte, the variable-length length, and the body.
+func readFrame(r *bufio.Reader) (frame []byte, typ byte, err error) {
+	typ, err = r.ReadByte()
+	if err != nil {
+		return nil, 0, err // io.EOF passes through for clean closes
+	}
+	first, err := r.ReadByte()
+	if err != nil {
+		return nil, 0, eofToUnexpected(err)
+	}
+	var length uint64
+	header := []byte{typ, first}
+	switch {
+	case first < 253:
+		length = uint64(first)
+	case first == 253:
+		var b [2]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, 0, eofToUnexpected(err)
+		}
+		length = uint64(binary.BigEndian.Uint16(b[:]))
+		header = append(header, b[:]...)
+	case first == 254:
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, 0, eofToUnexpected(err)
+		}
+		length = uint64(binary.BigEndian.Uint32(b[:]))
+		header = append(header, b[:]...)
+	default:
+		return nil, 0, fmt.Errorf("transport: unsupported length prefix %d", first)
+	}
+	if uint64(len(header))+length > MaxPacketSize {
+		return nil, 0, ErrPacketTooLarge
+	}
+	frame = make([]byte, len(header)+int(length))
+	copy(frame, header)
+	if _, err := io.ReadFull(r, frame[len(header):]); err != nil {
+		return nil, 0, eofToUnexpected(err)
+	}
+	return frame, typ, nil
+}
+
+// eofToUnexpected maps mid-frame EOFs to ErrUnexpectedEOF so callers can
+// distinguish clean closes (EOF before any byte) from truncation.
+func eofToUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+// pipePair builds two framed connections over net.Pipe.
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return New(a), New(b)
+}
+
+func testTag(t *testing.T) *core.Tag {
+	t.Helper()
+	signer, err := pki.GenerateFast(rand.New(rand.NewSource(1)), names.MustParse("/prov0/KEY/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := core.IssueTag(signer, names.MustParse("/u/alice/KEY/1"), 3, 7, time.Unix(1<<31, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+func TestInterestRoundTripOverPipe(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+
+	tag := testTag(t)
+	want := &ndn.Interest{
+		Name:       names.MustParse("/prov0/obj/c0"),
+		Kind:       ndn.KindContent,
+		Nonce:      42,
+		Tag:        tag,
+		Flag:       0.125,
+		AccessPath: 9,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- a.SendInterest(want) }()
+	pkt, err := b.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Interest == nil || pkt.Data != nil {
+		t.Fatal("wrong packet kind")
+	}
+	got := pkt.Interest
+	if !got.Name.Equal(want.Name) || got.Nonce != want.Nonce || got.Flag != want.Flag ||
+		got.AccessPath != want.AccessPath || got.Tag == nil {
+		t.Errorf("interest mismatch: %+v", got)
+	}
+}
+
+func TestDataRoundTripOverPipe(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+
+	want := &ndn.Data{
+		Name: names.MustParse("/prov0/obj/c0"),
+		Content: &core.Content{
+			Meta:      core.ContentMeta{Name: names.MustParse("/prov0/obj/c0"), Level: 2, ProviderKey: names.MustParse("/prov0/KEY/1")},
+			Payload:   []byte("the payload"),
+			Signature: []byte{1, 2, 3},
+		},
+		Nack: true,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- a.SendData(want) }()
+	pkt, err := b.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Data == nil {
+		t.Fatal("wrong packet kind")
+	}
+	if !pkt.Data.Nack || string(pkt.Data.Content.Payload) != "the payload" {
+		t.Errorf("data mismatch: %+v", pkt.Data)
+	}
+}
+
+func TestManyPacketsOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	const n = 200
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		c := New(conn)
+		defer c.Close()
+		for i := 0; i < n; i++ {
+			pkt, err := c.Receive()
+			if err != nil {
+				done <- err
+				return
+			}
+			if pkt.Interest == nil || pkt.Interest.Nonce != uint64(i) {
+				done <- errors.New("out-of-order or corrupt packet")
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(raw)
+	defer c.Close()
+	for i := 0; i < n; i++ {
+		if err := c.SendInterest(&ndn.Interest{
+			Name:  names.MustParse("/prov0/obj").MustAppend("c" + string(rune('0'+i%10))),
+			Kind:  ndn.KindContent,
+			Nonce: uint64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanCloseYieldsEOF(t *testing.T) {
+	a, b := pipePair()
+	go a.Close()
+	if _, err := b.Receive(); !errors.Is(err, io.EOF) {
+		t.Errorf("close err = %v, want EOF", err)
+	}
+	b.Close()
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	a, b := net.Pipe()
+	conn := New(b)
+	go func() {
+		// Announce a 100-byte Interest but deliver 3 bytes.
+		a.Write([]byte{0x05, 100, 1, 2, 3})
+		a.Close()
+	}()
+	if _, err := conn.Receive(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation err = %v, want ErrUnexpectedEOF", err)
+	}
+	conn.Close()
+}
+
+func TestOversizePacketRejected(t *testing.T) {
+	a, b := net.Pipe()
+	conn := New(b)
+	go func() {
+		// 254-prefixed 32-bit length far above the cap.
+		a.Write([]byte{0x06, 254, 0xFF, 0xFF, 0xFF, 0xFF})
+		a.Close()
+	}()
+	if _, err := conn.Receive(); !errors.Is(err, ErrPacketTooLarge) {
+		t.Errorf("oversize err = %v", err)
+	}
+	conn.Close()
+}
+
+func TestUnknownPacketType(t *testing.T) {
+	a, b := net.Pipe()
+	conn := New(b)
+	go func() {
+		a.Write([]byte{0x42, 1, 0})
+		a.Close()
+	}()
+	if _, err := conn.Receive(); !errors.Is(err, ErrBadPacketType) {
+		t.Errorf("unknown type err = %v", err)
+	}
+	conn.Close()
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+
+	const writers, per = 4, 25
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				if err := a.SendInterest(&ndn.Interest{
+					Name:  names.MustParse("/x/y"),
+					Kind:  ndn.KindContent,
+					Nonce: uint64(i),
+				}); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	got := 0
+	for got < writers*per {
+		pkt, err := b.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Interest == nil {
+			t.Fatal("frame interleaving corrupted a packet")
+		}
+		got++
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPropertyReceiveNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		a, b := net.Pipe()
+		conn := New(b)
+		go func() {
+			a.Write(data)
+			a.Close()
+		}()
+		for {
+			if _, err := conn.Receive(); err != nil {
+				break
+			}
+		}
+		conn.Close()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

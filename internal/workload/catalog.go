@@ -1,0 +1,134 @@
+// Package workload implements the paper's evaluation workload (§8.A):
+// producers publishing 50 objects of 50 chunks each, Zipf(α = 0.7)
+// content popularity, Zipf-window clients with a fixed outstanding
+// request window, and attacker implementations for every threat-model
+// scenario of §3.C.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// Object is one published content object (a sequence of chunks).
+type Object struct {
+	// Provider is the owning provider's ordinal.
+	Provider int
+	// Prefix is the provider's name prefix.
+	Prefix names.Name
+	// Name is the object name, e.g. /prov3/obj12.
+	Name names.Name
+	// Chunks is the number of chunks.
+	Chunks int
+	// Level is AL_D for every chunk of the object.
+	Level core.AccessLevel
+}
+
+// ChunkName returns the name of chunk k.
+func (o Object) ChunkName(k int) names.Name {
+	return o.Name.MustAppend("chunk" + strconv.Itoa(k))
+}
+
+// Catalog is the full content universe across providers.
+type Catalog struct {
+	// Objects lists every object, grouped by provider.
+	Objects []Object
+	// ChunkSize is the payload size per chunk in bytes.
+	ChunkSize int
+}
+
+// CatalogConfig parameterises catalog construction. The paper's setup is
+// 10 providers x 50 objects x 50 chunks.
+type CatalogConfig struct {
+	// Providers is the number of providers.
+	Providers int
+	// ObjectsPerProvider is the paper's 50.
+	ObjectsPerProvider int
+	// ChunksPerObject is the paper's 50.
+	ChunksPerObject int
+	// ChunkSize is the chunk payload size in bytes.
+	ChunkSize int
+	// Levels cycles access levels across objects; empty means all
+	// objects get level 2 (private).
+	Levels []core.AccessLevel
+}
+
+// BuildCatalog constructs the object universe.
+func BuildCatalog(cfg CatalogConfig) (*Catalog, error) {
+	if cfg.Providers <= 0 || cfg.ObjectsPerProvider <= 0 || cfg.ChunksPerObject <= 0 {
+		return nil, fmt.Errorf("workload: catalog dimensions must be positive: %+v", cfg)
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 1024
+	}
+	levels := cfg.Levels
+	if len(levels) == 0 {
+		levels = []core.AccessLevel{2}
+	}
+	objects := make([]Object, 0, cfg.Providers*cfg.ObjectsPerProvider)
+	for p := 0; p < cfg.Providers; p++ {
+		prefix := names.MustNew("prov" + strconv.Itoa(p))
+		for o := 0; o < cfg.ObjectsPerProvider; o++ {
+			objects = append(objects, Object{
+				Provider: p,
+				Prefix:   prefix,
+				Name:     prefix.MustAppend("obj" + strconv.Itoa(o)),
+				Chunks:   cfg.ChunksPerObject,
+				Level:    levels[(p*cfg.ObjectsPerProvider+o)%len(levels)],
+			})
+		}
+	}
+	return &Catalog{Objects: objects, ChunkSize: cfg.ChunkSize}, nil
+}
+
+// TotalChunks returns the catalog's total chunk count.
+func (c *Catalog) TotalChunks() int {
+	total := 0
+	for _, o := range c.Objects {
+		total += o.Chunks
+	}
+	return total
+}
+
+// Zipf samples object indices with P(rank i) proportional to 1/i^alpha.
+// The paper uses a static Zipf with alpha = 0.7 (citing Breslau et al.),
+// which math/rand's Zipf cannot express (it requires s > 1), so the CDF
+// is precomputed and sampled by binary search.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with the given exponent.
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs n > 0, got %d", n)
+	}
+	if alpha < 0 {
+		return nil, fmt.Errorf("workload: zipf alpha must be >= 0, got %g", alpha)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}, nil
+}
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+// TagSource decides what authentication material a consumer attaches to
+// its requests. One implementation per threat-model scenario (§3.C)
+// plus the honest client.
+type TagSource interface {
+	// Prepare returns the tag to attach for a request to the provider
+	// (nil for a tagless request) or, when a fresh tag must be obtained
+	// first, a registration request to send instead.
+	Prepare(providerPrefix names.Name, now time.Time) (tag *core.Tag, register *core.RegistrationRequest, err error)
+	// OnRegistration installs a registration response.
+	OnRegistration(providerPrefix names.Name, resp *core.RegistrationResponse) error
+}
+
+// HonestSource is the legitimate client behaviour: register on demand,
+// refresh on expiry, attach the valid tag.
+type HonestSource struct {
+	client *core.Client
+	ap     core.AccessPath
+}
+
+var _ TagSource = (*HonestSource)(nil)
+
+// NewHonestSource wraps a client whose location yields the given access
+// path.
+func NewHonestSource(client *core.Client, ap core.AccessPath) *HonestSource {
+	return &HonestSource{client: client, ap: ap}
+}
+
+// Client exposes the wrapped client (for tag Q/R statistics).
+func (h *HonestSource) Client() *core.Client { return h.client }
+
+// SetAccessPath updates the client's location after a move. Held tags
+// stop matching the new path, so TagFor returns nil and the client
+// re-registers — exactly the paper's mobility rule (§4.A: "a mobile
+// client needs to request a new tag every time she moves to a new
+// location").
+func (h *HonestSource) SetAccessPath(ap core.AccessPath) { h.ap = ap }
+
+// Prepare implements TagSource.
+func (h *HonestSource) Prepare(providerPrefix names.Name, now time.Time) (*core.Tag, *core.RegistrationRequest, error) {
+	if t := h.client.TagFor(providerPrefix, h.ap, now); t != nil {
+		return t, nil, nil
+	}
+	req, err := h.client.NewRegistrationRequest(h.ap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, &req, nil
+}
+
+// OnRegistration implements TagSource.
+func (h *HonestSource) OnRegistration(providerPrefix names.Name, resp *core.RegistrationResponse) error {
+	return h.client.StoreRegistration(providerPrefix, resp)
+}
+
+// NoTagSource is threat (a): requests private content without any tag.
+type NoTagSource struct{}
+
+var _ TagSource = NoTagSource{}
+
+// Prepare implements TagSource: always tagless.
+func (NoTagSource) Prepare(names.Name, time.Time) (*core.Tag, *core.RegistrationRequest, error) {
+	return nil, nil, nil
+}
+
+// OnRegistration implements TagSource.
+func (NoTagSource) OnRegistration(names.Name, *core.RegistrationResponse) error { return nil }
+
+// FakeTagSource is threat (b): forges tags that name the legitimate
+// provider's key locator but are signed by the attacker's own key (the
+// paper's §6 malicious-tag case). Forged tags are refreshed on "expiry"
+// so their bytes churn like legitimate tags; only Bloom-filter false
+// positives can make routers serve them.
+type FakeTagSource struct {
+	rng       *rand.Rand
+	ap        core.AccessPath
+	level     core.AccessLevel
+	ttl       time.Duration
+	keyByProv map[string]names.Name // provider prefix -> claimed key locator
+	forged    map[string]*core.Tag
+	clientKey names.Name
+}
+
+var _ TagSource = (*FakeTagSource)(nil)
+
+// NewFakeTagSource creates a forger. providerKeys maps each provider
+// prefix to the key locator the forged tags will claim; level and ap
+// mimic a plausible client.
+func NewFakeTagSource(rng *rand.Rand, clientKey names.Name, providerKeys map[string]names.Name, level core.AccessLevel, ap core.AccessPath, ttl time.Duration) *FakeTagSource {
+	return &FakeTagSource{
+		rng:       rng,
+		ap:        ap,
+		level:     level,
+		ttl:       ttl,
+		keyByProv: providerKeys,
+		forged:    make(map[string]*core.Tag),
+		clientKey: clientKey,
+	}
+}
+
+// Prepare implements TagSource.
+func (f *FakeTagSource) Prepare(providerPrefix names.Name, now time.Time) (*core.Tag, *core.RegistrationRequest, error) {
+	k := providerPrefix.Key()
+	if t, ok := f.forged[k]; ok && !t.Expired(now) {
+		return t, nil, nil
+	}
+	claimed, ok := f.keyByProv[k]
+	if !ok {
+		return nil, nil, fmt.Errorf("workload: no key locator known for %s", providerPrefix)
+	}
+	// A rogue signer whose locator *names* the legitimate provider key:
+	// the signature can never verify against the real key.
+	rogue, err := pki.GenerateFast(f.rng, claimed)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := core.IssueTag(rogue, f.clientKey, f.level, f.ap, now.Add(f.ttl))
+	if err != nil {
+		return nil, nil, err
+	}
+	f.forged[k] = t
+	return t, nil, nil
+}
+
+// OnRegistration implements TagSource (forgers never register).
+func (f *FakeTagSource) OnRegistration(names.Name, *core.RegistrationResponse) error { return nil }
+
+// ExpiredTagSource is threat (c): a once-legitimate client that keeps
+// using its tag after T_e — the revoked-client scenario under TACTIC's
+// time-based revocation. It registers exactly once per provider and
+// never refreshes.
+type ExpiredTagSource struct {
+	honest *HonestSource
+	stale  map[string]*core.Tag
+}
+
+var _ TagSource = (*ExpiredTagSource)(nil)
+
+// NewExpiredTagSource wraps an enrolled client.
+func NewExpiredTagSource(client *core.Client, ap core.AccessPath) *ExpiredTagSource {
+	return &ExpiredTagSource{
+		honest: NewHonestSource(client, ap),
+		stale:  make(map[string]*core.Tag),
+	}
+}
+
+// Prepare implements TagSource.
+func (e *ExpiredTagSource) Prepare(providerPrefix names.Name, now time.Time) (*core.Tag, *core.RegistrationRequest, error) {
+	if t, ok := e.stale[providerPrefix.Key()]; ok {
+		// Keep using the stale tag even after expiry (the attack).
+		return t, nil, nil
+	}
+	return e.honest.Prepare(providerPrefix, now)
+}
+
+// OnRegistration implements TagSource: remember the tag forever.
+func (e *ExpiredTagSource) OnRegistration(providerPrefix names.Name, resp *core.RegistrationResponse) error {
+	e.stale[providerPrefix.Key()] = resp.Tag
+	return e.honest.OnRegistration(providerPrefix, resp)
+}
+
+// SharedTagSource is threat (e): an unauthorized user at a different
+// location replaying a legitimate client's tag. The access-path check at
+// the edge router is the designed defence (Protocol 2 lines 1-2).
+type SharedTagSource struct {
+	victim   *core.Client
+	victimAP core.AccessPath
+}
+
+var _ TagSource = (*SharedTagSource)(nil)
+
+// NewSharedTagSource shares the victim's live tag store.
+func NewSharedTagSource(victim *core.Client, victimAP core.AccessPath) *SharedTagSource {
+	return &SharedTagSource{victim: victim, victimAP: victimAP}
+}
+
+// Prepare implements TagSource: steal whatever tag the victim currently
+// holds (tagless when the victim has none).
+func (s *SharedTagSource) Prepare(providerPrefix names.Name, now time.Time) (*core.Tag, *core.RegistrationRequest, error) {
+	return s.victim.TagFor(providerPrefix, s.victimAP, now), nil, nil
+}
+
+// OnRegistration implements TagSource.
+func (s *SharedTagSource) OnRegistration(names.Name, *core.RegistrationResponse) error { return nil }

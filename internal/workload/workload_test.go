@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+func TestBuildCatalog(t *testing.T) {
+	c, err := BuildCatalog(CatalogConfig{
+		Providers: 3, ObjectsPerProvider: 4, ChunksPerObject: 5, ChunkSize: 256,
+		Levels: []core.AccessLevel{core.Public, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Objects) != 12 {
+		t.Errorf("objects = %d", len(c.Objects))
+	}
+	if c.TotalChunks() != 60 {
+		t.Errorf("total chunks = %d", c.TotalChunks())
+	}
+	obj := c.Objects[5] // provider 1, object 1
+	if obj.Provider != 1 || obj.Prefix.String() != "/prov1" {
+		t.Errorf("object 5 = %+v", obj)
+	}
+	if got := obj.ChunkName(3).String(); got != "/prov1/obj1/chunk3" {
+		t.Errorf("chunk name = %q", got)
+	}
+	// Levels cycle.
+	if c.Objects[0].Level != core.Public || c.Objects[1].Level != 2 {
+		t.Error("levels should cycle Public,2,...")
+	}
+}
+
+func TestBuildCatalogValidation(t *testing.T) {
+	bad := []CatalogConfig{
+		{Providers: 0, ObjectsPerProvider: 1, ChunksPerObject: 1},
+		{Providers: 1, ObjectsPerProvider: 0, ChunksPerObject: 1},
+		{Providers: 1, ObjectsPerProvider: 1, ChunksPerObject: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := BuildCatalog(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	// ChunkSize defaults.
+	c, err := BuildCatalog(CatalogConfig{Providers: 1, ObjectsPerProvider: 1, ChunksPerObject: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ChunkSize != 1024 {
+		t.Errorf("default chunk size = %d", c.ChunkSize)
+	}
+	if c.Objects[0].Level != 2 {
+		t.Errorf("default level = %d", c.Objects[0].Level)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 0.7); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestZipfDistributionShape(t *testing.T) {
+	const n, samples = 50, 200000
+	z, err := NewZipf(n, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.N() != n {
+		t.Errorf("N = %d", z.N())
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		r := z.Sample(rng)
+		if r < 0 || r >= n {
+			t.Fatalf("sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must be the most popular, and the ratio rank0/rank9 should
+	// be ~10^0.7 ≈ 5.
+	for i := 1; i < n; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("rank %d (%d) more popular than rank 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 3.5 || ratio > 7 {
+		t.Errorf("rank0/rank9 ratio = %.2f, want ~5 for alpha=0.7", ratio)
+	}
+}
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	z, err := NewZipf(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("alpha=0 rank %d count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestPropertyZipfSamplesInRange(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		z, err := NewZipf(n, 0.7)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if s := z.Sample(rng); s < 0 || s >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Tag sources ---------------------------------------------------------------
+
+func mustFast(t *testing.T, seed int64, locator string) *pki.FastKeyPair {
+	t.Helper()
+	kp, err := pki.GenerateFast(rand.New(rand.NewSource(seed)), names.MustParse(locator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func newTestClientAndProvider(t *testing.T) (*core.Client, *core.Provider, *pki.Registry) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	provSigner := mustFast(t, 2, "/prov0/KEY/1")
+	prov, err := core.NewProvider(names.MustParse("/prov0"), provSigner, 10*time.Second, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliSigner := mustFast(t, 3, "/u/alice/KEY/1")
+	cl, err := core.NewClient(cliSigner, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov.Enroll(cl.KeyLocator(), cliSigner.Public(), 3)
+	reg := pki.NewRegistry()
+	if err := reg.Register(provSigner.Locator(), provSigner.Public()); err != nil {
+		t.Fatal(err)
+	}
+	return cl, prov, reg
+}
+
+func TestHonestSourceLifecycle(t *testing.T) {
+	cl, prov, _ := newTestClientAndProvider(t)
+	ap := core.AccessPathOf("ap0")
+	src := NewHonestSource(cl, ap)
+	now := time.Unix(100, 0)
+
+	// No tag yet: must register.
+	tag, reg, err := src.Prepare(prov.Prefix(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != nil || reg == nil {
+		t.Fatal("fresh source should need registration")
+	}
+	resp, err := prov.Register(*reg, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.OnRegistration(prov.Prefix(), resp); err != nil {
+		t.Fatal(err)
+	}
+	// Now a tag is available.
+	tag, reg, err = src.Prepare(prov.Prefix(), now.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag == nil || reg != nil {
+		t.Fatal("registered source should hold a tag")
+	}
+	// After expiry: register again.
+	_, reg, err = src.Prepare(prov.Prefix(), now.Add(11*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == nil {
+		t.Fatal("expired tag should trigger re-registration")
+	}
+	if src.Client() != cl {
+		t.Error("Client() accessor broken")
+	}
+}
+
+func TestNoTagSource(t *testing.T) {
+	var src NoTagSource
+	tag, reg, err := src.Prepare(names.MustParse("/prov0"), time.Unix(1, 0))
+	if err != nil || tag != nil || reg != nil {
+		t.Errorf("NoTagSource should yield nothing: %v %v %v", tag, reg, err)
+	}
+	if err := src.OnRegistration(names.MustParse("/prov0"), nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFakeTagSourceForgesInvalidTags(t *testing.T) {
+	_, prov, registry := newTestClientAndProvider(t)
+	rng := rand.New(rand.NewSource(9))
+	src := NewFakeTagSource(rng, names.MustParse("/u/mallory/KEY/1"),
+		map[string]names.Name{prov.Prefix().Key(): prov.KeyLocator()},
+		3, core.AccessPathOf("ap0"), 10*time.Second)
+	now := time.Unix(100, 0)
+
+	tag, reg, err := src.Prepare(prov.Prefix(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag == nil || reg != nil {
+		t.Fatal("forger should produce a tag without registering")
+	}
+	// The forged tag names the legitimate key locator but fails
+	// verification against it.
+	if !tag.ProviderKey.Equal(prov.KeyLocator()) {
+		t.Error("forged tag should claim the provider's key locator")
+	}
+	if err := core.NewTagValidator(registry).Validate(tag, now); err == nil {
+		t.Error("forged tag verified?!")
+	}
+	// Same tag until "expiry", fresh afterwards.
+	tag2, _, err := src.Prepare(prov.Prefix(), now.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag2 != tag {
+		t.Error("forger should cache its tag within the TTL")
+	}
+	tag3, _, err := src.Prepare(prov.Prefix(), now.Add(11*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag3 == tag {
+		t.Error("forger should refresh after expiry")
+	}
+	// Unknown provider errors.
+	if _, _, err := src.Prepare(names.MustParse("/prov9"), now); err == nil {
+		t.Error("unknown provider should error")
+	}
+}
+
+func TestExpiredTagSourceNeverRefreshes(t *testing.T) {
+	cl, prov, _ := newTestClientAndProvider(t)
+	src := NewExpiredTagSource(cl, core.AccessPathOf("ap0"))
+	now := time.Unix(100, 0)
+
+	// First use registers once.
+	_, reg, err := src.Prepare(prov.Prefix(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg == nil {
+		t.Fatal("first use should register")
+	}
+	resp, err := prov.Register(*reg, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.OnRegistration(prov.Prefix(), resp); err != nil {
+		t.Fatal(err)
+	}
+	// Long after expiry, it still replays the stale tag instead of
+	// re-registering.
+	tag, reg, err := src.Prepare(prov.Prefix(), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != nil {
+		t.Error("expired-tag attacker should never re-register")
+	}
+	if tag == nil || !tag.Expired(now.Add(time.Hour)) {
+		t.Error("should replay the stale, expired tag")
+	}
+}
+
+func TestSharedTagSourceTracksVictim(t *testing.T) {
+	cl, prov, _ := newTestClientAndProvider(t)
+	victimAP := core.AccessPathOf("ap-victim")
+	src := NewSharedTagSource(cl, victimAP)
+	now := time.Unix(100, 0)
+
+	// Victim holds no tag yet: attacker goes tagless.
+	tag, reg, err := src.Prepare(prov.Prefix(), now)
+	if err != nil || tag != nil || reg != nil {
+		t.Errorf("no victim tag: got %v %v %v", tag, reg, err)
+	}
+	// Give the victim a tag; the attacker steals it.
+	honest := NewHonestSource(cl, victimAP)
+	_, vreg, err := honest.Prepare(prov.Prefix(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := prov.Register(*vreg, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := honest.OnRegistration(prov.Prefix(), resp); err != nil {
+		t.Fatal(err)
+	}
+	tag, _, err = src.Prepare(prov.Prefix(), now.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag == nil {
+		t.Fatal("attacker should hold the victim's tag now")
+	}
+	// The stolen tag's access path points at the victim's location — the
+	// edge check defeats it elsewhere.
+	if !tag.AccessPath.Matches(victimAP) {
+		t.Error("stolen tag should carry the victim's access path")
+	}
+	if err := src.OnRegistration(prov.Prefix(), resp); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultConsumerConfig(t *testing.T) {
+	cfg := DefaultConsumerConfig()
+	if cfg.Window != 5 {
+		t.Errorf("window = %d, want the paper's 5", cfg.Window)
+	}
+	if cfg.RequestTimeout != time.Second {
+		t.Errorf("timeout = %s, want the paper's 1s", cfg.RequestTimeout)
+	}
+	if cfg.RequestGap <= 0 || cfg.StartJitter <= 0 {
+		t.Error("pacing parameters must be positive")
+	}
+}
