@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench repro repro-full demo-keys clean
+.PHONY: all build vet check test test-short race bench repro repro-full demo-keys clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
+
+# The pre-merge gate: compile, static checks, full tests, and the race
+# detector over the concurrent packages.
+check: build vet test race
 
 test:
 	$(GO) test ./...
@@ -17,7 +23,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/transport/ ./internal/forwarder/
+	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

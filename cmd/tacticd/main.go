@@ -14,17 +14,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
-	"time"
+	"syscall"
 
 	"github.com/tactic-icn/tactic/internal/forwarder"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 )
 
@@ -33,19 +38,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tacticd:", err)
 		os.Exit(1)
 	}
-}
-
-// dialWithRetry tolerates upstreams that are still starting.
-func dialWithRetry(fwd *forwarder.Forwarder, addr string) (face ndn.FaceID, err error) {
-	const attempts = 20
-	for i := 0; i < attempts; i++ {
-		face, err = fwd.DialUpstream(addr)
-		if err == nil {
-			return face, nil
-		}
-		time.Sleep(250 * time.Millisecond)
-	}
-	return face, err
 }
 
 // multiFlag collects repeated string flags.
@@ -62,6 +54,9 @@ func run(args []string) error {
 	bfSize := fs.Int("bf", 500, "Bloom-filter capacity")
 	bfFPP := fs.Float64("fpp", 1e-4, "Bloom-filter max FPP")
 	csSize := fs.Int("cs", 4096, "content-store capacity (chunks)")
+	admin := fs.String("admin", "", "admin HTTP address for /metrics, /statusz, /debug/pprof (empty = disabled)")
+	traceOut := fs.String("trace", "", "per-Interest trace output: file path or - for stderr (empty = disabled)")
+	traceSample := fs.Float64("trace-sample", 1.0, "fraction of packets traced, 0..1")
 	var trusts, routes multiFlag
 	fs.Var(&trusts, "trust", "provider public-key PEM file (repeatable)")
 	fs.Var(&routes, "route", "prefix=upstreamAddr (repeatable)")
@@ -97,6 +92,25 @@ func run(args []string) error {
 		log.Printf("trusted %s (%s)", locator, pki.FingerprintHex(pub))
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		var w io.Writer = os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = obs.NewTracer(*id, *traceSample, w)
+		log.Printf("tracing %g of packets to %s", *traceSample, *traceOut)
+	}
+
 	fwd, err := forwarder.New(forwarder.Config{
 		ID:         *id,
 		Role:       r,
@@ -105,11 +119,22 @@ func run(args []string) error {
 		BFMaxFPP:   *bfFPP,
 		CSCapacity: *csSize,
 		Logf:       log.Printf,
+		Obs:        reg,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		return err
 	}
 	defer fwd.Close()
+
+	if *admin != "" {
+		aln, err := obs.ServeAdmin(*admin, reg, func() any { return fwd.Status() })
+		if err != nil {
+			return err
+		}
+		defer aln.Close()
+		log.Printf("admin endpoint on http://%s (/metrics /statusz /debug/pprof)", aln.Addr())
+	}
 
 	for _, route := range routes {
 		prefixStr, addr, ok := strings.Cut(route, "=")
@@ -120,9 +145,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		face, err := dialWithRetry(fwd, addr)
+		// Tolerate upstreams that are still starting: jittered
+		// exponential backoff rather than a fixed-interval hammer.
+		face, err := forwarder.Retry(ctx, forwarder.RetryConfig{Logf: log.Printf},
+			func() (ndn.FaceID, error) { return fwd.DialUpstream(addr) })
 		if err != nil {
-			return err
+			return fmt.Errorf("dial upstream %s: %w", addr, err)
 		}
 		fwd.AddRoute(prefix, face)
 		log.Printf("route %s -> %s (face %d)", prefix, addr, face)
@@ -132,6 +160,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// A signal closes the listener, which unblocks Serve for a clean
+	// deferred shutdown.
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
 	log.Printf("tacticd %s (%s) listening on %s", *id, *role, ln.Addr())
-	return fwd.Serve(ln)
+	err = fwd.Serve(ln)
+	if ctx.Err() != nil && errors.Is(err, net.ErrClosed) {
+		log.Printf("shutting down")
+		return nil
+	}
+	return err
 }

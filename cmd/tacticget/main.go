@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"flag"
 	"fmt"
@@ -58,7 +59,16 @@ func run(args []string) error {
 	}
 	nodeID := pki.FingerprintHex(signer.Public())
 
-	client, err := forwarder.Dial(*edge, identity, nodeID, *edgeID)
+	// The edge may still be starting (e.g. launched by the same script):
+	// dial with jittered exponential backoff instead of failing fast.
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tacticget: dial "+format+"\n", args...)
+	}
+	client, err := forwarder.Retry(context.Background(),
+		forwarder.RetryConfig{Attempts: 5, Logf: logf},
+		func() (*forwarder.Client, error) {
+			return forwarder.Dial(*edge, identity, nodeID, *edgeID)
+		})
 	if err != nil {
 		return err
 	}

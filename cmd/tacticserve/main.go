@@ -23,6 +23,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/forwarder"
 	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 )
 
@@ -42,6 +43,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func run(args []string) error {
 	fs := flag.NewFlagSet("tacticserve", flag.ContinueOnError)
 	listen := fs.String("listen", ":7000", "listen address")
+	admin := fs.String("admin", "", "admin HTTP address for /metrics, /statusz, /debug/pprof (empty = disabled)")
 	prefixStr := fs.String("prefix", "", "provider name prefix, e.g. /prov0")
 	keyPath := fs.String("key", "", "provider private key PEM (tactickey gen)")
 	ttl := fs.Duration("ttl", 30*time.Second, "tag validity period (the revocation window)")
@@ -82,6 +84,17 @@ func run(args []string) error {
 		return err
 	}
 	defer producer.Close()
+
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		producer.Instrument(reg)
+		aln, err := obs.ServeAdmin(*admin, reg, func() any { return producer.Stats() })
+		if err != nil {
+			return err
+		}
+		defer aln.Close()
+		log.Printf("admin endpoint on http://%s (/metrics /statusz /debug/pprof)", aln.Addr())
+	}
 
 	for _, e := range enrolls {
 		pubPath, levelStr, ok := strings.Cut(e, "=")

@@ -46,13 +46,30 @@ type ContentMeta struct {
 	ProviderKey names.Name
 }
 
+// ValidatorStats counts a validator's outcomes: total signature
+// verifications (Fig. 7's "V" series) plus failures split by cause, the
+// per-enforcement-point measurability the deployment surveys ask for.
+type ValidatorStats struct {
+	// Verifications counts signature checks performed (pass or fail).
+	Verifications uint64
+	// Missing counts nil-tag rejections (threat (a)).
+	Missing uint64
+	// Expired counts freshness rejections (threat (c)).
+	Expired uint64
+	// Forged counts signature rejections (threat (b)).
+	Forged uint64
+}
+
+// Failures returns the total rejected validations.
+func (s ValidatorStats) Failures() uint64 { return s.Missing + s.Expired + s.Forged }
+
 // TagValidator performs full tag validation — freshness plus signature
 // verification through a PKI verifier — and counts signature
 // verifications, the paper's most expensive router operation (Fig. 7's
 // "V" series).
 type TagValidator struct {
-	registry      pki.Verifier
-	verifications uint64
+	registry pki.Verifier
+	stats    ValidatorStats
 }
 
 // NewTagValidator creates a validator over the given trust registry.
@@ -65,20 +82,57 @@ func NewTagValidator(registry pki.Verifier) *TagValidator {
 // filters amortise.
 func (v *TagValidator) Validate(t *Tag, now time.Time) error {
 	if t == nil {
+		v.stats.Missing++
 		return ErrNoTag
 	}
 	if t.Expired(now) {
+		v.stats.Expired++
 		return fmt.Errorf("%w: at %s", ErrTagExpired, t.Expiry)
 	}
-	v.verifications++
+	v.stats.Verifications++
 	if err := v.registry.Verify(t.ProviderKey, t.SigningBytes(), t.Signature); err != nil {
+		v.stats.Forged++
 		return fmt.Errorf("%w: %w", ErrTagForged, err)
 	}
 	return nil
 }
 
 // Verifications returns the number of signature verifications performed.
-func (v *TagValidator) Verifications() uint64 { return v.verifications }
+func (v *TagValidator) Verifications() uint64 { return v.stats.Verifications }
+
+// Stats returns a snapshot of the validator's outcome counters.
+func (v *TagValidator) Stats() ValidatorStats { return v.stats }
+
+// ReasonLabel maps a validation or pre-check error to a short, stable
+// identifier suitable as a metric label or trace annotation. Unknown
+// errors map to "other"; nil maps to "".
+func ReasonLabel(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrNoTag):
+		return "no_tag"
+	case errors.Is(err, ErrTagExpired):
+		return "expired"
+	case errors.Is(err, ErrTagForged):
+		return "forged"
+	case errors.Is(err, ErrPrefixMismatch):
+		return "prefix_mismatch"
+	case errors.Is(err, ErrAccessPathMismatch):
+		return "access_path"
+	case errors.Is(err, ErrInsufficientLevel):
+		return "level"
+	case errors.Is(err, ErrProviderKeyMismatch):
+		return "key_mismatch"
+	}
+	return "other"
+}
+
+// ReasonLabels lists every label ReasonLabel can produce for a non-nil
+// error, so instrumentation can pre-create one counter per reason.
+func ReasonLabels() []string {
+	return []string{"no_tag", "expired", "forged", "prefix_mismatch", "access_path", "level", "key_mismatch", "other"}
+}
 
 // PreCheckEdge is the edge-router half of Protocol 1: a cheap filter
 // applied before any Bloom-filter or signature work. It rejects tags

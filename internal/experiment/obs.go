@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"github.com/tactic-icn/tactic/internal/forwarder"
+	"github.com/tactic-icn/tactic/internal/metrics"
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+// PublishObs mirrors a finished run's counters into an obs registry
+// under the same metric names the live forwarder exports, so simulated
+// and deployed TACTIC share one exposition pipeline (one dashboard, one
+// scrape config). Series are labelled with the scenario name so several
+// runs can coexist in a single registry. Safe on a nil registry.
+func (r *Result) PublishObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	run := obs.L("run", r.Name)
+	for role, ops := range map[string]metrics.RouterOps{"edge": r.EdgeOps, "core": r.CoreOps} {
+		rl := obs.L("role", role)
+		reg.Counter(forwarder.MetricBFLookups, run, rl).Add(ops.Lookups)
+		reg.Counter(forwarder.MetricBFInsertions, run, rl).Add(ops.Insertions)
+		reg.Counter(forwarder.MetricBFResets, run, rl).Add(ops.Resets)
+		reg.Counter(forwarder.MetricVerifications, run, rl).Add(ops.Verifications)
+	}
+	for cause, n := range r.Drops {
+		reg.Counter(forwarder.MetricDrops, run, obs.L("cause", cause)).Add(n)
+	}
+	reg.Counter(forwarder.MetricCSHits, run).Add(r.CSHits)
+	reg.Counter("tactic_cs_misses_total", run).Add(r.CSMisses)
+	provider := obs.L("role", "producer")
+	reg.Counter(forwarder.MetricVerifications, run, provider).Add(r.ProviderVerifications)
+	reg.Counter(forwarder.MetricProducerServed, run, provider).Add(r.ProviderContentServed)
+	reg.Counter(forwarder.MetricRegistrations, run, provider, obs.L("result", "issued")).Add(r.RegistrationsIssued)
+	reg.Counter(forwarder.MetricRegistrations, run, provider, obs.L("result", "failed")).Add(r.RegistrationsFailed)
+
+	for role, del := range map[string]metrics.Delivery{"client": r.ClientDelivery, "attacker": r.AttackerDelivery} {
+		rl := obs.L("role", role)
+		failed := uint64(0)
+		if del.Requested > del.Received {
+			failed = del.Requested - del.Received
+		}
+		reg.Counter(forwarder.MetricClientFetches, run, rl, obs.L("result", "ok")).Add(del.Received)
+		reg.Counter(forwarder.MetricClientFetches, run, rl, obs.L("result", "failed")).Add(failed)
+	}
+
+	// Latency goes out as a gauge pair rather than a histogram: the
+	// simulator aggregates mean/max during the run and the raw samples
+	// are gone by Collect time.
+	if r.ClientLatency.Count() > 0 {
+		reg.Gauge("tactic_sim_latency_mean_seconds", run).Set(r.ClientLatency.Mean().Seconds())
+		reg.Gauge("tactic_sim_latency_max_seconds", run).Set(r.ClientLatency.Max().Seconds())
+	}
+}

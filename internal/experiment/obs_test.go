@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/metrics"
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+func TestPublishObs(t *testing.T) {
+	res := &Result{
+		Name:             "paper",
+		Duration:         30 * time.Second,
+		EdgeOps:          metrics.RouterOps{Lookups: 100, Insertions: 10, Verifications: 12, Resets: 2},
+		CoreOps:          metrics.RouterOps{Lookups: 50, Verifications: 7},
+		ClientDelivery:   metrics.Delivery{Requested: 40, Received: 38},
+		AttackerDelivery: metrics.Delivery{Requested: 20, Received: 0},
+		Drops:            map[string]uint64{"forged": 20},
+		CSHits:           5, CSMisses: 9,
+		ProviderVerifications: 3,
+		ProviderContentServed: 33,
+		RegistrationsIssued:   6,
+		RegistrationsFailed:   1,
+	}
+	reg := obs.NewRegistry()
+	res.PublishObs(reg)
+
+	snap := reg.Snapshot()
+	for key, want := range map[string]float64{
+		`tactic_bf_lookups_total{role="edge",run="paper"}`:                         100,
+		`tactic_bf_lookups_total{role="core",run="paper"}`:                         50,
+		`tactic_bf_resets_total{role="edge",run="paper"}`:                          2,
+		`tactic_tag_verifications_total{role="core",run="paper"}`:                  7,
+		`tactic_tag_verifications_total{role="producer",run="paper"}`:              3,
+		`tactic_drops_total{cause="forged",run="paper"}`:                           20,
+		`tactic_cs_hits_total{run="paper"}`:                                        5,
+		`tactic_producer_served_total{role="producer",run="paper"}`:                33,
+		`tactic_registrations_total{result="issued",role="producer",run="paper"}`:  6,
+		`tactic_client_fetches_total{result="ok",role="client",run="paper"}`:       38,
+		`tactic_client_fetches_total{result="failed",role="client",run="paper"}`:   2,
+		`tactic_client_fetches_total{result="ok",role="attacker",run="paper"}`:     0,
+		`tactic_client_fetches_total{result="failed",role="attacker",run="paper"}`: 20,
+	} {
+		if got, ok := snap[key]; !ok || got != want {
+			t.Errorf("snapshot[%s] = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+
+	// No latency samples were aggregated, so the latency gauges must be
+	// absent rather than zero.
+	for key := range snap {
+		if strings.Contains(key, "latency") {
+			t.Errorf("unexpected latency series %s with no samples", key)
+		}
+	}
+
+	// Publishing tolerates a nil registry.
+	res.PublishObs(nil)
+}
+
+func TestPublishObsFromRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	res, err := Run(smallScenario(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	res.PublishObs(reg)
+	snap := reg.Snapshot()
+	if snap[`tactic_bf_lookups_total{role="edge",run="test"}`] == 0 {
+		t.Error("edge BF lookups did not publish")
+	}
+	if snap[`tactic_client_fetches_total{result="ok",role="client",run="test"}`] == 0 {
+		t.Error("client deliveries did not publish")
+	}
+	if snap[`tactic_sim_latency_mean_seconds{run="test"}`] <= 0 {
+		t.Error("latency mean did not publish")
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/transport"
 )
 
@@ -30,6 +32,9 @@ type Client struct {
 	nonce     uint64
 	nonceSalt uint64
 	readErr   error
+
+	fetchOK, fetchNACK, fetchTimeout, fetchErr atomic.Uint64
+	regOK, regFailed                           atomic.Uint64
 
 	closed chan struct{}
 	once   sync.Once
@@ -171,12 +176,19 @@ func (c *Client) Register(providerPrefix names.Name, timeout time.Duration) erro
 		Registration: &req,
 	}, timeout)
 	if err != nil {
+		c.regFailed.Add(1)
 		return err
 	}
 	if d.Registration == nil {
+		c.regFailed.Add(1)
 		return fmt.Errorf("forwarder: registration for %s got no tag", providerPrefix)
 	}
-	return c.identity.StoreRegistration(providerPrefix, d.Registration)
+	if err := c.identity.StoreRegistration(providerPrefix, d.Registration); err != nil {
+		c.regFailed.Add(1)
+		return err
+	}
+	c.regOK.Add(1)
+	return nil
 }
 
 // Fetch retrieves one chunk, registering first when no valid tag is
@@ -198,12 +210,70 @@ func (c *Client) Fetch(name names.Name, timeout time.Duration) (*core.Content, e
 		Tag:   tag,
 	}, timeout)
 	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			c.fetchTimeout.Add(1)
+		} else {
+			c.fetchErr.Add(1)
+		}
 		return nil, err
 	}
 	if d.Nack || d.Content == nil {
+		c.fetchNACK.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrNACK, name)
 	}
+	c.fetchOK.Add(1)
 	return d.Content, nil
+}
+
+// ClientStats snapshots a client's request outcomes.
+type ClientStats struct {
+	// FetchOK/FetchNACK/FetchTimeout/FetchErr count content fetches by
+	// outcome; the error bucket covers transport and close failures.
+	FetchOK, FetchNACK, FetchTimeout, FetchErr uint64
+	// Registrations and RegistrationsFailed count tag acquisitions.
+	Registrations, RegistrationsFailed uint64
+	// Conn carries the underlying connection's frame counters.
+	Conn transport.Stats
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		FetchOK: c.fetchOK.Load(), FetchNACK: c.fetchNACK.Load(),
+		FetchTimeout: c.fetchTimeout.Load(), FetchErr: c.fetchErr.Load(),
+		Registrations: c.regOK.Load(), RegistrationsFailed: c.regFailed.Load(),
+		Conn: c.conn.Stats(),
+	}
+}
+
+// Instrument exposes the client's outcome counters on reg, labelled
+// with the client's node ID, and wires its connection's frame counters.
+// Safe on a nil registry.
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	role := obs.L("role", "client")
+	node := obs.L("node", c.nodeID)
+	sampled := func(v *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.Help(MetricClientFetches, "Client content fetches, by outcome.")
+	for result, v := range map[string]*atomic.Uint64{
+		"ok": &c.fetchOK, "nack": &c.fetchNACK, "timeout": &c.fetchTimeout, "error": &c.fetchErr,
+	} {
+		reg.CounterFunc(MetricClientFetches, sampled(v), role, node, obs.L("result", result))
+	}
+	reg.CounterFunc(MetricRegistrations, sampled(&c.regOK), role, node, obs.L("result", "issued"))
+	reg.CounterFunc(MetricRegistrations, sampled(&c.regFailed), role, node, obs.L("result", "failed"))
+	in, out := obs.L("dir", "in"), obs.L("dir", "out")
+	c.conn.SetMetrics(&transport.Metrics{
+		FramesIn:  reg.Counter(MetricFaceFrames, role, node, in),
+		FramesOut: reg.Counter(MetricFaceFrames, role, node, out),
+		BytesIn:   reg.Counter(MetricFaceBytes, role, node, in),
+		BytesOut:  reg.Counter(MetricFaceBytes, role, node, out),
+		Errors:    reg.Counter(MetricFaceErrors, role, node),
+	})
 }
 
 // DefaultWindow is FetchObject's outstanding-request window — the

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 	"github.com/tactic-icn/tactic/internal/transport"
 )
@@ -64,6 +66,12 @@ type Config struct {
 	Seed int64
 	// Logf, when non-nil, receives diagnostic lines.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives runtime telemetry (counters, gauges,
+	// histograms; see the Metric* constants).
+	Obs *obs.Registry
+	// Tracer, when non-nil, samples per-packet trace spans through the
+	// enforcement pipeline.
+	Tracer *obs.Tracer
 }
 
 // faceState is one attached connection.
@@ -77,6 +85,8 @@ type faceState struct {
 type Forwarder struct {
 	cfg    Config
 	tactic *core.Router
+	start  time.Time
+	m      *obsMetrics
 
 	mu    sync.Mutex
 	fib   *ndn.FIB
@@ -134,12 +144,15 @@ func New(cfg Config) (*Forwarder, error) {
 	f := &Forwarder{
 		cfg:    cfg,
 		tactic: core.NewRouter(cfg.ID, bf, core.NewTagValidator(cfg.Registry), rand.New(rand.NewSource(seed)), cfg.Tactic),
+		start:  time.Now(),
+		m:      newObsMetrics(cfg.Obs, cfg.Role),
 		fib:    ndn.NewFIB(),
 		pit:    ndn.NewPIT(),
 		cs:     ndn.NewCS(cfg.CSCapacity),
 		faces:  make(map[ndn.FaceID]*faceState),
 		closed: make(chan struct{}),
 	}
+	f.registerSampled(cfg.Obs)
 	f.wg.Add(1)
 	go f.expireLoop()
 	return f, nil
@@ -178,6 +191,7 @@ func (f *Forwarder) AddFace(conn *transport.Conn, downstream bool) ndn.FaceID {
 	fs := &faceState{id: id, conn: conn, downstream: downstream}
 	f.faces[id] = fs
 	f.mu.Unlock()
+	conn.SetMetrics(f.m.faceMetrics(id, downstream))
 
 	f.wg.Add(1)
 	go f.readLoop(fs)
@@ -275,6 +289,7 @@ func (f *Forwarder) send(face ndn.FaceID, d *ndn.Data) {
 	fs, ok := f.faces[face]
 	if !ok {
 		f.stats.Drops++
+		f.m.drop(dropNoFace)
 		return
 	}
 	if err := fs.conn.SendData(d); err != nil {
@@ -282,39 +297,105 @@ func (f *Forwarder) send(face ndn.FaceID, d *ndn.Data) {
 	}
 }
 
+// opsSnap captures the TACTIC operation counters so the pipeline can
+// annotate trace spans with exactly what one decision cost (callers hold
+// f.mu).
+type opsSnap struct {
+	lookups, inserts, resets, verifies, vfails uint64
+}
+
+func (f *Forwarder) opsSnap() opsSnap {
+	bs := f.tactic.Bloom().Stats()
+	vs := f.tactic.Validator().Stats()
+	return opsSnap{
+		lookups: bs.Lookups, inserts: bs.Insertions, resets: bs.Resets,
+		verifies: vs.Verifications, vfails: vs.Failures(),
+	}
+}
+
+// annotateOps appends BF-lookup / verify / BF-reset events for the
+// operations performed since before (callers hold f.mu).
+func (f *Forwarder) annotateOps(sp *obs.Span, before opsSnap) {
+	if sp == nil {
+		return
+	}
+	after := f.opsSnap()
+	if n := after.lookups - before.lookups; n > 0 {
+		sp.Event("bf_lookup", "n="+strconv.FormatUint(n, 10))
+	}
+	if after.vfails > before.vfails {
+		sp.Event("verify", "fail")
+	} else if after.verifies > before.verifies {
+		sp.Event("verify", "ok")
+	}
+	if n := after.inserts - before.inserts; n > 0 {
+		sp.Event("bf_insert", "n="+strconv.FormatUint(n, 10))
+	}
+	if n := after.resets - before.resets; n > 0 {
+		sp.Event("bf_reset", "n="+strconv.FormatUint(n, 10))
+	}
+}
+
+// formatFlag renders an F value for trace annotations.
+func formatFlag(flag float64) string {
+	return "F=" + strconv.FormatFloat(flag, 'g', -1, 64)
+}
+
 // handleInterest runs the Interest pipeline (the real-time analogue of
 // the simulator's RouterNode.HandleInterest).
 func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 	now := time.Now()
+	sp := f.cfg.Tracer.Start("interest", i.Name.String())
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stats.Interests++
+	f.m.interest.Inc()
+	defer func() { f.m.hop.Observe(time.Since(now).Seconds()) }()
 
 	if i.Kind == ndn.KindContent && f.cfg.Role == RoleEdge && from.downstream {
 		// The edge is its clients' first-hop entity: reset-then-stamp
 		// the access path, then run Protocol 2.
 		i.AccessPath = core.EmptyAccessPath.Accumulate(f.cfg.ID)
+		before := f.opsSnap()
 		dec := f.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
+		if dec.Reason != nil {
+			sp.Event("precheck", core.ReasonLabel(dec.Reason))
+		} else {
+			sp.Event("precheck", "ok")
+		}
+		f.annotateOps(sp, before)
 		if dec.Drop {
 			f.stats.NACKs++
+			f.m.nack(dec.Reason)
 			f.send(from.id, &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason})
+			sp.End("nack:" + core.ReasonLabel(dec.Reason))
 			return
 		}
 		i.Flag = dec.Flag
+		sp.Event("flag", formatFlag(dec.Flag))
 	}
 
 	if i.Kind == ndn.KindContent {
 		if content, ok := f.cs.Lookup(i.Name); ok {
+			before := f.opsSnap()
 			dec := f.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
+			f.annotateOps(sp, before)
 			if dec.NACK {
 				f.stats.NACKs++
+				f.m.nack(dec.Reason)
 			} else {
 				f.stats.CSHits++
+				f.m.csHits.Inc()
 			}
 			f.send(from.id, &ndn.Data{
 				Name: i.Name, Content: content, Tag: i.Tag,
 				Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
 			})
+			if dec.NACK {
+				sp.End("nack:" + core.ReasonLabel(dec.Reason))
+			} else {
+				sp.End("cs_hit")
+			}
 			return
 		}
 	}
@@ -322,10 +403,13 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 	if entry, ok := f.pit.Lookup(i.Name); ok && entry.Expires.After(now) {
 		if entry.HasNonce(i.Nonce) {
 			f.stats.Drops++
+			f.m.drop(dropDupNonce)
+			sp.End("drop:" + dropDupNonce)
 			return
 		}
 		f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
 			now.Add(f.cfg.PITLifetime))
+		sp.End("aggregated")
 		return
 	} else if ok {
 		f.pit.Consume(i.Name)
@@ -336,38 +420,50 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 	face, ok := f.fib.Lookup(i.Name)
 	if !ok {
 		f.stats.Drops++
+		f.m.drop(dropNoRoute)
 		f.logf("no route for %s", i.Name)
+		sp.End("drop:" + dropNoRoute)
 		return
 	}
 	fs, ok := f.faces[face]
 	if !ok {
 		f.stats.Drops++
+		f.m.drop(dropNoFace)
+		sp.End("drop:" + dropNoFace)
 		return
 	}
 	if err := fs.conn.SendInterest(i); err != nil {
 		f.logf("send interest on face %d: %v", face, err)
 	}
+	sp.End("forwarded")
 }
 
 // handleData runs the Data pipeline.
 func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 	now := time.Now()
+	sp := f.cfg.Tracer.Start("data", d.Name.String())
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stats.Data++
+	f.m.data.Inc()
 
 	if d.Registration != nil {
 		if f.cfg.Role == RoleEdge && d.Registration.Tag != nil {
+			before := f.opsSnap()
 			f.tactic.EdgeOnTagResponse(d.Registration.Tag)
+			f.annotateOps(sp, before)
 		}
 		entry, ok := f.pit.Consume(d.Name)
 		if !ok {
 			f.stats.Drops++
+			f.m.drop(dropUnsolicited)
+			sp.End("drop:" + dropUnsolicited)
 			return
 		}
 		for _, rec := range entry.Records {
 			f.send(rec.InFace, d)
 		}
+		sp.End("registration")
 		return
 	}
 
@@ -377,12 +473,14 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 	entry, ok := f.pit.Consume(d.Name)
 	if !ok {
 		f.stats.Drops++
+		f.m.drop(dropUnsolicited)
+		sp.End("drop:" + dropUnsolicited)
 		return
 	}
 
 	primary := entry.Records[0]
 	if f.cfg.Role == RoleEdge {
-		f.edgeDeliver(d, primary, true, now)
+		f.edgeDeliver(d, primary, true, now, sp)
 	} else {
 		f.send(primary.InFace, &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: primary.Tag,
@@ -391,7 +489,7 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 	}
 	for _, rec := range entry.Records[1:] {
 		if f.cfg.Role == RoleEdge {
-			f.edgeDeliver(d, rec, false, now)
+			f.edgeDeliver(d, rec, false, now, sp)
 			continue
 		}
 		if d.Content == nil {
@@ -403,39 +501,55 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
 			} else {
 				f.stats.NACKs++
+				f.m.nack(core.ErrNoTag)
 				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag})
 			}
 			continue
 		}
+		before := f.opsSnap()
 		dec := f.tactic.IntermediateOnAggregatedContent(rec.Tag, d.Content.Meta, rec.Flag, now)
+		f.annotateOps(sp, before)
 		if dec.NACK {
 			f.stats.NACKs++
+			f.m.nack(dec.Reason)
+			sp.Event("nack_aggregate", core.ReasonLabel(dec.Reason))
 		}
 		f.send(rec.InFace, &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: rec.Tag,
 			Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
 		})
 	}
+	if d.Nack {
+		sp.End("relayed_nack:" + core.ReasonLabel(d.NackReason))
+	} else {
+		sp.End("delivered")
+	}
 }
 
 // edgeDeliver applies Protocol 2's On-Content logic for one record.
-func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time) {
+func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time, sp *obs.Span) {
 	if rec.Tag == nil {
 		if d.Content != nil && d.Content.Meta.Level == core.Public && !d.Nack {
 			f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
 		} else {
 			f.stats.Drops++
+			f.m.drop(dropUndeliverable)
+			sp.Event("edge_drop", "no_tag")
 		}
 		return
 	}
 	var deliver bool
+	before := f.opsSnap()
 	if isPrimary {
 		deliver = f.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack)
 	} else if d.Content != nil {
 		deliver = f.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now)
 	}
+	f.annotateOps(sp, before)
 	if !deliver {
 		f.stats.Drops++
+		f.m.drop(dropUndeliverable)
+		sp.Event("edge_drop", core.ReasonLabel(d.NackReason))
 		// Tell the client so it can fail fast rather than time out.
 		f.send(rec.InFace, &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason})
 		return

@@ -11,6 +11,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 	"github.com/tactic-icn/tactic/internal/transport"
 )
@@ -37,6 +38,12 @@ func (n *liveNetwork) Close() {
 
 // startLiveNetwork boots the three-node deployment.
 func startLiveNetwork(t testing.TB, tagTTL time.Duration) *liveNetwork {
+	return startLiveNetworkObs(t, tagTTL, nil, nil)
+}
+
+// startLiveNetworkObs is startLiveNetwork with observability registries
+// attached to the edge and core routers (either may be nil).
+func startLiveNetworkObs(t testing.TB, tagTTL time.Duration, edgeObs, coreObs *obs.Registry) *liveNetwork {
 	t.Helper()
 	n := &liveNetwork{prefix: names.MustParse("/prov0")}
 
@@ -78,7 +85,7 @@ func startLiveNetwork(t testing.TB, tagTTL time.Duration) *liveNetwork {
 	prodAddr := listen(n.producer.Serve)
 	n.cleanup = append(n.cleanup, func() { n.producer.Close() })
 
-	n.coreFwd, err = New(Config{ID: "core-0", Role: RoleCore, Registry: n.registry, Seed: 1})
+	n.coreFwd, err = New(Config{ID: "core-0", Role: RoleCore, Registry: n.registry, Seed: 1, Obs: coreObs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +97,7 @@ func startLiveNetwork(t testing.TB, tagTTL time.Duration) *liveNetwork {
 	}
 	n.coreFwd.AddRoute(n.prefix, up)
 
-	n.edgeFwd, err = New(Config{ID: "edge-0", Role: RoleEdge, Registry: n.registry, Seed: 2})
+	n.edgeFwd, err = New(Config{ID: "edge-0", Role: RoleEdge, Registry: n.registry, Seed: 2, Obs: edgeObs})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,261 @@
+package forwarder
+
+import (
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
+	"github.com/tactic-icn/tactic/internal/transport"
+)
+
+// Metric names exported by the live stack (see README "Operating &
+// monitoring"). Shared between the forwarder, the producer, and the
+// simulator bridge in internal/experiment so a dashboard reads one
+// vocabulary regardless of the source.
+const (
+	MetricInterests     = "tactic_interests_total"
+	MetricData          = "tactic_data_total"
+	MetricCSHits        = "tactic_cs_hits_total"
+	MetricNACKs         = "tactic_nacks_total"
+	MetricDrops         = "tactic_drops_total"
+	MetricHopSeconds    = "tactic_interest_hop_seconds"
+	MetricBFLookups     = "tactic_bf_lookups_total"
+	MetricBFInsertions  = "tactic_bf_insertions_total"
+	MetricBFResets      = "tactic_bf_resets_total"
+	MetricVerifications = "tactic_tag_verifications_total"
+	MetricVerifyFailed  = "tactic_tag_verify_failures_total"
+	MetricBFFillRatio   = "tactic_bf_fill_ratio"
+	MetricBFFPP         = "tactic_bf_fpp"
+	MetricBFEntries     = "tactic_bf_entries"
+	MetricPITEntries    = "tactic_pit_entries"
+	MetricCSEntries     = "tactic_cs_entries"
+	MetricFIBEntries    = "tactic_fib_entries"
+	MetricFaces         = "tactic_faces"
+	MetricFaceFrames    = "tactic_face_frames_total"
+	MetricFaceBytes     = "tactic_face_bytes_total"
+	MetricFaceErrors    = "tactic_face_errors_total"
+
+	MetricProducerServed = "tactic_producer_served_total"
+	MetricProducerNACKs  = "tactic_producer_nacks_total"
+	MetricRegistrations  = "tactic_registrations_total"
+	MetricClientFetches  = "tactic_client_fetches_total"
+)
+
+// Drop causes used as the MetricDrops "cause" label.
+const (
+	dropDupNonce      = "dup_nonce"
+	dropNoRoute       = "no_route"
+	dropNoFace        = "no_face"
+	dropUnsolicited   = "unsolicited"
+	dropUndeliverable = "undeliverable"
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleEdge:
+		return "edge"
+	case RoleCore:
+		return "core"
+	}
+	return "unknown"
+}
+
+// obsMetrics pre-resolves the forwarder's registry series so the packet
+// pipeline increments lock-free atomics only. All fields tolerate a nil
+// registry (every handle is nil and no-ops).
+type obsMetrics struct {
+	reg      *obs.Registry
+	role     obs.Label
+	interest *obs.Counter
+	data     *obs.Counter
+	csHits   *obs.Counter
+	hop      *obs.Histogram
+	nacks    map[string]*obs.Counter // by reason label
+	drops    map[string]*obs.Counter // by cause
+}
+
+func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
+	m := &obsMetrics{reg: reg, role: obs.L("role", role.String())}
+	if reg == nil {
+		return m
+	}
+	reg.Help(MetricInterests, "Interests entering the pipeline.")
+	reg.Help(MetricNACKs, "Invalidity signals sent, by validation failure reason.")
+	reg.Help(MetricDrops, "Packets dropped, by cause.")
+	reg.Help(MetricHopSeconds, "Per-hop Interest pipeline latency.")
+	m.interest = reg.Counter(MetricInterests, m.role)
+	m.data = reg.Counter(MetricData, m.role)
+	m.csHits = reg.Counter(MetricCSHits, m.role)
+	m.hop = reg.Histogram(MetricHopSeconds, nil, m.role)
+	m.nacks = make(map[string]*obs.Counter)
+	for _, reason := range core.ReasonLabels() {
+		m.nacks[reason] = reg.Counter(MetricNACKs, m.role, obs.L("reason", reason))
+	}
+	m.drops = make(map[string]*obs.Counter)
+	for _, cause := range []string{dropDupNonce, dropNoRoute, dropNoFace, dropUnsolicited, dropUndeliverable} {
+		m.drops[cause] = reg.Counter(MetricDrops, m.role, obs.L("cause", cause))
+	}
+	return m
+}
+
+// nack counts one NACK under its reason label.
+func (m *obsMetrics) nack(reason error) {
+	if m.nacks == nil {
+		return
+	}
+	label := core.ReasonLabel(reason)
+	c, ok := m.nacks[label]
+	if !ok {
+		c = m.nacks["other"]
+	}
+	c.Inc()
+}
+
+// drop counts one drop under its cause label.
+func (m *obsMetrics) drop(cause string) {
+	if m.drops == nil {
+		return
+	}
+	m.drops[cause].Inc()
+}
+
+// faceMetrics builds the per-face transport counters.
+func (m *obsMetrics) faceMetrics(id ndn.FaceID, downstream bool) *transport.Metrics {
+	if m.reg == nil {
+		return nil
+	}
+	link := "upstream"
+	if downstream {
+		link = "downstream"
+	}
+	face := obs.L("face", itoa(int(id)))
+	kind := obs.L("link", link)
+	in, out := obs.L("dir", "in"), obs.L("dir", "out")
+	return &transport.Metrics{
+		FramesIn:  m.reg.Counter(MetricFaceFrames, m.role, face, kind, in),
+		FramesOut: m.reg.Counter(MetricFaceFrames, m.role, face, kind, out),
+		BytesIn:   m.reg.Counter(MetricFaceBytes, m.role, face, kind, in),
+		BytesOut:  m.reg.Counter(MetricFaceBytes, m.role, face, kind, out),
+		Errors:    m.reg.Counter(MetricFaceErrors, m.role, face, kind),
+	}
+}
+
+// registerSampled wires the counters owned by other layers (Bloom
+// filter, validator) and the instantaneous table sizes as scrape-time
+// callbacks. The closures take f.mu; the obs registry never calls them
+// under its own lock, so lock order is always f.mu ← never reversed.
+func (f *Forwarder) registerSampled(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	role := obs.L("role", f.cfg.Role.String())
+	locked := func(get func() float64) func() float64 {
+		return func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return get()
+		}
+	}
+	reg.CounterFunc(MetricBFLookups, locked(func() float64 { return float64(f.tactic.Bloom().Stats().Lookups) }), role)
+	reg.CounterFunc(MetricBFInsertions, locked(func() float64 { return float64(f.tactic.Bloom().Stats().Insertions) }), role)
+	reg.CounterFunc(MetricBFResets, locked(func() float64 { return float64(f.tactic.Bloom().Stats().Resets) }), role)
+	reg.CounterFunc(MetricVerifications, locked(func() float64 { return float64(f.tactic.Validator().Verifications()) }), role)
+	for reason, get := range map[string]func(core.ValidatorStats) uint64{
+		"no_tag":  func(s core.ValidatorStats) uint64 { return s.Missing },
+		"expired": func(s core.ValidatorStats) uint64 { return s.Expired },
+		"forged":  func(s core.ValidatorStats) uint64 { return s.Forged },
+	} {
+		get := get
+		reg.CounterFunc(MetricVerifyFailed,
+			locked(func() float64 { return float64(get(f.tactic.Validator().Stats())) }),
+			role, obs.L("reason", reason))
+	}
+	reg.GaugeFunc(MetricBFFillRatio, locked(func() float64 { return f.tactic.Bloom().FillRatio() }), role)
+	reg.GaugeFunc(MetricBFFPP, locked(func() float64 { return f.tactic.Bloom().FPP() }), role)
+	reg.GaugeFunc(MetricBFEntries, locked(func() float64 { return float64(f.tactic.Bloom().Count()) }), role)
+	reg.GaugeFunc(MetricPITEntries, locked(func() float64 { return float64(f.pit.Len()) }), role)
+	reg.GaugeFunc(MetricCSEntries, locked(func() float64 { return float64(f.cs.Len()) }), role)
+	reg.GaugeFunc(MetricFIBEntries, locked(func() float64 { return float64(f.fib.Len()) }), role)
+	reg.GaugeFunc(MetricFaces, locked(func() float64 { return float64(len(f.faces)) }), role)
+}
+
+// BloomStatus describes one Bloom filter for /statusz.
+type BloomStatus struct {
+	// Bits and Hashes are the filter shape (m, k).
+	Bits   uint64 `json:"bits"`
+	Hashes uint32 `json:"hashes"`
+	// Entries counts elements inserted since the last reset.
+	Entries uint64 `json:"entries"`
+	// FillRatio is the fraction of set bits.
+	FillRatio float64 `json:"fill_ratio"`
+	// FPP is the live false-positive probability estimate; MaxFPP the
+	// reset threshold.
+	FPP    float64 `json:"fpp"`
+	MaxFPP float64 `json:"max_fpp"`
+	// Lookups, Insertions, Resets are lifetime operation counts.
+	Lookups    uint64 `json:"lookups"`
+	Insertions uint64 `json:"insertions"`
+	Resets     uint64 `json:"resets"`
+	// RequestsSinceReset counts lookups absorbed since the last reset.
+	RequestsSinceReset uint64 `json:"requests_since_reset"`
+}
+
+// bloomStatus snapshots a filter. Callers hold the owning lock.
+func bloomStatus(f *bloom.Filter) BloomStatus {
+	st := f.Stats()
+	return BloomStatus{
+		Bits: f.Bits(), Hashes: f.Hashes(), Entries: f.Count(),
+		FillRatio: f.FillRatio(), FPP: f.FPP(), MaxFPP: f.MaxFPP(),
+		Lookups: st.Lookups, Insertions: st.Insertions, Resets: st.Resets,
+		RequestsSinceReset: f.RequestsSinceReset(),
+	}
+}
+
+// FaceStatus describes one attached face for /statusz.
+type FaceStatus struct {
+	ID         int             `json:"id"`
+	Remote     string          `json:"remote,omitempty"`
+	Downstream bool            `json:"downstream"`
+	Stats      transport.Stats `json:"stats"`
+}
+
+// Status is the forwarder's /statusz document.
+type Status struct {
+	ID            string              `json:"id"`
+	Role          string              `json:"role"`
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	PITEntries    int                 `json:"pit_entries"`
+	CSEntries     int                 `json:"cs_entries"`
+	FIBEntries    int                 `json:"fib_entries"`
+	Bloom         BloomStatus         `json:"bloom"`
+	Validator     core.ValidatorStats `json:"validator"`
+	Counters      Stats               `json:"counters"`
+	Faces         []FaceStatus        `json:"faces"`
+}
+
+// Status snapshots the forwarder for /statusz.
+func (f *Forwarder) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		ID:            f.cfg.ID,
+		Role:          f.cfg.Role.String(),
+		UptimeSeconds: time.Since(f.start).Seconds(),
+		PITEntries:    f.pit.Len(),
+		CSEntries:     f.cs.Len(),
+		FIBEntries:    f.fib.Len(),
+		Bloom:         bloomStatus(f.tactic.Bloom()),
+		Validator:     f.tactic.Validator().Stats(),
+		Counters:      f.stats,
+	}
+	for id, fs := range f.faces {
+		fst := FaceStatus{ID: int(id), Downstream: fs.downstream, Stats: fs.conn.Stats()}
+		if addr := fs.conn.RemoteAddr(); addr != nil {
+			fst.Remote = addr.String()
+		}
+		st.Faces = append(st.Faces, fst)
+	}
+	return st
+}

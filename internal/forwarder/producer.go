@@ -9,6 +9,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/bloom"
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 	"github.com/tactic-icn/tactic/internal/transport"
 )
@@ -50,6 +51,30 @@ func NewProducer(provider *core.Provider, registry *pki.Registry, logf func(stri
 
 // Provider exposes the underlying provider (for enrollment).
 func (p *Producer) Provider() *core.Provider { return p.provider }
+
+// Instrument exposes the producer's counters on reg as scrape-time
+// callbacks, labelled with the provider prefix. Safe on a nil registry.
+func (p *Producer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	role := obs.L("role", "producer")
+	prefix := obs.L("provider", p.provider.Prefix().String())
+	sampled := func(get func(ProducerStats) uint64) func() float64 {
+		return func() float64 { return float64(get(p.Stats())) }
+	}
+	reg.Help(MetricProducerServed, "Content responses served by the origin.")
+	reg.Help(MetricRegistrations, "Tag registrations handled by the origin, by result.")
+	reg.CounterFunc(MetricProducerServed, sampled(func(s ProducerStats) uint64 { return s.Served }), role, prefix)
+	reg.CounterFunc(MetricProducerNACKs, sampled(func(s ProducerStats) uint64 { return s.NACKed }), role, prefix)
+	reg.CounterFunc(MetricRegistrations, sampled(func(s ProducerStats) uint64 { return s.Registrations }), role, prefix, obs.L("result", "issued"))
+	reg.CounterFunc(MetricRegistrations, sampled(func(s ProducerStats) uint64 { return s.RegistrationsFailed }), role, prefix, obs.L("result", "failed"))
+	reg.CounterFunc(MetricVerifications, func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.tactic.Validator().Verifications())
+	}, role, prefix)
+}
 
 // AddContent installs a published chunk.
 func (p *Producer) AddContent(c *core.Content) {

@@ -1,0 +1,92 @@
+package forwarder
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryConfig shapes Retry's backoff schedule. The zero value retries
+// DefaultRetryAttempts times starting at DefaultRetryBase, capped at
+// DefaultRetryCap.
+type RetryConfig struct {
+	// Attempts bounds the number of calls to the operation (including
+	// the first); <= 0 selects DefaultRetryAttempts.
+	Attempts int
+	// Base is the first backoff interval; successive intervals double.
+	Base time.Duration
+	// Cap bounds a single backoff interval.
+	Cap time.Duration
+	// Logf, when set, receives one line per failed attempt.
+	Logf func(format string, args ...any)
+}
+
+// Retry defaults: 10 attempts, 250ms doubling to a 5s cap, gives an
+// upstream ~23s to come up — generous for a peer daemon started by the
+// same script, without the old fixed-interval hammering.
+const (
+	DefaultRetryAttempts = 10
+	DefaultRetryBase     = 250 * time.Millisecond
+	DefaultRetryCap      = 5 * time.Second
+)
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts <= 0 {
+		c.Attempts = DefaultRetryAttempts
+	}
+	if c.Base <= 0 {
+		c.Base = DefaultRetryBase
+	}
+	if c.Cap <= 0 {
+		c.Cap = DefaultRetryCap
+	}
+	return c
+}
+
+// retryDelay computes the sleep before attempt+1 (attempt counts from
+// 1): exponential doubling of base capped at cap, with "equal jitter" —
+// uniform in [d/2, d] — so a herd of routers restarting together
+// decorrelates instead of reconnecting in lockstep.
+func retryDelay(attempt int, base, cap time.Duration, intn func(int64) int64) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	return half + time.Duration(intn(int64(half)+1))
+}
+
+// Retry runs op until it succeeds, the attempt budget is exhausted, or
+// ctx is cancelled, sleeping a jittered exponential backoff between
+// attempts. It returns op's last error when the budget runs out, or the
+// context error (wrapping the last attempt error) on cancellation.
+func Retry[T any](ctx context.Context, cfg RetryConfig, op func() (T, error)) (T, error) {
+	cfg = cfg.withDefaults()
+	var zero T
+	var err error
+	for attempt := 1; ; attempt++ {
+		var v T
+		if v, err = op(); err == nil {
+			return v, nil
+		}
+		if attempt >= cfg.Attempts {
+			return zero, err
+		}
+		d := retryDelay(attempt, cfg.Base, cfg.Cap, rand.Int63n)
+		if cfg.Logf != nil {
+			cfg.Logf("attempt %d/%d failed: %v (retrying in %s)",
+				attempt, cfg.Attempts, err, d.Round(time.Millisecond))
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return zero, fmt.Errorf("%w (last attempt %d: %v)", ctx.Err(), attempt, err)
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package forwarder
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRetryDelaySchedule(t *testing.T) {
+	// Kill the jitter by always drawing the maximum, so the delay is
+	// exactly the doubling schedule.
+	maxDraw := func(n int64) int64 { return n - 1 }
+	base, cap := 250*time.Millisecond, 5*time.Second
+	want := []time.Duration{
+		250 * time.Millisecond, 500 * time.Millisecond, time.Second,
+		2 * time.Second, 4 * time.Second, 5 * time.Second, 5 * time.Second,
+	}
+	for i, w := range want {
+		if got := retryDelay(i+1, base, cap, maxDraw); got != w {
+			t.Errorf("retryDelay(%d) = %s, want %s", i+1, got, w)
+		}
+	}
+	// Minimum draw gives the equal-jitter floor of half the interval.
+	minDraw := func(int64) int64 { return 0 }
+	if got := retryDelay(3, base, cap, minDraw); got != 500*time.Millisecond {
+		t.Errorf("retryDelay(3, min jitter) = %s, want 500ms", got)
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	var logs []string
+	calls := 0
+	v, err := Retry(context.Background(), RetryConfig{
+		Attempts: 5,
+		Base:     time.Millisecond,
+		Cap:      2 * time.Millisecond,
+		Logf:     func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) },
+	}, func() (int, error) {
+		calls++
+		if calls < 3 {
+			return 0, errors.New("not yet")
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Retry = (%d, %v), want (42, nil)", v, err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+	if len(logs) != 2 || !strings.Contains(logs[0], "attempt 1/5") || !strings.Contains(logs[1], "attempt 2/5") {
+		t.Fatalf("logs = %q, want attempt 1/5 and 2/5 lines", logs)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	_, err := Retry(context.Background(), RetryConfig{Attempts: 3, Base: time.Microsecond},
+		func() (struct{}, error) { calls++; return struct{}{}, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op called %d times, want 3", calls)
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := Retry(ctx, RetryConfig{Attempts: 100, Base: time.Hour},
+		func() (int, error) { calls++; return 0, errors.New("down") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op called %d times after cancel, want 1", calls)
+	}
+}

@@ -50,10 +50,12 @@ func (ts *TimeSeries) Observe(elapsed time.Duration, value float64) {
 	ts.counts[idx]++
 }
 
-// Add accumulates a delta without incrementing the sample count beyond
-// one event (for event-rate series).
+// Add accumulates a delta into the bucket sum without recording a
+// sample, so event-rate series (Sums/Rates) stay correct when a single
+// event carries a multi-unit delta, and Averages still reflects only
+// Observe'd samples.
 func (ts *TimeSeries) Add(elapsed time.Duration, delta float64) {
-	ts.Observe(elapsed, delta)
+	ts.sums[ts.indexFor(elapsed)] += delta
 }
 
 // Len returns the number of buckets.

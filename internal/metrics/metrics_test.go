@@ -46,6 +46,32 @@ func TestTimeSeriesRatesAndSums(t *testing.T) {
 	}
 }
 
+func TestTimeSeriesAddDoesNotCountSamples(t *testing.T) {
+	// A mixed series: Observe records samples, Add folds in extra
+	// volume. Add must not register samples, or bucket averages get
+	// diluted and Averages/Sums disagree about what happened.
+	ts := NewTimeSeries(time.Second)
+	ts.Observe(100*time.Millisecond, 10)
+	ts.Observe(200*time.Millisecond, 20)
+	if got := ts.Averages()[0]; got != 15 {
+		t.Errorf("average = %v, want 15", got)
+	}
+	// An Add-only bucket has volume but no samples: its average must be
+	// NaN, not delta/1. The old Add delegated to Observe and registered
+	// a phantom sample per call.
+	ts.Add(1300*time.Millisecond, 5)
+	ts.Add(1600*time.Millisecond, 3)
+	if got := ts.Sums()[1]; got != 8 {
+		t.Errorf("Add-only bucket sum = %v, want 8", got)
+	}
+	if got := ts.Averages()[1]; !math.IsNaN(got) {
+		t.Errorf("Add-only bucket average = %v, want NaN (Add must not record samples)", got)
+	}
+	if got := ts.Rates()[1]; got != 8 {
+		t.Errorf("Add-only bucket rate = %v/s, want 8", got)
+	}
+}
+
 func TestTimeSeriesNegativeAndZeroBucket(t *testing.T) {
 	ts := NewTimeSeries(0) // falls back to 1s
 	ts.Observe(-5*time.Second, 7)

@@ -1,0 +1,143 @@
+// Per-Interest tracing: a Span follows one packet through a router's
+// enforcement pipeline (pre-check → BF lookup → signature verify →
+// forward/NACK) and is emitted as one JSON line when it ends. Sampling
+// keeps the cost bounded under load.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer emits sampled trace spans as JSON lines. A nil Tracer (or a nil
+// Span from an unsampled Start) no-ops, so instrumented code traces
+// unconditionally.
+type Tracer struct {
+	node   string
+	sample float64
+	mu     sync.Mutex // guards w
+	w      io.Writer
+	seq    atomic.Uint64
+	spans  atomic.Uint64
+}
+
+// NewTracer creates a tracer writing JSON lines to w. node names the
+// emitting router in every span. sample in (0,1] is the fraction of
+// spans kept: 1 traces everything; 0.01 keeps ~one in a hundred.
+// Sampling is stride-based on the span sequence number, so it is cheap,
+// lock-free, and deterministic for a given arrival order.
+func NewTracer(node string, sample float64, w io.Writer) *Tracer {
+	if sample <= 0 || w == nil {
+		return nil
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	return &Tracer{node: node, sample: sample, w: w}
+}
+
+// Spans returns the number of spans emitted.
+func (t *Tracer) Spans() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.spans.Load()
+}
+
+// spanEvent is one annotated pipeline stage.
+type spanEvent struct {
+	// Stage names the pipeline step ("precheck", "bf_lookup", "verify",
+	// "bf_reset", "flag", "forward", "nack", ...).
+	Stage string `json:"stage"`
+	// AtMicros is the stage's offset from span start in microseconds.
+	AtMicros int64 `json:"us"`
+	// Detail carries a stage-specific annotation ("hit", "miss",
+	// "reason=...", "F=0.0001").
+	Detail string `json:"d,omitempty"`
+}
+
+// spanRecord is the JSON shape of one emitted span.
+type spanRecord struct {
+	Time     string      `json:"t"`
+	Node     string      `json:"node"`
+	Kind     string      `json:"kind"`
+	Name     string      `json:"name"`
+	Seq      uint64      `json:"seq"`
+	Events   []spanEvent `json:"events,omitempty"`
+	Outcome  string      `json:"outcome"`
+	DurMicro int64       `json:"dur_us"`
+}
+
+// Span is one in-flight trace. It is owned by a single goroutine (the
+// pipeline serialises packet handling) and must not be shared.
+type Span struct {
+	tracer *Tracer
+	seq    uint64
+	start  time.Time
+	kind   string
+	name   string
+	events []spanEvent
+}
+
+// Start begins a span for one packet; it returns nil (a no-op span) when
+// the tracer is nil or the packet is not sampled. kind distinguishes
+// pipelines ("interest", "data"); name is the packet name.
+func (t *Tracer) Start(kind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	seq := t.seq.Add(1)
+	// Stride sampling: keep span i iff frac(i·sample) wraps — exactly
+	// sample fraction of spans, evenly spread, no RNG on the hot path.
+	if t.sample < 1 {
+		prev := uint64(float64(seq-1) * t.sample)
+		cur := uint64(float64(seq) * t.sample)
+		if cur == prev {
+			return nil
+		}
+	}
+	return &Span{tracer: t, seq: seq, start: time.Now(), kind: kind, name: name}
+}
+
+// Event annotates one pipeline stage.
+func (s *Span) Event(stage, detail string) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, spanEvent{
+		Stage:    stage,
+		AtMicros: time.Since(s.start).Microseconds(),
+		Detail:   detail,
+	})
+}
+
+// End finishes the span with an outcome ("forwarded", "cs_hit",
+// "aggregated", "nack:expired", "drop:no_route", ...) and emits it.
+func (s *Span) End(outcome string) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	rec := spanRecord{
+		Time:     s.start.UTC().Format(time.RFC3339Nano),
+		Node:     t.node,
+		Kind:     s.kind,
+		Name:     s.name,
+		Seq:      s.seq,
+		Events:   s.events,
+		Outcome:  outcome,
+		DurMicro: time.Since(s.start).Microseconds(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	t.w.Write(line) //nolint:errcheck // tracing is best-effort
+	t.mu.Unlock()
+	t.spans.Add(1)
+}

@@ -13,8 +13,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 )
 
 // MaxPacketSize bounds a single packet (type + length + body); frames
@@ -44,6 +46,24 @@ type Packet struct {
 	Data *ndn.Data
 }
 
+// Stats is a snapshot of one connection's frame and byte counters.
+type Stats struct {
+	// FramesIn and FramesOut count complete frames received and sent.
+	FramesIn, FramesOut uint64
+	// BytesIn and BytesOut count frame bytes (header + body).
+	BytesIn, BytesOut uint64
+	// Errors counts framing and I/O failures (clean EOFs excluded).
+	Errors uint64
+}
+
+// Metrics routes a connection's counters into an obs registry; any field
+// may be nil (obs counters no-op when nil). Typically one Metrics per
+// face, labelled with the face ID.
+type Metrics struct {
+	// FramesIn/FramesOut/BytesIn/BytesOut/Errors mirror Stats.
+	FramesIn, FramesOut, BytesIn, BytesOut, Errors *obs.Counter
+}
+
 // Conn frames NDN packets over a byte stream. Reads are single-reader;
 // writes are internally serialised and safe for concurrent use.
 type Conn struct {
@@ -51,6 +71,11 @@ type Conn struct {
 	r  *bufio.Reader
 	w  *bufio.Writer
 	mu sync.Mutex // guards w
+
+	framesIn, framesOut atomic.Uint64
+	bytesIn, bytesOut   atomic.Uint64
+	errs                atomic.Uint64
+	metrics             atomic.Pointer[Metrics]
 }
 
 // New wraps a net.Conn.
@@ -59,6 +84,49 @@ func New(c net.Conn) *Conn {
 		c: c,
 		r: bufio.NewReaderSize(c, 64<<10),
 		w: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// SetMetrics attaches per-face observability counters. Safe to call
+// concurrently with traffic; counters attached mid-stream miss earlier
+// frames (the Stats snapshot does not).
+func (c *Conn) SetMetrics(m *Metrics) { c.metrics.Store(m) }
+
+// Stats returns a snapshot of the connection's counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		FramesIn:  c.framesIn.Load(),
+		FramesOut: c.framesOut.Load(),
+		BytesIn:   c.bytesIn.Load(),
+		BytesOut:  c.bytesOut.Load(),
+		Errors:    c.errs.Load(),
+	}
+}
+
+// countIn/countOut/countErr update the atomic tallies and any attached
+// registry counters.
+func (c *Conn) countIn(n int) {
+	c.framesIn.Add(1)
+	c.bytesIn.Add(uint64(n))
+	if m := c.metrics.Load(); m != nil {
+		m.FramesIn.Inc()
+		m.BytesIn.Add(uint64(n))
+	}
+}
+
+func (c *Conn) countOut(n int) {
+	c.framesOut.Add(1)
+	c.bytesOut.Add(uint64(n))
+	if m := c.metrics.Load(); m != nil {
+		m.FramesOut.Inc()
+		m.BytesOut.Add(uint64(n))
+	}
+}
+
+func (c *Conn) countErr() {
+	c.errs.Add(1)
+	if m := c.metrics.Load(); m != nil {
+		m.Errors.Inc()
 	}
 }
 
@@ -94,11 +162,14 @@ func (c *Conn) writeFrame(frame []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := c.w.Write(frame); err != nil {
+		c.countErr()
 		return fmt.Errorf("transport: write: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
+		c.countErr()
 		return fmt.Errorf("transport: flush: %w", err)
 	}
+	c.countOut(len(frame))
 	return nil
 }
 
@@ -106,22 +177,29 @@ func (c *Conn) writeFrame(frame []byte) error {
 func (c *Conn) Receive() (Packet, error) {
 	frame, typ, err := readFrame(c.r)
 	if err != nil {
+		if !errors.Is(err, io.EOF) { // clean close is not an error
+			c.countErr()
+		}
 		return Packet{}, err
 	}
+	c.countIn(len(frame))
 	switch typ {
 	case typeInterest:
 		i, err := ndn.DecodeInterest(frame)
 		if err != nil {
+			c.countErr()
 			return Packet{}, err
 		}
 		return Packet{Interest: i}, nil
 	case typeData:
 		d, err := ndn.DecodeData(frame)
 		if err != nil {
+			c.countErr()
 			return Packet{}, err
 		}
 		return Packet{Data: d}, nil
 	default:
+		c.countErr()
 		return Packet{}, fmt.Errorf("%w: %#x", ErrBadPacketType, typ)
 	}
 }
