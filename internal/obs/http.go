@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewAdminMux builds the admin endpoint for a process: Prometheus
@@ -51,7 +52,15 @@ func ServeAdmin(addr string, reg *Registry, statusz func() any) (net.Listener, e
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewAdminMux(reg, statusz)}
+	// Header/idle timeouts bound slow-client (slowloris) connections;
+	// there is deliberately no WriteTimeout so long pprof profile and
+	// trace captures are not cut off mid-stream.
+	srv := &http.Server{
+		Handler:           NewAdminMux(reg, statusz),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go srv.Serve(ln) //nolint:errcheck // exits when ln closes
 	return ln, nil
 }

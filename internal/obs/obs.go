@@ -181,13 +181,16 @@ func (k kind) promType() string {
 	return "untyped"
 }
 
-// series is one labelled instance of a family.
+// series is one labelled instance of a family. Exactly one backing slot
+// is populated inside Registry.get while the registry lock is held;
+// counter/gauge/hist never change afterwards, and fn is atomic so a
+// re-registered callback cannot race a concurrent scrape.
 type series struct {
 	labels  string // rendered {k="v",...} suffix, "" when unlabelled
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
-	fn      func() float64
+	fn      atomic.Pointer[func() float64]
 }
 
 // family groups all series sharing one metric name.
@@ -244,9 +247,16 @@ func renderLabels(labels []Label) string {
 }
 
 // get returns the series for (name, labels), creating family and series
-// as needed. It panics when a name is reused with a different kind —
-// a programming error that would corrupt the exposition.
-func (r *Registry) get(name string, k kind, labels []Label) *series {
+// as needed; the series' backing value (counter, gauge, histogram, or
+// callback) is initialized here, under the registry lock, so callers
+// only ever read an already-populated series. Kinds that render to the
+// same Prometheus type are compatible — a family may mix direct
+// counters and CounterFunc-sampled counters (under distinct labels), as
+// the simulator's PublishObs and the live forwarder do. get panics when
+// a name is reused with an incompatible type, or when one exact
+// (name, labels) series is requested both direct and func-backed —
+// programming errors that would corrupt the exposition.
+func (r *Registry) get(name string, k kind, bounds []float64, fn func() float64, labels []Label) *series {
 	key := renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -256,13 +266,39 @@ func (r *Registry) get(name string, k kind, labels []Label) *series {
 		r.families[name] = fam
 	} else if fam.kind == 0 {
 		fam.kind = k // family pre-created by Help
-	} else if fam.kind != k {
+	} else if fam.kind.promType() != k.promType() {
 		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, fam.kind.promType(), k.promType()))
 	}
 	s, ok := fam.series[key]
 	if !ok {
 		s = &series{labels: key}
+		switch k {
+		case kindCounter:
+			s.counter = new(Counter)
+		case kindGauge:
+			s.gauge = new(Gauge)
+		case kindHistogram:
+			s.hist = newHistogram(bounds)
+		case kindCounterFunc, kindGaugeFunc:
+			s.fn.Store(&fn)
+		}
 		fam.series[key] = s
+		return s
+	}
+	switch k {
+	case kindCounter:
+		if s.counter == nil {
+			panic(fmt.Sprintf("obs: metric %s%s registered as both a direct counter and a sampling callback", name, key))
+		}
+	case kindGauge:
+		if s.gauge == nil {
+			panic(fmt.Sprintf("obs: metric %s%s registered as both a direct gauge and a sampling callback", name, key))
+		}
+	case kindCounterFunc, kindGaugeFunc:
+		if s.fn.Load() == nil {
+			panic(fmt.Sprintf("obs: metric %s%s registered as both a sampling callback and a direct %s", name, key, k.promType()))
+		}
+		s.fn.Store(&fn) // re-registration replaces the callback
 	}
 	return s
 }
@@ -286,11 +322,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.get(name, kindCounter, labels)
-	if s.counter == nil {
-		s.counter = new(Counter)
-	}
-	return s.counter
+	return r.get(name, kindCounter, nil, nil, labels).counter
 }
 
 // Gauge returns (creating if needed) the gauge for name+labels.
@@ -298,11 +330,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.get(name, kindGauge, labels)
-	if s.gauge == nil {
-		s.gauge = new(Gauge)
-	}
-	return s.gauge
+	return r.get(name, kindGauge, nil, nil, labels).gauge
 }
 
 // Histogram returns (creating if needed) the histogram for name+labels.
@@ -315,31 +343,29 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	if bounds == nil {
 		bounds = DefLatencyBuckets
 	}
-	s := r.get(name, kindHistogram, labels)
-	if s.hist == nil {
-		s.hist = newHistogram(bounds)
-	}
-	return s.hist
+	return r.get(name, kindHistogram, bounds, nil, labels).hist
 }
 
 // CounterFunc registers a callback sampled at scrape time and exposed as
 // a counter — for monotonic totals owned by other subsystems (the Bloom
 // filter's lookup count, the validator's verification count). fn may take
-// locks; it is never called under the registry lock.
+// locks; it is never called under the registry lock. Registering the
+// same name+labels again replaces the callback.
 func (r *Registry) CounterFunc(name string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	r.get(name, kindCounterFunc, labels).fn = fn
+	r.get(name, kindCounterFunc, nil, fn, labels)
 }
 
 // GaugeFunc registers a callback sampled at scrape time and exposed as a
 // gauge — for instantaneous sizes (PIT entries, BF fill ratio).
+// Registering the same name+labels again replaces the callback.
 func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	r.get(name, kindGaugeFunc, labels).fn = fn
+	r.get(name, kindGaugeFunc, nil, fn, labels)
 }
 
 // snapshotFamilies copies the family/series structure under the read
@@ -366,8 +392,9 @@ func (s *series) value() float64 {
 		return float64(s.counter.Value())
 	case s.gauge != nil:
 		return s.gauge.Value()
-	case s.fn != nil:
-		return s.fn()
+	}
+	if fn := s.fn.Load(); fn != nil {
+		return (*fn)()
 	}
 	return 0
 }

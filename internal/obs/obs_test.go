@@ -177,6 +177,52 @@ func TestConcurrentIncrements(t *testing.T) {
 	if h.Count() != 8000 {
 		t.Errorf("histogram count = %d, want 8000", h.Count())
 	}
+	// All goroutines must have resolved the one g_total series: a racy
+	// resolver could hand out two distinct handles and lose increments.
+	if v := r.Counter("g_total", L("i", "x")).Value(); v != 8000 {
+		t.Errorf("concurrently resolved counter = %d, want 8000", v)
+	}
+}
+
+// TestCounterAndCounterFuncShareFamily: the simulator's PublishObs
+// publishes plain counters under the same metric names the live
+// forwarder registers as CounterFunc (distinct label sets). Both render
+// as Prometheus counters, so one registry must accept the mix.
+func TestCounterAndCounterFuncShareFamily(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("bf_lookups_total", func() float64 { return 11 }, L("role", "edge"))
+	r.Counter("bf_lookups_total", L("role", "edge"), L("run", "sim1")).Add(5)
+	r.GaugeFunc("fill_ratio", func() float64 { return 0.5 }, L("role", "edge"))
+	r.Gauge("fill_ratio", L("run", "sim1")).Set(0.25)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE bf_lookups_total counter",
+		`bf_lookups_total{role="edge"} 11`,
+		`bf_lookups_total{role="edge",run="sim1"} 5`,
+		`fill_ratio{role="edge"} 0.5`,
+		`fill_ratio{run="sim1"} 0.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A single exact (name, labels) series still cannot be both a direct
+// counter and a sampling callback.
+func TestDirectAndFuncSameSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("m_total", func() float64 { return 1 }, L("role", "edge"))
+	defer func() {
+		if recover() == nil {
+			t.Error("direct counter reuse of a func-backed series did not panic")
+		}
+	}()
+	r.Counter("m_total", L("role", "edge"))
 }
 
 // TestScrapeDoesNotHoldLockDuringCallbacks: a GaugeFunc that itself
