@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short race bench repro repro-full demo-keys clean
+.PHONY: all build vet check test test-short race chaos soak bench repro repro-full demo-keys clean
 
 all: build test
 
@@ -12,9 +12,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The pre-merge gate: compile, static checks, full tests, and the race
-# detector over the concurrent packages.
-check: build vet test race
+# The pre-merge gate: compile, static checks, full tests, the race
+# detector over the concurrent packages, and the fault-injection suite.
+check: build vet test race chaos
 
 test:
 	$(GO) test ./...
@@ -24,6 +24,15 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/...
+
+# Fault-injection suite: failover/chaos soaks and face churn, under the
+# race detector (see README "Failure handling & chaos testing").
+chaos:
+	$(GO) test -race -count=1 -run 'Soak|Churn|Chaos|Fault' ./internal/forwarder/ ./internal/transport/chaos/
+
+# Longer manual soak: repeat the failover and chaos scenarios.
+soak:
+	$(GO) test -race -count=5 -run 'Soak' ./internal/forwarder/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -25,12 +25,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/tactic-icn/tactic/internal/forwarder"
 	"github.com/tactic-icn/tactic/internal/names"
-	"github.com/tactic-icn/tactic/internal/ndn"
 	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
+	"github.com/tactic-icn/tactic/internal/transport/chaos"
 )
 
 func main() {
@@ -57,6 +58,10 @@ func run(args []string) error {
 	admin := fs.String("admin", "", "admin HTTP address for /metrics, /statusz, /debug/pprof (empty = disabled)")
 	traceOut := fs.String("trace", "", "per-Interest trace output: file path or - for stderr (empty = disabled)")
 	traceSample := fs.Float64("trace-sample", 1.0, "fraction of packets traced, 0..1")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-frame write deadline on every face (0 = none)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "recycle a face after this long without a frame (0 = never)")
+	keepalive := fs.Duration("keepalive", 0, "send keepalive frames on every face at this interval (0 = none); set peers' -idle-timeout to ~3x this")
+	chaosSpec := fs.String("chaos", "", "fault-inject upstream links, e.g. drop=0.05,delay=0.1,maxdelay=20ms,seed=1 (testing only)")
 	var trusts, routes multiFlag
 	fs.Var(&trusts, "trust", "provider public-key PEM file (repeatable)")
 	fs.Var(&routes, "route", "prefix=upstreamAddr (repeatable)")
@@ -112,15 +117,18 @@ func run(args []string) error {
 	}
 
 	fwd, err := forwarder.New(forwarder.Config{
-		ID:         *id,
-		Role:       r,
-		Registry:   registry,
-		BFCapacity: *bfSize,
-		BFMaxFPP:   *bfFPP,
-		CSCapacity: *csSize,
-		Logf:       log.Printf,
-		Obs:        reg,
-		Tracer:     tracer,
+		ID:                *id,
+		Role:              r,
+		Registry:          registry,
+		BFCapacity:        *bfSize,
+		BFMaxFPP:          *bfFPP,
+		CSCapacity:        *csSize,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		KeepaliveInterval: *keepalive,
+		Logf:              log.Printf,
+		Obs:               reg,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		return err
@@ -136,6 +144,23 @@ func run(args []string) error {
 		log.Printf("admin endpoint on http://%s (/metrics /statusz /debug/pprof)", aln.Addr())
 	}
 
+	// Optional upstream fault injection for soak/demo runs.
+	var dial func(addr string) (net.Conn, error)
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		dial = chaos.Dialer(ccfg)
+		log.Printf("chaos on upstream links: %s", *chaosSpec)
+	}
+
+	// Each upstream becomes a managed link: it dials with jittered
+	// backoff, reinstalls its routes on every (re)attach, and detaches
+	// them while down — the daemon starts even when upstreams are not up
+	// yet, and survives them restarting.
+	byAddr := make(map[string][]names.Name)
+	var addrs []string
 	for _, route := range routes {
 		prefixStr, addr, ok := strings.Cut(route, "=")
 		if !ok {
@@ -145,15 +170,20 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		// Tolerate upstreams that are still starting: jittered
-		// exponential backoff rather than a fixed-interval hammer.
-		face, err := forwarder.Retry(ctx, forwarder.RetryConfig{Logf: log.Printf},
-			func() (ndn.FaceID, error) { return fwd.DialUpstream(addr) })
-		if err != nil {
-			return fmt.Errorf("dial upstream %s: %w", addr, err)
+		if _, seen := byAddr[addr]; !seen {
+			addrs = append(addrs, addr)
 		}
-		fwd.AddRoute(prefix, face)
-		log.Printf("route %s -> %s (face %d)", prefix, addr, face)
+		byAddr[addr] = append(byAddr[addr], prefix)
+	}
+	for _, addr := range addrs {
+		if _, err := fwd.ManageUpstream(forwarder.UplinkConfig{
+			Addr:   addr,
+			Routes: byAddr[addr],
+			Dial:   dial,
+		}); err != nil {
+			return err
+		}
+		log.Printf("uplink %s: %d routes managed", addr, len(byAddr[addr]))
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -35,6 +35,8 @@ func run(args []string) error {
 	nameStr := fs.String("name", "", "object name, e.g. /prov0/report")
 	out := fs.String("out", "", "output file (default stdout)")
 	timeout := fs.Duration("timeout", 4*time.Second, "per-chunk timeout")
+	attempts := fs.Int("attempts", forwarder.DefaultFetchAttempts,
+		"per-request send budget: the Interest plus retransmissions, within -timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +75,7 @@ func run(args []string) error {
 		return err
 	}
 	defer client.Close()
+	client.SetAttempts(*attempts)
 
 	start := time.Now()
 	payload, chunks, err := client.FetchObject(objName, *timeout)

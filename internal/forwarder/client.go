@@ -32,9 +32,10 @@ type Client struct {
 	nonce     uint64
 	nonceSalt uint64
 	readErr   error
+	attempts  int
 
 	fetchOK, fetchNACK, fetchTimeout, fetchErr atomic.Uint64
-	regOK, regFailed                           atomic.Uint64
+	regOK, regFailed, retransmits              atomic.Uint64
 
 	closed chan struct{}
 	once   sync.Once
@@ -153,6 +154,63 @@ func (c *Client) await(i *ndn.Interest, timeout time.Duration) (*ndn.Data, error
 	}
 }
 
+// DefaultFetchAttempts is the per-request send budget: the original
+// Interest plus up to two retransmissions. Retransmissions recover
+// Interests lost to packet drops or an upstream failing over; each
+// carries a fresh nonce so PITs treat it as a new request instead of
+// suppressing it as a duplicate.
+const DefaultFetchAttempts = 3
+
+// SetAttempts sets the per-request send budget (Interest + retransmits);
+// n < 1 selects DefaultFetchAttempts. Call before issuing requests.
+func (c *Client) SetAttempts(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts = n
+}
+
+// sendBudget returns the effective per-request attempt count.
+func (c *Client) sendBudget() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.attempts < 1 {
+		return DefaultFetchAttempts
+	}
+	return c.attempts
+}
+
+// awaitRetry runs await with the client's retransmission budget. The
+// total timeout is split evenly across attempts so a request's
+// worst-case latency stays the caller's timeout regardless of budget.
+// Only timeouts retransmit: a NACK is an authoritative answer (await
+// returns it as Data, never retried here) and transport or close errors
+// cannot be recovered by resending. mk builds the Interest for each
+// attempt — a fresh nonce per transmission, so routers aggregate the
+// retransmission onto a live PIT entry or re-forward it, rather than
+// dropping it as a duplicate.
+func (c *Client) awaitRetry(mk func(nonce uint64) *ndn.Interest, timeout time.Duration) (*ndn.Data, error) {
+	attempts := c.sendBudget()
+	per := timeout / time.Duration(attempts)
+	if per <= 0 {
+		per = timeout
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.retransmits.Add(1)
+		}
+		d, err := c.await(mk(c.nextNonce()), per)
+		if err == nil {
+			return d, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
 // nextNonce returns a fresh, salted request nonce.
 func (c *Client) nextNonce() uint64 {
 	c.mu.Lock()
@@ -167,13 +225,16 @@ func (c *Client) Register(providerPrefix names.Name, timeout time.Duration) erro
 	if err != nil {
 		return err
 	}
-	nonce := c.nextNonce()
-	name := providerPrefix.MustAppend("register", c.nodeID, "n"+itoa(int(nonce)))
-	d, err := c.await(&ndn.Interest{
-		Name:         name,
-		Kind:         ndn.KindRegistration,
-		Nonce:        nonce,
-		Registration: &req,
+	d, err := c.awaitRetry(func(nonce uint64) *ndn.Interest {
+		// The nonce is part of the name so each transmission opens its
+		// own PIT entry end to end; a retransmission after an upstream
+		// failover is re-forwarded rather than stuck behind the lost one.
+		return &ndn.Interest{
+			Name:         providerPrefix.MustAppend("register", c.nodeID, "n"+strconv.FormatUint(nonce, 16)),
+			Kind:         ndn.KindRegistration,
+			Nonce:        nonce,
+			Registration: &req,
+		}
 	}, timeout)
 	if err != nil {
 		c.regFailed.Add(1)
@@ -203,11 +264,13 @@ func (c *Client) Fetch(name names.Name, timeout time.Duration) (*core.Content, e
 		}
 		tag = c.identity.TagFor(prefix, c.ap, time.Now())
 	}
-	d, err := c.await(&ndn.Interest{
-		Name:  name,
-		Kind:  ndn.KindContent,
-		Nonce: c.nextNonce(),
-		Tag:   tag,
+	d, err := c.awaitRetry(func(nonce uint64) *ndn.Interest {
+		return &ndn.Interest{
+			Name:  name,
+			Kind:  ndn.KindContent,
+			Nonce: nonce,
+			Tag:   tag,
+		}
 	}, timeout)
 	if err != nil {
 		if errors.Is(err, ErrTimeout) {
@@ -232,6 +295,8 @@ type ClientStats struct {
 	FetchOK, FetchNACK, FetchTimeout, FetchErr uint64
 	// Registrations and RegistrationsFailed count tag acquisitions.
 	Registrations, RegistrationsFailed uint64
+	// Retransmits counts Interests resent after a per-attempt timeout.
+	Retransmits uint64
 	// Conn carries the underlying connection's frame counters.
 	Conn transport.Stats
 }
@@ -242,7 +307,8 @@ func (c *Client) Stats() ClientStats {
 		FetchOK: c.fetchOK.Load(), FetchNACK: c.fetchNACK.Load(),
 		FetchTimeout: c.fetchTimeout.Load(), FetchErr: c.fetchErr.Load(),
 		Registrations: c.regOK.Load(), RegistrationsFailed: c.regFailed.Load(),
-		Conn: c.conn.Stats(),
+		Retransmits: c.retransmits.Load(),
+		Conn:        c.conn.Stats(),
 	}
 }
 
@@ -266,6 +332,8 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	}
 	reg.CounterFunc(MetricRegistrations, sampled(&c.regOK), role, node, obs.L("result", "issued"))
 	reg.CounterFunc(MetricRegistrations, sampled(&c.regFailed), role, node, obs.L("result", "failed"))
+	reg.Help(MetricClientRetransmits, "Interests resent after a per-attempt timeout.")
+	reg.CounterFunc(MetricClientRetransmits, sampled(&c.retransmits), role, node)
 	in, out := obs.L("dir", "in"), obs.L("dir", "out")
 	c.conn.SetMetrics(&transport.Metrics{
 		FramesIn:  reg.Counter(MetricFaceFrames, role, node, in),

@@ -60,6 +60,17 @@ type Config struct {
 	CSCapacity int
 	// PITLifetime bounds pending Interests (default 4 s).
 	PITLifetime time.Duration
+	// WriteTimeout bounds each frame write on every face, so a wedged
+	// peer surfaces as a send error and the face is recycled instead of
+	// blocking the pipeline (0 = no deadline).
+	WriteTimeout time.Duration
+	// IdleTimeout recycles a face when no frame arrives for this long
+	// (0 = never). Set it at least ~3x the peers' keepalive interval.
+	IdleTimeout time.Duration
+	// KeepaliveInterval sends liveness frames on every face at this
+	// period so peers' idle timeouts hold off on quiet-but-healthy
+	// links (0 = none).
+	KeepaliveInterval time.Duration
 	// Tactic selects protocol features.
 	Tactic core.Config
 	// Seed drives probabilistic re-validation (0 = time-seeded).
@@ -79,6 +90,10 @@ type faceState struct {
 	id         ndn.FaceID
 	conn       *transport.Conn
 	downstream bool
+	// onDown, when non-nil, is invoked (once, from its own goroutine)
+	// after the face is detached — managed uplinks use it to trigger
+	// reconnection.
+	onDown func()
 }
 
 // Forwarder is a real-time TACTIC router.
@@ -88,13 +103,14 @@ type Forwarder struct {
 	start  time.Time
 	m      *obsMetrics
 
-	mu    sync.Mutex
-	fib   *ndn.FIB
-	pit   *ndn.PIT
-	cs    *ndn.CS
-	faces map[ndn.FaceID]*faceState
-	next  ndn.FaceID
-	stats Stats
+	mu      sync.Mutex
+	fib     *ndn.FIB
+	pit     *ndn.PIT
+	cs      *ndn.CS
+	faces   map[ndn.FaceID]*faceState
+	next    ndn.FaceID
+	stats   Stats
+	uplinks []*Uplink
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -165,7 +181,8 @@ func (f *Forwarder) logf(format string, args ...any) {
 	}
 }
 
-// expireLoop garbage-collects the PIT.
+// expireLoop garbage-collects the PIT, accounting the silent expiries
+// (the paper's 1 s request expiry, §8.B) so they are observable.
 func (f *Forwarder) expireLoop() {
 	defer f.wg.Done()
 	t := time.NewTicker(time.Second)
@@ -176,8 +193,12 @@ func (f *Forwarder) expireLoop() {
 			return
 		case now := <-t.C:
 			f.mu.Lock()
-			f.pit.ExpireBefore(now)
+			expired := f.pit.ExpireBefore(now)
 			f.mu.Unlock()
+			if n := len(expired); n > 0 {
+				f.m.pitExpired.Add(uint64(n))
+				f.logf("pit: %d entries expired unanswered", n)
+			}
 		}
 	}
 }
@@ -185,10 +206,19 @@ func (f *Forwarder) expireLoop() {
 // AddFace attaches a connection and starts its reader. downstream marks
 // client-side faces (Protocol 2 applies there at edges).
 func (f *Forwarder) AddFace(conn *transport.Conn, downstream bool) ndn.FaceID {
+	return f.addFace(conn, downstream, nil)
+}
+
+// addFace is AddFace with a face-death hook and the configured
+// transport health knobs applied.
+func (f *Forwarder) addFace(conn *transport.Conn, downstream bool, onDown func()) ndn.FaceID {
+	conn.SetWriteTimeout(f.cfg.WriteTimeout)
+	conn.SetIdleTimeout(f.cfg.IdleTimeout)
+	conn.StartKeepalive(f.cfg.KeepaliveInterval)
 	f.mu.Lock()
 	id := f.next
 	f.next++
-	fs := &faceState{id: id, conn: conn, downstream: downstream}
+	fs := &faceState{id: id, conn: conn, downstream: downstream, onDown: onDown}
 	f.faces[id] = fs
 	f.mu.Unlock()
 	conn.SetMetrics(f.m.faceMetrics(id, downstream))
@@ -216,15 +246,48 @@ func (f *Forwarder) readLoop(fs *faceState) {
 	}
 }
 
+// detachFaceLocked removes a face from the tables (callers hold f.mu):
+// the face map entry, every FIB route through it (so Interests stop
+// black-holing into a dead upstream), and every PIT entry whose primary
+// was forwarded to it (so client retransmissions re-forward instead of
+// aggregating onto an unanswerable entry). Returns the detached state,
+// or nil when the face was already gone; the caller finishes with
+// closeDetached outside any ordering constraints.
+func (f *Forwarder) detachFaceLocked(id ndn.FaceID) *faceState {
+	fs, ok := f.faces[id]
+	if !ok {
+		return nil
+	}
+	delete(f.faces, id)
+	if n := f.fib.RemoveFace(id); n > 0 {
+		f.m.routesDetached.Add(uint64(n))
+		f.logf("face %d: detached %d routes", id, n)
+	}
+	if flushed := f.pit.DropByOutFace(id); len(flushed) > 0 {
+		f.m.pitFlushed.Add(uint64(len(flushed)))
+		f.logf("face %d: flushed %d pending interests", id, len(flushed))
+	}
+	return fs
+}
+
+// closeDetached closes a detached face's connection and fires its
+// death hook. Safe with f.mu held (Close does not block) — the hook
+// itself runs on its own goroutine so it may re-enter the forwarder.
+func (f *Forwarder) closeDetached(fs *faceState) {
+	fs.conn.Close()
+	f.logf("face %d closed", fs.id)
+	if fs.onDown != nil {
+		go fs.onDown()
+	}
+}
+
 // removeFace detaches a dead face.
 func (f *Forwarder) removeFace(id ndn.FaceID) {
 	f.mu.Lock()
-	fs, ok := f.faces[id]
-	delete(f.faces, id)
+	fs := f.detachFaceLocked(id)
 	f.mu.Unlock()
-	if ok {
-		fs.conn.Close()
-		f.logf("face %d closed", id)
+	if fs != nil {
+		f.closeDetached(fs)
 	}
 }
 
@@ -260,9 +323,18 @@ func (f *Forwarder) Serve(ln net.Listener) error {
 	}
 }
 
-// Close shuts the forwarder down and waits for its goroutines.
+// Close shuts the forwarder down and waits for its goroutines. Managed
+// uplinks stop first (their supervisors remove their own faces), then
+// the remaining faces are closed.
 func (f *Forwarder) Close() error {
 	f.once.Do(func() { close(f.closed) })
+	f.mu.Lock()
+	ups := f.uplinks
+	f.uplinks = nil
+	f.mu.Unlock()
+	for _, u := range ups {
+		u.Close()
+	}
 	f.mu.Lock()
 	for id, fs := range f.faces {
 		fs.conn.Close()
@@ -284,7 +356,9 @@ func (f *Forwarder) Stats() Stats {
 // inspection.
 func (f *Forwarder) Tactic() *core.Router { return f.tactic }
 
-// send transmits a Data on a face, dropping on error.
+// send transmits a Data on a face (callers hold f.mu). Failures are
+// counted as drops; a connection-level failure additionally detaches
+// the face so the next packet does not hit the same dead peer.
 func (f *Forwarder) send(face ndn.FaceID, d *ndn.Data) {
 	fs, ok := f.faces[face]
 	if !ok {
@@ -294,6 +368,13 @@ func (f *Forwarder) send(face ndn.FaceID, d *ndn.Data) {
 	}
 	if err := fs.conn.SendData(d); err != nil {
 		f.logf("send data on face %d: %v", face, err)
+		f.stats.Drops++
+		f.m.drop(dropSendErr)
+		if transport.IsFatal(err) {
+			if detached := f.detachFaceLocked(face); detached != nil {
+				f.closeDetached(detached)
+			}
+		}
 	}
 }
 
@@ -409,14 +490,30 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 		}
 		f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
 			now.Add(f.cfg.PITLifetime))
+		// A fresh nonce for a pending name is a retransmission: re-send
+		// upstream as well as aggregating, so an Interest silently lost
+		// on the uplink is recovered instead of black-holing every
+		// requester until the entry expires.
+		if fs, live := f.faces[entry.OutFace]; live {
+			if err := fs.conn.SendInterest(i); err != nil {
+				f.logf("resend interest on face %d: %v", entry.OutFace, err)
+				if transport.IsFatal(err) {
+					if detached := f.detachFaceLocked(entry.OutFace); detached != nil {
+						f.closeDetached(detached)
+					}
+				}
+			}
+		}
 		sp.End("aggregated")
 		return
 	} else if ok {
 		f.pit.Consume(i.Name)
 	}
-	f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
-		now.Add(f.cfg.PITLifetime))
 
+	// Resolve the route before creating PIT state: an Interest that
+	// cannot be forwarded must not leave a dangling entry, or
+	// retransmissions would aggregate onto it and black-hole for a full
+	// PIT lifetime even after a route (re)appears.
 	face, ok := f.fib.Lookup(i.Name)
 	if !ok {
 		f.stats.Drops++
@@ -432,8 +529,21 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 		sp.End("drop:" + dropNoFace)
 		return
 	}
+	entry, _ := f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
+		now.Add(f.cfg.PITLifetime))
+	entry.OutFace = face
 	if err := fs.conn.SendInterest(i); err != nil {
 		f.logf("send interest on face %d: %v", face, err)
+		f.stats.Drops++
+		f.m.drop(dropSendErr)
+		f.pit.Consume(i.Name) // the request never left; free it for retransmission
+		if transport.IsFatal(err) {
+			if detached := f.detachFaceLocked(face); detached != nil {
+				f.closeDetached(detached)
+			}
+		}
+		sp.End("drop:" + dropSendErr)
+		return
 	}
 	sp.End("forwarded")
 }

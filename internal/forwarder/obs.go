@@ -37,10 +37,21 @@ const (
 	MetricFaceBytes     = "tactic_face_bytes_total"
 	MetricFaceErrors    = "tactic_face_errors_total"
 
-	MetricProducerServed = "tactic_producer_served_total"
-	MetricProducerNACKs  = "tactic_producer_nacks_total"
-	MetricRegistrations  = "tactic_registrations_total"
-	MetricClientFetches  = "tactic_client_fetches_total"
+	// Failure-handling metrics: PIT expiries/flushes, route detachment,
+	// managed-uplink lifecycle, and client retransmissions (see README
+	// "Failure handling & chaos testing").
+	MetricPITExpired     = "tactic_pit_expired_total"
+	MetricPITFlushed     = "tactic_pit_flushed_total"
+	MetricRoutesDetached = "tactic_routes_detached_total"
+	MetricUplinkConnects = "tactic_uplink_connects_total"
+	MetricUplinkDown     = "tactic_uplink_down_total"
+	MetricUplinkUp       = "tactic_uplink_up"
+
+	MetricProducerServed    = "tactic_producer_served_total"
+	MetricProducerNACKs     = "tactic_producer_nacks_total"
+	MetricRegistrations     = "tactic_registrations_total"
+	MetricClientFetches     = "tactic_client_fetches_total"
+	MetricClientRetransmits = "tactic_client_retransmits_total"
 )
 
 // Drop causes used as the MetricDrops "cause" label.
@@ -50,6 +61,7 @@ const (
 	dropNoFace        = "no_face"
 	dropUnsolicited   = "unsolicited"
 	dropUndeliverable = "undeliverable"
+	dropSendErr       = "send_error"
 )
 
 func (r Role) String() string {
@@ -66,14 +78,17 @@ func (r Role) String() string {
 // pipeline increments lock-free atomics only. All fields tolerate a nil
 // registry (every handle is nil and no-ops).
 type obsMetrics struct {
-	reg      *obs.Registry
-	role     obs.Label
-	interest *obs.Counter
-	data     *obs.Counter
-	csHits   *obs.Counter
-	hop      *obs.Histogram
-	nacks    map[string]*obs.Counter // by reason label
-	drops    map[string]*obs.Counter // by cause
+	reg            *obs.Registry
+	role           obs.Label
+	interest       *obs.Counter
+	data           *obs.Counter
+	csHits         *obs.Counter
+	hop            *obs.Histogram
+	pitExpired     *obs.Counter
+	pitFlushed     *obs.Counter
+	routesDetached *obs.Counter
+	nacks          map[string]*obs.Counter // by reason label
+	drops          map[string]*obs.Counter // by cause
 }
 
 func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
@@ -85,16 +100,22 @@ func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
 	reg.Help(MetricNACKs, "Invalidity signals sent, by validation failure reason.")
 	reg.Help(MetricDrops, "Packets dropped, by cause.")
 	reg.Help(MetricHopSeconds, "Per-hop Interest pipeline latency.")
+	reg.Help(MetricPITExpired, "PIT entries expired unanswered (the paper's silent request expiry).")
+	reg.Help(MetricPITFlushed, "PIT entries flushed because their upstream face died.")
+	reg.Help(MetricRoutesDetached, "FIB routes detached because their face died.")
 	m.interest = reg.Counter(MetricInterests, m.role)
 	m.data = reg.Counter(MetricData, m.role)
 	m.csHits = reg.Counter(MetricCSHits, m.role)
 	m.hop = reg.Histogram(MetricHopSeconds, nil, m.role)
+	m.pitExpired = reg.Counter(MetricPITExpired, m.role)
+	m.pitFlushed = reg.Counter(MetricPITFlushed, m.role)
+	m.routesDetached = reg.Counter(MetricRoutesDetached, m.role)
 	m.nacks = make(map[string]*obs.Counter)
 	for _, reason := range core.ReasonLabels() {
 		m.nacks[reason] = reg.Counter(MetricNACKs, m.role, obs.L("reason", reason))
 	}
 	m.drops = make(map[string]*obs.Counter)
-	for _, cause := range []string{dropDupNonce, dropNoRoute, dropNoFace, dropUnsolicited, dropUndeliverable} {
+	for _, cause := range []string{dropDupNonce, dropNoRoute, dropNoFace, dropUnsolicited, dropUndeliverable, dropSendErr} {
 		m.drops[cause] = reg.Counter(MetricDrops, m.role, obs.L("cause", cause))
 	}
 	return m

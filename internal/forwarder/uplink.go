@@ -1,0 +1,195 @@
+package forwarder
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
+	"github.com/tactic-icn/tactic/internal/transport"
+)
+
+// UplinkConfig configures a managed upstream link (ManageUpstream).
+type UplinkConfig struct {
+	// Addr is the upstream address to dial.
+	Addr string
+	// Routes are the prefixes reachable through this uplink; they are
+	// (re)installed toward the new face on every attach and detached
+	// automatically when the face dies.
+	Routes []names.Name
+	// Retry shapes the reconnect backoff (Base/Cap/Logf; zero value =
+	// package defaults). Its Attempts field is ignored — use MaxAttempts.
+	Retry RetryConfig
+	// MaxAttempts bounds consecutive failed dials before the uplink gives
+	// up permanently; <= 0 retries forever. One successful connection
+	// resets the count.
+	MaxAttempts int
+	// Dial overrides the dialer — tests inject fault-injecting
+	// transports (internal/transport/chaos). Nil dials TCP with a 10 s
+	// timeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Uplink is a supervised upstream link: it dials, attaches a face,
+// installs the configured routes, and — when the face dies for any
+// reason (read error, fatal send error, idle timeout) — detaches,
+// backs off with jitter, and reconnects. While the link is down its
+// routes are absent from the FIB, so Interests fail fast with no_route
+// instead of black-holing into a dead face.
+type Uplink struct {
+	f   *Forwarder
+	cfg UplinkConfig
+
+	connects *obs.Counter // attaches, including reconnects
+	downs    *obs.Counter // detaches observed
+	up       atomic.Bool
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	face ndn.FaceID
+}
+
+// ManageUpstream starts supervising an upstream link and returns
+// immediately; the first connection attempt happens on the supervisor
+// goroutine (use WaitUp to block until attached). The uplink is closed
+// by Uplink.Close or, collectively, by Forwarder.Close.
+func (f *Forwarder) ManageUpstream(cfg UplinkConfig) (*Uplink, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("forwarder: uplink address required")
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	u := &Uplink{f: f, cfg: cfg, closed: make(chan struct{}), face: ndn.FaceNone}
+	if reg := f.m.reg; reg != nil {
+		reg.Help(MetricUplinkConnects, "Managed-uplink attaches, including reconnects.")
+		reg.Help(MetricUplinkDown, "Managed-uplink detaches (the face died).")
+		reg.Help(MetricUplinkUp, "1 while the managed uplink has a live face, else 0.")
+		addr := obs.L("addr", cfg.Addr)
+		u.connects = reg.Counter(MetricUplinkConnects, f.m.role, addr)
+		u.downs = reg.Counter(MetricUplinkDown, f.m.role, addr)
+		reg.GaugeFunc(MetricUplinkUp, func() float64 {
+			if u.up.Load() {
+				return 1
+			}
+			return 0
+		}, f.m.role, addr)
+	}
+	f.mu.Lock()
+	select {
+	case <-f.closed:
+		f.mu.Unlock()
+		return nil, errors.New("forwarder: closed")
+	default:
+	}
+	f.uplinks = append(f.uplinks, u)
+	f.mu.Unlock()
+	u.wg.Add(1)
+	go u.run()
+	return u, nil
+}
+
+// run is the supervision loop: dial, attach, wait for death, repeat.
+func (u *Uplink) run() {
+	defer u.wg.Done()
+	failures := 0
+	for {
+		select {
+		case <-u.closed:
+			return
+		default:
+		}
+		raw, err := u.cfg.Dial(u.cfg.Addr)
+		if err != nil {
+			failures++
+			if u.cfg.MaxAttempts > 0 && failures >= u.cfg.MaxAttempts {
+				u.f.logf("uplink %s: giving up after %d failed attempts: %v", u.cfg.Addr, failures, err)
+				return
+			}
+			d := retryDelay(failures, u.cfg.Retry.Base, u.cfg.Retry.Cap, rand.Int63n)
+			u.f.logf("uplink %s: dial attempt %d failed: %v (retrying in %s)",
+				u.cfg.Addr, failures, err, d.Round(time.Millisecond))
+			select {
+			case <-u.closed:
+				return
+			case <-time.After(d):
+			}
+			continue
+		}
+		failures = 0
+
+		// Attach with a death hook: detachFace fires it (on its own
+		// goroutine) whatever killed the face — peer reset, fatal send
+		// error, idle timeout — so every path funnels back here.
+		down := make(chan struct{})
+		id := u.f.addFace(transport.New(raw), false, func() { close(down) })
+		u.mu.Lock()
+		u.face = id
+		u.mu.Unlock()
+		for _, prefix := range u.cfg.Routes {
+			u.f.AddRoute(prefix, id)
+		}
+		u.up.Store(true)
+		u.connects.Add(1)
+		u.f.logf("uplink %s: attached as face %d (%d routes)", u.cfg.Addr, id, len(u.cfg.Routes))
+
+		select {
+		case <-u.closed:
+			u.up.Store(false)
+			u.f.removeFace(id)
+			return
+		case <-down:
+			u.up.Store(false)
+			u.downs.Add(1)
+			u.mu.Lock()
+			u.face = ndn.FaceNone
+			u.mu.Unlock()
+			u.f.logf("uplink %s: face %d down, reconnecting", u.cfg.Addr, id)
+		}
+	}
+}
+
+// Up reports whether the uplink currently has a live face.
+func (u *Uplink) Up() bool { return u.up.Load() }
+
+// Face returns the current face, or ndn.FaceNone while down.
+func (u *Uplink) Face() ndn.FaceID {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.face
+}
+
+// WaitUp blocks until the uplink attaches, the timeout lapses, or the
+// uplink closes, reporting whether it is up.
+func (u *Uplink) WaitUp(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for !u.up.Load() {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		select {
+		case <-u.closed:
+			return u.up.Load()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return true
+}
+
+// Close stops supervising: the current face (if any) is removed and no
+// reconnection follows. Idempotent; blocks until the supervisor exits.
+func (u *Uplink) Close() {
+	u.once.Do(func() { close(u.closed) })
+	u.wg.Wait()
+}

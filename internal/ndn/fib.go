@@ -37,6 +37,23 @@ func (f *FIB) Remove(prefix names.Name) bool {
 	return true
 }
 
+// RemoveFace deletes every route pointing at face and returns how many
+// were removed — used when a face dies, so Interests are not forwarded
+// into a black hole (the routes reattach when a managed uplink
+// reconnects).
+func (f *FIB) RemoveFace(face FaceID) int {
+	n := 0
+	for k, v := range f.entries {
+		if v == face {
+			delete(f.entries, k)
+			n++
+		}
+	}
+	// maxDepth stays as an upper bound; Lookup only uses it to cap the
+	// LPM walk.
+	return n
+}
+
 // Lookup returns the face for the longest registered prefix of name.
 func (f *FIB) Lookup(name names.Name) (FaceID, bool) {
 	depth := name.Len()

@@ -39,6 +39,12 @@ type PITEntry struct {
 	// Expires is the entry's lifetime deadline; expired entries free
 	// their requesters' windows (the paper's 1 s request expiry, §8.B).
 	Expires time.Time
+	// OutFace is the face the primary Interest was forwarded to
+	// (FaceNone until a forwarder records it). Entries whose upstream
+	// face dies are flushed (DropByOutFace) so retransmissions create a
+	// fresh entry and are re-forwarded instead of aggregating onto a
+	// request that can never be satisfied.
+	OutFace FaceID
 }
 
 // HasNonce reports whether a record with the nonce is already
@@ -85,10 +91,25 @@ func (p *PIT) Insert(name names.Name, rec PITRecord, expires time.Time) (*PITEnt
 		p.aggregated++
 		return e, false
 	}
-	e := &PITEntry{Name: name, Records: []PITRecord{rec}, Expires: expires}
+	e := &PITEntry{Name: name, Records: []PITRecord{rec}, Expires: expires, OutFace: FaceNone}
 	p.entries[k] = e
 	p.created++
 	return e, true
+}
+
+// DropByOutFace removes and returns every entry whose primary Interest
+// was forwarded to face — called when that face dies, so the pending
+// requests can be accounted (and, on retransmission, re-forwarded via a
+// fresh entry).
+func (p *PIT) DropByOutFace(face FaceID) []*PITEntry {
+	var out []*PITEntry
+	for k, e := range p.entries {
+		if e.OutFace == face {
+			out = append(out, e)
+			delete(p.entries, k)
+		}
+	}
+	return out
 }
 
 // Consume removes and returns the entry for name — the router is about

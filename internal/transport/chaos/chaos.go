@@ -1,0 +1,264 @@
+// Package chaos wraps net.Conn with seeded, deterministic fault
+// injection for testing the live stack's failure handling: writes can
+// be dropped, duplicated, delayed, truncated (then the connection
+// killed, modelling a crash mid-send), or turned into a connection
+// reset. The same seed and call sequence always produces the same fault
+// schedule, so chaos soaks are reproducible.
+//
+// Faults are injected per Write call. internal/transport flushes one
+// frame per Write, so for TACTIC traffic each fault hits exactly one
+// NDN packet — a dropped Write is a lost Interest or Data, matching the
+// simulator's per-packet loss model (internal/sim.LinkSpec.LossProb).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by a Write chosen for a
+// connection reset (the underlying connection is closed first).
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// ErrInjectedTruncation is the error surfaced by a Write chosen for
+// truncation: half the buffer is written, then the connection is
+// closed, modelling a peer crashing mid-frame.
+var ErrInjectedTruncation = errors.New("chaos: injected truncated write")
+
+// Config sets per-write fault probabilities. Probabilities are
+// evaluated in the field order below from a single roll, so
+// Drop+Dup+Delay+Trunc+Reset should not exceed 1. The zero Config
+// injects nothing.
+type Config struct {
+	// Seed drives the fault schedule (0 = time-seeded, not
+	// reproducible).
+	Seed int64
+	// Drop is the probability a write silently vanishes.
+	Drop float64
+	// Dup is the probability a write is sent twice.
+	Dup float64
+	// Delay is the probability a write stalls for a uniform duration in
+	// (0, MaxDelay] before proceeding.
+	Delay float64
+	// MaxDelay bounds an injected stall (default 10ms when Delay > 0).
+	MaxDelay time.Duration
+	// Trunc is the probability a write sends half its bytes and then
+	// kills the connection.
+	Trunc float64
+	// Reset is the probability a write closes the connection and fails.
+	Reset float64
+}
+
+// Stats counts injected faults on one connection.
+type Stats struct {
+	// Writes counts Write calls (faulted or not).
+	Writes uint64
+	// Drops, Dups, Delays, Truncs, Resets count injected faults.
+	Drops, Dups, Delays, Truncs, Resets uint64
+}
+
+// Conn is a net.Conn with fault injection on the write path. Reads pass
+// through untouched (injecting on one peer's writes already covers the
+// other's reads).
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	writes, drops, dups, delays, truncs, resets atomic.Uint64
+}
+
+// Wrap adds fault injection to a connection.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats snapshots the connection's fault counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		Writes: c.writes.Load(),
+		Drops:  c.drops.Load(), Dups: c.dups.Load(), Delays: c.delays.Load(),
+		Truncs: c.truncs.Load(), Resets: c.resets.Load(),
+	}
+}
+
+// action is one scheduled fault.
+type action int
+
+const (
+	actPass action = iota
+	actDrop
+	actDup
+	actDelay
+	actTrunc
+	actReset
+)
+
+// roll consumes one random draw and picks this write's fault.
+func (c *Conn) roll() (action, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.rng.Float64()
+	switch cum := 0.0; {
+	case p < cum+c.cfg.Drop:
+		return actDrop, 0
+	case p < cum+c.cfg.Drop+c.cfg.Dup:
+		return actDup, 0
+	case p < cum+c.cfg.Drop+c.cfg.Dup+c.cfg.Delay:
+		return actDelay, time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay))) + 1
+	case p < cum+c.cfg.Drop+c.cfg.Dup+c.cfg.Delay+c.cfg.Trunc:
+		return actTrunc, 0
+	case p < cum+c.cfg.Drop+c.cfg.Dup+c.cfg.Delay+c.cfg.Trunc+c.cfg.Reset:
+		return actReset, 0
+	}
+	return actPass, 0
+}
+
+// Write injects the scheduled fault, then forwards to the wrapped
+// connection.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.writes.Add(1)
+	act, delay := c.roll()
+	switch act {
+	case actDrop:
+		c.drops.Add(1)
+		return len(b), nil // lost on the wire; the sender can't tell
+	case actDup:
+		c.dups.Add(1)
+		if n, err := c.Conn.Write(b); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(b)
+	case actDelay:
+		c.delays.Add(1)
+		time.Sleep(delay)
+	case actTrunc:
+		c.truncs.Add(1)
+		c.Conn.Write(b[:len(b)/2]) //nolint:errcheck // the kill below decides the outcome
+		c.Conn.Close()
+		return len(b) / 2, ErrInjectedTruncation
+	case actReset:
+		c.resets.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Write(b)
+}
+
+// Listener wraps an accepting listener so every accepted connection is
+// fault-injected, each with a distinct deterministic seed derived from
+// the base seed and the accept ordinal.
+type Listener struct {
+	net.Listener
+	cfg Config
+	n   atomic.Int64
+}
+
+// WrapListener adds fault injection to all accepted connections.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept wraps the next accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.cfg
+	if cfg.Seed != 0 {
+		cfg.Seed += l.n.Add(1)
+	}
+	return Wrap(c, cfg), nil
+}
+
+// Dialer returns a TCP dial function whose connections are
+// fault-injected, each with a distinct deterministic seed — shaped to
+// drop into forwarder.UplinkConfig.Dial.
+func Dialer(cfg Config) func(addr string) (net.Conn, error) {
+	var n atomic.Int64
+	return func(addr string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		dcfg := cfg
+		if dcfg.Seed != 0 {
+			dcfg.Seed += n.Add(1)
+		}
+		return Wrap(c, dcfg), nil
+	}
+}
+
+// ParseSpec parses a compact fault spec of comma-separated key=value
+// pairs: drop, dup, delay, trunc, reset (probabilities in [0,1]),
+// maxdelay (a duration), and seed (int64). Example:
+//
+//	drop=0.05,dup=0.01,delay=0.1,maxdelay=20ms,reset=0.001,seed=7
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	total := 0.0
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: bad spec element %q (want key=value)", part)
+		}
+		switch key {
+		case "drop", "dup", "delay", "trunc", "reset":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return cfg, fmt.Errorf("chaos: bad probability %q for %s", val, key)
+			}
+			total += p
+			switch key {
+			case "drop":
+				cfg.Drop = p
+			case "dup":
+				cfg.Dup = p
+			case "delay":
+				cfg.Delay = p
+			case "trunc":
+				cfg.Trunc = p
+			case "reset":
+				cfg.Reset = p
+			}
+		case "maxdelay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return cfg, fmt.Errorf("chaos: bad maxdelay %q", val)
+			}
+			cfg.MaxDelay = d
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad seed %q", val)
+			}
+			cfg.Seed = s
+		default:
+			return cfg, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+	}
+	if total > 1 {
+		return cfg, fmt.Errorf("chaos: fault probabilities sum to %g (> 1)", total)
+	}
+	return cfg, nil
+}

@@ -14,6 +14,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/tactic-icn/tactic/internal/ndn"
 	"github.com/tactic-icn/tactic/internal/obs"
@@ -27,6 +28,11 @@ const MaxPacketSize = 1 << 20
 const (
 	typeInterest = 0x05
 	typeData     = 0x06
+	// typeKeepalive is a zero-length liveness frame. Receive consumes it
+	// internally (refreshing the idle deadline) and never surfaces it, so
+	// peers that predate keepalives interoperate: they parse and ignore
+	// the frame body, which is empty.
+	typeKeepalive = 0x60
 )
 
 // Transport errors.
@@ -36,6 +42,31 @@ var (
 	// ErrBadPacketType is returned for unknown outer TLV types.
 	ErrBadPacketType = errors.New("transport: unknown packet type")
 )
+
+// ConnError marks a connection-level failure (broken pipe, write
+// deadline exceeded, injected fault): the byte stream's framing can no
+// longer be trusted and the connection must be recycled. Encoding
+// errors and per-packet rejections (ErrPacketTooLarge on send) are NOT
+// ConnErrors — the connection survives them.
+type ConnError struct {
+	// Op is the failing operation ("write", "flush").
+	Op string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *ConnError) Error() string { return "transport: " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// IsFatal reports whether err invalidates the whole connection (the
+// caller should close and recycle the face) rather than just the packet
+// that produced it.
+func IsFatal(err error) bool {
+	var ce *ConnError
+	return errors.As(err, &ce)
+}
 
 // Packet is one received packet: exactly one of Interest or Data is
 // non-nil.
@@ -48,12 +79,15 @@ type Packet struct {
 
 // Stats is a snapshot of one connection's frame and byte counters.
 type Stats struct {
-	// FramesIn and FramesOut count complete frames received and sent.
+	// FramesIn and FramesOut count complete frames received and sent
+	// (keepalives included — they are frames).
 	FramesIn, FramesOut uint64
 	// BytesIn and BytesOut count frame bytes (header + body).
 	BytesIn, BytesOut uint64
 	// Errors counts framing and I/O failures (clean EOFs excluded).
 	Errors uint64
+	// KeepalivesIn and KeepalivesOut count liveness frames exchanged.
+	KeepalivesIn, KeepalivesOut uint64
 }
 
 // Metrics routes a connection's counters into an obs registry; any field
@@ -72,20 +106,43 @@ type Conn struct {
 	w  *bufio.Writer
 	mu sync.Mutex // guards w
 
+	// writeTimeout and idleTimeout hold time.Duration nanoseconds;
+	// 0 disables the respective deadline.
+	writeTimeout atomic.Int64
+	idleTimeout  atomic.Int64
+
 	framesIn, framesOut atomic.Uint64
 	bytesIn, bytesOut   atomic.Uint64
 	errs                atomic.Uint64
+	kaIn, kaOut         atomic.Uint64
 	metrics             atomic.Pointer[Metrics]
+
+	done     chan struct{}
+	doneOnce sync.Once
+	kaOnce   sync.Once
+	kaWG     sync.WaitGroup
 }
 
 // New wraps a net.Conn.
 func New(c net.Conn) *Conn {
 	return &Conn{
-		c: c,
-		r: bufio.NewReaderSize(c, 64<<10),
-		w: bufio.NewWriterSize(c, 64<<10),
+		c:    c,
+		r:    bufio.NewReaderSize(c, 64<<10),
+		w:    bufio.NewWriterSize(c, 64<<10),
+		done: make(chan struct{}),
 	}
 }
+
+// SetWriteTimeout bounds each frame write (header through flush): a
+// peer that stops draining its socket surfaces as a fatal ConnError
+// within d instead of blocking the sender forever. 0 disables.
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout.Store(int64(d)) }
+
+// SetIdleTimeout makes Receive fail when no frame (keepalives count)
+// arrives for d, so a silently dead peer is detected and the face
+// recycled. Set it comfortably above the peer's keepalive interval
+// (≥ 3x). 0 disables.
+func (c *Conn) SetIdleTimeout(d time.Duration) { c.idleTimeout.Store(int64(d)) }
 
 // SetMetrics attaches per-face observability counters. Safe to call
 // concurrently with traffic; counters attached mid-stream miss earlier
@@ -95,11 +152,13 @@ func (c *Conn) SetMetrics(m *Metrics) { c.metrics.Store(m) }
 // Stats returns a snapshot of the connection's counters.
 func (c *Conn) Stats() Stats {
 	return Stats{
-		FramesIn:  c.framesIn.Load(),
-		FramesOut: c.framesOut.Load(),
-		BytesIn:   c.bytesIn.Load(),
-		BytesOut:  c.bytesOut.Load(),
-		Errors:    c.errs.Load(),
+		FramesIn:      c.framesIn.Load(),
+		FramesOut:     c.framesOut.Load(),
+		BytesIn:       c.bytesIn.Load(),
+		BytesOut:      c.bytesOut.Load(),
+		Errors:        c.errs.Load(),
+		KeepalivesIn:  c.kaIn.Load(),
+		KeepalivesOut: c.kaOut.Load(),
 	}
 }
 
@@ -130,8 +189,51 @@ func (c *Conn) countErr() {
 	}
 }
 
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.c.Close() }
+// Close closes the underlying connection and stops the keepalive
+// sender, if any.
+func (c *Conn) Close() error {
+	c.doneOnce.Do(func() { close(c.done) })
+	err := c.c.Close()
+	c.kaWG.Wait()
+	return err
+}
+
+// SendKeepalive writes one liveness frame.
+func (c *Conn) SendKeepalive() error {
+	if err := c.writeFrame([]byte{typeKeepalive, 0}); err != nil {
+		return err
+	}
+	c.kaOut.Add(1)
+	return nil
+}
+
+// StartKeepalive sends a liveness frame every interval until the
+// connection closes or a send fails, keeping the peer's idle timeout
+// from firing on a healthy-but-quiet link. At most one keepalive
+// goroutine runs per Conn; interval <= 0 is a no-op.
+func (c *Conn) StartKeepalive(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	c.kaOnce.Do(func() {
+		c.kaWG.Add(1)
+		go func() {
+			defer c.kaWG.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.done:
+					return
+				case <-t.C:
+					if err := c.SendKeepalive(); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	})
+}
 
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
@@ -154,35 +256,38 @@ func (c *Conn) SendData(d *ndn.Data) error {
 	return c.writeFrame(frame)
 }
 
-// writeFrame writes and flushes one frame under the write lock.
+// writeFrame writes and flushes one frame under the write lock. A
+// failure here (including a write-deadline expiry) may leave a partial
+// frame in the stream, so it is reported as a fatal ConnError.
 func (c *Conn) writeFrame(frame []byte) error {
 	if len(frame) > MaxPacketSize {
 		return ErrPacketTooLarge
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if d := time.Duration(c.writeTimeout.Load()); d > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the write reports failures
+	}
 	if _, err := c.w.Write(frame); err != nil {
 		c.countErr()
-		return fmt.Errorf("transport: write: %w", err)
+		return &ConnError{Op: "write", Err: err}
 	}
 	if err := c.w.Flush(); err != nil {
 		c.countErr()
-		return fmt.Errorf("transport: flush: %w", err)
+		return &ConnError{Op: "flush", Err: err}
 	}
 	c.countOut(len(frame))
 	return nil
 }
 
 // Receive blocks for the next packet. io.EOF signals a clean close.
+// Keepalive frames are consumed internally: they refresh the idle
+// deadline but are never surfaced.
 func (c *Conn) Receive() (Packet, error) {
-	frame, typ, err := readFrame(c.r)
+	frame, typ, err := c.receiveFrame()
 	if err != nil {
-		if !errors.Is(err, io.EOF) { // clean close is not an error
-			c.countErr()
-		}
 		return Packet{}, err
 	}
-	c.countIn(len(frame))
 	switch typ {
 	case typeInterest:
 		i, err := ndn.DecodeInterest(frame)
@@ -201,6 +306,29 @@ func (c *Conn) Receive() (Packet, error) {
 	default:
 		c.countErr()
 		return Packet{}, fmt.Errorf("%w: %#x", ErrBadPacketType, typ)
+	}
+}
+
+// receiveFrame reads the next non-keepalive frame, applying the idle
+// deadline per frame.
+func (c *Conn) receiveFrame() ([]byte, byte, error) {
+	for {
+		if d := time.Duration(c.idleTimeout.Load()); d > 0 {
+			c.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the read reports failures
+		}
+		frame, typ, err := readFrame(c.r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) { // clean close is not an error
+				c.countErr()
+			}
+			return nil, 0, err
+		}
+		c.countIn(len(frame))
+		if typ == typeKeepalive {
+			c.kaIn.Add(1)
+			continue
+		}
+		return frame, typ, nil
 	}
 }
 

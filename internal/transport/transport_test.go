@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"net"
@@ -263,4 +264,122 @@ func TestPropertyReceiveNeverPanicsOnGarbage(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestWriteTimeoutWedgedPeer(t *testing.T) {
+	a, b := net.Pipe() // unbuffered: a write blocks until b reads
+	conn := New(a)
+	defer conn.Close()
+	defer b.Close()
+	conn.SetWriteTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	err := conn.SendInterest(&ndn.Interest{Name: names.MustParse("/x/y"), Kind: ndn.KindContent, Nonce: 1})
+	if err == nil {
+		t.Fatal("write to a wedged peer succeeded")
+	}
+	if !IsFatal(err) {
+		t.Errorf("wedged-peer error not fatal: %v", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a net timeout", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("write blocked %s despite 50ms deadline", waited)
+	}
+	if conn.Stats().Errors == 0 {
+		t.Error("write timeout not counted as a connection error")
+	}
+}
+
+func TestIdleTimeoutDetectsDeadPeer(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	b.SetIdleTimeout(80 * time.Millisecond)
+
+	_, err := b.Receive() // a never sends
+	if err == nil {
+		t.Fatal("idle receive returned a packet")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a net timeout", err)
+	}
+}
+
+func TestKeepaliveRefreshesIdlePeerAndIsInvisible(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	b.SetIdleTimeout(150 * time.Millisecond)
+	a.StartKeepalive(30 * time.Millisecond)
+
+	type res struct {
+		pkt Packet
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		pkt, err := b.Receive()
+		got <- res{pkt, err}
+	}()
+	// Quiet for 3x the idle timeout: only keepalives flow, and they must
+	// hold the link open without surfacing as packets.
+	time.Sleep(450 * time.Millisecond)
+	select {
+	case r := <-got:
+		t.Fatalf("Receive returned during keepalive-only quiet period: %+v %v", r.pkt, r.err)
+	default:
+	}
+	if err := a.SendInterest(&ndn.Interest{Name: names.MustParse("/x/y"), Kind: ndn.KindContent, Nonce: 7}); err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.pkt.Interest == nil || r.pkt.Interest.Nonce != 7 {
+		t.Fatalf("got %+v, want the interest", r.pkt)
+	}
+	if b.Stats().KeepalivesIn < 3 {
+		t.Errorf("keepalives in = %d, want >= 3", b.Stats().KeepalivesIn)
+	}
+	if a.Stats().KeepalivesOut < 3 {
+		t.Errorf("keepalives out = %d, want >= 3", a.Stats().KeepalivesOut)
+	}
+}
+
+func TestIsFatalClassification(t *testing.T) {
+	if IsFatal(nil) {
+		t.Error("nil is fatal")
+	}
+	if IsFatal(ErrPacketTooLarge) {
+		t.Error("oversize packet rejection is fatal")
+	}
+	if !IsFatal(&ConnError{Op: "write", Err: io.ErrClosedPipe}) {
+		t.Error("ConnError not fatal")
+	}
+	wrapped := fmt.Errorf("send data: %w", &ConnError{Op: "flush", Err: io.ErrClosedPipe})
+	if !IsFatal(wrapped) {
+		t.Error("wrapped ConnError not fatal")
+	}
+}
+
+func TestSendAfterPeerCloseIsFatal(t *testing.T) {
+	a, b := pipePair()
+	b.Close()
+	// The pipe may need one write to observe the close.
+	var err error
+	for i := 0; i < 5 && err == nil; i++ {
+		err = a.SendInterest(&ndn.Interest{Name: names.MustParse("/x/y"), Kind: ndn.KindContent, Nonce: 1})
+	}
+	if err == nil {
+		t.Fatal("send to closed peer kept succeeding")
+	}
+	if !IsFatal(err) {
+		t.Errorf("closed-peer error not fatal: %v", err)
+	}
+	a.Close()
 }
