@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short race chaos soak bench repro repro-full demo-keys clean
+.PHONY: all build vet check test test-short race chaos soak bench bench-smoke bench-json repro repro-full demo-keys clean
 
 all: build test
 
@@ -13,8 +13,9 @@ vet:
 	$(GO) vet ./...
 
 # The pre-merge gate: compile, static checks, full tests, the race
-# detector over the concurrent packages, and the fault-injection suite.
-check: build vet test race chaos
+# detector over the concurrent packages, the fault-injection suite, and
+# a one-iteration smoke pass over the pipeline benchmarks.
+check: build vet test race chaos bench-smoke
 
 test:
 	$(GO) test ./...
@@ -22,8 +23,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-detector pass over every package the live forwarding plane runs
+# concurrently: the forwarder itself plus its lock-free/sharded layers
+# (bloom, core validator, ndn tables) and the transports.
 race:
-	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/...
+	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/... ./internal/bloom/... ./internal/core/... ./internal/ndn/...
 
 # Fault-injection suite: failover/chaos soaks and face churn, under the
 # race detector (see README "Failure handling & chaos testing").
@@ -36,6 +40,16 @@ soak:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every pipeline benchmark: catches harness bit-rot in
+# seconds without measuring anything.
+bench-smoke:
+	$(GO) test ./internal/perf/ -run xxx -bench . -benchtime 1x
+
+# Refresh the committed benchmark snapshot (preserves the recorded
+# pre-change baseline).
+bench-json:
+	$(GO) run ./cmd/tacticbench -bench-out BENCH_pipeline.json
 
 # Regenerate every paper table and figure (reduced scale, ~7 min).
 repro:

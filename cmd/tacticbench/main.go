@@ -11,17 +11,21 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/experiment"
+	"github.com/tactic-icn/tactic/internal/perf"
 )
 
 func main() {
@@ -39,9 +43,14 @@ func run(args []string) error {
 	fidelity := fs.Bool("fidelity", true, "paper-fidelity mode (request-driven BF resets, literal delay model)")
 	only := fs.String("only", "", "run a single experiment: fig5|fig6|fig7|fig8|table2|table4|table5|ablations|extensions")
 	csvDir := fs.String("csv", "", "also write full per-second series as CSV files into this directory")
+	benchOut := fs.String("bench-out", "", "run the live forwarding-plane benchmarks and write a JSON snapshot to this file instead of the simulation suite")
 	quiet := fs.Bool("q", false, "suppress per-run progress")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchOut != "" {
+		return writeBenchSnapshot(*benchOut)
 	}
 
 	topoList, err := parseTopos(*topos)
@@ -108,6 +117,71 @@ func run(args []string) error {
 	if !known {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
+	return nil
+}
+
+// writeBenchSnapshot runs the forwarding-plane benchmarks from
+// internal/perf and writes the results as JSON (the committed
+// BENCH_pipeline.json is such a snapshot). A pre_change_baseline key in
+// an existing snapshot at path is preserved, so regenerating the file
+// keeps the recorded before/after comparison intact.
+func writeBenchSnapshot(path string) error {
+	type result struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		Iterations  int     `json:"iterations"`
+	}
+	benches := []struct {
+		name string
+		body func(*testing.B)
+	}{
+		{"ForwarderPipeline/mixed/faces=1", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 1, MissEvery: 16})},
+		{"ForwarderPipeline/mixed/faces=4", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 4, MissEvery: 16})},
+		{"ForwarderPipeline/mixed/faces=16", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 16, MissEvery: 16})},
+		{"ForwarderPipeline/hit/faces=1", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 1})},
+		{"ForwarderPipeline/hit/faces=4", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 4})},
+		{"ForwarderPipeline/hit/faces=16", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 16})},
+		{"MicroBFLookup", perf.MicroBFLookup()},
+		{"MicroVerify", perf.MicroVerify()},
+		{"MicroTLVRoundTrip", perf.MicroTLVRoundTrip()},
+	}
+
+	out := map[string]any{
+		"recorded": time.Now().UTC().Format(time.RFC3339),
+		"go":       runtime.Version(),
+		"cpus":     runtime.NumCPU(),
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var m map[string]json.RawMessage
+		if json.Unmarshal(prev, &m) == nil {
+			if b, ok := m["pre_change_baseline"]; ok {
+				out["pre_change_baseline"] = b
+			}
+		}
+	}
+	results := make(map[string]result, len(benches))
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", bench.name)
+		r := testing.Benchmark(bench.body)
+		results[bench.name] = result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+	}
+	out["benchmarks"] = results
+
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
 }
 

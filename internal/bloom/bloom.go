@@ -12,13 +12,27 @@
 // TACTIC's auto-reset policy (Section 8.A of the paper) is provided via
 // Saturated: when the live FPP estimate reaches the configured maximum,
 // the router clears the filter and re-validates tags as they reappear.
+//
+// Filters are safe for concurrent use: the bit array is a word-striped
+// atomic bitset (compare-and-swap OR on insert, atomic loads on lookup)
+// and all counters are atomics, so the forwarding hot path never takes a
+// lock. Concurrency weakens exactly one guarantee: an Add racing a Reset
+// may be partially erased, so a concurrent filter can produce a false
+// NEGATIVE for an element inserted around a reset. In TACTIC that is
+// benign — a miss only sends the tag back through signature
+// verification and re-insertion, which is precisely what a reset demands
+// anyway.
 package bloom
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/obs"
 )
 
 // Errors returned by filter construction.
@@ -44,20 +58,33 @@ type Stats struct {
 	Resets uint64
 }
 
-// Filter is a counting-free Bloom filter. It is not safe for concurrent
-// use; in the simulator each router owns exactly one filter and the
-// discrete-event engine serialises accesses.
+// lookupSampleMask samples one of every 64 lookups into the optional
+// latency histogram, keeping the instrumented hot path free of clock
+// reads on the other 63.
+const lookupSampleMask = 63
+
+// Filter is a counting-free Bloom filter, safe for concurrent use (see
+// the package comment for the one weakened guarantee around Reset).
 type Filter struct {
 	bits   []uint64
 	nbits  uint64
 	hashes uint32
-	count  uint64 // elements inserted since last reset
+	count  atomic.Uint64 // elements inserted since last reset
 	maxFPP float64
-	stats  Stats
+
+	lookups    atomic.Uint64
+	insertions atomic.Uint64
+	resets     atomic.Uint64
 	// requestsSinceReset counts lookups since the last reset; the paper's
 	// Fig. 8 reports the number of requests a filter absorbs per reset.
-	requestsSinceReset uint64
-	resetThresholds    []uint64
+	requestsSinceReset atomic.Uint64
+
+	// lookupSeconds, when set, receives a sampled latency distribution of
+	// Contains calls (1 in 64).
+	lookupSeconds atomic.Pointer[obs.Histogram]
+
+	mu              sync.Mutex // guards resetThresholds
+	resetThresholds []uint64
 }
 
 // New creates a filter sized for the given expected capacity and target
@@ -138,11 +165,27 @@ func NewPaperWithDesign(capacity int, designFPP, maxFPP float64) (*Filter, error
 	return NewWithShape(nbits, paperHashes, maxFPP)
 }
 
-// hashPair produces two independent 64-bit hashes for double hashing.
+// SetLookupHistogram attaches a latency histogram sampling 1 of every 64
+// Contains calls (nil detaches). Safe to call concurrently with traffic.
+func (f *Filter) SetLookupHistogram(h *obs.Histogram) { f.lookupSeconds.Store(h) }
+
+// FNV-1a 64-bit parameters (identical to hash/fnv, inlined to keep the
+// per-lookup hashing allocation-free).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashPair produces two independent 64-bit hashes for double hashing:
+// FNV-1a over the item, then a SplitMix64 finalizer for the second hash.
+// The values are identical to the previous hash/fnv-based implementation
+// so persisted expectations (tests, experiment traces) are unchanged.
 func hashPair(item []byte) (uint64, uint64) {
-	h := fnv.New64a()
-	h.Write(item) //nolint:errcheck // fnv never errors
-	h1 := h.Sum64()
+	h1 := uint64(fnvOffset64)
+	for _, b := range item {
+		h1 ^= uint64(b)
+		h1 *= fnvPrime64
+	}
 	// SplitMix64 finalizer over h1 gives a decorrelated second hash.
 	z := h1 + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -153,39 +196,65 @@ func hashPair(item []byte) (uint64, uint64) {
 	return h1, h2 | 1
 }
 
-// Add inserts an item.
-func (f *Filter) Add(item []byte) {
-	f.stats.Insertions++
-	f.count++
-	h1, h2 := hashPair(item)
-	for i := uint32(0); i < f.hashes; i++ {
-		pos := (h1 + uint64(i)*h2) % f.nbits
-		f.bits[pos/64] |= 1 << (pos % 64)
+// setBit sets one bit with a compare-and-swap loop (atomic OR; the
+// dedicated atomic.Or* helpers require a newer Go toolchain than go.mod
+// pins).
+func setBit(word *uint64, mask uint64) {
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask == mask || atomic.CompareAndSwapUint64(word, old, old|mask) {
+			return
+		}
 	}
 }
 
-// Contains tests membership. False positives occur with probability FPP;
-// false negatives never occur.
-func (f *Filter) Contains(item []byte) bool {
-	f.stats.Lookups++
-	f.requestsSinceReset++
+// Add inserts an item. Safe for concurrent use.
+func (f *Filter) Add(item []byte) {
+	f.insertions.Add(1)
+	f.count.Add(1)
 	h1, h2 := hashPair(item)
 	for i := uint32(0); i < f.hashes; i++ {
 		pos := (h1 + uint64(i)*h2) % f.nbits
-		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
-			return false
+		setBit(&f.bits[pos/64], 1<<(pos%64))
+	}
+}
+
+// Contains tests membership. False positives occur with probability FPP.
+// False negatives occur only for insertions racing a Reset (see the
+// package comment); on a quiescent filter they never occur.
+func (f *Filter) Contains(item []byte) bool {
+	n := f.lookups.Add(1)
+	f.requestsSinceReset.Add(1)
+	var hist *obs.Histogram
+	var start time.Time
+	if n&lookupSampleMask == 0 {
+		if hist = f.lookupSeconds.Load(); hist != nil {
+			start = time.Now()
 		}
 	}
-	return true
+	h1, h2 := hashPair(item)
+	hit := true
+	for i := uint32(0); i < f.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if atomic.LoadUint64(&f.bits[pos/64])&(1<<(pos%64)) == 0 {
+			hit = false
+			break
+		}
+	}
+	if hist != nil {
+		hist.Observe(time.Since(start).Seconds())
+	}
+	return hit
 }
 
 // FPP returns the current false-positive probability estimate
 // (1 - e^(-k·n/m))^k for the n elements inserted since the last reset.
 func (f *Filter) FPP() float64 {
-	if f.count == 0 {
+	n := f.count.Load()
+	if n == 0 {
 		return 0
 	}
-	exp := -float64(f.hashes) * float64(f.count) / float64(f.nbits)
+	exp := -float64(f.hashes) * float64(n) / float64(f.nbits)
 	return math.Pow(1-math.Exp(exp), float64(f.hashes))
 }
 
@@ -201,16 +270,18 @@ func (f *Filter) Saturated() bool { return f.FPP() >= f.maxFPP }
 // "BF reset threshold", Fig. 8).
 func (f *Filter) Reset() {
 	for i := range f.bits {
-		f.bits[i] = 0
+		atomic.StoreUint64(&f.bits[i], 0)
 	}
-	f.count = 0
-	f.stats.Resets++
-	f.resetThresholds = append(f.resetThresholds, f.requestsSinceReset)
-	f.requestsSinceReset = 0
+	f.count.Store(0)
+	f.resets.Add(1)
+	absorbed := f.requestsSinceReset.Swap(0)
+	f.mu.Lock()
+	f.resetThresholds = append(f.resetThresholds, absorbed)
+	f.mu.Unlock()
 }
 
 // Count returns the number of elements inserted since the last reset.
-func (f *Filter) Count() uint64 { return f.count }
+func (f *Filter) Count() uint64 { return f.count.Load() }
 
 // Bits returns the filter's bit-array size m.
 func (f *Filter) Bits() uint64 { return f.nbits }
@@ -218,25 +289,33 @@ func (f *Filter) Bits() uint64 { return f.nbits }
 // Hashes returns the number of hash functions k.
 func (f *Filter) Hashes() uint32 { return f.hashes }
 
-// Stats returns a copy of the operation counters.
-func (f *Filter) Stats() Stats { return f.stats }
+// Stats returns a snapshot of the operation counters.
+func (f *Filter) Stats() Stats {
+	return Stats{
+		Lookups:    f.lookups.Load(),
+		Insertions: f.insertions.Load(),
+		Resets:     f.resets.Load(),
+	}
+}
 
 // ResetThresholds returns a copy of the per-reset lookup counts: element
 // i is the number of Contains calls between reset i-1 and reset i.
 func (f *Filter) ResetThresholds() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	out := make([]uint64, len(f.resetThresholds))
 	copy(out, f.resetThresholds)
 	return out
 }
 
 // RequestsSinceReset returns the number of lookups since the last reset.
-func (f *Filter) RequestsSinceReset() uint64 { return f.requestsSinceReset }
+func (f *Filter) RequestsSinceReset() uint64 { return f.requestsSinceReset.Load() }
 
 // FillRatio returns the fraction of set bits, a diagnostic for tests.
 func (f *Filter) FillRatio() float64 {
 	set := 0
-	for _, w := range f.bits {
-		set += popcount(w)
+	for i := range f.bits {
+		set += popcount(atomic.LoadUint64(&f.bits[i]))
 	}
 	return float64(set) / float64(f.nbits)
 }

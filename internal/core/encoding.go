@@ -24,8 +24,12 @@ const (
 	maxEncodedPayloadFields = 1 << 16
 )
 
-// EncodeContent serialises a content object.
+// EncodeContent serialises a content object. Contents decoded from the
+// wire return their cached encoding; callers must not mutate the result.
 func EncodeContent(c *Content) ([]byte, error) {
+	if c.enc != nil {
+		return c.enc, nil
+	}
 	name := c.Meta.Name.String()
 	prov := c.Meta.ProviderKey.String()
 	if len(name) >= maxEncodedFieldSize || len(prov) >= maxEncodedFieldSize ||
@@ -84,6 +88,7 @@ func DecodeContent(b []byte) (*Content, error) {
 		Meta:      ContentMeta{Name: name, Level: AccessLevel(level), ProviderKey: prov},
 		Payload:   append([]byte(nil), payload...),
 		Signature: append([]byte(nil), sig...),
+		enc:       append([]byte(nil), b[:d.off]...),
 	}, nil
 }
 

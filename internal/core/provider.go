@@ -182,6 +182,12 @@ type Content struct {
 	// payload, giving contents integrity and provenance (§3.A) and
 	// letting clients detect poisoned content (§6.B).
 	Signature []byte
+
+	// enc caches the wire encoding for contents decoded off the wire
+	// (DecodeContent sets it), so a content-store hit re-sends the cached
+	// bytes instead of re-serialising the payload per request. Immutable
+	// once set; nil for locally constructed contents.
+	enc []byte
 }
 
 // contentSigningBytes builds the byte string a content signature covers.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/bloom"
@@ -65,18 +66,28 @@ type Config struct {
 // re-validation. A Router implements the decision logic of Protocols
 // 2-4; packet plumbing (faces, PIT, links) is the caller's concern.
 //
-// Router is not safe for concurrent use; the discrete-event simulator
-// serialises all accesses, and a real forwarder would shard by worker.
+// Router is safe for concurrent use: the Bloom filter is internally
+// atomic, the validator serialises duplicate verifications through a
+// singleflight, and the randomness stream is guarded by a mutex (the
+// only lock a decision function can take, held for one Float64 draw).
+// The discrete-event simulator still serialises all accesses, so its
+// deterministic rng draw order is unchanged.
 type Router struct {
 	id        string
 	bf        *bloom.Filter
 	validator *TagValidator
-	rng       *rand.Rand
 	cfg       Config
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	// requestResetThreshold is the lookups-per-reset budget in
 	// RequestDrivenReset mode: the number of elements the filter can
 	// hold before its FPP reaches the maximum.
 	requestResetThreshold uint64
+	// resetMu serialises the request-driven reset check so concurrent
+	// lookups crossing the threshold trigger exactly one reset.
+	resetMu sync.Mutex
 }
 
 // NewRouter creates a TACTIC router.
@@ -109,7 +120,11 @@ func (r *Router) bfContains(t *Tag) bool {
 	hit := r.bf.Contains(t.CacheKey())
 	if r.cfg.RequestDrivenReset && !r.cfg.DisableAutoReset &&
 		r.bf.RequestsSinceReset() >= r.requestResetThreshold {
-		r.bf.Reset()
+		r.resetMu.Lock()
+		if r.bf.RequestsSinceReset() >= r.requestResetThreshold {
+			r.bf.Reset()
+		}
+		r.resetMu.Unlock()
 	}
 	return hit
 }
@@ -122,7 +137,11 @@ func (r *Router) bfInsert(t *Tag) {
 		return
 	}
 	if !r.cfg.DisableAutoReset && r.bf.Saturated() {
-		r.bf.Reset()
+		r.resetMu.Lock()
+		if r.bf.Saturated() {
+			r.bf.Reset()
+		}
+		r.resetMu.Unlock()
 	}
 	r.bf.Add(t.CacheKey())
 }
@@ -132,7 +151,10 @@ func (r *Router) bfInsert(t *Tag) {
 // validated with probability equal to the edge filter's false-positive
 // probability, carried in F.
 func (r *Router) decideRevalidate(flag float64) bool {
-	return r.rng.Float64() < flag
+	r.rngMu.Lock()
+	v := r.rng.Float64()
+	r.rngMu.Unlock()
+	return v < flag
 }
 
 // --- Protocol 2: edge router ------------------------------------------------

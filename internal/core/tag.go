@@ -102,6 +102,11 @@ func appendLenPrefixed(dst, b []byte) []byte {
 // Encode returns the full wire encoding (fields + signature). The result
 // is cached; callers must not mutate it. The paper sizes a tag at "a
 // couple hundred bytes" — Size reports the exact figure.
+//
+// The lazy first encode is not synchronised: concurrent callers must
+// ensure the cache is already populated, which is the case for every tag
+// decoded from the wire (DecodeTag fills it) and for tags encoded once
+// before being shared.
 func (t *Tag) Encode() []byte {
 	if t.enc == nil {
 		enc := t.encodeFields(make([]byte, 0, 96+len(t.Signature)))
@@ -119,7 +124,10 @@ func (t *Tag) Size() int { return len(t.Encode()) }
 // different keys.
 func (t *Tag) CacheKey() []byte { return t.Encode() }
 
-// DecodeTag parses a wire-encoded tag.
+// DecodeTag parses a wire-encoded tag. The input bytes are copied into
+// the decoded tag's encoding cache, so CacheKey/Encode on the hot path
+// never re-serialise a tag that arrived off the wire (and the caller may
+// reuse b).
 func DecodeTag(b []byte) (*Tag, error) {
 	d := decoder{buf: b}
 	version, err := d.byte()
@@ -168,6 +176,7 @@ func DecodeTag(b []byte) (*Tag, error) {
 		AccessPath:  AccessPath(ap),
 		Expiry:      time.Unix(0, int64(expiry)),
 		Signature:   append([]byte(nil), sig...),
+		enc:         append([]byte(nil), b[:d.off]...),
 	}, nil
 }
 

@@ -3,9 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 )
 
@@ -67,41 +71,118 @@ func (s ValidatorStats) Failures() uint64 { return s.Missing + s.Expired + s.For
 // verification through a PKI verifier — and counts signature
 // verifications, the paper's most expensive router operation (Fig. 7's
 // "V" series).
+//
+// TagValidator is safe for concurrent use. Concurrent Validate calls for
+// the SAME tag (by cache key) are collapsed through a singleflight: one
+// caller performs the signature verification while the others wait and
+// share its outcome, so a burst of Interests carrying one not-yet-cached
+// tag costs a single verification instead of one per packet. Only the
+// performing caller increments Verifications (and Forged on failure);
+// waiters return the shared result uncounted, keeping the counter equal
+// to the number of signature checks actually executed.
 type TagValidator struct {
 	registry pki.Verifier
-	stats    ValidatorStats
+
+	verifications atomic.Uint64
+	missing       atomic.Uint64
+	expired       atomic.Uint64
+	forged        atomic.Uint64
+	inflight      atomic.Int64
+
+	// verifySeconds, when set, receives the latency of every signature
+	// verification performed (waiters collapsed by the singleflight are
+	// not re-observed).
+	verifySeconds atomic.Pointer[obs.Histogram]
+
+	mu    sync.Mutex // guards calls
+	calls map[string]*verifyCall
+}
+
+// verifyCall is one in-flight signature verification.
+type verifyCall struct {
+	done chan struct{}
+	err  error
 }
 
 // NewTagValidator creates a validator over the given trust registry.
 func NewTagValidator(registry pki.Verifier) *TagValidator {
-	return &TagValidator{registry: registry}
+	return &TagValidator{registry: registry, calls: make(map[string]*verifyCall)}
 }
+
+// SetVerifyHistogram attaches a latency histogram observing each
+// signature verification (nil detaches). Safe to call concurrently.
+func (v *TagValidator) SetVerifyHistogram(h *obs.Histogram) { v.verifySeconds.Store(h) }
 
 // Validate checks the tag end to end: presence, expiry, and the
 // provider's signature. This is the expensive operation that Bloom
-// filters amortise.
+// filters amortise; see the type comment for how concurrent duplicate
+// validations are collapsed.
 func (v *TagValidator) Validate(t *Tag, now time.Time) error {
 	if t == nil {
-		v.stats.Missing++
+		v.missing.Add(1)
 		return ErrNoTag
 	}
 	if t.Expired(now) {
-		v.stats.Expired++
+		v.expired.Add(1)
 		return fmt.Errorf("%w: at %s", ErrTagExpired, t.Expiry)
 	}
-	v.stats.Verifications++
-	if err := v.registry.Verify(t.ProviderKey, t.SigningBytes(), t.Signature); err != nil {
-		v.stats.Forged++
-		return fmt.Errorf("%w: %w", ErrTagForged, err)
+	key := string(t.CacheKey())
+	v.mu.Lock()
+	if c, ok := v.calls[key]; ok {
+		v.mu.Unlock()
+		<-c.done
+		return c.err
 	}
-	return nil
+	c := &verifyCall{done: make(chan struct{})}
+	v.calls[key] = c
+	v.mu.Unlock()
+
+	// Yield once before burning CPU on the verification so duplicate
+	// requests for the same tag that are already queued behind us (other
+	// faces' readers on a busy or single-core edge device) get a chance to
+	// coalesce onto this call as waiters instead of each re-verifying the
+	// moment this call retires. An ECDSA verify never yields on its own,
+	// so without this the singleflight only collapses duplicates on
+	// machines with spare cores. Costs one scheduler pass (~µs) against a
+	// signature check three orders of magnitude larger.
+	runtime.Gosched()
+
+	v.verifications.Add(1)
+	v.inflight.Add(1)
+	start := time.Now()
+	err := v.registry.Verify(t.ProviderKey, t.SigningBytes(), t.Signature)
+	if h := v.verifySeconds.Load(); h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+	v.inflight.Add(-1)
+	if err != nil {
+		v.forged.Add(1)
+		c.err = fmt.Errorf("%w: %w", ErrTagForged, err)
+	}
+
+	v.mu.Lock()
+	delete(v.calls, key)
+	v.mu.Unlock()
+	close(c.done)
+	return c.err
 }
 
 // Verifications returns the number of signature verifications performed.
-func (v *TagValidator) Verifications() uint64 { return v.stats.Verifications }
+func (v *TagValidator) Verifications() uint64 { return v.verifications.Load() }
+
+// InFlight returns the number of signature verifications currently
+// executing — the /metrics in-flight gauge.
+func (v *TagValidator) InFlight() int64 { return v.inflight.Load() }
 
 // Stats returns a snapshot of the validator's outcome counters.
-func (v *TagValidator) Stats() ValidatorStats { return v.stats }
+func (v *TagValidator) Stats() ValidatorStats {
+	return ValidatorStats{
+		Verifications: v.verifications.Load(),
+		Missing:       v.missing.Load(),
+		Expired:       v.expired.Load(),
+		Forged:        v.forged.Load(),
+	}
+}
 
 // ReasonLabel maps a validation or pre-check error to a short, stable
 // identifier suitable as a metric label or trace annotation. Unknown

@@ -5,11 +5,16 @@
 // cmd/tacticserve, and cmd/tacticget they form a runnable TACTIC
 // network on localhost or across machines.
 //
-// Concurrency model: one reader goroutine per face delivers packets
-// into the forwarder's single-mutex pipeline (the tables and the TACTIC
-// state are not concurrency-safe by design); sends are per-face
-// serialised by transport.Conn. A background ticker expires PIT
-// entries.
+// Concurrency model: one reader goroutine per face runs the enforcement
+// pipeline directly, and the pipeline holds no global lock. Every layer
+// it touches synchronises itself: the FIB is read-mostly behind an
+// RWMutex, the PIT and CS are sharded by name hash with per-shard locks
+// (internal/ndn), the Bloom filter is an atomic bitset, and the tag
+// validator deduplicates concurrent verifications of the same tag so N
+// faces presenting one unverified tag cost one signature check. The
+// forwarder's own mutex guards only face-table membership (attach,
+// detach, uplink registration); sends are per-face serialised by
+// transport.Conn. A background ticker expires PIT entries.
 package forwarder
 
 import (
@@ -19,6 +24,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/bloom"
@@ -103,18 +109,32 @@ type Forwarder struct {
 	start  time.Time
 	m      *obsMetrics
 
-	mu      sync.Mutex
-	fib     *ndn.FIB
-	pit     *ndn.PIT
-	cs      *ndn.CS
+	// fib, pit, and cs synchronise themselves (see internal/ndn); the
+	// pipeline reaches them without holding f.mu.
+	fib *ndn.LockedFIB
+	pit *ndn.ShardedPIT
+	cs  *ndn.ShardedCS
+
+	mu      sync.RWMutex // guards faces, next, uplinks
 	faces   map[ndn.FaceID]*faceState
 	next    ndn.FaceID
-	stats   Stats
 	uplinks []*Uplink
+
+	stats statCounters
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 	once   sync.Once
+}
+
+// statCounters are the forwarder's packet tallies, bumped lock-free by
+// the per-face pipeline goroutines.
+type statCounters struct {
+	interests atomic.Uint64
+	data      atomic.Uint64
+	csHits    atomic.Uint64
+	nacks     atomic.Uint64
+	drops     atomic.Uint64
 }
 
 // Stats counts forwarder activity.
@@ -162,9 +182,9 @@ func New(cfg Config) (*Forwarder, error) {
 		tactic: core.NewRouter(cfg.ID, bf, core.NewTagValidator(cfg.Registry), rand.New(rand.NewSource(seed)), cfg.Tactic),
 		start:  time.Now(),
 		m:      newObsMetrics(cfg.Obs, cfg.Role),
-		fib:    ndn.NewFIB(),
-		pit:    ndn.NewPIT(),
-		cs:     ndn.NewCS(cfg.CSCapacity),
+		fib:    ndn.NewLockedFIB(),
+		pit:    ndn.NewShardedPIT(),
+		cs:     ndn.NewShardedCS(cfg.CSCapacity),
 		faces:  make(map[ndn.FaceID]*faceState),
 		closed: make(chan struct{}),
 	}
@@ -192,12 +212,9 @@ func (f *Forwarder) expireLoop() {
 		case <-f.closed:
 			return
 		case now := <-t.C:
-			f.mu.Lock()
-			expired := f.pit.ExpireBefore(now)
-			f.mu.Unlock()
-			if n := len(expired); n > 0 {
-				f.m.pitExpired.Add(uint64(n))
-				f.logf("pit: %d entries expired unanswered", n)
+			if expired := f.pit.ExpireBefore(now); len(expired) > 0 {
+				f.m.pitExpired.Add(uint64(len(expired)))
+				f.logf("pit: %d entries expired unanswered", len(expired))
 			}
 		}
 	}
@@ -228,7 +245,7 @@ func (f *Forwarder) addFace(conn *transport.Conn, downstream bool, onDown func()
 	return id
 }
 
-// readLoop pumps one face's packets into the pipeline.
+// readLoop pumps one face's packets through the pipeline.
 func (f *Forwarder) readLoop(fs *faceState) {
 	defer f.wg.Done()
 	for {
@@ -246,19 +263,23 @@ func (f *Forwarder) readLoop(fs *faceState) {
 	}
 }
 
-// detachFaceLocked removes a face from the tables (callers hold f.mu):
-// the face map entry, every FIB route through it (so Interests stop
-// black-holing into a dead upstream), and every PIT entry whose primary
-// was forwarded to it (so client retransmissions re-forward instead of
-// aggregating onto an unanswerable entry). Returns the detached state,
-// or nil when the face was already gone; the caller finishes with
-// closeDetached outside any ordering constraints.
-func (f *Forwarder) detachFaceLocked(id ndn.FaceID) *faceState {
+// removeFace detaches a dead face: the face-table entry goes under the
+// write lock, then the self-synchronised tables are cleaned without it —
+// every FIB route through the face (so Interests stop black-holing into
+// a dead upstream) and every PIT entry whose primary was forwarded to it
+// (so client retransmissions re-forward instead of aggregating onto an
+// unanswerable entry). Idempotent: concurrent removals of one face
+// detach it once.
+func (f *Forwarder) removeFace(id ndn.FaceID) {
+	f.mu.Lock()
 	fs, ok := f.faces[id]
-	if !ok {
-		return nil
+	if ok {
+		delete(f.faces, id)
 	}
-	delete(f.faces, id)
+	f.mu.Unlock()
+	if !ok {
+		return
+	}
 	if n := f.fib.RemoveFace(id); n > 0 {
 		f.m.routesDetached.Add(uint64(n))
 		f.logf("face %d: detached %d routes", id, n)
@@ -267,34 +288,15 @@ func (f *Forwarder) detachFaceLocked(id ndn.FaceID) *faceState {
 		f.m.pitFlushed.Add(uint64(len(flushed)))
 		f.logf("face %d: flushed %d pending interests", id, len(flushed))
 	}
-	return fs
-}
-
-// closeDetached closes a detached face's connection and fires its
-// death hook. Safe with f.mu held (Close does not block) — the hook
-// itself runs on its own goroutine so it may re-enter the forwarder.
-func (f *Forwarder) closeDetached(fs *faceState) {
 	fs.conn.Close()
-	f.logf("face %d closed", fs.id)
+	f.logf("face %d closed", id)
 	if fs.onDown != nil {
 		go fs.onDown()
 	}
 }
 
-// removeFace detaches a dead face.
-func (f *Forwarder) removeFace(id ndn.FaceID) {
-	f.mu.Lock()
-	fs := f.detachFaceLocked(id)
-	f.mu.Unlock()
-	if fs != nil {
-		f.closeDetached(fs)
-	}
-}
-
 // AddRoute installs a prefix route toward a face.
 func (f *Forwarder) AddRoute(prefix names.Name, face ndn.FaceID) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.fib.Insert(prefix, face)
 }
 
@@ -347,74 +349,61 @@ func (f *Forwarder) Close() error {
 
 // Stats returns a snapshot of the forwarder's counters.
 func (f *Forwarder) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return Stats{
+		Interests: f.stats.interests.Load(),
+		Data:      f.stats.data.Load(),
+		CSHits:    f.stats.csHits.Load(),
+		NACKs:     f.stats.nacks.Load(),
+		Drops:     f.stats.drops.Load(),
+	}
 }
 
 // Tactic exposes the router state (Bloom filter, validator) for
 // inspection.
 func (f *Forwarder) Tactic() *core.Router { return f.tactic }
 
-// send transmits a Data on a face (callers hold f.mu). Failures are
-// counted as drops; a connection-level failure additionally detaches
-// the face so the next packet does not hit the same dead peer.
+// errNoFace reports a send against a face that is no longer attached.
+var errNoFace = errors.New("forwarder: face detached")
+
+// send transmits a Data on a face. Failures are counted as drops; a
+// connection-level failure additionally detaches the face so the next
+// packet does not hit the same dead peer.
 func (f *Forwarder) send(face ndn.FaceID, d *ndn.Data) {
+	f.mu.RLock()
 	fs, ok := f.faces[face]
+	f.mu.RUnlock()
 	if !ok {
-		f.stats.Drops++
+		f.stats.drops.Add(1)
 		f.m.drop(dropNoFace)
 		return
 	}
 	if err := fs.conn.SendData(d); err != nil {
 		f.logf("send data on face %d: %v", face, err)
-		f.stats.Drops++
+		f.stats.drops.Add(1)
 		f.m.drop(dropSendErr)
 		if transport.IsFatal(err) {
-			if detached := f.detachFaceLocked(face); detached != nil {
-				f.closeDetached(detached)
-			}
+			f.removeFace(face)
 		}
 	}
 }
 
-// opsSnap captures the TACTIC operation counters so the pipeline can
-// annotate trace spans with exactly what one decision cost (callers hold
-// f.mu).
-type opsSnap struct {
-	lookups, inserts, resets, verifies, vfails uint64
-}
-
-func (f *Forwarder) opsSnap() opsSnap {
-	bs := f.tactic.Bloom().Stats()
-	vs := f.tactic.Validator().Stats()
-	return opsSnap{
-		lookups: bs.Lookups, inserts: bs.Insertions, resets: bs.Resets,
-		verifies: vs.Verifications, vfails: vs.Failures(),
+// sendInterest forwards an Interest on a face, detaching the face on a
+// connection-level failure. The caller accounts the drop.
+func (f *Forwarder) sendInterest(face ndn.FaceID, i *ndn.Interest) error {
+	f.mu.RLock()
+	fs, ok := f.faces[face]
+	f.mu.RUnlock()
+	if !ok {
+		return errNoFace
 	}
-}
-
-// annotateOps appends BF-lookup / verify / BF-reset events for the
-// operations performed since before (callers hold f.mu).
-func (f *Forwarder) annotateOps(sp *obs.Span, before opsSnap) {
-	if sp == nil {
-		return
+	if err := fs.conn.SendInterest(i); err != nil {
+		f.logf("send interest on face %d: %v", face, err)
+		if transport.IsFatal(err) {
+			f.removeFace(face)
+		}
+		return err
 	}
-	after := f.opsSnap()
-	if n := after.lookups - before.lookups; n > 0 {
-		sp.Event("bf_lookup", "n="+strconv.FormatUint(n, 10))
-	}
-	if after.vfails > before.vfails {
-		sp.Event("verify", "fail")
-	} else if after.verifies > before.verifies {
-		sp.Event("verify", "ok")
-	}
-	if n := after.inserts - before.inserts; n > 0 {
-		sp.Event("bf_insert", "n="+strconv.FormatUint(n, 10))
-	}
-	if n := after.resets - before.resets; n > 0 {
-		sp.Event("bf_reset", "n="+strconv.FormatUint(n, 10))
-	}
+	return nil
 }
 
 // formatFlag renders an F value for trace annotations.
@@ -423,30 +412,31 @@ func formatFlag(flag float64) string {
 }
 
 // handleInterest runs the Interest pipeline (the real-time analogue of
-// the simulator's RouterNode.HandleInterest).
+// the simulator's RouterNode.HandleInterest). It holds no forwarder-wide
+// lock: enforcement, CS, PIT, and FIB synchronise themselves, so faces
+// proceed in parallel and serialise only per name shard.
 func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 	now := time.Now()
 	sp := f.cfg.Tracer.Start("interest", i.Name.String())
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats.Interests++
+	n := f.stats.interests.Add(1)
 	f.m.interest.Inc()
 	defer func() { f.m.hop.Observe(time.Since(now).Seconds()) }()
+	// 1-in-64 packets contribute pit_cs / encode_send stage timings
+	// (bf_lookup and verify are timed inside their own layers).
+	sampled := f.m.stagePITCS != nil && n&stageSampleMask == 0
 
 	if i.Kind == ndn.KindContent && f.cfg.Role == RoleEdge && from.downstream {
 		// The edge is its clients' first-hop entity: reset-then-stamp
 		// the access path, then run Protocol 2.
 		i.AccessPath = core.EmptyAccessPath.Accumulate(f.cfg.ID)
-		before := f.opsSnap()
 		dec := f.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
 		if dec.Reason != nil {
 			sp.Event("precheck", core.ReasonLabel(dec.Reason))
 		} else {
 			sp.Event("precheck", "ok")
 		}
-		f.annotateOps(sp, before)
 		if dec.Drop {
-			f.stats.NACKs++
+			f.stats.nacks.Add(1)
 			f.m.nack(dec.Reason)
 			f.send(from.id, &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason})
 			sp.End("nack:" + core.ReasonLabel(dec.Reason))
@@ -456,22 +446,30 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 		sp.Event("flag", formatFlag(dec.Flag))
 	}
 
+	var tables time.Time
+	if sampled {
+		tables = time.Now()
+	}
 	if i.Kind == ndn.KindContent {
 		if content, ok := f.cs.Lookup(i.Name); ok {
-			before := f.opsSnap()
+			observeStage(f.m.stagePITCS, tables)
 			dec := f.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
-			f.annotateOps(sp, before)
 			if dec.NACK {
-				f.stats.NACKs++
+				f.stats.nacks.Add(1)
 				f.m.nack(dec.Reason)
 			} else {
-				f.stats.CSHits++
+				f.stats.csHits.Add(1)
 				f.m.csHits.Inc()
+			}
+			var sendStart time.Time
+			if sampled {
+				sendStart = time.Now()
 			}
 			f.send(from.id, &ndn.Data{
 				Name: i.Name, Content: content, Tag: i.Tag,
 				Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
 			})
+			observeStage(f.m.stageEncodeSend, sendStart)
 			if dec.NACK {
 				sp.End("nack:" + core.ReasonLabel(dec.Reason))
 			} else {
@@ -481,91 +479,80 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 		}
 	}
 
-	if entry, ok := f.pit.Lookup(i.Name); ok && entry.Expires.After(now) {
-		if entry.HasNonce(i.Nonce) {
-			f.stats.Drops++
-			f.m.drop(dropDupNonce)
-			sp.End("drop:" + dropDupNonce)
-			return
-		}
-		f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
-			now.Add(f.cfg.PITLifetime))
+	outcome, outFace := f.pit.Admit(i.Name,
+		ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
+		now, now.Add(f.cfg.PITLifetime))
+	observeStage(f.m.stagePITCS, tables)
+	switch outcome {
+	case ndn.PITDuplicate:
+		f.stats.drops.Add(1)
+		f.m.drop(dropDupNonce)
+		sp.End("drop:" + dropDupNonce)
+		return
+	case ndn.PITAggregated:
 		// A fresh nonce for a pending name is a retransmission: re-send
 		// upstream as well as aggregating, so an Interest silently lost
 		// on the uplink is recovered instead of black-holing every
-		// requester until the entry expires.
-		if fs, live := f.faces[entry.OutFace]; live {
-			if err := fs.conn.SendInterest(i); err != nil {
-				f.logf("resend interest on face %d: %v", entry.OutFace, err)
-				if transport.IsFatal(err) {
-					if detached := f.detachFaceLocked(entry.OutFace); detached != nil {
-						f.closeDetached(detached)
-					}
-				}
-			}
+		// requester until the entry expires. While the primary forward is
+		// still in flight the out-face is unset and there is nothing to
+		// recover yet.
+		if outFace != ndn.FaceNone {
+			f.sendInterest(outFace, i) //nolint:errcheck // best-effort recovery
 		}
 		sp.End("aggregated")
 		return
-	} else if ok {
-		f.pit.Consume(i.Name)
 	}
 
-	// Resolve the route before creating PIT state: an Interest that
-	// cannot be forwarded must not leave a dangling entry, or
-	// retransmissions would aggregate onto it and black-hole for a full
-	// PIT lifetime even after a route (re)appears.
+	// PITNew: resolve the route, record it on the entry, forward. An
+	// Interest that cannot be forwarded consumes its fresh entry again,
+	// so retransmissions re-forward instead of aggregating onto a dead
+	// entry for a full PIT lifetime. (A concurrent retransmission landing
+	// in the abort window aggregates onto the doomed entry and is
+	// recovered by its own retransmission — the same exposure a lost
+	// upstream Interest has.)
 	face, ok := f.fib.Lookup(i.Name)
 	if !ok {
-		f.stats.Drops++
+		f.pit.Consume(i.Name)
+		f.stats.drops.Add(1)
 		f.m.drop(dropNoRoute)
 		f.logf("no route for %s", i.Name)
 		sp.End("drop:" + dropNoRoute)
 		return
 	}
-	fs, ok := f.faces[face]
-	if !ok {
-		f.stats.Drops++
-		f.m.drop(dropNoFace)
-		sp.End("drop:" + dropNoFace)
-		return
+	f.pit.SetOutFace(i.Name, face)
+	var sendStart time.Time
+	if sampled {
+		sendStart = time.Now()
 	}
-	entry, _ := f.pit.Insert(i.Name, ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
-		now.Add(f.cfg.PITLifetime))
-	entry.OutFace = face
-	if err := fs.conn.SendInterest(i); err != nil {
-		f.logf("send interest on face %d: %v", face, err)
-		f.stats.Drops++
-		f.m.drop(dropSendErr)
-		f.pit.Consume(i.Name) // the request never left; free it for retransmission
-		if transport.IsFatal(err) {
-			if detached := f.detachFaceLocked(face); detached != nil {
-				f.closeDetached(detached)
-			}
+	if err := f.sendInterest(face, i); err != nil {
+		cause := dropSendErr
+		if errors.Is(err, errNoFace) {
+			cause = dropNoFace
 		}
-		sp.End("drop:" + dropSendErr)
+		f.stats.drops.Add(1)
+		f.m.drop(cause)
+		f.pit.Consume(i.Name) // the request never left; free it for retransmission
+		sp.End("drop:" + cause)
 		return
 	}
+	observeStage(f.m.stageEncodeSend, sendStart)
 	sp.End("forwarded")
 }
 
-// handleData runs the Data pipeline.
+// handleData runs the Data pipeline, lock-free like handleInterest.
 func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 	now := time.Now()
 	sp := f.cfg.Tracer.Start("data", d.Name.String())
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats.Data++
+	f.stats.data.Add(1)
 	f.m.data.Inc()
 
 	if d.Registration != nil {
 		if f.cfg.Role == RoleEdge && d.Registration.Tag != nil {
-			before := f.opsSnap()
 			f.tactic.EdgeOnTagResponse(d.Registration.Tag)
-			f.annotateOps(sp, before)
 		}
 		entry, ok := f.pit.Consume(d.Name)
 		if !ok {
-			f.stats.Drops++
+			f.stats.drops.Add(1)
 			f.m.drop(dropUnsolicited)
 			sp.End("drop:" + dropUnsolicited)
 			return
@@ -582,7 +569,7 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 	}
 	entry, ok := f.pit.Consume(d.Name)
 	if !ok {
-		f.stats.Drops++
+		f.stats.drops.Add(1)
 		f.m.drop(dropUnsolicited)
 		sp.End("drop:" + dropUnsolicited)
 		return
@@ -610,17 +597,15 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 			if d.Content.Meta.Level == core.Public {
 				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
 			} else {
-				f.stats.NACKs++
+				f.stats.nacks.Add(1)
 				f.m.nack(core.ErrNoTag)
 				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag})
 			}
 			continue
 		}
-		before := f.opsSnap()
 		dec := f.tactic.IntermediateOnAggregatedContent(rec.Tag, d.Content.Meta, rec.Flag, now)
-		f.annotateOps(sp, before)
 		if dec.NACK {
-			f.stats.NACKs++
+			f.stats.nacks.Add(1)
 			f.m.nack(dec.Reason)
 			sp.Event("nack_aggregate", core.ReasonLabel(dec.Reason))
 		}
@@ -642,22 +627,20 @@ func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, 
 		if d.Content != nil && d.Content.Meta.Level == core.Public && !d.Nack {
 			f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
 		} else {
-			f.stats.Drops++
+			f.stats.drops.Add(1)
 			f.m.drop(dropUndeliverable)
 			sp.Event("edge_drop", "no_tag")
 		}
 		return
 	}
 	var deliver bool
-	before := f.opsSnap()
 	if isPrimary {
 		deliver = f.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack)
 	} else if d.Content != nil {
 		deliver = f.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now)
 	}
-	f.annotateOps(sp, before)
 	if !deliver {
-		f.stats.Drops++
+		f.stats.drops.Add(1)
 		f.m.drop(dropUndeliverable)
 		sp.Event("edge_drop", core.ReasonLabel(d.NackReason))
 		// Tell the client so it can fail fast rather than time out.

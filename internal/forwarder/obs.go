@@ -47,6 +47,12 @@ const (
 	MetricUplinkDown     = "tactic_uplink_down_total"
 	MetricUplinkUp       = "tactic_uplink_up"
 
+	// Pipeline-stage observability: sampled per-stage latency (label
+	// "stage" is one of decode, bf_lookup, verify, pit_cs, encode_send)
+	// and the number of signature verifications currently executing.
+	MetricStageSeconds   = "tactic_stage_seconds"
+	MetricVerifyInFlight = "tactic_tag_verifications_in_flight"
+
 	MetricProducerServed    = "tactic_producer_served_total"
 	MetricProducerNACKs     = "tactic_producer_nacks_total"
 	MetricRegistrations     = "tactic_registrations_total"
@@ -89,6 +95,26 @@ type obsMetrics struct {
 	routesDetached *obs.Counter
 	nacks          map[string]*obs.Counter // by reason label
 	drops          map[string]*obs.Counter // by cause
+
+	// Sampled stage latencies (MetricStageSeconds). stagePITCS and
+	// stageEncodeSend are observed by the pipeline; stageDecode is fed to
+	// every face's transport metrics. bf_lookup and verify live inside
+	// the bloom filter and validator respectively (see registerSampled).
+	stagePITCS      *obs.Histogram
+	stageEncodeSend *obs.Histogram
+	stageDecode     *obs.Histogram
+}
+
+// stageSampleMask selects which packets contribute pit_cs / encode_send
+// stage timings: packet counts where count&mask == 0.
+const stageSampleMask = 63
+
+// observeStage records one sampled stage timing; start is zero when the
+// packet was not sampled.
+func observeStage(h *obs.Histogram, start time.Time) {
+	if !start.IsZero() {
+		h.Observe(time.Since(start).Seconds())
+	}
 }
 
 func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
@@ -118,6 +144,10 @@ func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
 	for _, cause := range []string{dropDupNonce, dropNoRoute, dropNoFace, dropUnsolicited, dropUndeliverable, dropSendErr} {
 		m.drops[cause] = reg.Counter(MetricDrops, m.role, obs.L("cause", cause))
 	}
+	reg.Help(MetricStageSeconds, "Sampled pipeline-stage latency, by stage (decode, bf_lookup, verify, pit_cs, encode_send).")
+	m.stagePITCS = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "pit_cs"))
+	m.stageEncodeSend = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "encode_send"))
+	m.stageDecode = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "decode"))
 	return m
 }
 
@@ -155,34 +185,35 @@ func (m *obsMetrics) faceMetrics(id ndn.FaceID, downstream bool) *transport.Metr
 	kind := obs.L("link", link)
 	in, out := obs.L("dir", "in"), obs.L("dir", "out")
 	return &transport.Metrics{
-		FramesIn:  m.reg.Counter(MetricFaceFrames, m.role, face, kind, in),
-		FramesOut: m.reg.Counter(MetricFaceFrames, m.role, face, kind, out),
-		BytesIn:   m.reg.Counter(MetricFaceBytes, m.role, face, kind, in),
-		BytesOut:  m.reg.Counter(MetricFaceBytes, m.role, face, kind, out),
-		Errors:    m.reg.Counter(MetricFaceErrors, m.role, face, kind),
+		FramesIn:      m.reg.Counter(MetricFaceFrames, m.role, face, kind, in),
+		FramesOut:     m.reg.Counter(MetricFaceFrames, m.role, face, kind, out),
+		BytesIn:       m.reg.Counter(MetricFaceBytes, m.role, face, kind, in),
+		BytesOut:      m.reg.Counter(MetricFaceBytes, m.role, face, kind, out),
+		Errors:        m.reg.Counter(MetricFaceErrors, m.role, face, kind),
+		DecodeSeconds: m.stageDecode,
 	}
 }
 
 // registerSampled wires the counters owned by other layers (Bloom
 // filter, validator) and the instantaneous table sizes as scrape-time
-// callbacks. The closures take f.mu; the obs registry never calls them
-// under its own lock, so lock order is always f.mu ← never reversed.
+// callbacks, and hands the bf_lookup / verify stage histograms to the
+// layers that own those stages. Every source synchronises itself, so the
+// callbacks take no forwarder lock except the face-count gauge (f.mu
+// read lock; the obs registry never scrapes under its own lock, so no
+// lock order is imposed).
 func (f *Forwarder) registerSampled(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
 	role := obs.L("role", f.cfg.Role.String())
-	locked := func(get func() float64) func() float64 {
-		return func() float64 {
-			f.mu.Lock()
-			defer f.mu.Unlock()
-			return get()
-		}
-	}
-	reg.CounterFunc(MetricBFLookups, locked(func() float64 { return float64(f.tactic.Bloom().Stats().Lookups) }), role)
-	reg.CounterFunc(MetricBFInsertions, locked(func() float64 { return float64(f.tactic.Bloom().Stats().Insertions) }), role)
-	reg.CounterFunc(MetricBFResets, locked(func() float64 { return float64(f.tactic.Bloom().Stats().Resets) }), role)
-	reg.CounterFunc(MetricVerifications, locked(func() float64 { return float64(f.tactic.Validator().Verifications()) }), role)
+	f.tactic.Bloom().SetLookupHistogram(reg.Histogram(MetricStageSeconds, nil, role, obs.L("stage", "bf_lookup")))
+	f.tactic.Validator().SetVerifyHistogram(reg.Histogram(MetricStageSeconds, nil, role, obs.L("stage", "verify")))
+	reg.Help(MetricVerifyInFlight, "Tag signature verifications currently executing.")
+	reg.GaugeFunc(MetricVerifyInFlight, func() float64 { return float64(f.tactic.Validator().InFlight()) }, role)
+	reg.CounterFunc(MetricBFLookups, func() float64 { return float64(f.tactic.Bloom().Stats().Lookups) }, role)
+	reg.CounterFunc(MetricBFInsertions, func() float64 { return float64(f.tactic.Bloom().Stats().Insertions) }, role)
+	reg.CounterFunc(MetricBFResets, func() float64 { return float64(f.tactic.Bloom().Stats().Resets) }, role)
+	reg.CounterFunc(MetricVerifications, func() float64 { return float64(f.tactic.Validator().Verifications()) }, role)
 	for reason, get := range map[string]func(core.ValidatorStats) uint64{
 		"no_tag":  func(s core.ValidatorStats) uint64 { return s.Missing },
 		"expired": func(s core.ValidatorStats) uint64 { return s.Expired },
@@ -190,16 +221,20 @@ func (f *Forwarder) registerSampled(reg *obs.Registry) {
 	} {
 		get := get
 		reg.CounterFunc(MetricVerifyFailed,
-			locked(func() float64 { return float64(get(f.tactic.Validator().Stats())) }),
+			func() float64 { return float64(get(f.tactic.Validator().Stats())) },
 			role, obs.L("reason", reason))
 	}
-	reg.GaugeFunc(MetricBFFillRatio, locked(func() float64 { return f.tactic.Bloom().FillRatio() }), role)
-	reg.GaugeFunc(MetricBFFPP, locked(func() float64 { return f.tactic.Bloom().FPP() }), role)
-	reg.GaugeFunc(MetricBFEntries, locked(func() float64 { return float64(f.tactic.Bloom().Count()) }), role)
-	reg.GaugeFunc(MetricPITEntries, locked(func() float64 { return float64(f.pit.Len()) }), role)
-	reg.GaugeFunc(MetricCSEntries, locked(func() float64 { return float64(f.cs.Len()) }), role)
-	reg.GaugeFunc(MetricFIBEntries, locked(func() float64 { return float64(f.fib.Len()) }), role)
-	reg.GaugeFunc(MetricFaces, locked(func() float64 { return float64(len(f.faces)) }), role)
+	reg.GaugeFunc(MetricBFFillRatio, func() float64 { return f.tactic.Bloom().FillRatio() }, role)
+	reg.GaugeFunc(MetricBFFPP, func() float64 { return f.tactic.Bloom().FPP() }, role)
+	reg.GaugeFunc(MetricBFEntries, func() float64 { return float64(f.tactic.Bloom().Count()) }, role)
+	reg.GaugeFunc(MetricPITEntries, func() float64 { return float64(f.pit.Len()) }, role)
+	reg.GaugeFunc(MetricCSEntries, func() float64 { return float64(f.cs.Len()) }, role)
+	reg.GaugeFunc(MetricFIBEntries, func() float64 { return float64(f.fib.Len()) }, role)
+	reg.GaugeFunc(MetricFaces, func() float64 {
+		f.mu.RLock()
+		defer f.mu.RUnlock()
+		return float64(len(f.faces))
+	}, role)
 }
 
 // BloomStatus describes one Bloom filter for /statusz.
@@ -223,7 +258,7 @@ type BloomStatus struct {
 	RequestsSinceReset uint64 `json:"requests_since_reset"`
 }
 
-// bloomStatus snapshots a filter. Callers hold the owning lock.
+// bloomStatus snapshots a filter (safe concurrently with traffic).
 func bloomStatus(f *bloom.Filter) BloomStatus {
 	st := f.Stats()
 	return BloomStatus{
@@ -256,10 +291,9 @@ type Status struct {
 	Faces         []FaceStatus        `json:"faces"`
 }
 
-// Status snapshots the forwarder for /statusz.
+// Status snapshots the forwarder for /statusz. Only the face walk needs
+// a (read) lock; every other source is safe concurrently with traffic.
 func (f *Forwarder) Status() Status {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	st := Status{
 		ID:            f.cfg.ID,
 		Role:          f.cfg.Role.String(),
@@ -269,8 +303,10 @@ func (f *Forwarder) Status() Status {
 		FIBEntries:    f.fib.Len(),
 		Bloom:         bloomStatus(f.tactic.Bloom()),
 		Validator:     f.tactic.Validator().Stats(),
-		Counters:      f.stats,
+		Counters:      f.Stats(),
 	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	for id, fs := range f.faces {
 		fst := FaceStatus{ID: int(id), Downstream: fs.downstream, Stats: fs.conn.Stats()}
 		if addr := fs.conn.RemoteAddr(); addr != nil {

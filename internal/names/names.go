@@ -27,6 +27,30 @@ var (
 // root name "/" with no components.
 type Name struct {
 	components []string
+	// key is the canonical string form, computed once at construction so
+	// String/Key on the forwarding hot path never allocate. Every prefix
+	// of the component sequence is a prefix of key, so Prefix and Parent
+	// share it by slicing.
+	key string
+}
+
+// makeName builds a Name over validated components, computing the
+// canonical key.
+func makeName(components []string) Name {
+	if len(components) == 0 {
+		return Name{}
+	}
+	var b strings.Builder
+	total := 0
+	for _, c := range components {
+		total += 1 + len(c)
+	}
+	b.Grow(total)
+	for _, c := range components {
+		b.WriteByte('/')
+		b.WriteString(c)
+	}
+	return Name{components: components, key: b.String()}
 }
 
 // New builds a name from explicit components. Components must be
@@ -42,7 +66,7 @@ func New(components ...string) (Name, error) {
 		}
 		out = append(out, c)
 	}
-	return Name{components: out}, nil
+	return makeName(out), nil
 }
 
 // MustNew is New but panics on error. Intended for constants in tests and
@@ -75,7 +99,7 @@ func Parse(s string) (Name, error) {
 			return Name{}, fmt.Errorf("%w: %q has an empty component", ErrMalformed, s)
 		}
 	}
-	return Name{components: parts}, nil
+	return makeName(parts), nil
 }
 
 // MustParse is Parse but panics on error.
@@ -87,26 +111,14 @@ func MustParse(s string) Name {
 	return n
 }
 
-// String renders the name in URI-like form. The root name renders as "/".
+// String renders the name in URI-like form. The root name renders as
+// "/". The result is precomputed at construction, so String is
+// allocation-free.
 func (n Name) String() string {
 	if len(n.components) == 0 {
 		return "/"
 	}
-	var b strings.Builder
-	b.Grow(n.encodedLen())
-	for _, c := range n.components {
-		b.WriteByte('/')
-		b.WriteString(c)
-	}
-	return b.String()
-}
-
-func (n Name) encodedLen() int {
-	total := 0
-	for _, c := range n.components {
-		total += 1 + len(c)
-	}
-	return total
+	return n.key
 }
 
 // Len reports the number of components.
@@ -138,7 +150,7 @@ func (n Name) Append(components ...string) (Name, error) {
 	out := make([]string, 0, len(n.components)+len(components))
 	out = append(out, n.components...)
 	out = append(out, components...)
-	return Name{components: out}, nil
+	return makeName(out), nil
 }
 
 // MustAppend is Append but panics on error.
@@ -152,6 +164,8 @@ func (n Name) MustAppend(components ...string) Name {
 
 // Prefix returns the name truncated to its first k components. If k
 // exceeds the length, the full name is returned; k <= 0 yields the root.
+// The prefix shares the receiver's component slice and canonical key, so
+// Prefix never allocates.
 func (n Name) Prefix(k int) Name {
 	if k <= 0 {
 		return Name{}
@@ -159,29 +173,22 @@ func (n Name) Prefix(k int) Name {
 	if k >= len(n.components) {
 		return n
 	}
-	return Name{components: n.components[:k]}
+	cut := 0
+	for _, c := range n.components[:k] {
+		cut += 1 + len(c)
+	}
+	return Name{components: n.components[:k], key: n.key[:cut]}
 }
 
 // Parent returns the name with its last component removed. The parent of
 // the root is the root.
 func (n Name) Parent() Name {
-	if len(n.components) == 0 {
-		return n
-	}
-	return Name{components: n.components[:len(n.components)-1]}
+	return n.Prefix(len(n.components) - 1)
 }
 
 // Equal reports whether two names have identical components.
 func (n Name) Equal(o Name) bool {
-	if len(n.components) != len(o.components) {
-		return false
-	}
-	for i, c := range n.components {
-		if o.components[i] != c {
-			return false
-		}
-	}
-	return true
+	return n.key == o.key
 }
 
 // HasPrefix reports whether p is a (non-strict) prefix of n. Every name

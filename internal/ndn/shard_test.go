@@ -1,0 +1,230 @@
+package ndn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// These tests hammer the sharded tables from many goroutines and are
+// meant to run under -race (see the Makefile's race target). The
+// assertions are deterministic: counters must balance exactly no matter
+// how the schedule interleaves.
+
+func TestShardedPITConcurrentAdmitSameName(t *testing.T) {
+	pit := NewShardedPIT()
+	name := names.MustParse("/prov0/obj/chunk0")
+	now := time.Now()
+	expires := now.Add(time.Second)
+
+	const workers = 32
+	var wg sync.WaitGroup
+	outcomes := make([]AdmitOutcome, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], _ = pit.Admit(name, PITRecord{InFace: FaceID(i + 1), Nonce: uint64(i + 1)}, now, expires)
+		}(i)
+	}
+	wg.Wait()
+
+	news, aggs := 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case PITNew:
+			news++
+		case PITAggregated:
+			aggs++
+		default:
+			t.Fatalf("unexpected outcome %v", o)
+		}
+	}
+	if news != 1 || aggs != workers-1 {
+		t.Fatalf("outcomes: %d new, %d aggregated; want 1, %d", news, aggs, workers-1)
+	}
+	created, aggregated, _ := pit.Stats()
+	if created != 1 || aggregated != workers-1 {
+		t.Fatalf("stats: created %d aggregated %d; want 1, %d", created, aggregated, workers-1)
+	}
+	e, ok := pit.Consume(name)
+	if !ok {
+		t.Fatal("entry vanished")
+	}
+	if len(e.Records) != workers {
+		t.Fatalf("records = %d, want %d (every requester must be remembered)", len(e.Records), workers)
+	}
+	if pit.Len() != 0 {
+		t.Fatalf("PIT not empty after Consume: %d", pit.Len())
+	}
+}
+
+func TestShardedPITConcurrentDuplicateNonce(t *testing.T) {
+	pit := NewShardedPIT()
+	name := names.MustParse("/prov0/obj/chunk1")
+	now := time.Now()
+	expires := now.Add(time.Second)
+
+	// Every goroutine presents the SAME nonce: exactly one may create the
+	// entry; every other attempt must be reported as a duplicate.
+	const workers = 32
+	var wg sync.WaitGroup
+	outcomes := make([]AdmitOutcome, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], _ = pit.Admit(name, PITRecord{InFace: FaceID(i + 1), Nonce: 42}, now, expires)
+		}(i)
+	}
+	wg.Wait()
+
+	news, dups := 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case PITNew:
+			news++
+		case PITDuplicate:
+			dups++
+		default:
+			t.Fatalf("unexpected outcome %v", o)
+		}
+	}
+	if news != 1 || dups != workers-1 {
+		t.Fatalf("outcomes: %d new, %d duplicate; want 1, %d", news, dups, workers-1)
+	}
+}
+
+func TestShardedPITConcurrentAdmitConsume(t *testing.T) {
+	pit := NewShardedPIT()
+	now := time.Now()
+	expires := now.Add(time.Minute)
+
+	// Admitters and consumers race on a shared set of names. Whatever the
+	// interleaving, every created entry is consumed at most once and the
+	// table drains to empty.
+	const namesN, rounds = 8, 200
+	nn := make([]names.Name, namesN)
+	for i := range nn {
+		nn[i] = names.MustParse(fmt.Sprintf("/prov0/obj/chunk%d", i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n := nn[r%namesN]
+				outcome, _ := pit.Admit(n, PITRecord{InFace: FaceID(w + 1), Nonce: uint64(w)<<32 | uint64(r)}, now, expires)
+				if outcome == PITNew {
+					pit.SetOutFace(n, FaceID(100+w))
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pit.Consume(nn[r%namesN])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range nn {
+		pit.Consume(nn[i])
+	}
+	if pit.Len() != 0 {
+		t.Fatalf("PIT holds %d entries after draining", pit.Len())
+	}
+}
+
+func TestShardedCSConcurrentInsertEvict(t *testing.T) {
+	const capacity = 32
+	cs := NewShardedCS(capacity)
+
+	// Writers insert far more distinct names than the store holds while
+	// readers look up the same key space; capacity must hold throughout
+	// and the hit/miss/eviction counters must stay coherent.
+	const workers, perWorker = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := names.MustParse(fmt.Sprintf("/prov0/obj%d/chunk%d", w, i%64))
+				cs.Insert(&core.Content{Meta: core.ContentMeta{Name: n}})
+				if got := cs.Len(); got > capacity {
+					t.Errorf("CS over capacity: %d > %d", got, capacity)
+					return
+				}
+			}
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := names.MustParse(fmt.Sprintf("/prov0/obj%d/chunk%d", w, i%64))
+				if c, ok := cs.Lookup(n); ok && c == nil {
+					t.Error("Lookup returned ok with nil content")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := cs.Len(); got > capacity {
+		t.Fatalf("CS over capacity after quiescence: %d > %d", got, capacity)
+	}
+	hits, misses, _ := cs.Stats()
+	if hits+misses != workers*perWorker {
+		t.Fatalf("hits %d + misses %d != lookups %d", hits, misses, workers*perWorker)
+	}
+}
+
+func TestShardedCSLRUWithinShard(t *testing.T) {
+	// Single-shard sanity: with per-shard capacity 1 (total 16 across 16
+	// shards), re-inserting a name must refresh rather than grow.
+	cs := NewShardedCS(16)
+	n := names.MustParse("/prov0/obj/chunk0")
+	for i := 0; i < 5; i++ {
+		cs.Insert(&core.Content{Meta: core.ContentMeta{Name: n}, Payload: []byte{byte(i)}})
+	}
+	if cs.Len() != 1 {
+		t.Fatalf("Len = %d after re-inserting one name, want 1", cs.Len())
+	}
+	c, ok := cs.Lookup(n)
+	if !ok || len(c.Payload) != 1 || c.Payload[0] != 4 {
+		t.Fatalf("Lookup returned stale content: %+v ok=%v", c, ok)
+	}
+}
+
+func TestLockedFIBConcurrentLookup(t *testing.T) {
+	fib := NewLockedFIB()
+	prefix := names.MustParse("/prov0")
+	fib.Insert(prefix, 7)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := names.MustParse(fmt.Sprintf("/w%d", w))
+			for i := 0; i < 200; i++ {
+				fib.Insert(own, FaceID(w))
+				if face, ok := fib.Lookup(names.MustParse("/prov0/obj/chunk0")); !ok || face != 7 {
+					t.Errorf("Lookup = %v, %v; want 7, true", face, ok)
+					return
+				}
+				fib.Remove(own)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fib.Len() != 1 {
+		t.Fatalf("FIB holds %d routes, want 1", fib.Len())
+	}
+}

@@ -66,6 +66,18 @@ func appendVarLen(dst []byte, n uint64) []byte {
 	}
 }
 
+// varLenSize returns how many bytes appendVarLen emits for n.
+func varLenSize(n uint64) int {
+	switch {
+	case n < 253:
+		return 1
+	case n <= math.MaxUint16:
+		return 3
+	default:
+		return 5
+	}
+}
+
 // tlvReader walks a TLV buffer.
 type tlvReader struct {
 	buf []byte
@@ -123,13 +135,24 @@ func (r *tlvReader) varLen() (uint64, error) {
 	}
 }
 
-// encodeName writes a Name element.
+// encodeName writes a Name element. The component lengths are summed
+// first so the element is emitted in one pass with no intermediate
+// buffer.
 func encodeName(dst []byte, n names.Name) []byte {
-	var inner []byte
-	for _, c := range n.Components() {
-		inner = appendTLV(inner, tlvNameComponent, []byte(c))
+	inner := 0
+	for i := 0; i < n.Len(); i++ {
+		l := len(n.Component(i))
+		inner += 1 + varLenSize(uint64(l)) + l
 	}
-	return appendTLV(dst, tlvName, inner)
+	dst = append(dst, tlvName)
+	dst = appendVarLen(dst, uint64(inner))
+	for i := 0; i < n.Len(); i++ {
+		c := n.Component(i)
+		dst = append(dst, tlvNameComponent)
+		dst = appendVarLen(dst, uint64(len(c)))
+		dst = append(dst, c...)
+	}
+	return dst
 }
 
 // decodeName parses a Name element's value.
@@ -152,35 +175,55 @@ func decodeName(value []byte) (names.Name, error) {
 	return names.New(comps...)
 }
 
+// openOuter starts an Interest/Data outer element using the 4-byte
+// length form unconditionally, so the body can be appended in a single
+// pass and the length patched in place afterwards (NDN decoders accept
+// non-minimal length forms). Returns the body start offset for
+// closeOuter.
+func openOuter(dst []byte, typ byte) ([]byte, int) {
+	dst = append(dst, typ, 254, 0, 0, 0, 0)
+	return dst, len(dst)
+}
+
+// closeOuter patches the outer length opened by openOuter.
+func closeOuter(dst []byte, start int) []byte {
+	binary.BigEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
+	return dst
+}
+
 // EncodeInterest serialises an Interest to its TLV wire form.
 func EncodeInterest(i *Interest) ([]byte, error) {
-	var body []byte
-	body = encodeName(body, i.Name)
-	body = appendTLV(body, tlvKind, []byte{byte(i.Kind)})
-	var nonce [8]byte
-	binary.BigEndian.PutUint64(nonce[:], i.Nonce)
-	body = appendTLV(body, tlvNonce, nonce[:])
+	return AppendInterest(nil, i)
+}
+
+// AppendInterest appends an Interest's TLV wire form to dst (which may
+// be nil or pooled scratch) and returns the extended slice. The packet
+// is emitted in one pass with no intermediate buffers.
+func AppendInterest(dst []byte, i *Interest) ([]byte, error) {
+	dst, start := openOuter(dst, tlvInterest)
+	dst = encodeName(dst, i.Name)
+	dst = append(dst, tlvKind, 1, byte(i.Kind))
+	dst = append(dst, tlvNonce, 8)
+	dst = binary.BigEndian.AppendUint64(dst, i.Nonce)
 	if i.Tag != nil {
-		body = appendTLV(body, tlvTag, i.Tag.Encode())
+		dst = appendTLV(dst, tlvTag, i.Tag.Encode())
 	}
 	if i.Flag != 0 {
-		var f [8]byte
-		binary.BigEndian.PutUint64(f[:], math.Float64bits(i.Flag))
-		body = appendTLV(body, tlvFlag, f[:])
+		dst = append(dst, tlvFlag, 8)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(i.Flag))
 	}
 	if i.AccessPath != 0 {
-		var ap [8]byte
-		binary.BigEndian.PutUint64(ap[:], uint64(i.AccessPath))
-		body = appendTLV(body, tlvAccessPath, ap[:])
+		dst = append(dst, tlvAccessPath, 8)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(i.AccessPath))
 	}
 	if i.Registration != nil {
 		reg, err := core.EncodeRegistrationRequest(i.Registration)
 		if err != nil {
 			return nil, err
 		}
-		body = appendTLV(body, tlvRegistration, reg)
+		dst = appendTLV(dst, tlvRegistration, reg)
 	}
-	return appendTLV(nil, tlvInterest, body), nil
+	return closeOuter(dst, start), nil
 }
 
 // DecodeInterest reverses EncodeInterest.
@@ -205,7 +248,7 @@ func DecodeInterest(b []byte) (*Interest, error) {
 		}
 		switch typ {
 		case tlvName:
-			if i.Name, err = decodeName(v); err != nil {
+			if i.Name, err = decodeNameInterned(v); err != nil {
 				return nil, err
 			}
 		case tlvKind:
@@ -219,7 +262,7 @@ func DecodeInterest(b []byte) (*Interest, error) {
 			}
 			i.Nonce = binary.BigEndian.Uint64(v)
 		case tlvTag:
-			if i.Tag, err = core.DecodeTag(v); err != nil {
+			if i.Tag, err = decodeTagInterned(v); err != nil {
 				return nil, err
 			}
 		case tlvFlag:
@@ -251,34 +294,41 @@ func DecodeInterest(b []byte) (*Interest, error) {
 // is a diagnostic and does not cross the wire (a real deployment would
 // map it to a NACK reason code).
 func EncodeData(d *Data) ([]byte, error) {
-	var body []byte
-	body = encodeName(body, d.Name)
+	return AppendData(nil, d)
+}
+
+// AppendData appends a Data packet's TLV wire form to dst (which may be
+// nil or pooled scratch) and returns the extended slice. Contents and
+// tags decoded off the wire contribute their cached encodings, so a
+// content-store hit is serialised without re-encoding the payload.
+func AppendData(dst []byte, d *Data) ([]byte, error) {
+	dst, start := openOuter(dst, tlvData)
+	dst = encodeName(dst, d.Name)
 	if d.Content != nil {
 		enc, err := core.EncodeContent(d.Content)
 		if err != nil {
 			return nil, err
 		}
-		body = appendTLV(body, tlvContent, enc)
+		dst = appendTLV(dst, tlvContent, enc)
 	}
 	if d.Tag != nil {
-		body = appendTLV(body, tlvTag, d.Tag.Encode())
+		dst = appendTLV(dst, tlvTag, d.Tag.Encode())
 	}
 	if d.Flag != 0 {
-		var f [8]byte
-		binary.BigEndian.PutUint64(f[:], math.Float64bits(d.Flag))
-		body = appendTLV(body, tlvFlag, f[:])
+		dst = append(dst, tlvFlag, 8)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d.Flag))
 	}
 	if d.Nack {
-		body = appendTLV(body, tlvNack, nil)
+		dst = append(dst, tlvNack, 0)
 	}
 	if d.Registration != nil {
 		enc, err := core.EncodeRegistrationResponse(d.Registration)
 		if err != nil {
 			return nil, err
 		}
-		body = appendTLV(body, tlvRegResponse, enc)
+		dst = appendTLV(dst, tlvRegResponse, enc)
 	}
-	return appendTLV(nil, tlvData, body), nil
+	return closeOuter(dst, start), nil
 }
 
 // DecodeData reverses EncodeData.
@@ -303,7 +353,7 @@ func DecodeData(b []byte) (*Data, error) {
 		}
 		switch typ {
 		case tlvName:
-			if d.Name, err = decodeName(v); err != nil {
+			if d.Name, err = decodeNameInterned(v); err != nil {
 				return nil, err
 			}
 		case tlvContent:
@@ -311,7 +361,7 @@ func DecodeData(b []byte) (*Data, error) {
 				return nil, err
 			}
 		case tlvTag:
-			if d.Tag, err = core.DecodeTag(v); err != nil {
+			if d.Tag, err = decodeTagInterned(v); err != nil {
 				return nil, err
 			}
 		case tlvFlag:

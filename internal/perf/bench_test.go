@@ -1,0 +1,45 @@
+package perf
+
+import "testing"
+
+// BenchmarkForwarderPipeline drives the live enforcement pipeline with
+// 1/4/16 concurrent faces on a mixed BF-hit/BF-miss workload (1 forged
+// tag per 16 Interests per face — the paper's unauthorized-request
+// traffic riding on legitimate load) and on a pure BF-hit workload. One
+// op is one Interest→response round trip through real transport framing.
+func BenchmarkForwarderPipeline(b *testing.B) {
+	for _, faces := range []int{1, 4, 16} {
+		b.Run(benchName("mixed", faces), ForwarderPipeline(PipelineOptions{Faces: faces, MissEvery: 16}))
+	}
+	for _, faces := range []int{1, 4, 16} {
+		b.Run(benchName("hit", faces), ForwarderPipeline(PipelineOptions{Faces: faces}))
+	}
+}
+
+func benchName(kind string, faces int) string {
+	return kind + "/faces=" + itoa(faces)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkMicroBFLookup measures one Bloom-filter membership test on
+// the hot path; run with -benchmem to confirm it allocates nothing.
+func BenchmarkMicroBFLookup(b *testing.B) { MicroBFLookup()(b) }
+
+// BenchmarkMicroVerify measures one ECDSA tag validation.
+func BenchmarkMicroVerify(b *testing.B) { MicroVerify()(b) }
+
+// BenchmarkMicroTLVRoundTrip measures one Interest encode+decode cycle.
+func BenchmarkMicroTLVRoundTrip(b *testing.B) { MicroTLVRoundTrip()(b) }

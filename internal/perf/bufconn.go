@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// errConnClosed is returned by bufConn operations after Close.
+var errConnClosed = errors.New("perf: bufconn closed")
+
+// pipeBuf is one direction of a buffered in-memory connection: a
+// fixed-size ring with blocking semantics. Unlike net.Pipe (a
+// synchronous rendezvous that forces a scheduler hand-off per frame), a
+// ring decouples writer and reader the way kernel socket buffers do, so
+// benchmarks measure pipeline work rather than context-switch costs.
+type pipeBuf struct {
+	mu     sync.Mutex
+	nempty sync.Cond // signalled when data becomes available
+	nfull  sync.Cond // signalled when space becomes available
+	buf    []byte
+	r, w   int // read/write cursors; n tracks occupancy
+	n      int
+	closed bool
+}
+
+func newPipeBuf(size int) *pipeBuf {
+	b := &pipeBuf{buf: make([]byte, size)}
+	b.nempty.L = &b.mu
+	b.nfull.L = &b.mu
+	return b
+}
+
+func (b *pipeBuf) write(p []byte) (int, error) {
+	total := 0
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(p) > 0 {
+		for b.n == len(b.buf) && !b.closed {
+			b.nfull.Wait()
+		}
+		if b.closed {
+			return total, errConnClosed
+		}
+		chunk := len(b.buf) - b.n
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		// Copy in up to two segments around the ring boundary.
+		first := len(b.buf) - b.w
+		if first > chunk {
+			first = chunk
+		}
+		copy(b.buf[b.w:], p[:first])
+		copy(b.buf, p[first:chunk])
+		b.w = (b.w + chunk) % len(b.buf)
+		b.n += chunk
+		p = p[chunk:]
+		total += chunk
+		b.nempty.Signal()
+	}
+	return total, nil
+}
+
+func (b *pipeBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.n == 0 && !b.closed {
+		b.nempty.Wait()
+	}
+	if b.n == 0 && b.closed {
+		return 0, io.EOF
+	}
+	chunk := b.n
+	if chunk > len(p) {
+		chunk = len(p)
+	}
+	first := len(b.buf) - b.r
+	if first > chunk {
+		first = chunk
+	}
+	copy(p[:first], b.buf[b.r:])
+	copy(p[first:chunk], b.buf)
+	b.r = (b.r + chunk) % len(b.buf)
+	b.n -= chunk
+	b.nfull.Signal()
+	return chunk, nil
+}
+
+func (b *pipeBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.nempty.Broadcast()
+	b.nfull.Broadcast()
+}
+
+// bufConn is one endpoint of a buffered in-memory duplex connection.
+type bufConn struct {
+	rd *pipeBuf
+	wr *pipeBuf
+}
+
+// newBufConnPair creates a connected pair of buffered conns with the
+// given per-direction buffer size.
+func newBufConnPair(size int) (net.Conn, net.Conn) {
+	a := newPipeBuf(size)
+	b := newPipeBuf(size)
+	return &bufConn{rd: a, wr: b}, &bufConn{rd: b, wr: a}
+}
+
+func (c *bufConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *bufConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+func (c *bufConn) Close() error {
+	c.rd.close()
+	c.wr.close()
+	return nil
+}
+
+type bufAddr struct{}
+
+func (bufAddr) Network() string { return "buf" }
+func (bufAddr) String() string  { return "buf" }
+
+func (c *bufConn) LocalAddr() net.Addr                { return bufAddr{} }
+func (c *bufConn) RemoteAddr() net.Addr               { return bufAddr{} }
+func (c *bufConn) SetDeadline(t time.Time) error      { return nil }
+func (c *bufConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *bufConn) SetWriteDeadline(t time.Time) error { return nil }

@@ -1,0 +1,482 @@
+// Package perf is the performance harness for the live TACTIC stack:
+// reusable benchmark bodies that drive a real forwarder through real
+// transport framing, plus micro-benchmarks for the hot-path primitives
+// (Bloom-filter lookup, signature verification, TLV codec).
+//
+// The pipeline benchmark is a throughput harness, not a latency one:
+// each face keeps a window of Interests in flight over a buffered
+// in-memory connection, client frames are pre-encoded with only the
+// nonce patched per send, and responses are counted by raw TLV framing
+// without a full decode. That keeps client-side codec work and
+// scheduler rendezvous out of the measurement, so ns/op tracks the
+// forwarder pipeline itself: transport framing, TLV decode, tag
+// enforcement (Bloom filter + signature verification on misses),
+// PIT/CS/FIB, and response encode+send.
+//
+// The bodies are exported as func(*testing.B) so the same workload runs
+// both under `go test -bench` (bench_test.go in this package) and from
+// cmd/tacticbench -bench-out, which records a BENCH_pipeline.json
+// snapshot for regression tracking across PRs.
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/forwarder"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/pki"
+	"github.com/tactic-icn/tactic/internal/transport"
+)
+
+// PipelineOptions shapes the forwarder pipeline workload.
+type PipelineOptions struct {
+	// Faces is the number of concurrent downstream faces, each running a
+	// windowed requester.
+	Faces int
+	// MissEvery makes every MissEvery-th Interest per face carry a cold
+	// forged tag: it misses the Bloom filter and costs a full (failing)
+	// signature verification plus a NACK — the paper's BF-miss path.
+	// 0 disables misses (pure BF-hit workload).
+	MissEvery int
+	// PayloadBytes sizes the cached content chunk (default 1024).
+	PayloadBytes int
+	// Window is the per-face number of Interests kept in flight
+	// (default 32).
+	Window int
+}
+
+const (
+	edgeID = "edge-bench"
+	// connBufBytes sizes each direction of the in-memory connection:
+	// large enough that a full window of requests and responses fits
+	// without blocking either side.
+	connBufBytes = 256 << 10
+	// nonceSentinel marks the nonce bytes inside a pre-encoded frame so
+	// the patch offset can be located once per frame.
+	nonceSentinel = 0xA5C3A5C3A5C3A5C3
+)
+
+// benchClient is one downstream face: a raw conn end plus pre-encoded
+// Interest frames with their nonce patch offsets.
+type benchClient struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	warm   []byte   // pre-encoded valid-tag Interest frame
+	warmAt int      // nonce offset within warm
+	forged [][]byte // pre-encoded forged-tag Interest frames
+	forgAt []int    // nonce offsets within forged
+}
+
+// pipelineEnv is one constructed forwarder-under-test plus its faces.
+type pipelineEnv struct {
+	fwd     *forwarder.Forwarder
+	clients []*benchClient
+	name    names.Name
+}
+
+// encodeWithSentinel encodes an Interest carrying the sentinel nonce and
+// returns the frame plus the offset of the 8 nonce bytes.
+func encodeWithSentinel(b *testing.B, i *ndn.Interest) ([]byte, int) {
+	b.Helper()
+	i.Nonce = nonceSentinel
+	frame, err := ndn.EncodeInterest(i)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pat [8]byte
+	binary.BigEndian.PutUint64(pat[:], nonceSentinel)
+	at := bytes.Index(frame, pat[:])
+	if at < 0 || bytes.Contains(frame[at+8:], pat[:]) {
+		b.Fatalf("nonce sentinel not unique in encoded frame")
+	}
+	return frame, at
+}
+
+// skipFrame consumes one TLV frame from the stream without decoding it,
+// returning the outer type byte.
+func skipFrame(br *bufio.Reader) (byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	first, err := br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	var length int
+	switch {
+	case first < 253:
+		length = int(first)
+	case first == 253:
+		var b [2]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		length = int(binary.BigEndian.Uint16(b[:]))
+	case first == 254:
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		length = int(binary.BigEndian.Uint32(b[:]))
+	default:
+		return 0, fmt.Errorf("perf: unsupported length prefix %d", first)
+	}
+	if _, err := br.Discard(length); err != nil {
+		return 0, err
+	}
+	return typ, nil
+}
+
+// readWholeFrame reads one complete frame (header + body) for decoding;
+// used only during warmup.
+func readWholeFrame(br *bufio.Reader) ([]byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	first, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	header := []byte{typ, first}
+	var length int
+	switch {
+	case first < 253:
+		length = int(first)
+	case first == 253:
+		var b [2]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, err
+		}
+		length = int(binary.BigEndian.Uint16(b[:]))
+		header = append(header, b[:]...)
+	case first == 254:
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, err
+		}
+		length = int(binary.BigEndian.Uint32(b[:]))
+		header = append(header, b[:]...)
+	default:
+		return nil, fmt.Errorf("perf: unsupported length prefix %d", first)
+	}
+	frame := make([]byte, len(header)+length)
+	copy(frame, header)
+	if _, err := io.ReadFull(br, frame[len(header):]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// newPipelineEnv builds an edge forwarder with a warm content store and
+// per-face validated tags, connected to opts.Faces downstream faces over
+// buffered in-memory connections.
+func newPipelineEnv(b *testing.B, opts PipelineOptions) *pipelineEnv {
+	b.Helper()
+	if opts.Faces <= 0 {
+		opts.Faces = 1
+	}
+	if opts.PayloadBytes <= 0 {
+		opts.PayloadBytes = 1024
+	}
+
+	reg := pki.NewRegistry()
+	provKey, err := pki.GenerateECDSA(rand.Reader, names.MustNew("provbench", "KEY", "1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Register(provKey.Locator(), provKey.Public()); err != nil {
+		b.Fatal(err)
+	}
+
+	fwd, err := forwarder.New(forwarder.Config{
+		ID:       edgeID,
+		Role:     forwarder.RoleEdge,
+		Registry: reg,
+		Tactic:   core.Config{EdgeValidateOnMiss: true},
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &pipelineEnv{fwd: fwd, name: names.MustNew("provbench", "obj", "chunk0")}
+
+	ap := core.EmptyAccessPath.Accumulate(edgeID)
+	expiry := time.Now().Add(time.Hour)
+
+	// Forged tags: structurally valid, wrong signature, distinct cache
+	// keys — they miss the Bloom filter and fail verification every time,
+	// so the miss path stays cold for the whole run. The tags are SHARED
+	// across faces (each face re-encodes its own frame copy, since nonce
+	// patching mutates the bytes): concurrent faces presenting the same
+	// unverified tag exercise the validator's verification dedup, the way
+	// a popular client's retransmitted or multi-path Interests would.
+	anchor, err := core.IssueTag(provKey, names.MustNew("users", "anchor", "KEY", "1"), 1, ap, expiry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var forgedTags []*core.Tag
+	for j := 0; j < 8; j++ {
+		forgedTags = append(forgedTags, &core.Tag{
+			ProviderKey: provKey.Locator(),
+			Level:       1,
+			ClientKey:   names.MustNew("users", fmt.Sprintf("f%d", j), "KEY", "1"),
+			AccessPath:  ap,
+			Expiry:      expiry,
+			Signature:   append([]byte(nil), anchor.Signature...),
+		})
+	}
+
+	for i := 0; i < opts.Faces; i++ {
+		cSide, fSide := newBufConnPair(connBufBytes)
+		fwd.AddFace(transport.New(fSide), true)
+		cl := &benchClient{conn: cSide, br: bufio.NewReaderSize(cSide, 64<<10)}
+
+		tag, err := core.IssueTag(provKey, names.MustNew("users", fmt.Sprintf("u%d", i), "KEY", "1"), 1, ap, expiry)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.warm, cl.warmAt = encodeWithSentinel(b, &ndn.Interest{
+			Name: env.name, Kind: ndn.KindContent, Tag: tag,
+		})
+
+		for _, forged := range forgedTags {
+			frame, at := encodeWithSentinel(b, &ndn.Interest{
+				Name: env.name, Kind: ndn.KindContent, Tag: forged,
+			})
+			cl.forged = append(cl.forged, frame)
+			cl.forgAt = append(cl.forgAt, at)
+		}
+		env.clients = append(env.clients, cl)
+	}
+
+	// Warm the content store: unsolicited Data is inserted before the PIT
+	// check drops it.
+	payload := make([]byte, opts.PayloadBytes)
+	content := &core.Content{
+		Meta:    core.ContentMeta{Name: env.name, Level: 1, ProviderKey: provKey.Locator()},
+		Payload: payload,
+	}
+	dataFrame, err := ndn.EncodeData(&ndn.Data{Name: env.name, Content: content})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.clients[0].conn.Write(dataFrame); err != nil {
+		b.Fatal(err)
+	}
+
+	// Warm each face's tag into the Bloom filter (one verification each)
+	// and confirm the CS serves.
+	for i, cl := range env.clients {
+		cl.patchNonce(cl.warm, cl.warmAt, uint64(i)<<32|1)
+		if _, err := cl.conn.Write(cl.warm); err != nil {
+			b.Fatal(err)
+		}
+		frame, err := readWholeFrame(cl.br)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := ndn.DecodeData(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Nack || d.Content == nil {
+			b.Fatalf("warmup fetch on face %d failed: %+v", i, d)
+		}
+	}
+	return env
+}
+
+func (cl *benchClient) patchNonce(frame []byte, at int, nonce uint64) {
+	binary.BigEndian.PutUint64(frame[at:at+8], nonce)
+}
+
+// run issues n Interests with a sliding window of in-flight requests,
+// patching a fresh nonce into a pre-encoded frame per send and skipping
+// response frames without decoding them.
+func (cl *benchClient) run(face, n, window, missEvery int) error {
+	if window <= 0 {
+		window = 32
+	}
+	inflight := 0
+	for k := 0; k < n; k++ {
+		frame, at := cl.warm, cl.warmAt
+		if missEvery > 0 && k%missEvery == missEvery-1 {
+			// Rotate the forged tag in wide epochs (64 misses per face per
+			// tag), not per miss: every face presents the SAME forged tag
+			// for a long stretch even as faces drift out of lockstep, so
+			// concurrent faces' misses overlap on one tag and the
+			// validator's verification dedup is exercised.
+			j := (k / (missEvery * 64)) % len(cl.forged)
+			frame, at = cl.forged[j], cl.forgAt[j]
+		}
+		cl.patchNonce(frame, at, uint64(face)<<32|uint64(k+2))
+		if inflight == window {
+			if err := cl.awaitResponse(); err != nil {
+				return err
+			}
+			inflight--
+		}
+		if _, err := cl.conn.Write(frame); err != nil {
+			return err
+		}
+		inflight++
+	}
+	for ; inflight > 0; inflight-- {
+		if err := cl.awaitResponse(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// awaitResponse consumes frames until one non-keepalive frame passes.
+func (cl *benchClient) awaitResponse() error {
+	for {
+		typ, err := skipFrame(cl.br)
+		if err != nil {
+			return err
+		}
+		if typ != 0x60 { // keepalive frames don't count as responses
+			return nil
+		}
+	}
+}
+
+func (e *pipelineEnv) close() {
+	for _, cl := range e.clients {
+		cl.conn.Close()
+	}
+	e.fwd.Close()
+}
+
+// ForwarderPipeline returns a benchmark body driving the enforcement
+// pipeline end to end: opts.Faces concurrent windowed requesters, each
+// Interest fully decoded by the forwarder, enforced (Protocol 1/2
+// pre-check, Bloom-filter lookup, signature verification on misses),
+// served from the content store, re-encoded, and sent. One benchmark op
+// is one Interest→response exchange; ops are spread evenly across faces.
+func ForwarderPipeline(opts PipelineOptions) func(*testing.B) {
+	return func(b *testing.B) {
+		env := newPipelineEnv(b, opts)
+		defer env.close()
+		b.ReportAllocs()
+		b.ResetTimer()
+
+		var wg sync.WaitGroup
+		perFace := b.N / len(env.clients)
+		extra := b.N % len(env.clients)
+		for i, cl := range env.clients {
+			n := perFace
+			if i < extra {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, cl *benchClient, n int) {
+				defer wg.Done()
+				if err := cl.run(i, n, opts.Window, opts.MissEvery); err != nil {
+					b.Error(err)
+				}
+			}(i, cl, n)
+		}
+		wg.Wait()
+	}
+}
+
+// MicroBFLookup returns a benchmark body for a single Bloom-filter
+// membership test over a realistic tag cache key (~200 bytes).
+func MicroBFLookup() func(*testing.B) {
+	return func(b *testing.B) {
+		f, err := bloom.NewPaper(500, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := make([]byte, 200)
+		for i := range key {
+			key[i] = byte(i)
+		}
+		f.Add(key)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Contains(key)
+		}
+	}
+}
+
+// MicroVerify returns a benchmark body for one full tag validation
+// (ECDSA P-256 signature verification), the operation the Bloom filter
+// amortises.
+func MicroVerify() func(*testing.B) {
+	return func(b *testing.B) {
+		reg := pki.NewRegistry()
+		provKey, err := pki.GenerateECDSA(rand.Reader, names.MustNew("provbench", "KEY", "1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Register(provKey.Locator(), provKey.Public()); err != nil {
+			b.Fatal(err)
+		}
+		tag, err := core.IssueTag(provKey, names.MustNew("users", "u0", "KEY", "1"), 1,
+			core.EmptyAccessPath, time.Now().Add(time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := core.NewTagValidator(reg)
+		now := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := v.Validate(tag, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MicroTLVRoundTrip returns a benchmark body for one Interest
+// encode+decode cycle, the per-packet codec cost on the wire path.
+func MicroTLVRoundTrip() func(*testing.B) {
+	return func(b *testing.B) {
+		reg := pki.NewRegistry()
+		provKey, err := pki.GenerateECDSA(rand.Reader, names.MustNew("provbench", "KEY", "1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = reg
+		tag, err := core.IssueTag(provKey, names.MustNew("users", "u0", "KEY", "1"), 1,
+			core.EmptyAccessPath, time.Now().Add(time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		i := &ndn.Interest{Name: names.MustNew("provbench", "obj", "chunk0"),
+			Kind: ndn.KindContent, Nonce: 42, Tag: tag}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for k := 0; k < b.N; k++ {
+			enc, err := ndn.EncodeInterest(i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ndn.DecodeInterest(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

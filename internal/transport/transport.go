@@ -91,12 +91,19 @@ type Stats struct {
 }
 
 // Metrics routes a connection's counters into an obs registry; any field
-// may be nil (obs counters no-op when nil). Typically one Metrics per
-// face, labelled with the face ID.
+// may be nil (obs counters and histograms no-op when nil). Typically one
+// Metrics per face, labelled with the face ID.
 type Metrics struct {
 	// FramesIn/FramesOut/BytesIn/BytesOut/Errors mirror Stats.
 	FramesIn, FramesOut, BytesIn, BytesOut, Errors *obs.Counter
+	// DecodeSeconds, when set, receives the TLV decode latency of a
+	// sample (1 in 64) of received packets.
+	DecodeSeconds *obs.Histogram
 }
+
+// decodeSampleMask selects which received packets are timed for
+// Metrics.DecodeSeconds: packet counts where count&mask == 0.
+const decodeSampleMask = 63
 
 // Conn frames NDN packets over a byte stream. Reads are single-reader;
 // writes are internally serialised and safe for concurrent use.
@@ -238,21 +245,28 @@ func (c *Conn) StartKeepalive(interval time.Duration) {
 // RemoteAddr returns the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
 
-// SendInterest writes one Interest frame.
+// SendInterest writes one Interest frame. The encoding goes through a
+// pooled scratch buffer: the frame bytes live only until the flush.
 func (c *Conn) SendInterest(i *ndn.Interest) error {
-	frame, err := ndn.EncodeInterest(i)
+	buf := ndn.AcquireBuffer()
+	defer ndn.ReleaseBuffer(buf)
+	frame, err := ndn.AppendInterest(*buf, i)
 	if err != nil {
 		return err
 	}
+	*buf = frame[:0] // keep any growth for the pool
 	return c.writeFrame(frame)
 }
 
-// SendData writes one Data frame.
+// SendData writes one Data frame through a pooled scratch buffer.
 func (c *Conn) SendData(d *ndn.Data) error {
-	frame, err := ndn.EncodeData(d)
+	buf := ndn.AcquireBuffer()
+	defer ndn.ReleaseBuffer(buf)
+	frame, err := ndn.AppendData(*buf, d)
 	if err != nil {
 		return err
 	}
+	*buf = frame[:0] // keep any growth for the pool
 	return c.writeFrame(frame)
 }
 
@@ -282,11 +296,21 @@ func (c *Conn) writeFrame(frame []byte) error {
 
 // Receive blocks for the next packet. io.EOF signals a clean close.
 // Keepalive frames are consumed internally: they refresh the idle
-// deadline but are never surfaced.
+// deadline but are never surfaced. The frame bytes live in a pooled
+// buffer released on return — safe because the decoders copy everything
+// they keep.
 func (c *Conn) Receive() (Packet, error) {
-	frame, typ, err := c.receiveFrame()
+	buf := ndn.AcquireBuffer()
+	defer ndn.ReleaseBuffer(buf)
+	frame, typ, err := c.receiveFrame(buf)
 	if err != nil {
 		return Packet{}, err
+	}
+	var hist *obs.Histogram
+	var start time.Time
+	if m := c.metrics.Load(); m != nil && m.DecodeSeconds != nil && c.framesIn.Load()&decodeSampleMask == 0 {
+		hist = m.DecodeSeconds
+		start = time.Now()
 	}
 	switch typ {
 	case typeInterest:
@@ -295,12 +319,18 @@ func (c *Conn) Receive() (Packet, error) {
 			c.countErr()
 			return Packet{}, err
 		}
+		if hist != nil {
+			hist.Observe(time.Since(start).Seconds())
+		}
 		return Packet{Interest: i}, nil
 	case typeData:
 		d, err := ndn.DecodeData(frame)
 		if err != nil {
 			c.countErr()
 			return Packet{}, err
+		}
+		if hist != nil {
+			hist.Observe(time.Since(start).Seconds())
 		}
 		return Packet{Data: d}, nil
 	default:
@@ -309,14 +339,14 @@ func (c *Conn) Receive() (Packet, error) {
 	}
 }
 
-// receiveFrame reads the next non-keepalive frame, applying the idle
-// deadline per frame.
-func (c *Conn) receiveFrame() ([]byte, byte, error) {
+// receiveFrame reads the next non-keepalive frame into buf (growing it
+// as needed), applying the idle deadline per frame.
+func (c *Conn) receiveFrame(buf *[]byte) ([]byte, byte, error) {
 	for {
 		if d := time.Duration(c.idleTimeout.Load()); d > 0 {
 			c.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the read reports failures
 		}
-		frame, typ, err := readFrame(c.r)
+		frame, typ, err := readFrame(c.r, buf)
 		if err != nil {
 			if !errors.Is(err, io.EOF) { // clean close is not an error
 				c.countErr()
@@ -332,9 +362,11 @@ func (c *Conn) receiveFrame() ([]byte, byte, error) {
 	}
 }
 
-// readFrame reads one complete TLV frame from the stream: the outer
-// type byte, the variable-length length, and the body.
-func readFrame(r *bufio.Reader) (frame []byte, typ byte, err error) {
+// readFrame reads one complete TLV frame from the stream into buf — the
+// outer type byte, the variable-length length, and the body — growing
+// buf when the frame exceeds its capacity. The returned frame aliases
+// *buf.
+func readFrame(r *bufio.Reader, buf *[]byte) (frame []byte, typ byte, err error) {
 	typ, err = r.ReadByte()
 	if err != nil {
 		return nil, 0, err // io.EOF passes through for clean closes
@@ -344,33 +376,37 @@ func readFrame(r *bufio.Reader) (frame []byte, typ byte, err error) {
 		return nil, 0, eofToUnexpected(err)
 	}
 	var length uint64
-	header := []byte{typ, first}
+	var header [6]byte
+	header[0], header[1] = typ, first
+	headerLen := 2
 	switch {
 	case first < 253:
 		length = uint64(first)
 	case first == 253:
-		var b [2]byte
-		if _, err := io.ReadFull(r, b[:]); err != nil {
+		if _, err := io.ReadFull(r, header[2:4]); err != nil {
 			return nil, 0, eofToUnexpected(err)
 		}
-		length = uint64(binary.BigEndian.Uint16(b[:]))
-		header = append(header, b[:]...)
+		length = uint64(binary.BigEndian.Uint16(header[2:4]))
+		headerLen = 4
 	case first == 254:
-		var b [4]byte
-		if _, err := io.ReadFull(r, b[:]); err != nil {
+		if _, err := io.ReadFull(r, header[2:6]); err != nil {
 			return nil, 0, eofToUnexpected(err)
 		}
-		length = uint64(binary.BigEndian.Uint32(b[:]))
-		header = append(header, b[:]...)
+		length = uint64(binary.BigEndian.Uint32(header[2:6]))
+		headerLen = 6
 	default:
 		return nil, 0, fmt.Errorf("transport: unsupported length prefix %d", first)
 	}
-	if uint64(len(header))+length > MaxPacketSize {
+	if uint64(headerLen)+length > MaxPacketSize {
 		return nil, 0, ErrPacketTooLarge
 	}
-	frame = make([]byte, len(header)+int(length))
-	copy(frame, header)
-	if _, err := io.ReadFull(r, frame[len(header):]); err != nil {
+	total := headerLen + int(length)
+	if cap(*buf) < total {
+		*buf = make([]byte, total)
+	}
+	frame = (*buf)[:total]
+	copy(frame, header[:headerLen])
+	if _, err := io.ReadFull(r, frame[headerLen:]); err != nil {
 		return nil, 0, eofToUnexpected(err)
 	}
 	return frame, typ, nil
