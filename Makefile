@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short race chaos soak bench bench-smoke bench-json repro repro-full demo-keys clean
+.PHONY: all build vet check test test-short race chaos soak trace-smoke bench bench-smoke bench-json bench-diff repro repro-full demo-keys clean
 
 all: build test
 
@@ -13,9 +13,10 @@ vet:
 	$(GO) vet ./...
 
 # The pre-merge gate: compile, static checks, full tests, the race
-# detector over the concurrent packages, the fault-injection suite, and
-# a one-iteration smoke pass over the pipeline benchmarks.
-check: build vet test race chaos bench-smoke
+# detector over the concurrent packages, the fault-injection suite, a
+# one-iteration smoke pass over the pipeline benchmarks, the end-to-end
+# tracing smoke test, and the benchmark regression report.
+check: build vet test race chaos bench-smoke trace-smoke bench-diff
 
 test:
 	$(GO) test ./...
@@ -38,6 +39,12 @@ chaos:
 soak:
 	$(GO) test -race -count=5 -run 'Soak' ./internal/forwarder/
 
+# End-to-end tracing gate: boot a live multi-hop topology, trace a
+# fetch, and assert the assembled trace crosses >= 2 hops with an edge
+# verify span (see README "Tracing a request end-to-end").
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestTraceSmoke|TestTraceEndToEnd' ./internal/forwarder/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -47,9 +54,15 @@ bench-smoke:
 	$(GO) test ./internal/perf/ -run xxx -bench . -benchtime 1x
 
 # Refresh the committed benchmark snapshot (preserves the recorded
-# pre-change baseline).
+# pre-change baseline) and append to the BENCH_history.jsonl trend.
 bench-json:
 	$(GO) run ./cmd/tacticbench -bench-out BENCH_pipeline.json
+
+# Report deltas of the committed snapshot against its recorded
+# pre-change baseline and the previous history entry (informational:
+# always exits zero).
+bench-diff:
+	$(GO) run ./cmd/tacticbench -bench-diff BENCH_pipeline.json
 
 # Regenerate every paper table and figure (reduced scale, ~7 min).
 repro:

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -44,13 +45,18 @@ func run(args []string) error {
 	only := fs.String("only", "", "run a single experiment: fig5|fig6|fig7|fig8|table2|table4|table5|ablations|extensions")
 	csvDir := fs.String("csv", "", "also write full per-second series as CSV files into this directory")
 	benchOut := fs.String("bench-out", "", "run the live forwarding-plane benchmarks and write a JSON snapshot to this file instead of the simulation suite")
+	benchHistory := fs.String("bench-history", "BENCH_history.jsonl", "with -bench-out, also append the snapshot as one JSONL line to this file (empty disables)")
+	benchDiff := fs.String("bench-diff", "", "compare a benchmark snapshot (JSON file) against its pre_change_baseline and the previous history entry, then exit")
 	quiet := fs.Bool("q", false, "suppress per-run progress")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *benchDiff != "" {
+		return diffBenchSnapshot(*benchDiff, *benchHistory)
+	}
 	if *benchOut != "" {
-		return writeBenchSnapshot(*benchOut)
+		return writeBenchSnapshot(*benchOut, *benchHistory)
 	}
 
 	topoList, err := parseTopos(*topos)
@@ -120,18 +126,54 @@ func run(args []string) error {
 	return nil
 }
 
+// benchResult is one benchmark's recorded numbers, as stored in
+// BENCH_pipeline.json and BENCH_history.jsonl.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchSnapshot is the decoded shape of a snapshot file or history line.
+type benchSnapshot struct {
+	Recorded   string                 `json:"recorded"`
+	Go         string                 `json:"go"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Baseline   json.RawMessage        `json:"pre_change_baseline"`
+}
+
+// baselineBenchmarks decodes the pre_change_baseline key, which is
+// either a bare benchmarks map or an annotated {commit, note,
+// benchmarks} object.
+func (s *benchSnapshot) baselineBenchmarks() (map[string]benchResult, string) {
+	if len(s.Baseline) == 0 {
+		return nil, ""
+	}
+	var nested struct {
+		Commit     string                 `json:"commit"`
+		Benchmarks map[string]benchResult `json:"benchmarks"`
+	}
+	if json.Unmarshal(s.Baseline, &nested) == nil && len(nested.Benchmarks) > 0 {
+		return nested.Benchmarks, nested.Commit
+	}
+	var flat map[string]benchResult
+	if json.Unmarshal(s.Baseline, &flat) == nil && len(flat) > 0 {
+		return flat, ""
+	}
+	return nil, ""
+}
+
 // writeBenchSnapshot runs the forwarding-plane benchmarks from
 // internal/perf and writes the results as JSON (the committed
 // BENCH_pipeline.json is such a snapshot). A pre_change_baseline key in
 // an existing snapshot at path is preserved, so regenerating the file
-// keeps the recorded before/after comparison intact.
-func writeBenchSnapshot(path string) error {
-	type result struct {
-		NsPerOp     float64 `json:"ns_per_op"`
-		BytesPerOp  int64   `json:"bytes_per_op"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
-		Iterations  int     `json:"iterations"`
-	}
+// keeps the recorded before/after comparison intact. When historyPath
+// is non-empty the same snapshot is appended there as one JSONL line,
+// building the machine-local trend the bench-diff mode compares
+// against.
+func writeBenchSnapshot(path, historyPath string) error {
+	type result = benchResult
 	benches := []struct {
 		name string
 		body func(*testing.B)
@@ -182,7 +224,132 @@ func writeBenchSnapshot(path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	if historyPath != "" {
+		line := map[string]any{
+			"recorded":   out["recorded"],
+			"go":         out["go"],
+			"cpus":       out["cpus"],
+			"benchmarks": results,
+		}
+		enc, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		f, err := os.OpenFile(historyPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		_, werr := f.Write(append(enc, '\n'))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "appended %s\n", historyPath)
+	}
 	return nil
+}
+
+// diffBenchSnapshot compares the snapshot at path against (a) its own
+// pre_change_baseline, if recorded, and (b) the last history entry
+// older than the snapshot. It reports deltas and always exits zero:
+// benchmark noise across machines makes hard-failing on a threshold
+// here worse than useless, so the gate is informational.
+func diffBenchSnapshot(path, historyPath string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks key", path)
+	}
+
+	if base, commit := snap.baselineBenchmarks(); len(base) > 0 {
+		label := ""
+		if commit != "" {
+			label = " (commit " + commit + ")"
+		}
+		fmt.Printf("%s vs its pre_change_baseline%s:\n", path, label)
+		printBenchDiff(snap.Benchmarks, base)
+	} else {
+		fmt.Printf("%s has no pre_change_baseline; skipping that comparison\n", path)
+	}
+
+	prev, when := previousHistoryEntry(historyPath, snap.Recorded)
+	if prev == nil {
+		fmt.Printf("\nno earlier entry in %s; history comparison skipped\n", historyPath)
+		return nil
+	}
+	fmt.Printf("\n%s vs history entry %s:\n", path, when)
+	printBenchDiff(snap.Benchmarks, prev)
+	return nil
+}
+
+// previousHistoryEntry returns the benchmarks of the latest history
+// line recorded strictly before cutoff (or the last line when none
+// qualify and the file has >1 entry — the final line is usually the
+// snapshot itself).
+func previousHistoryEntry(historyPath, cutoff string) (map[string]benchResult, string) {
+	raw, err := os.ReadFile(historyPath)
+	if err != nil {
+		return nil, ""
+	}
+	var best map[string]benchResult
+	bestWhen := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var s benchSnapshot
+		if json.Unmarshal([]byte(line), &s) != nil || len(s.Benchmarks) == 0 {
+			continue
+		}
+		// RFC 3339 strings order lexicographically.
+		if cutoff != "" && s.Recorded >= cutoff {
+			continue
+		}
+		if s.Recorded >= bestWhen {
+			best, bestWhen = s.Benchmarks, s.Recorded
+		}
+	}
+	return best, bestWhen
+}
+
+// printBenchDiff prints per-benchmark deltas of cur against ref.
+func printBenchDiff(cur, ref map[string]benchResult) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cur[name]
+		r, ok := ref[name]
+		if !ok {
+			fmt.Printf("  %-36s %10.0f ns/op  (new)\n", name, c.NsPerOp)
+			continue
+		}
+		pct := 0.0
+		if r.NsPerOp > 0 {
+			pct = (c.NsPerOp - r.NsPerOp) / r.NsPerOp * 100
+		}
+		mark := ""
+		switch {
+		case pct >= 3:
+			mark = "  <-- slower"
+		case pct <= -3:
+			mark = "  <-- faster"
+		}
+		fmt.Printf("  %-36s %10.0f ns/op  vs %10.0f  (%+.1f%%, allocs %d vs %d)%s\n",
+			name, c.NsPerOp, r.NsPerOp, pct, c.AllocsPerOp, r.AllocsPerOp, mark)
+	}
 }
 
 // formatted runs one experiment and prints its result.

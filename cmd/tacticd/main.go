@@ -57,7 +57,8 @@ func run(args []string) error {
 	csSize := fs.Int("cs", 4096, "content-store capacity (chunks)")
 	admin := fs.String("admin", "", "admin HTTP address for /metrics, /statusz, /debug/pprof (empty = disabled)")
 	traceOut := fs.String("trace", "", "per-Interest trace output: file path or - for stderr (empty = disabled)")
-	traceSample := fs.Float64("trace-sample", 1.0, "fraction of packets traced, 0..1")
+	traceSample := fs.Float64("trace-sample", 1.0, "fraction of local packets traced, 0..1 (wire-sampled packets are always traced)")
+	traceRing := fs.Int("trace-ring", 0, "in-memory flight recorder capacity in spans, served at /tracez on -admin (0 = disabled)")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-frame write deadline on every face (0 = none)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "recycle a face after this long without a frame (0 = never)")
 	keepalive := fs.Duration("keepalive", 0, "send keepalive frames on every face at this interval (0 = none); set peers' -idle-timeout to ~3x this")
@@ -101,19 +102,33 @@ func run(args []string) error {
 	defer stop()
 
 	reg := obs.NewRegistry()
-	var tracer *obs.Tracer
+	var traceW io.Writer
 	if *traceOut != "" {
-		var w io.Writer = os.Stderr
+		traceW = os.Stderr
 		if *traceOut != "-" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				return err
 			}
 			defer f.Close()
-			w = f
+			traceW = f
 		}
-		tracer = obs.NewTracer(*id, *traceSample, w)
-		log.Printf("tracing %g of packets to %s", *traceSample, *traceOut)
+	}
+	var rec *obs.Recorder
+	if *traceRing > 0 {
+		rec = obs.NewRecorder(*traceRing)
+	}
+	tracer := obs.NewTracerRecorder(*id, *traceSample, traceW, rec)
+	if tracer != nil {
+		tracer.SetRole(*role)
+		switch {
+		case traceW != nil && rec != nil:
+			log.Printf("tracing %g of packets to %s, flight recorder %d spans", *traceSample, *traceOut, rec.Cap())
+		case traceW != nil:
+			log.Printf("tracing %g of packets to %s", *traceSample, *traceOut)
+		default:
+			log.Printf("tracing %g of packets to a %d-span flight recorder (/tracez)", *traceSample, rec.Cap())
+		}
 	}
 
 	fwd, err := forwarder.New(forwarder.Config{
@@ -136,12 +151,12 @@ func run(args []string) error {
 	defer fwd.Close()
 
 	if *admin != "" {
-		aln, err := obs.ServeAdmin(*admin, reg, func() any { return fwd.Status() })
+		aln, err := obs.ServeAdminTracer(*admin, reg, func() any { return fwd.Status() }, tracer)
 		if err != nil {
 			return err
 		}
 		defer aln.Close()
-		log.Printf("admin endpoint on http://%s (/metrics /statusz /debug/pprof)", aln.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /statusz /tracez /debug/pprof)", aln.Addr())
 	}
 
 	// Optional upstream fault injection for soak/demo runs.

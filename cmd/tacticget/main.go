@@ -11,12 +11,14 @@ import (
 	"crypto/rand"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/forwarder"
 	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 )
 
@@ -37,6 +39,8 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 4*time.Second, "per-chunk timeout")
 	attempts := fs.Int("attempts", forwarder.DefaultFetchAttempts,
 		"per-request send budget: the Interest plus retransmissions, within -timeout")
+	traceOut := fs.String("trace", "", "write this client's hop-0 spans as JSONL: file path or - for stderr (empty = disabled)")
+	traceEvery := fs.Int("trace-every", 1, "head-sample every Nth fetch when -trace is set")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +81,22 @@ func run(args []string) error {
 	defer client.Close()
 	client.SetAttempts(*attempts)
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		var w io.Writer = os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = obs.NewTracer(nodeID, 1.0, w)
+		tracer.SetRole("client")
+		client.SetTracer(tracer, *traceEvery)
+	}
+
 	start := time.Now()
 	payload, chunks, err := client.FetchObject(objName, *timeout)
 	if err != nil {
@@ -93,5 +113,9 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "fetched %s: %d bytes in %d chunks (%s, %.1f KB/s)\n",
 		objName, len(payload), chunks, elapsed.Round(time.Millisecond),
 		float64(len(payload))/1024/elapsed.Seconds())
+	if tracer != nil {
+		fmt.Fprintf(os.Stderr, "traced %d requests; last trace id=%s (look it up on a forwarder's /tracez or with tactictrace)\n",
+			tracer.Spans(), obs.HexID(client.LastTraceID()))
+	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"crypto/rand"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -49,6 +50,9 @@ func run(args []string) error {
 	ttl := fs.Duration("ttl", 30*time.Second, "tag validity period (the revocation window)")
 	level := fs.Int("level", 2, "access level for published objects (0 = public)")
 	chunk := fs.Int("chunk", 1024, "chunk size in bytes")
+	traceOut := fs.String("trace", "", "per-Interest trace output: file path or - for stderr (empty = disabled)")
+	traceSample := fs.Float64("trace-sample", 1.0, "fraction of local packets traced, 0..1 (wire-sampled packets are always traced)")
+	traceRing := fs.Int("trace-ring", 0, "in-memory flight recorder capacity in spans, served at /tracez on -admin (0 = disabled)")
 	var publishes, enrolls multiFlag
 	fs.Var(&publishes, "publish", "object=file to publish (repeatable)")
 	fs.Var(&enrolls, "enroll", "clientPub.pem=level to enroll (repeatable)")
@@ -85,15 +89,38 @@ func run(args []string) error {
 	}
 	defer producer.Close()
 
+	var traceW io.Writer
+	if *traceOut != "" {
+		traceW = os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			traceW = f
+		}
+	}
+	var rec *obs.Recorder
+	if *traceRing > 0 {
+		rec = obs.NewRecorder(*traceRing)
+	}
+	tracer := obs.NewTracerRecorder(prefix.String(), *traceSample, traceW, rec)
+	if tracer != nil {
+		tracer.SetRole("producer")
+		producer.SetTracer(tracer)
+		log.Printf("tracing enabled (sample %g, ring %d)", *traceSample, *traceRing)
+	}
+
 	if *admin != "" {
 		reg := obs.NewRegistry()
 		producer.Instrument(reg)
-		aln, err := obs.ServeAdmin(*admin, reg, func() any { return producer.Stats() })
+		aln, err := obs.ServeAdminTracer(*admin, reg, func() any { return producer.Stats() }, tracer)
 		if err != nil {
 			return err
 		}
 		defer aln.Close()
-		log.Printf("admin endpoint on http://%s (/metrics /statusz /debug/pprof)", aln.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /statusz /tracez /debug/pprof)", aln.Addr())
 	}
 
 	for _, e := range enrolls {

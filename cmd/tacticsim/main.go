@@ -33,6 +33,7 @@ func run(args []string) error {
 	fidelity := fs.Bool("fidelity", true, "paper-fidelity mode")
 	ecdsa := fs.Bool("ecdsa", false, "use real ECDSA P-256 signatures")
 	scheme := fs.String("scheme", "tactic", "access-control scheme: tactic|open-ndn|client-side-ac|provider-auth-ac")
+	traceEvery := fs.Int("trace-every", 0, "trace every Nth client request and report per-hop latency decomposition (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +48,7 @@ func run(args []string) error {
 		TagTTL:        *ttl,
 		PaperFidelity: *fidelity,
 		UseECDSA:      *ecdsa,
+		TraceEvery:    *traceEvery,
 	}
 	switch *scheme {
 	case "tactic":
@@ -126,6 +128,11 @@ func run(args []string) error {
 		for _, r := range reasons {
 			fmt.Printf("  %-24s %d\n", r, res.Drops[r])
 		}
+		fmt.Println()
+	}
+
+	if len(res.HopDecomp) > 0 {
+		experiment.FormatHopDecomp(os.Stdout, res.HopDecomp, res.TracesAssembled)
 	}
 	return nil
 }

@@ -1,0 +1,131 @@
+// Command tactictrace assembles distributed traces offline from the
+// JSONL span files written by tacticd/tacticserve -trace and tacticget
+// -trace: it merges spans from every node by trace ID and renders
+// per-trace hop-by-hop waterfalls.
+//
+//	# merge the fleet's span files and list every assembled trace
+//	tactictrace edge.spans core.spans producer.spans client.spans
+//
+//	# one trace's waterfall
+//	tactictrace -trace 9f3a21c4d0e88b17 *.spans
+//
+//	# the slowest / NACKed traces only
+//	tactictrace -slowest 5 *.spans
+//	tactictrace -nacked *.spans
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tactictrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tactictrace", flag.ContinueOnError)
+	traceID := fs.String("trace", "", "render one trace's waterfall by hex ID")
+	slowest := fs.Int("slowest", 0, "list only the N slowest traces")
+	nacked := fs.Bool("nacked", false, "list only NACKed/dropped traces")
+	asJSON := fs.Bool("json", false, "emit assembled traces as JSON")
+	waterfalls := fs.Bool("v", false, "render a waterfall for every listed trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: tactictrace [flags] span-file.jsonl...")
+	}
+
+	c := obs.NewCollector()
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		n, err := c.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d spans\n", path, n)
+	}
+
+	if *traceID != "" {
+		t := c.Get(obs.ParseHexID(*traceID))
+		if t == nil {
+			return fmt.Errorf("trace %s not found in the given span files", *traceID)
+		}
+		if *asJSON {
+			return emitJSON([]*obs.Trace{t})
+		}
+		t.Waterfall(os.Stdout)
+		return nil
+	}
+
+	traces := c.Traces()
+	switch {
+	case *nacked:
+		kept := traces[:0]
+		for _, t := range traces {
+			if t.Nacked() {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	case *slowest > 0:
+		for i := 1; i < len(traces); i++ {
+			for j := i; j > 0 && traces[j].Duration() > traces[j-1].Duration(); j-- {
+				traces[j], traces[j-1] = traces[j-1], traces[j]
+			}
+		}
+		if len(traces) > *slowest {
+			traces = traces[:*slowest]
+		}
+	}
+	if *asJSON {
+		return emitJSON(traces)
+	}
+	fmt.Printf("%d traces assembled\n", len(traces))
+	for _, t := range traces {
+		fmt.Printf("trace=%-16s hops=%d spans=%d dur=%-10s outcome=%s\n",
+			obs.HexID(t.ID), t.Hops(), len(t.Spans), t.Duration().Round(time.Microsecond), t.Outcome())
+		if *waterfalls {
+			t.Waterfall(os.Stdout)
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// emitJSON renders assembled traces on stdout.
+func emitJSON(traces []*obs.Trace) error {
+	type jsonTrace struct {
+		ID      string            `json:"trace"`
+		Hops    int               `json:"hops"`
+		DurUs   int64             `json:"dur_us"`
+		Outcome string            `json:"outcome"`
+		Spans   []*obs.SpanRecord `json:"spans"`
+	}
+	out := make([]jsonTrace, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, jsonTrace{
+			ID:      obs.HexID(t.ID),
+			Hops:    t.Hops(),
+			DurUs:   t.Duration().Microseconds(),
+			Outcome: t.Outcome(),
+			Spans:   t.Spans,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -170,6 +170,12 @@ type EdgeInterestDecision struct {
 	// Flag is the F value to set in the forwarded Interest: 0 when the
 	// tag was not in the edge Bloom filter, the filter's FPP otherwise.
 	Flag float64
+	// BFHit reports the Bloom filter vouched for the tag, skipping the
+	// signature check (informational, for tracing).
+	BFHit bool
+	// Verified reports a signature verification ran during this call
+	// (informational, for tracing).
+	Verified bool
 }
 
 // EdgeOnInterest runs Protocol 2's On-Interest procedure plus the edge
@@ -192,14 +198,14 @@ func (r *Router) EdgeOnInterest(t *Tag, requestAP AccessPath, contentName names.
 		return EdgeInterestDecision{Drop: true, Reason: ErrAccessPathMismatch}
 	}
 	if r.bfContains(t) {
-		return EdgeInterestDecision{Flag: r.bf.FPP()}
+		return EdgeInterestDecision{Flag: r.bf.FPP(), BFHit: true}
 	}
 	if r.cfg.EdgeValidateOnMiss {
 		if err := r.validator.Validate(t, now); err != nil {
-			return EdgeInterestDecision{Drop: true, Reason: err}
+			return EdgeInterestDecision{Drop: true, Reason: err, Verified: true}
 		}
 		r.bfInsert(t)
-		return EdgeInterestDecision{Flag: r.bf.FPP()}
+		return EdgeInterestDecision{Flag: r.bf.FPP(), Verified: true}
 	}
 	return EdgeInterestDecision{Flag: 0}
 }
@@ -265,6 +271,13 @@ type ContentDecision struct {
 	Reason error
 	// Flag is the F value to set in the returned Data packet.
 	Flag float64
+	// BFHit reports the Bloom filter vouched for the tag (informational,
+	// for tracing).
+	BFHit bool
+	// Verified reports a signature verification ran during this call —
+	// on the F = 0 path a BF miss, on the F != 0 path the probabilistic
+	// re-check firing (informational, for tracing).
+	Verified bool
 }
 
 // ContentOnInterest runs Protocol 3 plus the content half of Protocol
@@ -289,20 +302,21 @@ func (r *Router) ContentOnInterest(t *Tag, meta ContentMeta, flag float64, now t
 	}
 	if flag == 0 {
 		if r.bfContains(t) {
-			return ContentDecision{Flag: 0}
+			return ContentDecision{Flag: 0, BFHit: true}
 		}
 		if err := r.validator.Validate(t, now); err != nil {
-			return ContentDecision{NACK: true, Reason: err, Flag: 0}
+			return ContentDecision{NACK: true, Reason: err, Flag: 0, Verified: true}
 		}
 		r.bfInsert(t)
-		return ContentDecision{Flag: 0}
+		return ContentDecision{Flag: 0, Verified: true}
 	}
 	// F != 0: the edge vouches for the tag; re-validate only with
 	// probability F (the edge filter's false-positive probability).
 	if r.decideRevalidate(flag) {
 		if err := r.validator.Validate(t, now); err != nil {
-			return ContentDecision{NACK: true, Reason: err, Flag: flag}
+			return ContentDecision{NACK: true, Reason: err, Flag: flag, Verified: true}
 		}
+		return ContentDecision{Flag: flag, Verified: true}
 	}
 	return ContentDecision{Flag: flag}
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/metrics"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/network"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 	"github.com/tactic-icn/tactic/internal/sim"
 	"github.com/tactic-icn/tactic/internal/topology"
@@ -156,6 +157,13 @@ type Scenario struct {
 	// edge routers flags clients whose tags surface at foreign
 	// locations more than threshold times.
 	TraitorThreshold int
+	// TraceEvery enables end-to-end tracing: every consumer
+	// head-samples every Nth content request, and each hop records a
+	// virtual-time span with its Bloom-filter / verification / queueing
+	// decomposition (0 = off). Results gain HopDecomp and the deployment
+	// exposes the assembled traces. Tracing reuses the exact RNG draws
+	// of an untraced run, so results are unchanged.
+	TraceEvery int
 }
 
 // withDefaults fills the paper's default parameters.
@@ -280,6 +288,13 @@ type Result struct {
 	// TraitorSuspects lists client keys flagged by the traitor-tracing
 	// extension (empty unless TraitorThreshold was set).
 	TraitorSuspects []string
+	// HopDecomp is the per-hop latency decomposition of traced requests
+	// (empty unless TraceEvery was set): one row per (hop, role) with
+	// mean stage durations — the Fig. 5 latency broken down by where on
+	// the path the enforcement time goes.
+	HopDecomp []HopStage
+	// TracesAssembled counts complete traces behind HopDecomp.
+	TracesAssembled int
 }
 
 // TagQRate returns the average tag-request rate (per second).
@@ -333,6 +348,9 @@ type Deployment struct {
 	// ClientKeys are the clients' verifying keys, aligned with Clients
 	// (for custom enrollment levels).
 	ClientKeys []pki.PublicKey
+	// Traces collects the run's assembled traces (nil unless
+	// Scenario.TraceEvery was set).
+	Traces *obs.Collector
 
 	b *builder
 }
@@ -369,6 +387,11 @@ func Build(s Scenario) (*Deployment, error) {
 	net.ChargeDelays = !s.DisableDelayCharging
 
 	b := &builder{scenario: s, graph: g, engine: engine, streams: streams, net: net}
+	if s.TraceEvery > 0 {
+		b.traces = obs.NewCollector()
+		net.SetTraceCollector(b.traces)
+		b.scenario.Consumer.TraceEvery = s.TraceEvery
+	}
 	if s.TraitorThreshold > 0 {
 		b.traitor = core.NewTraitorDetector(s.TraitorThreshold)
 	}
@@ -395,6 +418,7 @@ func Build(s Scenario) (*Deployment, error) {
 		Attackers:        b.attackers,
 		ClientIdentities: b.clientCores,
 		ClientKeys:       b.clientKeys,
+		Traces:           b.traces,
 		b:                b,
 	}, nil
 }
@@ -433,6 +457,7 @@ type builder struct {
 	streams  *sim.Streams
 	net      *network.Network
 	traitor  *core.TraitorDetector
+	traces   *obs.Collector
 
 	registry    *pki.Registry
 	provSigners []pki.Signer
@@ -802,6 +827,10 @@ func (b *builder) collect() *Result {
 	}
 	if b.traitor != nil {
 		res.TraitorSuspects = b.traitor.Suspects()
+	}
+	if b.traces != nil {
+		res.HopDecomp = ComputeHopDecomp(b.traces)
+		res.TracesAssembled = len(b.traces.Traces())
 	}
 	return res
 }

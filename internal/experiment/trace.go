@@ -1,0 +1,118 @@
+// Per-hop latency decomposition of traced requests: where along the
+// path (client, edge, core hops, origin) a retrieval's time goes, and
+// how much of each hop is Bloom-filter work, signature verification,
+// and CPU queueing — the breakdown behind the paper's Fig. 5 latency
+// curves.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+// HopStage aggregates every traced span recorded at one (hop, role)
+// position along the request path.
+type HopStage struct {
+	// Hop is the position: 0 is the client, 1 its edge router, and so
+	// on to the origin and back down the Data path.
+	Hop int
+	// Role is the node role at this hop (client, edge, core, producer).
+	Role string
+	// Kind is the dominant span kind (interest or data).
+	Kind string
+	// Spans counts spans aggregated into this row.
+	Spans int
+	// MeanDurUs is the mean span duration in microseconds. For hop 0
+	// this is the full request round trip; for router hops it is the
+	// hop's processing (including CPU queueing).
+	MeanDurUs float64
+	// StageUs maps stage names (bf_lookup, bf_insert, verify, queue) to
+	// their mean duration in microseconds across this row's spans.
+	StageUs map[string]float64
+}
+
+// hopKey groups spans for aggregation.
+type hopKey struct {
+	hop  int
+	role string
+	kind string
+}
+
+// ComputeHopDecomp aggregates a collector's spans into per-hop rows,
+// ordered by hop then role.
+func ComputeHopDecomp(c *obs.Collector) []HopStage {
+	if c == nil {
+		return nil
+	}
+	type acc struct {
+		spans  int
+		durUs  int64
+		stages map[string]int64
+	}
+	byKey := make(map[hopKey]*acc)
+	for _, t := range c.Traces() {
+		for _, s := range t.Spans {
+			k := hopKey{hop: s.Hop, role: s.Role, kind: s.Kind}
+			a := byKey[k]
+			if a == nil {
+				a = &acc{stages: make(map[string]int64)}
+				byKey[k] = a
+			}
+			a.spans++
+			a.durUs += s.DurMicro
+			for _, ev := range s.Events {
+				if ev.DurMicros > 0 {
+					a.stages[ev.Stage] += ev.DurMicros
+				}
+			}
+		}
+	}
+	rows := make([]HopStage, 0, len(byKey))
+	for k, a := range byKey {
+		row := HopStage{
+			Hop:       k.hop,
+			Role:      k.role,
+			Kind:      k.kind,
+			Spans:     a.spans,
+			MeanDurUs: float64(a.durUs) / float64(a.spans),
+			StageUs:   make(map[string]float64, len(a.stages)),
+		}
+		for stage, total := range a.stages {
+			row.StageUs[stage] = float64(total) / float64(a.spans)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Hop != rows[j].Hop {
+			return rows[i].Hop < rows[j].Hop
+		}
+		if rows[i].Role != rows[j].Role {
+			return rows[i].Role < rows[j].Role
+		}
+		return rows[i].Kind < rows[j].Kind
+	})
+	return rows
+}
+
+// hopStageColumns is the fixed column order for decomposition tables.
+var hopStageColumns = []string{"bf_lookup", "bf_insert", "verify", "queue"}
+
+// FormatHopDecomp renders the decomposition as a table. traces is the
+// assembled-trace count behind the rows.
+func FormatHopDecomp(w io.Writer, rows []HopStage, traces int) {
+	fmt.Fprintf(w, "per-hop latency decomposition (%d traced requests; mean µs per span)\n", traces)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "hop\trole\tkind\tspans\tmean dur\tbf_lookup\tbf_insert\tverify\tqueue")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%.1f", r.Hop, r.Role, r.Kind, r.Spans, r.MeanDurUs)
+		for _, col := range hopStageColumns {
+			fmt.Fprintf(tw, "\t%.1f", r.StageUs[col])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

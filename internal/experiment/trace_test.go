@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// traceScenario is a short multi-hop run, optionally traced.
+func traceScenario(traceEvery int) Scenario {
+	sc := smallScenario(7)
+	sc.Name = "trace-test"
+	sc.Duration = 15 * time.Second
+	// The delay model must be on for stage durations to be non-zero.
+	sc.PaperFidelity = true
+	sc.TraceEvery = traceEvery
+	return sc
+}
+
+// TestTracingIsDeterministic proves head-sampled tracing never perturbs
+// a run: the traced and untraced runs must agree event-for-event.
+func TestTracingIsDeterministic(t *testing.T) {
+	base, err := Run(traceScenario(0))
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+	traced, err := Run(traceScenario(4))
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+
+	if base.Events != traced.Events {
+		t.Errorf("event counts diverge: untraced %d, traced %d", base.Events, traced.Events)
+	}
+	if base.ClientDelivery != traced.ClientDelivery {
+		t.Errorf("client delivery diverges: untraced %+v, traced %+v", base.ClientDelivery, traced.ClientDelivery)
+	}
+	if base.AttackerDelivery != traced.AttackerDelivery {
+		t.Errorf("attacker delivery diverges: untraced %+v, traced %+v", base.AttackerDelivery, traced.AttackerDelivery)
+	}
+	if bm, tm := base.ClientLatency.Mean(), traced.ClientLatency.Mean(); bm != tm {
+		t.Errorf("latency mean diverges: untraced %s, traced %s", bm, tm)
+	}
+	if base.TracesAssembled != 0 || len(base.HopDecomp) != 0 {
+		t.Errorf("untraced run produced traces: %d assembled, %d rows", base.TracesAssembled, len(base.HopDecomp))
+	}
+}
+
+// TestTracingDecomposition checks the traced run actually assembles
+// multi-hop traces with the roles Topology 1 must traverse.
+func TestTracingDecomposition(t *testing.T) {
+	res, err := Run(traceScenario(4))
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	if res.TracesAssembled == 0 {
+		t.Fatal("no traces assembled")
+	}
+	if len(res.HopDecomp) == 0 {
+		t.Fatal("no hop decomposition rows")
+	}
+
+	roles := make(map[string]bool)
+	maxHop := 0
+	var edgeVerify float64
+	for _, row := range res.HopDecomp {
+		if row.Spans <= 0 {
+			t.Errorf("row %+v has no spans", row)
+		}
+		roles[row.Role] = true
+		if row.Hop > maxHop {
+			maxHop = row.Hop
+		}
+		if row.Role == "edge" && row.Kind == "interest" {
+			edgeVerify = row.StageUs["verify"]
+		}
+	}
+	for _, want := range []string{"client", "edge", "core", "producer"} {
+		if !roles[want] {
+			t.Errorf("no decomposition row for role %q (got roles %v)", want, roles)
+		}
+	}
+	// Topology 1 paths are client -> edge -> core... -> producer and
+	// back, so traces must span at least 3 distinct hops.
+	if maxHop < 3 {
+		t.Errorf("max hop %d, want >= 3", maxHop)
+	}
+	// Edge routers verify signatures on first sight of a tag (Protocol
+	// 2), so the edge Interest hop must attribute time to verify.
+	if edgeVerify <= 0 {
+		t.Errorf("edge interest hop shows no verify time (%.1f us)", edgeVerify)
+	}
+}

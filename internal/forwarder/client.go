@@ -34,6 +34,14 @@ type Client struct {
 	readErr   error
 	attempts  int
 
+	// Tracing: the client owns the head-sampling decision for the whole
+	// request path — every traceEvery-th Fetch starts a hop-0 root span
+	// and stamps the wire TraceContext downstream hops link to.
+	tracer     *obs.Tracer
+	traceEvery uint64
+	traceSeq   atomic.Uint64
+	lastTrace  atomic.Uint64
+
 	fetchOK, fetchNACK, fetchTimeout, fetchErr atomic.Uint64
 	regOK, regFailed, retransmits              atomic.Uint64
 
@@ -169,6 +177,60 @@ func (c *Client) SetAttempts(n int) {
 	c.attempts = n
 }
 
+// SetTracer enables end-to-end tracing: every every-th Fetch records a
+// hop-0 span and marks its Interests sampled on the wire, so each
+// traced hop records a linked span. every <= 0 disables; every == 1
+// traces all fetches. Call before issuing requests.
+func (c *Client) SetTracer(t *obs.Tracer, every int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+	if every < 0 {
+		every = 0
+	}
+	c.traceEvery = uint64(every)
+}
+
+// traceRoot applies the head-sampling decision for one request and
+// returns the hop-0 root span, or nil when this request is untraced.
+func (c *Client) traceRoot(kind string, name names.Name) *obs.Span {
+	c.mu.Lock()
+	t, every := c.tracer, c.traceEvery
+	c.mu.Unlock()
+	if t == nil || every == 0 {
+		return nil
+	}
+	if (c.traceSeq.Add(1)-1)%every != 0 {
+		return nil
+	}
+	sp := t.StartRoot(kind, name.String())
+	if sp != nil {
+		c.lastTrace.Store(sp.TraceID())
+	}
+	return sp
+}
+
+// LastTraceID returns the trace ID of the most recent traced request
+// (0 when nothing has been traced yet).
+func (c *Client) LastTraceID() uint64 { return c.lastTrace.Load() }
+
+// endTrace finishes a request's root span with its fetch outcome.
+func endTrace(sp *obs.Span, err error) {
+	if sp == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		sp.End("delivered")
+	case errors.Is(err, ErrNACK):
+		sp.End("nack")
+	case errors.Is(err, ErrTimeout):
+		sp.End("timeout")
+	default:
+		sp.End("error")
+	}
+}
+
 // sendBudget returns the effective per-request attempt count.
 func (c *Client) sendBudget() int {
 	c.mu.Lock()
@@ -264,12 +326,19 @@ func (c *Client) Fetch(name names.Name, timeout time.Duration) (*core.Content, e
 		}
 		tag = c.identity.TagFor(prefix, c.ap, time.Now())
 	}
+	sp := c.traceRoot("fetch", name)
+	attempt := 0
 	d, err := c.awaitRetry(func(nonce uint64) *ndn.Interest {
+		if sp != nil && attempt > 0 {
+			sp.Event("retransmit", "attempt "+itoa(attempt))
+		}
+		attempt++
 		return &ndn.Interest{
 			Name:  name,
 			Kind:  ndn.KindContent,
 			Nonce: nonce,
 			Tag:   tag,
+			Trace: stampTrace(sp),
 		}
 	}, timeout)
 	if err != nil {
@@ -278,13 +347,22 @@ func (c *Client) Fetch(name names.Name, timeout time.Duration) (*core.Content, e
 		} else {
 			c.fetchErr.Add(1)
 		}
+		endTrace(sp, err)
 		return nil, err
 	}
 	if d.Nack || d.Content == nil {
 		c.fetchNACK.Add(1)
+		if sp != nil {
+			sp.Event("nack", core.ReasonLabel(d.NackReason))
+		}
+		endTrace(sp, ErrNACK)
 		return nil, fmt.Errorf("%w: %s", ErrNACK, name)
 	}
 	c.fetchOK.Add(1)
+	if sp != nil && d.Trace.Valid() {
+		sp.Event("response", "path_hops "+itoa(int(d.Trace.Hops)))
+	}
+	endTrace(sp, nil)
 	return d.Content, nil
 }
 

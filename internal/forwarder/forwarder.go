@@ -256,9 +256,9 @@ func (f *Forwarder) readLoop(fs *faceState) {
 		}
 		switch {
 		case pkt.Interest != nil:
-			f.handleInterest(pkt.Interest, fs)
+			f.handleInterest(pkt.Interest, fs, pkt.DecodeDur)
 		case pkt.Data != nil:
-			f.handleData(pkt.Data, fs)
+			f.handleData(pkt.Data, fs, pkt.DecodeDur)
 		}
 	}
 }
@@ -415,35 +415,62 @@ func formatFlag(flag float64) string {
 // the simulator's RouterNode.HandleInterest). It holds no forwarder-wide
 // lock: enforcement, CS, PIT, and FIB synchronise themselves, so faces
 // proceed in parallel and serialise only per name shard.
-func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
+func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur time.Duration) {
 	now := time.Now()
-	sp := f.cfg.Tracer.Start("interest", i.Name.String())
+	inTC := i.Trace
+	sp := f.cfg.Tracer.StartCtx(traceCtx(inTC), "interest", i.Name.String())
 	n := f.stats.interests.Add(1)
 	f.m.interest.Inc()
 	defer func() { f.m.hop.Observe(time.Since(now).Seconds()) }()
 	// 1-in-64 packets contribute pit_cs / encode_send stage timings
-	// (bf_lookup and verify are timed inside their own layers).
-	sampled := f.m.stagePITCS != nil && n&stageSampleMask == 0
+	// (bf_lookup and verify are timed inside their own layers); a packet
+	// with a span is always timed so its trace shows the decomposition.
+	sampled := sp != nil || (f.m.stagePITCS != nil && n&stageSampleMask == 0)
+	if sp != nil && decodeDur > 0 {
+		sp.EventDur("decode", decodeDur, "")
+	}
 
 	if i.Kind == ndn.KindContent && f.cfg.Role == RoleEdge && from.downstream {
 		// The edge is its clients' first-hop entity: reset-then-stamp
 		// the access path, then run Protocol 2.
 		i.AccessPath = core.EmptyAccessPath.Accumulate(f.cfg.ID)
+		var enfStart time.Time
+		if sp != nil {
+			enfStart = time.Now()
+		}
 		dec := f.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
-		if dec.Reason != nil {
-			sp.Event("precheck", core.ReasonLabel(dec.Reason))
-		} else {
-			sp.Event("precheck", "ok")
+		if sp != nil {
+			enfDur := time.Since(enfStart)
+			if dec.Reason != nil {
+				sp.Event("precheck", core.ReasonLabel(dec.Reason))
+			} else {
+				sp.Event("precheck", "ok")
+			}
+			// The enforcement verdict: which check decided, and its cost.
+			switch {
+			case dec.Verified:
+				sp.EventDur("verify", enfDur, verifyDetail(dec.Drop))
+			case dec.BFHit:
+				sp.EventDur("bf_lookup", enfDur, "hit")
+			default:
+				sp.EventDur("bf_lookup", enfDur, "miss")
+			}
 		}
 		if dec.Drop {
 			f.stats.nacks.Add(1)
 			f.m.nack(dec.Reason)
-			f.send(from.id, &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason})
+			f.send(from.id, &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason,
+				Trace: propagateTrace(inTC, sp)})
 			sp.End("nack:" + core.ReasonLabel(dec.Reason))
 			return
 		}
 		i.Flag = dec.Flag
-		sp.Event("flag", formatFlag(dec.Flag))
+		if sp != nil {
+			sp.Event("flag", formatFlag(dec.Flag))
+		}
+	} else if sp != nil && i.Flag != 0 {
+		// A core hop sees the edge's collaboration flag on the wire.
+		sp.Event("flag", formatFlag(i.Flag))
 	}
 
 	var tables time.Time
@@ -452,8 +479,23 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 	}
 	if i.Kind == ndn.KindContent {
 		if content, ok := f.cs.Lookup(i.Name); ok {
-			observeStage(f.m.stagePITCS, tables)
+			observeStageSpan(f.m.stagePITCS, "pit_cs", tables, sp)
 			dec := f.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
+			if sp != nil {
+				// The content-router verdict: on F != 0 whether the
+				// probabilistic re-check fired; on F = 0 which check
+				// vouched for the tag.
+				switch {
+				case i.Flag != 0 && dec.Verified:
+					sp.Event("flag_check", "recheck:"+verifyDetail(dec.NACK))
+				case i.Flag != 0:
+					sp.Event("flag_check", "recheck_skipped")
+				case dec.BFHit:
+					sp.Event("bf_lookup", "hit")
+				case dec.Verified:
+					sp.Event("verify", verifyDetail(dec.NACK))
+				}
+			}
 			if dec.NACK {
 				f.stats.nacks.Add(1)
 				f.m.nack(dec.Reason)
@@ -468,8 +510,9 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 			f.send(from.id, &ndn.Data{
 				Name: i.Name, Content: content, Tag: i.Tag,
 				Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+				Trace: propagateTrace(inTC, sp),
 			})
-			observeStage(f.m.stageEncodeSend, sendStart)
+			observeStageSpan(f.m.stageEncodeSend, "encode_send", sendStart, sp)
 			if dec.NACK {
 				sp.End("nack:" + core.ReasonLabel(dec.Reason))
 			} else {
@@ -482,7 +525,7 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 	outcome, outFace := f.pit.Admit(i.Name,
 		ndn.PITRecord{Tag: i.Tag, Flag: i.Flag, InFace: from.id, Nonce: i.Nonce, Arrived: now},
 		now, now.Add(f.cfg.PITLifetime))
-	observeStage(f.m.stagePITCS, tables)
+	observeStageSpan(f.m.stagePITCS, "pit_cs", tables, sp)
 	switch outcome {
 	case ndn.PITDuplicate:
 		f.stats.drops.Add(1)
@@ -497,6 +540,7 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 		// still in flight the out-face is unset and there is nothing to
 		// recover yet.
 		if outFace != ndn.FaceNone {
+			i.Trace = propagateTrace(inTC, sp)
 			f.sendInterest(outFace, i) //nolint:errcheck // best-effort recovery
 		}
 		sp.End("aggregated")
@@ -524,6 +568,7 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 	if sampled {
 		sendStart = time.Now()
 	}
+	i.Trace = propagateTrace(inTC, sp)
 	if err := f.sendInterest(face, i); err != nil {
 		cause := dropSendErr
 		if errors.Is(err, errNoFace) {
@@ -535,16 +580,21 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState) {
 		sp.End("drop:" + cause)
 		return
 	}
-	observeStage(f.m.stageEncodeSend, sendStart)
+	observeStageSpan(f.m.stageEncodeSend, "encode_send", sendStart, sp)
 	sp.End("forwarded")
 }
 
 // handleData runs the Data pipeline, lock-free like handleInterest.
-func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
+func (f *Forwarder) handleData(d *ndn.Data, from *faceState, decodeDur time.Duration) {
 	now := time.Now()
-	sp := f.cfg.Tracer.Start("data", d.Name.String())
+	inTC := d.Trace
+	sp := f.cfg.Tracer.StartCtx(traceCtx(inTC), "data", d.Name.String())
+	outTC := propagateTrace(inTC, sp)
 	f.stats.data.Add(1)
 	f.m.data.Inc()
+	if sp != nil && decodeDur > 0 {
+		sp.EventDur("decode", decodeDur, "")
+	}
 
 	if d.Registration != nil {
 		if f.cfg.Role == RoleEdge && d.Registration.Tag != nil {
@@ -557,6 +607,7 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 			sp.End("drop:" + dropUnsolicited)
 			return
 		}
+		d.Trace = outTC
 		for _, rec := range entry.Records {
 			f.send(rec.InFace, d)
 		}
@@ -577,29 +628,30 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 
 	primary := entry.Records[0]
 	if f.cfg.Role == RoleEdge {
-		f.edgeDeliver(d, primary, true, now, sp)
+		f.edgeDeliver(d, primary, true, now, sp, outTC)
 	} else {
 		f.send(primary.InFace, &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: primary.Tag,
 			Flag: d.Flag, Nack: d.Nack, NackReason: d.NackReason,
+			Trace: outTC,
 		})
 	}
 	for _, rec := range entry.Records[1:] {
 		if f.cfg.Role == RoleEdge {
-			f.edgeDeliver(d, rec, false, now, sp)
+			f.edgeDeliver(d, rec, false, now, sp, outTC)
 			continue
 		}
 		if d.Content == nil {
-			f.send(rec.InFace, &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason})
+			f.send(rec.InFace, &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason, Trace: outTC})
 			continue
 		}
 		if rec.Tag == nil {
 			if d.Content.Meta.Level == core.Public {
-				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
+				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag, Trace: outTC})
 			} else {
 				f.stats.nacks.Add(1)
 				f.m.nack(core.ErrNoTag)
-				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag})
+				f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag, Trace: outTC})
 			}
 			continue
 		}
@@ -612,6 +664,7 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 		f.send(rec.InFace, &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: rec.Tag,
 			Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+			Trace: outTC,
 		})
 	}
 	if d.Nack {
@@ -622,10 +675,10 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState) {
 }
 
 // edgeDeliver applies Protocol 2's On-Content logic for one record.
-func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time, sp *obs.Span) {
+func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time, sp *obs.Span, outTC ndn.TraceContext) {
 	if rec.Tag == nil {
 		if d.Content != nil && d.Content.Meta.Level == core.Public && !d.Nack {
-			f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag})
+			f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag, Trace: outTC})
 		} else {
 			f.stats.drops.Add(1)
 			f.m.drop(dropUndeliverable)
@@ -644,8 +697,8 @@ func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, 
 		f.m.drop(dropUndeliverable)
 		sp.Event("edge_drop", core.ReasonLabel(d.NackReason))
 		// Tell the client so it can fail fast rather than time out.
-		f.send(rec.InFace, &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason})
+		f.send(rec.InFace, &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason, Trace: outTC})
 		return
 	}
-	f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag})
+	f.send(rec.InFace, &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag, Trace: outTC})
 }

@@ -44,6 +44,12 @@ func startLiveNetwork(t testing.TB, tagTTL time.Duration) *liveNetwork {
 // startLiveNetworkObs is startLiveNetwork with observability registries
 // attached to the edge and core routers (either may be nil).
 func startLiveNetworkObs(t testing.TB, tagTTL time.Duration, edgeObs, coreObs *obs.Registry) *liveNetwork {
+	return startLiveNetworkCfg(t, tagTTL, edgeObs, coreObs, nil)
+}
+
+// startLiveNetworkCfg additionally lets the caller mutate each
+// forwarder's Config before New (mod may be nil).
+func startLiveNetworkCfg(t testing.TB, tagTTL time.Duration, edgeObs, coreObs *obs.Registry, mod func(cfg *Config)) *liveNetwork {
 	t.Helper()
 	n := &liveNetwork{prefix: names.MustParse("/prov0")}
 
@@ -85,7 +91,11 @@ func startLiveNetworkObs(t testing.TB, tagTTL time.Duration, edgeObs, coreObs *o
 	prodAddr := listen(n.producer.Serve)
 	n.cleanup = append(n.cleanup, func() { n.producer.Close() })
 
-	n.coreFwd, err = New(Config{ID: "core-0", Role: RoleCore, Registry: n.registry, Seed: 1, Obs: coreObs})
+	coreCfg := Config{ID: "core-0", Role: RoleCore, Registry: n.registry, Seed: 1, Obs: coreObs}
+	if mod != nil {
+		mod(&coreCfg)
+	}
+	n.coreFwd, err = New(coreCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +107,11 @@ func startLiveNetworkObs(t testing.TB, tagTTL time.Duration, edgeObs, coreObs *o
 	}
 	n.coreFwd.AddRoute(n.prefix, up)
 
-	n.edgeFwd, err = New(Config{ID: "edge-0", Role: RoleEdge, Registry: n.registry, Seed: 2, Obs: edgeObs})
+	edgeCfg := Config{ID: "edge-0", Role: RoleEdge, Registry: n.registry, Seed: 2, Obs: edgeObs}
+	if mod != nil {
+		mod(&edgeCfg)
+	}
+	n.edgeFwd, err = New(edgeCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -117,6 +117,28 @@ func observeStage(h *obs.Histogram, start time.Time) {
 	}
 }
 
+// observeStageSpan records one stage timing into the stage histogram
+// (tagging the bucket with the span's trace ID as an exemplar) and onto
+// the span itself. start is zero when neither the 1-in-64 stage sampler
+// nor a trace span selected this packet; h and sp are each nil-safe.
+func observeStageSpan(h *obs.Histogram, stage string, start time.Time, sp *obs.Span) {
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	h.ObserveTraced(d.Seconds(), sp.TraceID())
+	sp.EventDur(stage, d, "")
+}
+
+// verifyDetail renders a signature-verification outcome for trace
+// annotations.
+func verifyDetail(failed bool) string {
+	if failed {
+		return "fail"
+	}
+	return "ok"
+}
+
 func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
 	m := &obsMetrics{reg: reg, role: obs.L("role", role.String())}
 	if reg == nil {

@@ -23,6 +23,7 @@ type Producer struct {
 	tactic   *core.Router
 	store    map[string]*core.Content
 	logf     func(format string, args ...any)
+	tracer   *obs.Tracer
 
 	served        uint64
 	nacked        uint64
@@ -51,6 +52,14 @@ func NewProducer(provider *core.Provider, registry *pki.Registry, logf func(stri
 
 // Provider exposes the underlying provider (for enrollment).
 func (p *Producer) Provider() *core.Provider { return p.provider }
+
+// SetTracer records a per-Interest span at the origin for traced
+// requests. Call before Serve.
+func (p *Producer) SetTracer(t *obs.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = t
+}
 
 // Instrument exposes the producer's counters on reg as scrape-time
 // callbacks, labelled with the provider prefix. Safe on a nil registry.
@@ -175,9 +184,12 @@ func (p *Producer) answer(i *ndn.Interest) *ndn.Data {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
+	sp := p.tracer.StartCtx(traceCtx(i.Trace), "producer", i.Name.String())
+
 	if i.Kind == ndn.KindRegistration {
 		if i.Registration == nil {
 			p.regFailed++
+			sp.End("drop_bad_registration")
 			return nil
 		}
 		resp, err := p.provider.Register(*i.Registration, now)
@@ -186,25 +198,48 @@ func (p *Producer) answer(i *ndn.Interest) *ndn.Data {
 			if p.logf != nil {
 				p.logf("registration rejected: %v", err)
 			}
+			sp.End("drop_registration_rejected")
 			return nil
 		}
 		p.registrations++
-		return &ndn.Data{Name: i.Name, Registration: resp}
+		sp.End("registered")
+		return &ndn.Data{Name: i.Name, Registration: resp, Trace: propagateTrace(i.Trace, sp)}
 	}
 
 	content, ok := p.store[i.Name.Key()]
 	if !ok {
+		sp.End("drop_no_content")
 		return nil
 	}
+	var enfStart time.Time
+	if sp != nil {
+		enfStart = time.Now()
+	}
 	dec := p.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
+	if sp != nil {
+		enfDur := time.Since(enfStart)
+		switch {
+		case dec.Verified:
+			sp.EventDur("verify", enfDur, verifyDetail(dec.NACK))
+		case dec.BFHit:
+			sp.EventDur("bf_lookup", enfDur, "hit")
+		default:
+			sp.EventDur("bf_lookup", enfDur, "miss")
+		}
+		sp.Event("flag", formatFlag(dec.Flag))
+	}
+	outcome := "served"
 	if dec.NACK {
 		p.nacked++
+		outcome = "nack"
 	} else {
 		p.served++
 	}
+	sp.End(outcome)
 	return &ndn.Data{
 		Name: i.Name, Content: content, Tag: i.Tag,
 		Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+		Trace: propagateTrace(i.Trace, sp),
 	}
 }
 

@@ -1,0 +1,39 @@
+// Distributed-tracing glue: converting the wire TraceContext to obs
+// span contexts and computing the context to stamp on packets this node
+// sends onward.
+package forwarder
+
+import (
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+// traceCtx converts the wire trace context to the obs form.
+func traceCtx(tc ndn.TraceContext) obs.TraceCtx {
+	return obs.TraceCtx{TraceID: tc.TraceID, ParentID: tc.ParentID, Hop: tc.Hops, Sampled: tc.Sampled}
+}
+
+// stampTrace returns the wire trace context for a packet originated by
+// the node that recorded sp: the first wire hop is sp's child. A nil or
+// local-only span yields the zero context (no wire bytes).
+func stampTrace(sp *obs.Span) ndn.TraceContext {
+	c := sp.Context()
+	return ndn.TraceContext{TraceID: c.TraceID, ParentID: c.ParentID, Sampled: c.Sampled, Hops: c.Hop}
+}
+
+// propagateTrace computes the trace context to stamp on packets sent
+// while handling a packet that arrived carrying tc, for which this node
+// recorded span sp (possibly nil). When this hop recorded a span the
+// context re-parents to it; a traced packet crossing a non-recording
+// hop keeps its parent and still advances the hop count, so assembled
+// traces show the true path length even past untraced nodes.
+func propagateTrace(tc ndn.TraceContext, sp *obs.Span) ndn.TraceContext {
+	if !tc.Valid() {
+		return ndn.TraceContext{}
+	}
+	if c := sp.Context(); c.TraceID != 0 {
+		return ndn.TraceContext{TraceID: c.TraceID, ParentID: c.ParentID, Sampled: c.Sampled, Hops: c.Hop}
+	}
+	tc.Hops++
+	return tc
+}

@@ -59,6 +59,9 @@ type Interest struct {
 	// Registration carries the registration payload for
 	// KindRegistration.
 	Registration *core.RegistrationRequest
+	// Trace is the optional distributed-tracing context; the zero value
+	// means untraced and adds no wire bytes.
+	Trace TraceContext
 }
 
 // interestBaseSize approximates NDN TLV framing plus nonce and flag
@@ -102,6 +105,9 @@ type Data struct {
 	NackReason error
 	// Registration carries a fresh tag for KindRegistration responses.
 	Registration *core.RegistrationResponse
+	// Trace is the optional distributed-tracing context; the zero value
+	// means untraced and adds no wire bytes.
+	Trace TraceContext
 }
 
 // dataBaseSize approximates NDN TLV framing plus signature metadata.

@@ -35,6 +35,7 @@ const (
 	tlvRegistration = 0xF4
 	tlvNack         = 0xF5
 	tlvRegResponse  = 0xF6
+	tlvTraceCtx     = 0xF7
 )
 
 // TLV codec errors.
@@ -223,6 +224,9 @@ func AppendInterest(dst []byte, i *Interest) ([]byte, error) {
 		}
 		dst = appendTLV(dst, tlvRegistration, reg)
 	}
+	if i.Trace.Valid() {
+		dst = appendTraceCtx(dst, i.Trace)
+	}
 	return closeOuter(dst, start), nil
 }
 
@@ -279,6 +283,10 @@ func DecodeInterest(b []byte) (*Interest, error) {
 			if i.Registration, err = core.DecodeRegistrationRequest(v); err != nil {
 				return nil, err
 			}
+		case tlvTraceCtx:
+			if i.Trace, err = decodeTraceCtx(v); err != nil {
+				return nil, err
+			}
 		default:
 			// Unknown non-critical elements are skipped, per NDN's
 			// evolvability convention.
@@ -328,6 +336,9 @@ func AppendData(dst []byte, d *Data) ([]byte, error) {
 		}
 		dst = appendTLV(dst, tlvRegResponse, enc)
 	}
+	if d.Trace.Valid() {
+		dst = appendTraceCtx(dst, d.Trace)
+	}
 	return closeOuter(dst, start), nil
 }
 
@@ -373,6 +384,10 @@ func DecodeData(b []byte) (*Data, error) {
 			d.Nack = true
 		case tlvRegResponse:
 			if d.Registration, err = core.DecodeRegistrationResponse(v); err != nil {
+				return nil, err
+			}
+		case tlvTraceCtx:
+			if d.Trace, err = decodeTraceCtx(v); err != nil {
 				return nil, err
 			}
 		default:

@@ -1,0 +1,66 @@
+package ndn
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TraceContext is the wire-level distributed-tracing context carried by
+// Interest, Data, and NACK packets as an optional TLV (tlvTraceCtx). The
+// head-sampling decision is made once, at the originating client; every
+// hop that handles a traced packet records a span under the same trace
+// ID, re-parents the context to its own span, and increments Hops, so an
+// offline collector can reassemble the packet's full path. Decoders that
+// predate the extension skip the element via the standard
+// unknown-TLV-skipping path, so traced and untraced nodes interoperate.
+type TraceContext struct {
+	// TraceID identifies the end-to-end request; zero means "not
+	// traced" and suppresses the TLV entirely (untraced packets carry
+	// zero wire overhead).
+	TraceID uint64
+	// ParentID is the span ID of the previous hop's span — the sender's
+	// span when the sender traced the packet, or inherited unchanged
+	// across hops that do not trace.
+	ParentID uint64
+	// Sampled is the head-sampling decision: when set, every hop with a
+	// tracer records a span regardless of its local sampling rate.
+	Sampled bool
+	// Hops counts the nodes the packet has traversed, the originator
+	// included (the originator's span is hop 0 and it sends Hops=1).
+	Hops uint8
+}
+
+// Valid reports whether the context marks a traced packet.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// traceCtxWireLen is the fixed TraceContext value length: trace ID (8),
+// parent span ID (8), flags (1), hop count (1).
+const traceCtxWireLen = 18
+
+// traceCtxSampledBit flags the head-sampling decision in the flags byte.
+const traceCtxSampledBit = 0x01
+
+// appendTraceCtx writes the TraceContext TLV (type tlvTraceCtx).
+func appendTraceCtx(dst []byte, tc TraceContext) []byte {
+	dst = append(dst, tlvTraceCtx, traceCtxWireLen)
+	dst = binary.BigEndian.AppendUint64(dst, tc.TraceID)
+	dst = binary.BigEndian.AppendUint64(dst, tc.ParentID)
+	var flags byte
+	if tc.Sampled {
+		flags |= traceCtxSampledBit
+	}
+	return append(dst, flags, tc.Hops)
+}
+
+// decodeTraceCtx parses a TraceContext TLV value.
+func decodeTraceCtx(v []byte) (TraceContext, error) {
+	if len(v) != traceCtxWireLen {
+		return TraceContext{}, fmt.Errorf("ndn: bad TraceContext length %d", len(v))
+	}
+	return TraceContext{
+		TraceID:  binary.BigEndian.Uint64(v),
+		ParentID: binary.BigEndian.Uint64(v[8:]),
+		Sampled:  v[16]&traceCtxSampledBit != 0,
+		Hops:     v[17],
+	}, nil
+}

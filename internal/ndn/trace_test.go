@@ -1,0 +1,153 @@
+package ndn
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xDEADBEEFCAFEF00D, ParentID: 0x0123456789ABCDEF, Sampled: true, Hops: 3}
+	in := &Interest{Name: names.MustParse("/prov0/obj/c0"), Kind: KindContent, Nonce: 42, Trace: tc}
+	enc, err := EncodeInterest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeInterest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != tc {
+		t.Errorf("interest trace mismatch: %+v vs %+v", out.Trace, tc)
+	}
+
+	dc := TraceContext{TraceID: 7, ParentID: 9, Hops: 255}
+	d := &Data{Name: names.MustParse("/prov0/obj/c0"), Nack: true, Trace: dc}
+	encD, err := EncodeData(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outD, err := DecodeData(encD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outD.Trace != dc {
+		t.Errorf("data trace mismatch: %+v vs %+v", outD.Trace, dc)
+	}
+	if !outD.Nack {
+		t.Error("nack bit lost alongside trace")
+	}
+}
+
+func TestTraceContextZeroAddsNoBytes(t *testing.T) {
+	base := &Interest{Name: names.MustParse("/p/c"), Kind: KindContent, Nonce: 1}
+	plain, err := EncodeInterest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Trace = TraceContext{} // explicit zero value
+	again, err := EncodeInterest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(again) {
+		t.Errorf("zero TraceContext changed wire size: %d vs %d", len(plain), len(again))
+	}
+}
+
+func TestTraceContextBadLength(t *testing.T) {
+	if _, err := decodeTraceCtx(make([]byte, 17)); err == nil {
+		t.Error("want error for short TraceContext value")
+	}
+	i := &Interest{Name: names.MustParse("/p/c"), Nonce: 1}
+	enc, _ := EncodeInterest(i)
+	enc = injectUnknown(t, enc, tlvInterest, []byte{tlvTraceCtx, 3, 1, 2, 3})
+	if _, err := DecodeInterest(enc); err == nil {
+		t.Error("want decode error for malformed TraceContext TLV")
+	}
+}
+
+// injectUnknown splices raw TLV bytes into the front of a packet's body,
+// re-patching the outer length, to simulate a peer speaking a newer wire
+// dialect.
+func injectUnknown(t *testing.T, wire []byte, outerType byte, raw []byte) []byte {
+	t.Helper()
+	r := tlvReader{buf: wire}
+	typ, body, ok, err := r.next()
+	if err != nil || !ok || typ != outerType {
+		t.Fatalf("bad outer element: typ=%#x ok=%v err=%v", typ, ok, err)
+	}
+	dst, start := openOuter(nil, outerType)
+	dst = append(dst, raw...)
+	dst = append(dst, body...)
+	return closeOuter(dst, start)
+}
+
+// TestDecodeSkipsUnknownTLVs guards the wire-evolvability story: every
+// decoder must skip TLV types it does not understand (this is how old
+// nodes interoperate with TraceContext-stamping peers, and how future
+// extensions stay compatible with today's binaries).
+func TestDecodeSkipsUnknownTLVs(t *testing.T) {
+	tag, content, reg, resp := tlvFixtures(t)
+	// Unknown elements: a short one, an empty one, and one using the
+	// 2-byte length form.
+	long := make([]byte, 300)
+	unknown := []byte{0xE0, 4, 0xAA, 0xBB, 0xCC, 0xDD, 0xE1, 0}
+	unknown = append(unknown, 0xE2, 253, 0x01, 0x2C)
+	unknown = append(unknown, long...)
+
+	interests := []*Interest{
+		{Name: names.MustParse("/prov0/obj/c0"), Kind: KindContent, Nonce: 42, Tag: tag, Flag: 0.5, AccessPath: 7},
+		{Name: names.MustParse("/prov0/register/alice/n1"), Kind: KindRegistration, Nonce: 9, Registration: reg},
+	}
+	for i, in := range interests {
+		enc, err := EncodeInterest(in)
+		if err != nil {
+			t.Fatalf("interest %d encode: %v", i, err)
+		}
+		out, err := DecodeInterest(injectUnknown(t, enc, tlvInterest, unknown))
+		if err != nil {
+			t.Fatalf("interest %d decode with unknown TLVs: %v", i, err)
+		}
+		if !out.Name.Equal(in.Name) || out.Kind != in.Kind || out.Nonce != in.Nonce ||
+			out.Flag != in.Flag || out.AccessPath != in.AccessPath {
+			t.Errorf("interest %d fields damaged by unknown TLVs: %+v vs %+v", i, out, in)
+		}
+		if (out.Tag == nil) != (in.Tag == nil) || (out.Registration == nil) != (in.Registration == nil) {
+			t.Errorf("interest %d optional-field presence damaged", i)
+		}
+	}
+
+	datas := []*Data{
+		{Name: names.MustParse("/prov0/obj/c0"), Content: content, Tag: tag, Flag: 0.25},
+		{Name: names.MustParse("/prov0/obj/c0"), Nack: true, Tag: tag},
+		{Name: names.MustParse("/prov0/register/alice/n1"), Registration: resp},
+	}
+	for i, in := range datas {
+		enc, err := EncodeData(in)
+		if err != nil {
+			t.Fatalf("data %d encode: %v", i, err)
+		}
+		out, err := DecodeData(injectUnknown(t, enc, tlvData, unknown))
+		if err != nil {
+			t.Fatalf("data %d decode with unknown TLVs: %v", i, err)
+		}
+		if !out.Name.Equal(in.Name) || out.Flag != in.Flag || out.Nack != in.Nack {
+			t.Errorf("data %d fields damaged by unknown TLVs: %+v vs %+v", i, out, in)
+		}
+		if (out.Content == nil) != (in.Content == nil) || (out.Tag == nil) != (in.Tag == nil) ||
+			(out.Registration == nil) != (in.Registration == nil) {
+			t.Errorf("data %d optional-field presence damaged", i)
+		}
+	}
+
+	// A truncated unknown element must still error, not be skipped: here
+	// the element claims 10 value bytes but the body holds only 2.
+	bad, start := openOuter(nil, tlvInterest)
+	bad = append(bad, 0xE3, 10, 1, 2)
+	bad = closeOuter(bad, start)
+	if _, err := DecodeInterest(bad); !errors.Is(err, ErrTLVTruncated) {
+		t.Errorf("truncated unknown element: got %v, want ErrTLVTruncated", err)
+	}
+}

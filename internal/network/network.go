@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/sim"
 	"github.com/tactic-icn/tactic/internal/topology"
 )
@@ -46,6 +47,10 @@ type Network struct {
 	// node n for n's face f.
 	reverseFace [][]ndn.FaceID
 	lossRNG     *rand.Rand
+	// trace receives virtual-time span records for head-sampled packets
+	// (see trace.go); traceIDs is the deterministic ID counter.
+	trace    *obs.Collector
+	traceIDs uint64
 }
 
 // New creates a network over the graph. Node slots start empty; install
@@ -228,18 +233,26 @@ func (n *Network) rebuildReverseFaces(idx int) {
 // SampleOps charges the delay model for a batch of operations, returning
 // the total sampled processing delay.
 func (n *Network) SampleOps(rng *rand.Rand, lookups, inserts, verifies uint64) time.Duration {
+	lk, ins, vf := n.SampleOpsSplit(rng, lookups, inserts, verifies)
+	return lk + ins + vf
+}
+
+// SampleOpsSplit is SampleOps with the delay decomposed per operation
+// class. The RNG draw order is identical to SampleOps (lookups, then
+// insertions, then verifications), so traced runs reproduce untraced
+// ones event for event.
+func (n *Network) SampleOpsSplit(rng *rand.Rand, lookups, inserts, verifies uint64) (lk, ins, vf time.Duration) {
 	if !n.ChargeDelays {
-		return 0
+		return 0, 0, 0
 	}
-	var total time.Duration
 	for i := uint64(0); i < lookups; i++ {
-		total += n.Delays.BFLookup.Sample(rng)
+		lk += n.Delays.BFLookup.Sample(rng)
 	}
 	for i := uint64(0); i < inserts; i++ {
-		total += n.Delays.BFInsert.Sample(rng)
+		ins += n.Delays.BFInsert.Sample(rng)
 	}
 	for i := uint64(0); i < verifies; i++ {
-		total += n.Delays.SigVerify.Sample(rng)
+		vf += n.Delays.SigVerify.Sample(rng)
 	}
-	return total
+	return lk, ins, vf
 }

@@ -76,23 +76,29 @@ func (p *ProviderNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 		p.handleRegistration(i, from, now)
 		return
 	}
+	inTC := i.Trace
+	sp := p.net.StartTraceSpan(inTC, p.net.Graph.Nodes[p.index].ID, "producer", "interest", i.Name.String())
 	content, ok := p.store[i.Name.Key()]
 	if !ok {
 		// Unknown content: drop; the requester times out.
+		sp.End("drop_no_content", 0)
 		return
 	}
 	if p.cfg.DisableEnforcement {
 		p.served++
-		d := &ndn.Data{Name: i.Name, Content: content, Tag: i.Tag, Flag: i.Flag}
+		d := &ndn.Data{Name: i.Name, Content: content, Tag: i.Tag, Flag: i.Flag, Trace: NextHopTrace(inTC, sp)}
 		p.net.SendData(p.index, from, d, 0)
+		sp.End("served", 0)
 		return
 	}
 	var dec core.ContentDecision
-	proc := p.chargeOps(func() {
+	proc := p.chargeOpsSpan(sp, func() {
 		dec = p.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
 	})
+	outcome := "served"
 	if dec.NACK {
 		p.nacked++
+		outcome = "nack"
 	} else {
 		p.served++
 	}
@@ -103,8 +109,10 @@ func (p *ProviderNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 		Flag:       dec.Flag,
 		Nack:       dec.NACK,
 		NackReason: dec.Reason,
+		Trace:      NextHopTrace(inTC, sp),
 	}
 	p.net.SendData(p.index, from, d, proc)
+	sp.End(outcome, proc)
 }
 
 // handleRegistration processes a tag request: verify credentials and
@@ -132,17 +140,31 @@ func (p *ProviderNode) handleRegistration(i *ndn.Interest, from ndn.FaceID, now 
 // HandleData is a no-op: providers are origins.
 func (p *ProviderNode) HandleData(d *ndn.Data, from ndn.FaceID) {}
 
-// chargeOps charges the delay model for ops performed in fn.
-func (p *ProviderNode) chargeOps(fn func()) time.Duration {
+// chargeOpsSpan charges the delay model for ops performed in fn,
+// recording the decomposition on sp (nil records nothing). The RNG
+// draw order matches SampleOps, so tracing never perturbs a run.
+func (p *ProviderNode) chargeOpsSpan(sp *SimSpan, fn func()) time.Duration {
 	bfBefore := p.tactic.Bloom().Stats()
 	vBefore := p.tactic.Validator().Verifications()
 	fn()
 	bfAfter := p.tactic.Bloom().Stats()
 	vAfter := p.tactic.Validator().Verifications()
-	return p.net.SampleOps(p.rng,
+	lk, ins, vf := p.net.SampleOpsSplit(p.rng,
 		bfAfter.Lookups-bfBefore.Lookups,
 		bfAfter.Insertions-bfBefore.Insertions,
 		vAfter-vBefore)
+	if sp != nil {
+		if lk > 0 {
+			sp.Event("bf_lookup", lk, "")
+		}
+		if ins > 0 {
+			sp.Event("bf_insert", ins, "")
+		}
+		if vf > 0 {
+			sp.Event("verify", vf, "")
+		}
+	}
+	return lk + ins + vf
 }
 
 // ProviderNodeStats snapshots the provider's counters.

@@ -144,19 +144,51 @@ func (r *RouterNode) drop(reason string) { r.drops[reason]++ }
 // this packet's processing completes (queueing behind earlier bursts
 // included).
 func (r *RouterNode) charge(fn func()) time.Duration {
+	return r.chargeSpan(nil, fn)
+}
+
+// chargeSpan is charge with the delay decomposition recorded as stage
+// events on sp (nil records nothing). The RNG draws are identical
+// either way, so tracing never perturbs a run.
+func (r *RouterNode) chargeSpan(sp *SimSpan, fn func()) time.Duration {
 	bfBefore := r.tactic.Bloom().Stats()
 	vBefore := r.tactic.Validator().Verifications()
 	fn()
 	bfAfter := r.tactic.Bloom().Stats()
 	vAfter := r.tactic.Validator().Verifications()
-	work := r.net.SampleOps(r.rng,
+	lk, ins, vf := r.net.SampleOpsSplit(r.rng,
 		bfAfter.Lookups-bfBefore.Lookups,
 		bfAfter.Insertions-bfBefore.Insertions,
 		vAfter-vBefore)
-	if work == 0 {
-		return r.cpuWait(0)
+	if sp != nil {
+		if lk > 0 {
+			sp.Event("bf_lookup", lk, "")
+		}
+		if ins > 0 {
+			sp.Event("bf_insert", ins, "")
+		}
+		if vf > 0 {
+			sp.Event("verify", vf, "")
+		}
 	}
-	return r.cpuWait(work)
+	wait := r.cpuWait(lk + ins + vf)
+	if sp != nil {
+		if q := wait - (lk + ins + vf); q > 0 {
+			sp.Event("queue", q, "")
+		}
+	}
+	return wait
+}
+
+// id returns the router's topology node identity.
+func (r *RouterNode) id() string { return r.net.Graph.Nodes[r.index].ID }
+
+// role names the router's role for span records.
+func (r *RouterNode) role() string {
+	if r.isEdge {
+		return "edge"
+	}
+	return "core"
 }
 
 // cpuWait books work on the router CPU and returns the delay from now
@@ -185,13 +217,15 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 	r.interests++
 	r.maybeGCPIT()
 	now := r.net.Engine.Now()
+	inTC := i.Trace
+	sp := r.net.StartTraceSpan(inTC, r.id(), r.role(), "interest", i.Name.String())
 	var proc time.Duration
 
 	if i.Kind == ndn.KindContent && r.isEdge && !r.cfg.DisableEnforcement && !r.cfg.Colluding &&
 		r.net.PeerKind(r.index, from) == topology.KindAccessPoint {
 		// Protocol 2 (On Interest) at the edge for client-side arrivals.
 		var dec core.EdgeInterestDecision
-		proc += r.charge(func() {
+		proc += r.chargeSpan(sp, func() {
 			dec = r.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
 		})
 		if dec.Drop {
@@ -200,8 +234,11 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 			if r.cfg.Traitor != nil && errors.Is(dec.Reason, core.ErrAccessPathMismatch) {
 				r.cfg.Traitor.Observe(i.Tag, i.AccessPath)
 			}
-			nack := &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason}
+			sp.Event("precheck", 0, reasonString(dec.Reason))
+			nack := &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason,
+				Trace: NextHopTrace(inTC, sp)}
 			r.net.SendData(r.index, from, nack, proc)
+			sp.End("nack", proc)
 			return
 		}
 		i.Flag = dec.Flag
@@ -210,17 +247,21 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 	if i.Kind == ndn.KindContent {
 		if content, ok := r.cs.Lookup(i.Name); ok && r.servableFromCache(content) {
 			if r.cfg.DisableEnforcement {
-				d := &ndn.Data{Name: i.Name, Content: content, Tag: i.Tag, Flag: i.Flag}
+				d := &ndn.Data{Name: i.Name, Content: content, Tag: i.Tag, Flag: i.Flag,
+					Trace: NextHopTrace(inTC, sp)}
 				r.net.SendData(r.index, from, d, proc)
+				sp.End("cs_hit", proc)
 				return
 			}
 			// Content-router role: Protocol 3.
 			var dec core.ContentDecision
-			proc += r.charge(func() {
+			proc += r.chargeSpan(sp, func() {
 				dec = r.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
 			})
+			outcome := "cs_hit"
 			if dec.NACK {
 				r.nacksSent++
+				outcome = "cs_hit_nack"
 			}
 			d := &ndn.Data{
 				Name:       i.Name,
@@ -229,11 +270,13 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 				Flag:       dec.Flag,
 				Nack:       dec.NACK,
 				NackReason: dec.Reason,
+				Trace:      NextHopTrace(inTC, sp),
 			}
 			if d.Nack && r.cfg.DropContentOnNACK {
 				d.Content = nil
 			}
 			r.net.SendData(r.index, from, d, proc)
+			sp.End(outcome, proc)
 			return
 		}
 	}
@@ -242,11 +285,13 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 	if entry, ok := r.pit.Lookup(i.Name); ok && entry.Expires.After(now) {
 		if entry.HasNonce(i.Nonce) {
 			r.drop("duplicate-nonce")
+			sp.End("drop_duplicate_nonce", proc)
 			return
 		}
 		r.pit.Insert(i.Name, ndn.PITRecord{
 			Tag: i.Tag, Flag: i.Flag, InFace: from, Nonce: i.Nonce, Arrived: now,
 		}, now.Add(r.cfg.PITLifetime))
+		sp.End("pit_aggregated", proc)
 		return
 	} else if ok {
 		// Stale entry: drop it and start fresh.
@@ -259,9 +304,12 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 	face, ok := r.fib.Lookup(i.Name)
 	if !ok {
 		r.drop("no-route")
+		sp.End("drop_no_route", proc)
 		return
 	}
+	i.Trace = NextHopTrace(inTC, sp)
 	r.net.SendInterest(r.index, face, i, proc)
+	sp.End("forwarded", proc)
 }
 
 // HandleData implements the router's Data pipeline.
@@ -274,6 +322,9 @@ func (r *RouterNode) HandleData(d *ndn.Data, from ndn.FaceID) {
 		return
 	}
 
+	inTC := d.Trace
+	sp := r.net.StartTraceSpan(inTC, r.id(), r.role(), "data", d.Name.String())
+
 	if d.Content != nil && r.servableFromCache(d.Content) {
 		// Pervasive caching: every router on the reverse path caches
 		// (capacity 0 disables, as configured for edge routers).
@@ -283,37 +334,46 @@ func (r *RouterNode) HandleData(d *ndn.Data, from ndn.FaceID) {
 	entry, ok := r.pit.Consume(d.Name)
 	if !ok {
 		r.drop("unsolicited-data")
+		sp.End("drop_unsolicited", 0)
 		return
 	}
+	outTC := NextHopTrace(inTC, sp)
 
 	primary := entry.Records[0]
 	if r.cfg.DisableEnforcement {
 		for _, rec := range entry.Records {
-			out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag}
+			out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag, Trace: outTC}
 			r.net.SendData(r.index, rec.InFace, out, 0)
 		}
+		sp.End("delivered", 0)
 		return
 	}
 	if r.isEdge {
-		r.edgeDeliver(d, primary, true, now)
+		outcome, proc := r.edgeDeliver(d, primary, true, now, outTC, sp)
+		sp.End(outcome, proc)
 	} else {
 		// Protocol 4 lines 6-10: the primary requester receives the
 		// content as-is, NACK included.
 		out := &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: primary.Tag,
 			Flag: d.Flag, Nack: d.Nack, NackReason: d.NackReason,
+			Trace: outTC,
 		}
 		r.net.SendData(r.index, primary.InFace, out, 0)
+		sp.End("forwarded", 0)
 	}
 
 	// Aggregated records: validate per tag (Protocol 2 lines 22-23 at
-	// the edge, Protocol 4 lines 11-26 at core routers).
+	// the edge, Protocol 4 lines 11-26 at core routers). The hop span
+	// has ended: it narrates the traced (primary) request's path;
+	// aggregated deliveries still carry the onward context so their
+	// consumers see a complete hop count.
 	for _, rec := range entry.Records[1:] {
 		if d.Content == nil {
 			// Pure NACK (DropOnNACK ablation upstream): nothing can be
 			// delivered; propagate the NACK.
 			if !r.isEdge {
-				out := &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason}
+				out := &ndn.Data{Name: d.Name, Tag: rec.Tag, Nack: true, NackReason: d.NackReason, Trace: outTC}
 				r.net.SendData(r.index, rec.InFace, out, 0)
 			} else {
 				r.drop("edge-nack-drop")
@@ -321,16 +381,16 @@ func (r *RouterNode) HandleData(d *ndn.Data, from ndn.FaceID) {
 			continue
 		}
 		if r.isEdge {
-			r.edgeDeliver(d, rec, false, now)
+			r.edgeDeliver(d, rec, false, now, outTC, nil)
 			continue
 		}
 		if rec.Tag == nil {
 			if publicContent(d) {
-				out := &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag}
+				out := &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag, Trace: outTC}
 				r.net.SendData(r.index, rec.InFace, out, 0)
 			} else {
 				r.nacksSent++
-				out := &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag}
+				out := &ndn.Data{Name: d.Name, Content: d.Content, Nack: true, NackReason: core.ErrNoTag, Trace: outTC}
 				r.net.SendData(r.index, rec.InFace, out, 0)
 			}
 			continue
@@ -345,6 +405,7 @@ func (r *RouterNode) HandleData(d *ndn.Data, from ndn.FaceID) {
 		out := &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: rec.Tag,
 			Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+			Trace: outTC,
 		}
 		r.net.SendData(r.index, rec.InFace, out, proc)
 	}
@@ -365,42 +426,46 @@ func publicContent(d *ndn.Data) bool {
 }
 
 // edgeDeliver applies Protocol 2's On-Content logic for one PIT record
-// and forwards (or drops) the content toward the client.
-func (r *RouterNode) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time) {
+// and forwards (or drops) the content toward the client, stamping outTC
+// on whatever it sends. It returns the outcome and charged processing
+// time for the caller's hop span (sp decomposes the charge; nil for
+// aggregated records, whose work is not part of the traced request).
+func (r *RouterNode) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, now time.Time, outTC ndn.TraceContext, sp *SimSpan) (string, time.Duration) {
 	if rec.Tag == nil {
 		// Tagless requester: deliverable only for Public content.
 		if publicContent(d) && !d.Nack {
-			out := &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag}
+			out := &ndn.Data{Name: d.Name, Content: d.Content, Flag: d.Flag, Trace: outTC}
 			r.net.SendData(r.index, rec.InFace, out, 0)
-		} else {
-			r.drop("tagless-private")
+			return "delivered", 0
 		}
-		return
+		r.drop("tagless-private")
+		return "drop_tagless_private", 0
 	}
 	var deliver bool
 	var proc time.Duration
 	if r.cfg.Colluding {
 		// Threat (f): deliver regardless of the upstream verdict.
 		if d.Content != nil {
-			out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag}
+			out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag, Trace: outTC}
 			r.net.SendData(r.index, rec.InFace, out, 0)
 		}
-		return
+		return "delivered", 0
 	}
 	if isPrimary {
-		proc = r.charge(func() { deliver = r.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack) })
+		proc = r.chargeSpan(sp, func() { deliver = r.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack) })
 	} else {
 		// An aggregated record's validity is independent of the primary
 		// tag's NACK: the content rides along with NACKs precisely so
 		// that valid aggregated requests can still be satisfied.
-		proc = r.charge(func() { deliver = r.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now) })
+		proc = r.chargeSpan(sp, func() { deliver = r.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now) })
 	}
 	if !deliver {
 		r.drop("edge-nack-drop")
-		return
+		return "drop_edge_nack", proc
 	}
-	out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag}
+	out := &ndn.Data{Name: d.Name, Content: d.Content, Tag: rec.Tag, Flag: d.Flag, Trace: outTC}
 	r.net.SendData(r.index, rec.InFace, out, proc)
+	return "delivered", proc
 }
 
 // handleRegistrationData forwards a registration response along the

@@ -1,0 +1,130 @@
+// Simulated distributed tracing: virtual-time hop spans for packets
+// whose consumers head-sampled them with a wire TraceContext. Spans
+// reuse the real-time stack's obs.SpanRecord shape and assemble in an
+// obs.Collector, so the same waterfall and decomposition tooling reads
+// simulated and live traces alike. Span and trace IDs come from a
+// deterministic counter, keeping traced runs reproducible.
+package network
+
+import (
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+// SetTraceCollector installs the sink for virtual-time span records;
+// nil disables tracing. Call before the simulation starts.
+func (n *Network) SetTraceCollector(c *obs.Collector) { n.trace = c }
+
+// Tracing reports whether a trace collector is installed.
+func (n *Network) Tracing() bool { return n.trace != nil }
+
+// SimSpan is one hop's record of a traced packet in virtual time. A nil
+// SimSpan is a valid no-op receiver, so handlers build spans
+// unconditionally and pay nothing for untraced packets.
+type SimSpan struct {
+	net     *Network
+	rec     *obs.SpanRecord
+	start   time.Time
+	traceID uint64
+	spanID  uint64
+	hop     uint8
+}
+
+// nextTraceID mints a deterministic non-zero ID.
+func (n *Network) nextTraceID() uint64 {
+	n.traceIDs++
+	return n.traceIDs
+}
+
+// StartTraceRoot opens a hop-0 span with a fresh trace ID — the
+// consumer's head-sampling decision.
+func (n *Network) StartTraceRoot(node, role, kind, name string) *SimSpan {
+	if n.trace == nil {
+		return nil
+	}
+	return n.startSpan(n.nextTraceID(), 0, 0, node, role, kind, name)
+}
+
+// StartTraceSpan opens a hop span for a packet that arrived carrying
+// tc; nil when tracing is off or the packet is untraced.
+func (n *Network) StartTraceSpan(tc ndn.TraceContext, node, role, kind, name string) *SimSpan {
+	if n.trace == nil || !tc.Valid() || !tc.Sampled {
+		return nil
+	}
+	return n.startSpan(tc.TraceID, tc.ParentID, tc.Hops, node, role, kind, name)
+}
+
+func (n *Network) startSpan(traceID, parent uint64, hop uint8, node, role, kind, name string) *SimSpan {
+	now := n.Engine.Now()
+	spanID := n.nextTraceID()
+	rec := &obs.SpanRecord{
+		Time:      now.UTC().Format(time.RFC3339Nano),
+		Node:      node,
+		Role:      role,
+		Kind:      kind,
+		Name:      name,
+		Trace:     obs.HexID(traceID),
+		Span:      obs.HexID(spanID),
+		Parent:    obs.HexID(parent),
+		Hop:       int(hop),
+		Seq:       spanID,
+		StartNano: now.UnixNano(),
+	}
+	return &SimSpan{net: n, rec: rec, start: now, traceID: traceID, spanID: spanID, hop: hop}
+}
+
+// Event appends a stage event: d is the stage's sampled processing
+// time, detail an optional annotation.
+func (s *SimSpan) Event(stage string, d time.Duration, detail string) {
+	if s == nil {
+		return
+	}
+	s.rec.Events = append(s.rec.Events, obs.SpanEvent{
+		Stage:     stage,
+		AtMicros:  s.net.Engine.Now().Sub(s.start).Microseconds(),
+		DurMicros: d.Microseconds(),
+		Detail:    detail,
+	})
+}
+
+// End finishes the span and feeds it to the collector. proc, when
+// positive, is the hop's total processing time (virtual time does not
+// advance inside a handler); otherwise the duration is the virtual time
+// elapsed since the span opened (a consumer's request round trip).
+func (s *SimSpan) End(outcome string, proc time.Duration) {
+	if s == nil {
+		return
+	}
+	dur := proc
+	if dur <= 0 {
+		dur = s.net.Engine.Now().Sub(s.start)
+	}
+	s.rec.Outcome = outcome
+	s.rec.DurMicro = dur.Microseconds()
+	s.net.trace.Add(s.rec)
+}
+
+// WireContext returns the trace context this hop stamps on packets it
+// sends onward: re-parented to this span, one hop deeper.
+func (s *SimSpan) WireContext() ndn.TraceContext {
+	if s == nil {
+		return ndn.TraceContext{}
+	}
+	return ndn.TraceContext{TraceID: s.traceID, ParentID: s.spanID, Sampled: true, Hops: s.hop + 1}
+}
+
+// NextHopTrace computes the onward wire context for a packet that
+// arrived with tc at a hop that recorded sp (possibly nil): a recording
+// hop re-parents the trace; a non-recording hop passes it through with
+// the hop count advanced, so path lengths stay true.
+func NextHopTrace(tc ndn.TraceContext, sp *SimSpan) ndn.TraceContext {
+	if sp != nil {
+		return sp.WireContext()
+	}
+	if tc.Valid() {
+		tc.Hops++
+	}
+	return tc
+}

@@ -48,6 +48,11 @@ func NewAdminMux(reg *Registry, statusz func() any) *http.ServeMux {
 // goroutine, returning the bound listener (close it to stop). It exists
 // so commands can expose observability with one call.
 func ServeAdmin(addr string, reg *Registry, statusz func() any) (net.Listener, error) {
+	return serveMux(addr, NewAdminMux(reg, statusz))
+}
+
+// serveMux listens on addr and serves mux in a background goroutine.
+func serveMux(addr string, mux *http.ServeMux) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -56,7 +61,7 @@ func ServeAdmin(addr string, reg *Registry, statusz func() any) (net.Listener, e
 	// there is deliberately no WriteTimeout so long pprof profile and
 	// trace captures are not cut off mid-stream.
 	srv := &http.Server{
-		Handler:           NewAdminMux(reg, statusz),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       2 * time.Minute,

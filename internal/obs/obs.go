@@ -98,6 +98,10 @@ type Histogram struct {
 	infCnt  atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds the most recent trace ID observed into each bucket
+	// (parallel to counts, one extra slot for +Inf; zero = none), so a
+	// bad latency bucket links to a concrete trace in /tracez.
+	exemplars []atomic.Uint64
 }
 
 // DefLatencyBuckets spans 10 µs – 2.5 s, tuned for the per-hop pipeline
@@ -113,11 +117,19 @@ func newHistogram(bounds []float64) *Histogram {
 	sort.Float64s(bs)
 	h := &Histogram{bounds: bs}
 	h.counts = make([]atomic.Uint64, len(bs))
+	h.exemplars = make([]atomic.Uint64, len(bs)+1)
 	return h
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveTraced(v, 0)
+}
+
+// ObserveTraced records one sample and, when traceID is non-zero,
+// remembers it as the bucket's exemplar — the trace that most recently
+// landed there.
+func (h *Histogram) ObserveTraced(v float64, traceID uint64) {
 	if h == nil {
 		return
 	}
@@ -125,12 +137,18 @@ func (h *Histogram) Observe(v float64) {
 	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i].Add(1)
+			if traceID != 0 {
+				h.exemplars[i].Store(traceID)
+			}
 			placed = true
 			break
 		}
 	}
 	if !placed {
 		h.infCnt.Add(1)
+		if traceID != 0 {
+			h.exemplars[len(h.bounds)].Store(traceID)
+		}
 	}
 	h.count.Add(1)
 	for {
@@ -468,11 +486,23 @@ func writeHistogram(w io.Writer, name string, s *series) error {
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
 			return err
 		}
+		// Exemplars ride as comment lines so any 0.0.4 text parser
+		// ignores them; /tracez?trace=<id> resolves the trace.
+		if ex := h.exemplars[i].Load(); ex != 0 {
+			if _, err := fmt.Fprintf(w, "# exemplar %s_bucket%s trace=%s\n", name, le, HexID(ex)); err != nil {
+				return err
+			}
+		}
 	}
 	cum += h.infCnt.Load()
 	le := withLabel(s.labels, "le", "+Inf")
 	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
 		return err
+	}
+	if ex := h.exemplars[len(h.bounds)].Load(); ex != 0 {
+		if _, err := fmt.Fprintf(w, "# exemplar %s_bucket%s trace=%s\n", name, le, HexID(ex)); err != nil {
+			return err
+		}
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum())); err != nil {
 		return err

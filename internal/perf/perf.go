@@ -36,6 +36,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/forwarder"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
 	"github.com/tactic-icn/tactic/internal/transport"
 )
@@ -202,12 +203,18 @@ func newPipelineEnv(b *testing.B, opts PipelineOptions) *pipelineEnv {
 		b.Fatal(err)
 	}
 
+	// Tracing is compiled into the measured pipeline the way production
+	// runs it: a live tracer at 1/1024 sampling feeding a flight
+	// recorder, so the benchmark price includes the sampling decision on
+	// every packet (and full span recording on the sampled ones).
+	tracer := obs.NewTracerRecorder(edgeID, 1.0/1024, io.Discard, obs.NewRecorder(1024))
 	fwd, err := forwarder.New(forwarder.Config{
 		ID:       edgeID,
 		Role:     forwarder.RoleEdge,
 		Registry: reg,
 		Tactic:   core.Config{EdgeValidateOnMiss: true},
 		Seed:     1,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		b.Fatal(err)

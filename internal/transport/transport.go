@@ -75,6 +75,10 @@ type Packet struct {
 	Interest *ndn.Interest
 	// Data is set for Data frames.
 	Data *ndn.Data
+	// DecodeDur is the TLV decode latency, measured on the same 1-in-64
+	// sample that feeds Metrics.DecodeSeconds (zero otherwise); the
+	// forwarder attaches it to trace spans when both samplers coincide.
+	DecodeDur time.Duration
 }
 
 // Stats is a snapshot of one connection's frame and byte counters.
@@ -319,20 +323,24 @@ func (c *Conn) Receive() (Packet, error) {
 			c.countErr()
 			return Packet{}, err
 		}
+		var dur time.Duration
 		if hist != nil {
-			hist.Observe(time.Since(start).Seconds())
+			dur = time.Since(start)
+			hist.Observe(dur.Seconds())
 		}
-		return Packet{Interest: i}, nil
+		return Packet{Interest: i, DecodeDur: dur}, nil
 	case typeData:
 		d, err := ndn.DecodeData(frame)
 		if err != nil {
 			c.countErr()
 			return Packet{}, err
 		}
+		var dur time.Duration
 		if hist != nil {
-			hist.Observe(time.Since(start).Seconds())
+			dur = time.Since(start)
+			hist.Observe(dur.Seconds())
 		}
-		return Packet{Data: d}, nil
+		return Packet{Data: d, DecodeDur: dur}, nil
 	default:
 		c.countErr()
 		return Packet{}, fmt.Errorf("%w: %#x", ErrBadPacketType, typ)

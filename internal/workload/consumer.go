@@ -26,6 +26,10 @@ type ConsumerConfig struct {
 	RequestGap time.Duration
 	// StartJitter randomises consumer start times in [0, StartJitter).
 	StartJitter time.Duration
+	// TraceEvery head-samples every Nth content request for end-to-end
+	// tracing (0 = off); effective only when the network has a trace
+	// collector installed.
+	TraceEvery int
 }
 
 // DefaultConsumerConfig returns the paper's client parameters with a
@@ -47,6 +51,8 @@ type pending struct {
 	isReg    bool
 	provider names.Name
 	token    uint64
+	// span is the request's hop-0 trace span (nil when untraced).
+	span *network.SimSpan
 }
 
 // Consumer is a simulated end device: a Zipf-window client or an
@@ -73,6 +79,7 @@ type Consumer struct {
 	regPending map[string]bool
 	nonce      uint64
 	token      uint64
+	traceSeq   uint64
 
 	delivery      metrics.Delivery
 	latency       metrics.Latency
@@ -200,7 +207,17 @@ func (c *Consumer) tryIssue() {
 		Nonce: c.consumerNonce(),
 		Tag:   tag,
 	}
-	c.track(chunkName, provPrefix, false, now)
+	// Head-sampling: the consumer decides which requests are traced and
+	// stamps the wire context every downstream hop links to.
+	var sp *network.SimSpan
+	if c.cfg.TraceEvery > 0 && c.net.Tracing() {
+		if c.traceSeq%uint64(c.cfg.TraceEvery) == 0 {
+			sp = c.net.StartTraceRoot(c.id, "client", "fetch", chunkName.String())
+			i.Trace = sp.WireContext()
+		}
+		c.traceSeq++
+	}
+	c.track(chunkName, provPrefix, false, now, sp)
 	c.delivery.Requested++
 	c.net.SendInterest(c.index, c.face, i, 0)
 }
@@ -229,15 +246,15 @@ func (c *Consumer) sendRegistration(provPrefix names.Name, reg *core.Registratio
 		Registration: reg,
 	}
 	c.regPending[provPrefix.Key()] = true
-	c.track(name, provPrefix, true, now)
+	c.track(name, provPrefix, true, now, nil)
 	c.tagQ.Add(c.net.Engine.Elapsed(), 1)
 	c.net.SendInterest(c.index, c.face, i, 0)
 }
 
 // track registers an outstanding request and schedules its timeout.
-func (c *Consumer) track(name names.Name, provider names.Name, isReg bool, now time.Time) {
+func (c *Consumer) track(name names.Name, provider names.Name, isReg bool, now time.Time, sp *network.SimSpan) {
 	c.token++
-	p := &pending{name: name, sentAt: now, isReg: isReg, provider: provider, token: c.token}
+	p := &pending{name: name, sentAt: now, isReg: isReg, provider: provider, token: c.token, span: sp}
 	c.inFlight[name.Key()] = p
 	tok := c.token
 	c.net.Engine.Schedule(c.cfg.RequestTimeout, func() {
@@ -247,6 +264,7 @@ func (c *Consumer) track(name names.Name, provider names.Name, isReg bool, now t
 		}
 		delete(c.inFlight, name.Key())
 		c.timeouts++
+		cur.span.End("timeout", 0)
 		if cur.isReg {
 			delete(c.regPending, cur.provider.Key())
 		}
@@ -289,11 +307,13 @@ func (c *Consumer) HandleData(d *ndn.Data, from ndn.FaceID) {
 			delete(c.regPending, p.provider.Key())
 		}
 		c.nacks++
+		p.span.End("nack", 0)
 	default:
 		lat := now.Sub(p.sentAt)
 		c.delivery.Received++
 		c.latency.Observe(lat)
 		c.latencySeries.Observe(c.net.Engine.Elapsed(), lat.Seconds())
+		p.span.End("delivered", 0)
 	}
 }
 
