@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short race chaos soak trace-smoke bench bench-smoke bench-json bench-diff repro repro-full demo-keys clean
+.PHONY: all build vet check test test-short race chaos soak trace-smoke conform fuzz-smoke cover bench bench-smoke bench-json bench-diff repro repro-full demo-keys clean
 
 all: build test
 
@@ -13,10 +13,11 @@ vet:
 	$(GO) vet ./...
 
 # The pre-merge gate: compile, static checks, full tests, the race
-# detector over the concurrent packages, the fault-injection suite, a
-# one-iteration smoke pass over the pipeline benchmarks, the end-to-end
-# tracing smoke test, and the benchmark regression report.
-check: build vet test race chaos bench-smoke trace-smoke bench-diff
+# detector over the concurrent packages, the fault-injection suite, the
+# conformance oracle, the native fuzz targets' smoke pass, the coverage
+# floor, a one-iteration smoke pass over the pipeline benchmarks, the
+# end-to-end tracing smoke test, and the benchmark regression report.
+check: build vet test race chaos conform fuzz-smoke cover bench-smoke trace-smoke bench-diff
 
 test:
 	$(GO) test ./...
@@ -44,6 +45,29 @@ soak:
 # verify span (see README "Tracing a request end-to-end").
 trace-smoke:
 	$(GO) test -race -count=1 -run 'TestTraceSmoke|TestTraceEndToEnd' ./internal/forwarder/
+
+# Conformance gate: replay seeded scenarios against the reference
+# oracle, the sim plane, and the live forwarder plane under the race
+# detector, requiring zero divergences (see README "Correctness &
+# conformance"). Replay one seed with
+#   go run ./cmd/tacticconform -seed N -minimize -v
+CONFORM_SEEDS ?= 50
+conform:
+	$(GO) run -race ./cmd/tacticconform -seeds $(CONFORM_SEEDS)
+
+# 30 seconds of native fuzzing per wire-facing decoder on top of the
+# committed corpus under testdata/fuzz/.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzTLVDecode$$' -fuzztime $(FUZZTIME) ./internal/ndn/
+	$(GO) test -run '^$$' -fuzz '^FuzzPacketRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/ndn/
+	$(GO) test -run '^$$' -fuzz '^FuzzTagEncoding$$' -fuzztime $(FUZZTIME) ./internal/core/
+
+# Statement-coverage floor on the enforcement core and the wire codec.
+COVER_FLOOR ?= 80
+cover:
+	@$(GO) test -cover -coverprofile=/tmp/tactic-cover.out ./internal/core/ ./internal/ndn/ | tee /tmp/tactic-cover.txt
+	@awk -v floor=$(COVER_FLOOR) '/coverage:/ { gsub(/%/, "", $$5); if ($$5 + 0 < floor) { print "FAIL: " $$2 " coverage " $$5 "% below " floor "%"; bad = 1 } } END { exit bad }' /tmp/tactic-cover.txt
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

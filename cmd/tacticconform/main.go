@@ -1,0 +1,69 @@
+// Command tacticconform is the conformance gate: it replays seeded
+// randomized scenarios against the TACTIC reference model
+// (internal/oracle), the discrete-event sim plane, and a live multi-node
+// forwarder topology, and fails on any verdict or end-state divergence.
+//
+//	tacticconform -seeds 50           # gate: seeds 1..50
+//	tacticconform -seed 1337 -v       # reproduce one reported seed
+//	tacticconform -seed 1337 -minimize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tactic-icn/tactic/internal/oracle"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 50, "number of consecutive seeds to replay")
+		start    = flag.Int64("start", 1, "first seed")
+		seed     = flag.Int64("seed", 0, "replay a single seed (overrides -seeds/-start)")
+		minimize = flag.Bool("minimize", false, "on divergence, greedily shrink the scenario")
+		verbose  = flag.Bool("v", false, "print each scenario summary")
+	)
+	flag.Parse()
+
+	first, n := *start, *seeds
+	if *seed != 0 {
+		first, n = *seed, 1
+	}
+	failed := 0
+	for s := first; s < first+int64(n); s++ {
+		rep, err := oracle.RunSeed(s, oracle.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Printf("seed %d: %d requests, %d divergences\n", s, len(rep.Scenario.Requests), len(rep.Divergences))
+		}
+		if !rep.Diverged() {
+			continue
+		}
+		failed++
+		fmt.Printf("seed %d DIVERGED (replay: tacticconform -seed %d):\n", s, s)
+		for _, d := range rep.Divergences {
+			fmt.Printf("  %s\n", d)
+		}
+		fmt.Printf("%s", rep.Scenario)
+		if *minimize {
+			min, minRep, err := oracle.Minimize(rep.Scenario, oracle.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "minimize: %v\n", err)
+			} else {
+				fmt.Printf("minimized to %d requests:\n%s", len(min.Requests), min)
+				for _, d := range minRep.Divergences {
+					fmt.Printf("  %s\n", d)
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("conformance: %d/%d seeds diverged\n", failed, n)
+		os.Exit(1)
+	}
+	fmt.Printf("conformance: %d seeds, zero divergences\n", n)
+}

@@ -258,6 +258,16 @@ func (f *Filter) FPP() float64 {
 	return math.Pow(1-math.Exp(exp), float64(f.hashes))
 }
 
+// MeasuredFPP returns the exact current false-positive probability
+// p^k, where p is the measured fill ratio of the bit array. Unlike
+// FPP, which estimates the fill ratio from the insertion count, this
+// reads the actual bits — so it stays correct even when double-hashed
+// positions collide more (or less) than the independence assumption
+// predicts.
+func (f *Filter) MeasuredFPP() float64 {
+	return math.Pow(f.FillRatio(), float64(f.hashes))
+}
+
 // MaxFPP returns the configured saturation threshold.
 func (f *Filter) MaxFPP() float64 { return f.maxFPP }
 

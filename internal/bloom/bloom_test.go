@@ -346,3 +346,56 @@ func TestNewPaperWithDesign(t *testing.T) {
 		}
 	}
 }
+
+// MeasuredFPP is the exact current false-positive probability computed
+// from the real bit array. It must (a) agree closely with the analytic
+// count-based estimate (1-e^{-kn/m})^k while the filter is in its
+// design regime, and (b) predict the empirically observed
+// false-positive rate of random non-member probes within binomial
+// bounds.
+func TestMeasuredFPPMatchesAnalyticAndEmpirical(t *testing.T) {
+	f, err := NewWithShape(8192, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MeasuredFPP() != 0 {
+		t.Errorf("empty MeasuredFPP = %g, want 0", f.MeasuredFPP())
+	}
+	const inserted = 800
+	for i := uint64(0); i < inserted; i++ {
+		f.Add(key(i))
+	}
+
+	analytic := f.FPP()
+	measured := f.MeasuredFPP()
+	if measured <= 0 || measured >= 1 {
+		t.Fatalf("MeasuredFPP = %g, want in (0, 1)", measured)
+	}
+	// The fill ratio concentrates sharply around 1-e^{-kn/m} for a
+	// filter this size, so the two estimators agree within a few
+	// percent.
+	if rel := math.Abs(measured-analytic) / analytic; rel > 0.10 {
+		t.Errorf("MeasuredFPP %g vs analytic FPP %g (relative gap %.3f)", measured, analytic, rel)
+	}
+
+	// Empirical check: the rate at which random non-members hit the
+	// filter is a binomial sample whose mean is exactly MeasuredFPP.
+	const probes = 200000
+	fp := 0
+	for i := uint64(inserted); i < inserted+probes; i++ {
+		if f.Contains(key(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	sigma := math.Sqrt(measured * (1 - measured) / probes)
+	if math.Abs(rate-measured) > 5*sigma {
+		t.Errorf("empirical FP rate %.5f vs MeasuredFPP %.5f (|Δ| > 5σ = %.5f)", rate, measured, 5*sigma)
+	}
+
+	// Reset drops the measurement back to zero with the bits.
+	f.Reset()
+	if got := f.MeasuredFPP(); got != 0 {
+		t.Errorf("MeasuredFPP after reset = %g, want 0", got)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// T_e boundary semantics: a tag is valid at exactly T_e (Expired uses
+// strict Before) and expired one nanosecond later. Every enforcement
+// layer must agree — Tag.Expired, Protocol 1's edge pre-check, the full
+// validator, and the router's edge decision procedure. The live
+// forwarder path is pinned to the same table in
+// internal/forwarder's TestExpiryBoundaryLive.
+func TestExpiryBoundaryExactlyAtTe(t *testing.T) {
+	r, prov := testRouter(t, 31, Config{})
+	te := testTime(50)
+	tag := issueTestTag(t, prov, 1, 0, te)
+
+	if tag.Expired(te) {
+		t.Error("Tag.Expired true at exactly T_e; T_e must still be valid")
+	}
+	if !tag.Expired(te.Add(time.Nanosecond)) {
+		t.Error("Tag.Expired false one nanosecond past T_e")
+	}
+	if err := PreCheckEdge(tag, testContentName, te); err != nil {
+		t.Errorf("PreCheckEdge at exactly T_e: %v", err)
+	}
+	if err := PreCheckEdge(tag, testContentName, te.Add(time.Nanosecond)); !errors.Is(err, ErrTagExpired) {
+		t.Errorf("PreCheckEdge past T_e = %v, want ErrTagExpired", err)
+	}
+	if err := r.Validator().Validate(tag, te); err != nil {
+		t.Errorf("Validate at exactly T_e: %v", err)
+	}
+	if err := r.Validator().Validate(tag, te.Add(time.Nanosecond)); !errors.Is(err, ErrTagExpired) {
+		t.Errorf("Validate past T_e = %v, want ErrTagExpired", err)
+	}
+
+	if dec := r.EdgeOnInterest(tag, 0, testContentName, te); dec.Drop {
+		t.Errorf("EdgeOnInterest dropped at exactly T_e: %v", dec.Reason)
+	}
+	dec := r.EdgeOnInterest(tag, 0, testContentName, te.Add(time.Nanosecond))
+	if !dec.Drop || !errors.Is(dec.Reason, ErrTagExpired) {
+		t.Errorf("EdgeOnInterest past T_e = %+v, want expired drop", dec)
+	}
+}
+
+// A tag validated (and so Bloom-inserted) before T_e must not be
+// vouched for by the stale filter entry afterwards: the edge runs the
+// expiry pre-check before the filter lookup, so the entry is
+// unreachable even though it is still set.
+func TestExpiryBetweenBFInsertAndLaterHit(t *testing.T) {
+	r, prov := testRouter(t, 32, Config{})
+	te := testTime(50)
+	tag := issueTestTag(t, prov, 1, 0, te)
+	meta := ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+
+	// Full validation before T_e inserts the tag into the filter.
+	cdec := r.ContentOnInterest(tag, meta, 0, testTime(40))
+	if cdec.NACK || !cdec.Verified {
+		t.Fatalf("pre-expiry validation = %+v, want verified serve", cdec)
+	}
+	// The filter now vouches at the edge…
+	if dec := r.EdgeOnInterest(tag, 0, testContentName, testTime(45)); !dec.BFHit || dec.Flag == 0 {
+		t.Fatalf("pre-expiry edge decision = %+v, want BF hit with F > 0", dec)
+	}
+	// …but after T_e the pre-check fires first and the hit is unreachable.
+	dec := r.EdgeOnInterest(tag, 0, testContentName, testTime(60))
+	if !dec.Drop || !errors.Is(dec.Reason, ErrTagExpired) {
+		t.Fatalf("post-expiry edge decision = %+v, want expired drop", dec)
+	}
+	if dec.BFHit {
+		t.Error("post-expiry drop consulted the Bloom filter; pre-check must run first")
+	}
+	// The validator agrees, and reports expiry before even looking at
+	// the (valid) signature.
+	if err := r.Validator().Validate(tag, testTime(60)); !errors.Is(err, ErrTagExpired) {
+		t.Errorf("post-expiry Validate = %v, want ErrTagExpired", err)
+	}
+}

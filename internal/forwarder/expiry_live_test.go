@@ -1,0 +1,71 @@
+package forwarder
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/ndn"
+)
+
+// TestExpiryBoundaryLive pins the T_e boundary table to the live
+// forwarder path — the same table internal/core's
+// TestExpiryBoundaryExactlyAtTe asserts on the primitives: a tag is
+// valid at exactly T_e and denied one nanosecond later, and a Bloom
+// filter entry inserted while the tag was valid never vouches for it
+// after T_e (the expiry pre-check runs first), including on the wire.
+func TestExpiryBoundaryLive(t *testing.T) {
+	n := startLiveNetwork(t, 900*time.Millisecond)
+	defer n.Close()
+	alice := n.newLiveClient(t, "alice", 3)
+	defer alice.Close()
+
+	// First fetch registers a short-TTL tag and delivers; the edge
+	// learns the tag on the way down (EdgeOnData with flag 0).
+	name := n.prefix.MustAppend("report", "chunk0")
+	if _, err := alice.Fetch(name, liveTimeout); err != nil {
+		t.Fatalf("initial fetch: %v", err)
+	}
+	preExpiry := time.Now()
+	tag := alice.identity.TagFor(n.prefix, alice.ap, preExpiry)
+	if tag == nil {
+		t.Fatal("client holds no tag after a successful fetch")
+	}
+
+	tactic := n.edgeFwd.Tactic()
+	requestAP := core.EmptyAccessPath.Accumulate("edge-0")
+	// The edge filter vouches while the tag is valid…
+	if dec := tactic.EdgeOnInterest(tag, requestAP, name, preExpiry); !dec.BFHit || dec.Drop {
+		t.Fatalf("pre-expiry edge decision = %+v, want BF hit", dec)
+	}
+	// …still at exactly T_e…
+	if dec := tactic.EdgeOnInterest(tag, requestAP, name, tag.Expiry); dec.Drop || !dec.BFHit {
+		t.Errorf("decision at exactly T_e = %+v, want BF-vouched forward", dec)
+	}
+	// …and one nanosecond later the pre-check fires before the filter
+	// is even consulted, although the entry is still set.
+	dec := tactic.EdgeOnInterest(tag, requestAP, name, tag.Expiry.Add(time.Nanosecond))
+	if !dec.Drop || !errors.Is(dec.Reason, core.ErrTagExpired) || dec.BFHit {
+		t.Errorf("decision past T_e = %+v, want expired drop without BF consult", dec)
+	}
+
+	// Wire level: replay the stale tag after real time passes T_e. The
+	// client deliberately bypasses Fetch (which would re-register) and
+	// sends the expired tag itself; the edge must answer an explicit
+	// NACK even though both its content store and its Bloom filter still
+	// hold the relevant entries.
+	time.Sleep(time.Until(tag.Expiry.Add(100 * time.Millisecond)))
+	d, err := alice.await(&ndn.Interest{Name: name, Kind: ndn.KindContent, Nonce: alice.nextNonce(), Tag: tag}, liveTimeout)
+	if err != nil {
+		t.Fatalf("stale-tag request: %v", err)
+	}
+	if !d.Nack {
+		t.Fatal("stale-tag request was served; want explicit NACK")
+	}
+	// The filter entry itself outlived T_e — only the pre-check order
+	// keeps it unreachable.
+	if dec := tactic.EdgeOnInterest(tag, requestAP, name, preExpiry); !dec.BFHit {
+		t.Error("Bloom entry vanished; expected it to outlive the tag")
+	}
+}

@@ -362,6 +362,11 @@ func (f *Forwarder) Stats() Stats {
 // inspection.
 func (f *Forwarder) Tactic() *core.Router { return f.tactic }
 
+// CSNames returns the names currently held in the content store, in
+// unspecified order. Consistent only on a quiescent forwarder; the
+// conformance oracle uses it for end-state cache comparison.
+func (f *Forwarder) CSNames() []string { return f.cs.Names() }
+
 // errNoFace reports a send against a face that is no longer attached.
 var errNoFace = errors.New("forwarder: face detached")
 

@@ -158,6 +158,17 @@ func (p *Producer) Serve(ln net.Listener) error {
 	}
 }
 
+// ServeConn answers Interests arriving on an already-established
+// connection (e.g. one end of a net.Pipe), returning immediately; the
+// serving goroutine exits when the connection closes. It lets a
+// multi-node topology be assembled entirely over in-process transports —
+// the conformance harness wires producers to core routers this way.
+func (p *Producer) ServeConn(conn net.Conn) {
+	c := transport.New(conn)
+	p.wg.Add(1)
+	go p.serveConn(c)
+}
+
 // serveConn answers one connection's Interests.
 func (p *Producer) serveConn(c *transport.Conn) {
 	defer p.wg.Done()

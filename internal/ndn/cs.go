@@ -82,6 +82,17 @@ func (c *CS) Contains(name names.Name) bool {
 // Len returns the number of cached chunks.
 func (c *CS) Len() int { return c.ll.Len() }
 
+// Names returns the cached content names in unspecified order, without
+// touching recency or hit/miss statistics. The conformance oracle uses
+// it to compare end-state cache contents across enforcement planes.
+func (c *CS) Names() []string {
+	out := make([]string, 0, len(c.index))
+	for k := range c.index {
+		out = append(out, k)
+	}
+	return out
+}
+
 // Capacity returns the configured maximum.
 func (c *CS) Capacity() int { return c.capacity }
 

@@ -294,6 +294,24 @@ func (c *ShardedCS) Len() int {
 	return n
 }
 
+// Names returns the cached content names in unspecified order, without
+// touching recency or hit/miss statistics. Shards are snapshotted one at
+// a time, so the result is a consistent view only on a quiescent store —
+// exactly the condition under which the conformance oracle compares
+// end-state cache contents across enforcement planes.
+func (c *ShardedCS) Names() []string {
+	var out []string
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.index {
+			out = append(out, k)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Capacity returns the configured total maximum.
 func (c *ShardedCS) Capacity() int { return c.capacity }
 

@@ -2,10 +2,8 @@ package ndn
 
 import (
 	"bytes"
-	"math"
 	"math/rand"
 	"testing"
-	"testing/quick"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/core"
@@ -191,52 +189,6 @@ func TestVarLenBoundaries(t *testing.T) {
 	r := tlvReader{buf: []byte{255, 0, 0, 0, 0, 0, 0, 0, 0}}
 	if _, err := r.varLen(); err == nil {
 		t.Error("8-byte length prefix accepted (unsupported)")
-	}
-}
-
-func TestPropertyInterestTLVRoundTrip(t *testing.T) {
-	f := func(nonce uint64, flagBits uint64, ap uint64, comps []string) bool {
-		parts := make([]string, 0, len(comps)%5)
-		for _, c := range comps {
-			if len(parts) == 5 {
-				break
-			}
-			if c == "" || len(c) > 20 {
-				c = "x"
-			}
-			clean := make([]rune, 0, len(c))
-			for _, r := range c {
-				if r != '/' && r > 0x20 && r < 0x7f {
-					clean = append(clean, r)
-				}
-			}
-			if len(clean) == 0 {
-				clean = []rune{'y'}
-			}
-			parts = append(parts, string(clean))
-		}
-		name, err := names.New(parts...)
-		if err != nil {
-			return false
-		}
-		flag := math.Float64frombits(flagBits)
-		if math.IsNaN(flag) || math.IsInf(flag, 0) {
-			flag = 0.5
-		}
-		in := &Interest{Name: name, Kind: KindContent, Nonce: nonce, Flag: flag, AccessPath: core.AccessPath(ap)}
-		enc, err := EncodeInterest(in)
-		if err != nil {
-			return false
-		}
-		out, err := DecodeInterest(enc)
-		if err != nil {
-			return false
-		}
-		return out.Name.Equal(in.Name) && out.Nonce == in.Nonce &&
-			out.Flag == in.Flag && out.AccessPath == in.AccessPath
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Error(err)
 	}
 }
 

@@ -135,6 +135,10 @@ func (r *RouterNode) Tactic() *core.Router { return r.tactic }
 // IsEdge reports the router's role.
 func (r *RouterNode) IsEdge() bool { return r.isEdge }
 
+// CSNames returns the names currently held in the content store, in
+// unspecified order — the conformance oracle's end-state cache view.
+func (r *RouterNode) CSNames() []string { return r.cs.Names() }
+
 // drop records a dropped packet by reason.
 func (r *RouterNode) drop(reason string) { r.drops[reason]++ }
 

@@ -1,0 +1,42 @@
+package oracle
+
+// Minimize shrinks a diverging scenario by greedily dropping requests
+// while the divergence persists, and returns the smallest scenario
+// found together with its report. Dropping a request never violates
+// the generator's scheduling constraints (they are monotone under
+// removal), so any sub-multiset of a valid scenario's requests is
+// itself a valid scenario. The search re-runs all planes per trial and
+// is bounded by maxTrials, so it is meant for reproducing a reported
+// seed, not for the gate's hot path.
+func Minimize(scn *Scenario, opts Options) (*Scenario, *Report, error) {
+	rep, err := RunScenario(scn, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !rep.Diverged() {
+		return scn, rep, nil
+	}
+	const maxTrials = 200
+	trials := 0
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < len(scn.Requests); i++ {
+			if trials >= maxTrials {
+				return scn, rep, nil
+			}
+			cand := *scn
+			cand.Requests = append(append([]RequestSpec(nil), scn.Requests[:i]...), scn.Requests[i+1:]...)
+			trials++
+			candRep, err := RunScenario(&cand, opts)
+			if err != nil {
+				continue // e.g. persistent timing skew: keep the request
+			}
+			if candRep.Diverged() {
+				scn, rep = &cand, candRep
+				progress = true
+				i-- // the next candidate shifted into this slot
+			}
+		}
+	}
+	return scn, rep, nil
+}

@@ -1,0 +1,393 @@
+// Package oracle is the conformance oracle for TACTIC enforcement: a
+// deliberately-naive reference model of the paper's protocol state
+// machine (Protocols 1-4 re-derived from the pseudocode, with exact
+// validated-tag sets standing in for Bloom filters) plus a differential
+// harness that replays randomized seeded scenarios against three
+// independent implementations —
+//
+//   - the reference model itself (model.go),
+//   - the discrete-event sim plane (internal/network + internal/core),
+//   - a live multi-node forwarder topology over in-process pipes
+//     (internal/forwarder + internal/transport),
+//
+// and asserts per-Interest verdict equivalence and end-state content
+// store equivalence, reporting any divergence as a minimized,
+// replayable seed. The repo carries two full implementations of the
+// enforcement semantics; this package is what proves they still agree
+// with each other — and with the paper — after every refactor.
+//
+// Determinism contract. Scenarios are generated so that every verdict
+// is independent of scheduling races the live plane legitimately has
+// (PIT aggregation timing, content-store fill order within a step):
+// tag expiries sit far from decision instants except at one explicit
+// boundary the harness sleeps across, and request combinations whose
+// outcome depends on whether PIT aggregation happened (the paper's
+// aggregated-tag validation skips the access-level pre-check, and
+// skips nothing a forged tag needs for Public content) are given
+// exclusive (step, name) slots. See GenerateScenario.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/topology"
+)
+
+// TagKind classifies a scenario tag's ground truth.
+type TagKind int
+
+// Tag kinds.
+const (
+	// TagValid is a correctly signed, unexpired tag.
+	TagValid TagKind = iota
+	// TagPreExpired is correctly signed but expired before the scenario
+	// starts (revocation via T_e, threat (c)).
+	TagPreExpired
+	// TagMidRun is correctly signed and expires at the scenario's
+	// expiry boundary: valid for steps < Boundary, expired at and after
+	// it.
+	TagMidRun
+	// TagForged carries a signature that does not verify against the
+	// provider's registered key (threat (b)).
+	TagForged
+)
+
+// String names the kind.
+func (k TagKind) String() string {
+	switch k {
+	case TagValid:
+		return "valid"
+	case TagPreExpired:
+		return "pre-expired"
+	case TagMidRun:
+		return "mid-run"
+	case TagForged:
+		return "forged"
+	}
+	return "unknown"
+}
+
+// TagSpec is the ground truth for one scenario tag. The differential
+// planes each materialise it as a concrete signed core.Tag; the
+// reference model consumes the spec directly — that asymmetry is the
+// point: the oracle never runs the production crypto or Bloom filters.
+type TagSpec struct {
+	// User is the owning user's index (the tag's ClientKey identity).
+	User int
+	// Provider is the issuing provider's index.
+	Provider int
+	// Level is AL_u.
+	Level core.AccessLevel
+	// Kind is the ground-truth class.
+	Kind TagKind
+	// HomeEdge is the edge-router position (index into the topology's
+	// edge routers) whose location the tag's access path binds to. A
+	// tag whose HomeEdge differs from the requester's edge models the
+	// paper's traitor scenario (threat (e)).
+	HomeEdge int
+}
+
+// ContentSpec is one published chunk.
+type ContentSpec struct {
+	// Provider is the publishing provider's index.
+	Provider int
+	// Object is the name component under the provider prefix.
+	Object string
+	// Level is AL_D; core.Public marks open content.
+	Level core.AccessLevel
+}
+
+// RequestSpec is one scheduled Interest.
+type RequestSpec struct {
+	// Step is the logical time slot (0-based). The harness barriers
+	// between steps, so cross-step requests never share PIT entries.
+	Step int
+	// User issues the request.
+	User int
+	// Content indexes Scenario.Contents.
+	Content int
+	// Tag indexes Scenario.Tags; -1 sends a tagless Interest.
+	Tag int
+}
+
+// Scenario is one replayable differential test case. Everything is
+// derived deterministically from Seed.
+type Scenario struct {
+	// Seed regenerates the scenario: GenerateScenario(Seed) reproduces
+	// it exactly.
+	Seed int64
+	// Topo parameterises the topology (shared by all planes).
+	Topo topology.Config
+	// Steps is the number of logical time slots.
+	Steps int
+	// Boundary, when > 0, is the step at which TagMidRun tags expire.
+	Boundary int
+	// Contents, Tags, Requests describe the workload.
+	Contents []ContentSpec
+	Tags     []TagSpec
+	Requests []RequestSpec
+}
+
+// String renders the scenario compactly for divergence reports.
+func (s *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario seed=%d topo{core=%d edge=%d prov=%d users=%d} steps=%d boundary=%d\n",
+		s.Seed, s.Topo.CoreRouters, s.Topo.EdgeRouters, s.Topo.Providers,
+		s.Topo.Clients+s.Topo.Attackers, s.Steps, s.Boundary)
+	for i, c := range s.Contents {
+		fmt.Fprintf(&b, "  content[%d] prov%d/%s level=%d\n", i, c.Provider, c.Object, c.Level)
+	}
+	for i, t := range s.Tags {
+		fmt.Fprintf(&b, "  tag[%d] user=%d prov=%d level=%d kind=%s homeEdge=%d\n",
+			i, t.User, t.Provider, t.Level, t.Kind, t.HomeEdge)
+	}
+	for i, r := range s.Requests {
+		fmt.Fprintf(&b, "  req[%d] step=%d user=%d content=%d tag=%d\n", i, r.Step, r.User, r.Content, r.Tag)
+	}
+	return b.String()
+}
+
+// maxTaglessPrivate bounds the silent-denial requests per scenario:
+// they are the only outcomes the live plane resolves by timeout, so
+// each one costs the harness a full client deadline.
+const maxTaglessPrivate = 2
+
+// aggregationVariant reports whether a request's verdict would depend
+// on PIT aggregation timing — the cases the generator must isolate in
+// an exclusive (step, name) slot:
+//
+//   - an insufficient-level tag: Protocol 1's AL check runs only at
+//     content routers, which aggregated requests never reach, so the
+//     same request is denied as a primary but served as an aggregate
+//     (the paper's threat-(d) gap, see core.Config.EnforceALOnAggregates);
+//   - a forged tag: for Public content the router's Public bypass
+//     skips validation for the primary while aggregated tags are always
+//     signature-checked on content arrival; for private content a
+//     forged member's NACK answer (live routers re-send aggregated
+//     Interests upstream) races the primary's clean answer for the
+//     shared PIT entry, making the primary's verdict timing-dependent;
+//   - a tagless private request: resolved silently when aggregated but
+//     with an explicit NACK when it reaches a content store directly.
+func aggregationVariant(tags []TagSpec, contents []ContentSpec, tagIdx, contentIdx int) bool {
+	c := contents[contentIdx]
+	if tagIdx < 0 {
+		return c.Level != core.Public
+	}
+	t := tags[tagIdx]
+	if !t.Level.Satisfies(c.Level) {
+		return true
+	}
+	if t.Kind == TagForged {
+		return true
+	}
+	return false
+}
+
+// scheduler enforces the generator's determinism constraints while
+// requests are placed.
+type scheduler struct {
+	used      map[[2]int]int  // (step, content) -> request count
+	exclusive map[[2]int]bool // (step, content) slots owned by a variant request
+	tagStep   map[[2]int]bool // (tag, step) already used
+	tagless   int             // tagless-private requests placed
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{
+		used:      make(map[[2]int]int),
+		exclusive: make(map[[2]int]bool),
+		tagStep:   make(map[[2]int]bool),
+	}
+}
+
+// place admits a request if it violates no constraint, recording it.
+func (sc *scheduler) place(scn *Scenario, r RequestSpec) bool {
+	sn := [2]int{r.Step, r.Content}
+	if sc.exclusive[sn] {
+		return false
+	}
+	variant := aggregationVariant(scn.Tags, scn.Contents, r.Tag, r.Content)
+	if variant && sc.used[sn] > 0 {
+		return false
+	}
+	taglessPrivate := r.Tag < 0 && scn.Contents[r.Content].Level != core.Public
+	if taglessPrivate && sc.tagless >= maxTaglessPrivate {
+		return false
+	}
+	if r.Tag >= 0 {
+		ts := [2]int{r.Tag, r.Step}
+		if sc.tagStep[ts] {
+			return false
+		}
+		sc.tagStep[ts] = true
+	}
+	sc.used[sn]++
+	if variant {
+		sc.exclusive[sn] = true
+	}
+	if taglessPrivate {
+		sc.tagless++
+	}
+	scn.Requests = append(scn.Requests, r)
+	return true
+}
+
+// GenerateScenario derives a scenario deterministically from seed:
+// a small randomized topology, 1-2 providers each publishing a few
+// levelled contents, a population of users holding tags across the
+// ground-truth classes (valid, pre-expired, mid-run expiring, forged,
+// and traitor tags bound to the wrong edge), and a step schedule of
+// requests including deliberate same-(step,name) aggregation groups.
+func GenerateScenario(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed))
+	topo := topology.Config{
+		CoreRouters:  3 + rng.Intn(3),
+		EdgeRouters:  2 + rng.Intn(2),
+		Providers:    1 + rng.Intn(2),
+		Clients:      2 + rng.Intn(3),
+		Attackers:    rng.Intn(3),
+		AttachDegree: 2,
+		Seed:         seed,
+	}
+	scn := &Scenario{Seed: seed, Topo: topo, Steps: 4 + rng.Intn(3)}
+	info, err := buildTopo(scn)
+	if err != nil {
+		return nil, err
+	}
+	users := len(info.users)
+	edges := len(info.edges)
+
+	// Contents: 2-3 objects per provider across the access levels.
+	for p := 0; p < topo.Providers; p++ {
+		n := 2 + rng.Intn(2)
+		for o := 0; o < n; o++ {
+			scn.Contents = append(scn.Contents, ContentSpec{
+				Provider: p,
+				Object:   fmt.Sprintf("o%d", o),
+				Level:    core.AccessLevel(rng.Intn(3)),
+			})
+		}
+	}
+
+	// Tags: most users hold a tag per provider; kinds follow a roulette
+	// that keeps valid tags dominant so delivery paths stay exercised.
+	userTag := make([][]int, users) // user -> provider -> tag index (-1 none)
+	haveMidRun := false
+	for u := 0; u < users; u++ {
+		userTag[u] = make([]int, topo.Providers)
+		for p := range userTag[u] {
+			userTag[u][p] = -1
+		}
+	}
+	for u := 0; u < users; u++ {
+		for p := 0; p < topo.Providers; p++ {
+			if rng.Float64() < 0.2 {
+				continue // this user never registered here
+			}
+			t := TagSpec{User: u, Provider: p, Level: core.AccessLevel(rng.Intn(3)), HomeEdge: info.userEdge[u]}
+			switch roll := rng.Float64(); {
+			case roll < 0.55:
+				t.Kind = TagValid
+			case roll < 0.70:
+				t.Kind = TagForged
+			case roll < 0.80:
+				t.Kind = TagPreExpired
+			case roll < 0.90:
+				t.Kind = TagMidRun
+				haveMidRun = true
+			default:
+				// Traitor tag: valid signature, bound to another edge's
+				// location. Degenerates to TagValid on 1-edge topologies.
+				t.Kind = TagValid
+				if edges > 1 {
+					t.HomeEdge = (info.userEdge[u] + 1 + rng.Intn(edges-1)) % edges
+				}
+			}
+			userTag[u][p] = len(scn.Tags)
+			scn.Tags = append(scn.Tags, t)
+		}
+	}
+	if haveMidRun {
+		scn.Boundary = scn.Steps / 2
+		if scn.Boundary < 1 {
+			scn.Boundary = 1
+		}
+	}
+
+	sched := newScheduler()
+	contentsOf := func(p int) []int {
+		var out []int
+		for i, c := range scn.Contents {
+			if c.Provider == p {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	// Every mid-run tag is exercised on both sides of the boundary —
+	// that is the revocation transition the oracle exists to check.
+	for ti, t := range scn.Tags {
+		if t.Kind != TagMidRun {
+			continue
+		}
+		cands := contentsOf(t.Provider)
+		for attempt := 0; attempt < 8; attempt++ {
+			r := RequestSpec{Step: rng.Intn(scn.Boundary), User: t.User, Content: cands[rng.Intn(len(cands))], Tag: ti}
+			if sched.place(scn, r) {
+				break
+			}
+		}
+		for attempt := 0; attempt < 8; attempt++ {
+			r := RequestSpec{Step: scn.Boundary + rng.Intn(scn.Steps-scn.Boundary), User: t.User, Content: cands[rng.Intn(len(cands))], Tag: ti}
+			if sched.place(scn, r) {
+				break
+			}
+		}
+	}
+
+	// Deliberate aggregation groups: 1-2 same-(step,name) bursts of 2-3
+	// users, exercising PIT aggregation and the NACK-alongside-Data
+	// delivery rules.
+	for g := 0; g < 1+rng.Intn(2); g++ {
+		ci := rng.Intn(len(scn.Contents))
+		step := rng.Intn(scn.Steps)
+		members := 2 + rng.Intn(2)
+		for m := 0; m < members; m++ {
+			u := rng.Intn(users)
+			tag := userTag[u][scn.Contents[ci].Provider]
+			if tag < 0 && scn.Contents[ci].Level != core.Public {
+				continue // tagless-private would claim the slot exclusively
+			}
+			sched.place(scn, RequestSpec{Step: step, User: u, Content: ci, Tag: tag})
+		}
+	}
+
+	// The randomized bulk of the schedule.
+	target := 15 + rng.Intn(15)
+	for attempt := 0; attempt < target*4 && len(scn.Requests) < target; attempt++ {
+		u := rng.Intn(users)
+		ci := rng.Intn(len(scn.Contents))
+		prov := scn.Contents[ci].Provider
+		tag := userTag[u][prov]
+		switch roll := rng.Float64(); {
+		case roll < 0.15:
+			tag = -1 // tagless
+		case roll < 0.25 && len(scn.Tags) > 0:
+			// Wrong-provider or borrowed tag: any tag in the scenario.
+			tag = rng.Intn(len(scn.Tags))
+		}
+		sched.place(scn, RequestSpec{Step: rng.Intn(scn.Steps), User: u, Content: ci, Tag: tag})
+	}
+
+	// Stable step order; within a step, placement order is preserved so
+	// every plane fires aggregation-group primaries identically.
+	sort.SliceStable(scn.Requests, func(i, j int) bool {
+		return scn.Requests[i].Step < scn.Requests[j].Step
+	})
+	return scn, nil
+}

@@ -1,0 +1,129 @@
+package oracle
+
+import (
+	"fmt"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/topology"
+)
+
+// topoInfo is the analyzed topology every plane (and the reference
+// model) shares: node groupings, user homes, and the per-provider
+// shortest-path trees all three planes route on. Deriving routes once
+// here is what makes path-dependent predictions (which routers cache
+// which content) well-defined.
+type topoInfo struct {
+	g *topology.Graph
+
+	// cores, edges, aps, providers are graph indices in creation order.
+	cores, edges, aps, providers []int
+	// users lists clients then attackers, defining the scenario's user
+	// index space.
+	users []int
+	// userEdge maps a user index to its edge-router position (index
+	// into edges); userAP to its access point's graph index.
+	userEdge []int
+	userAP   []int
+	// apID / edgeID are the access-path entity identities per edge
+	// position — the AP's for the sim plane, the edge router's for the
+	// live plane (each plane has exactly one first-hop entity).
+	apID   []string
+	edgeID []string
+	// parent[p] is the BFS tree toward provider p (parent indices).
+	parent [][]int
+}
+
+// buildTopo generates and analyzes the scenario's topology.
+func buildTopo(scn *Scenario) (*topoInfo, error) {
+	g, err := topology.Generate(scn.Topo)
+	if err != nil {
+		return nil, err
+	}
+	ti := &topoInfo{
+		g:         g,
+		cores:     g.OfKind(topology.KindCoreRouter),
+		edges:     g.OfKind(topology.KindEdgeRouter),
+		aps:       g.OfKind(topology.KindAccessPoint),
+		providers: g.OfKind(topology.KindProvider),
+	}
+	ti.users = append(ti.users, g.OfKind(topology.KindClient)...)
+	ti.users = append(ti.users, g.OfKind(topology.KindAttacker)...)
+
+	edgePos := make(map[int]int, len(ti.edges))
+	for i, e := range ti.edges {
+		edgePos[e] = i
+	}
+	// Each AP has exactly one router neighbour: its edge.
+	ti.apID = make([]string, len(ti.edges))
+	ti.edgeID = make([]string, len(ti.edges))
+	apEdge := make(map[int]int, len(ti.aps)) // ap graph idx -> edge pos
+	for _, ap := range ti.aps {
+		for _, nb := range g.Adj[ap] {
+			if g.Nodes[nb.Node].Kind == topology.KindEdgeRouter {
+				pos := edgePos[nb.Node]
+				apEdge[ap] = pos
+				ti.apID[pos] = g.Nodes[ap].ID
+				ti.edgeID[pos] = g.Nodes[nb.Node].ID
+			}
+		}
+	}
+	ti.userEdge = make([]int, len(ti.users))
+	ti.userAP = make([]int, len(ti.users))
+	for u, idx := range ti.users {
+		if len(g.Adj[idx]) != 1 {
+			return nil, fmt.Errorf("oracle: user %s has %d faces, want 1", g.Nodes[idx].ID, len(g.Adj[idx]))
+		}
+		ap := g.Adj[idx][0].Node
+		pos, ok := apEdge[ap]
+		if !ok {
+			return nil, fmt.Errorf("oracle: user %s attached to non-AP node %s", g.Nodes[idx].ID, g.Nodes[ap].ID)
+		}
+		ti.userAP[u] = ap
+		ti.userEdge[u] = pos
+	}
+	ti.parent = make([][]int, len(ti.providers))
+	for p, idx := range ti.providers {
+		ti.parent[p] = g.BFSFrom(idx)
+	}
+	return ti, nil
+}
+
+// routerPath returns the graph indices of the routers an Interest from
+// edge position edgePos traverses toward provider provPos, starting at
+// the edge router and ending at the provider-adjacent core, following
+// the provider's BFS tree. APs, end devices, and providers all have
+// degree 1, so the walk visits only core/edge routers.
+func (ti *topoInfo) routerPath(edgePos, provPos int) ([]int, error) {
+	par := ti.parent[provPos]
+	node := ti.edges[edgePos]
+	goal := ti.providers[provPos]
+	var path []int
+	for node != goal {
+		path = append(path, node)
+		next := par[node]
+		if next < 0 {
+			return nil, fmt.Errorf("oracle: no path from edge %d to provider %d", edgePos, provPos)
+		}
+		node = next
+	}
+	return path, nil
+}
+
+// nodeID returns a graph node's identity string.
+func (ti *topoInfo) nodeID(idx int) string { return ti.g.Nodes[idx].ID }
+
+// provPrefix returns provider p's name prefix (e.g. "/prov0").
+func (ti *topoInfo) provPrefix(p int) names.Name {
+	return names.MustNew(ti.nodeID(ti.providers[p]))
+}
+
+// contentName returns the full name of scenario content ci.
+func (ti *topoInfo) contentName(scn *Scenario, ci int) names.Name {
+	c := scn.Contents[ci]
+	return ti.provPrefix(c.Provider).MustAppend(c.Object)
+}
+
+// userKey returns user u's key locator Pub_u.
+func (ti *topoInfo) userKey(u int) names.Name {
+	return names.MustNew(ti.nodeID(ti.users[u]), "KEY")
+}
