@@ -29,7 +29,7 @@ test-short:
 # concurrently: the forwarder itself plus its lock-free/sharded layers
 # (bloom, core validator, ndn tables) and the transports.
 race:
-	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/... ./internal/bloom/... ./internal/core/... ./internal/ndn/...
+	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/... ./internal/bloom/... ./internal/core/... ./internal/ndn/... ./internal/lifecycle/...
 
 # Fault-injection suite: failover/chaos soaks and face churn, under the
 # race detector (see README "Failure handling & chaos testing").
@@ -62,11 +62,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTLVDecode$$' -fuzztime $(FUZZTIME) ./internal/ndn/
 	$(GO) test -run '^$$' -fuzz '^FuzzPacketRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/ndn/
 	$(GO) test -run '^$$' -fuzz '^FuzzTagEncoding$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzRevocationTLV$$' -fuzztime $(FUZZTIME) ./internal/ndn/
+	$(GO) test -run '^$$' -fuzz '^FuzzControlSync$$' -fuzztime $(FUZZTIME) ./internal/ndn/
 
-# Statement-coverage floor on the enforcement core and the wire codec.
+# Statement-coverage floor on the enforcement core, the wire codec,
+# and the tag-lifecycle service.
 COVER_FLOOR ?= 80
 cover:
-	@$(GO) test -cover -coverprofile=/tmp/tactic-cover.out ./internal/core/ ./internal/ndn/ | tee /tmp/tactic-cover.txt
+	@$(GO) test -cover -coverprofile=/tmp/tactic-cover.out ./internal/core/ ./internal/ndn/ ./internal/lifecycle/ | tee /tmp/tactic-cover.txt
 	@awk -v floor=$(COVER_FLOOR) '/coverage:/ { gsub(/%/, "", $$5); if ($$5 + 0 < floor) { print "FAIL: " $$2 " coverage " $$5 "% below " floor "%"; bad = 1 } } END { exit bad }' /tmp/tactic-cover.txt
 
 bench:

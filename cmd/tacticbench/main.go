@@ -186,6 +186,7 @@ func writeBenchSnapshot(path, historyPath string) error {
 		{"ForwarderPipeline/hit/faces=16", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 16})},
 		{"MicroBFLookup", perf.MicroBFLookup()},
 		{"MicroVerify", perf.MicroVerify()},
+		{"MicroRevocationCheck", perf.MicroRevocationCheck()},
 		{"MicroTLVRoundTrip", perf.MicroTLVRoundTrip()},
 	}
 

@@ -9,8 +9,15 @@
 //	tacticd -listen :6362 -role edge -id edge-0 \
 //	        -trust prov0.pub -route /prov0=127.0.0.1:6363
 //
+//	# the same edge also advertising its validated-tag BF to a neighbor
+//	tacticd -listen :6362 -role edge -id edge-0 \
+//	        -trust prov0.pub -route /prov0=127.0.0.1:6363 \
+//	        -bf-sync-interval 5s -sync-peer 127.0.0.1:6364
+//
 // Clients connect to the edge's listen address (see cmd/tacticget); the
 // edge's -id is the access-path entity its clients' tags bind to.
+// Revocation pushes (cmd/tacticissue push) flood from any router to the
+// whole deployment over the face graph.
 package main
 
 import (
@@ -63,9 +70,11 @@ func run(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 0, "recycle a face after this long without a frame (0 = never)")
 	keepalive := fs.Duration("keepalive", 0, "send keepalive frames on every face at this interval (0 = none); set peers' -idle-timeout to ~3x this")
 	chaosSpec := fs.String("chaos", "", "fault-inject upstream links, e.g. drop=0.05,delay=0.1,maxdelay=20ms,seed=1 (testing only)")
-	var trusts, routes multiFlag
+	bfSync := fs.Duration("bf-sync-interval", 0, "advertise validated-tag BF deltas to -sync-peer neighbors at this period (0 = disabled)")
+	var trusts, routes, syncPeers multiFlag
 	fs.Var(&trusts, "trust", "provider public-key PEM file (repeatable)")
 	fs.Var(&routes, "route", "prefix=upstreamAddr (repeatable)")
+	fs.Var(&syncPeers, "sync-peer", "neighbor edge address to push BF deltas to (repeatable; needs -bf-sync-interval)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,6 +150,7 @@ func run(args []string) error {
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       *idleTimeout,
 		KeepaliveInterval: *keepalive,
+		BFSyncInterval:    *bfSync,
 		Logf:              log.Printf,
 		Obs:               reg,
 		Tracer:            tracer,
@@ -199,6 +209,23 @@ func run(args []string) error {
 			return err
 		}
 		log.Printf("uplink %s: %d routes managed", addr, len(byAddr[addr]))
+	}
+
+	// Sync peers are routeless managed links to neighbor edges: the
+	// syncLoop pushes validated-tag BF deltas there so a client roaming
+	// to that neighbor hits a warm filter (see -bf-sync-interval).
+	if len(syncPeers) > 0 && *bfSync <= 0 {
+		return fmt.Errorf("-sync-peer requires -bf-sync-interval > 0")
+	}
+	for _, addr := range syncPeers {
+		if _, err := fwd.ManageUpstream(forwarder.UplinkConfig{
+			Addr:     addr,
+			Dial:     dial,
+			SyncPeer: true,
+		}); err != nil {
+			return err
+		}
+		log.Printf("sync peer %s: BF deltas every %s", addr, *bfSync)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -1,0 +1,125 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func syncItem(i int) []byte { return []byte(fmt.Sprintf("tag-%d", i)) }
+
+func TestCloneIndependence(t *testing.T) {
+	f, err := NewPaper(500, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		f.Add(syncItem(i))
+	}
+	c := f.Clone()
+	if c.Bits() != f.Bits() || c.Hashes() != f.Hashes() || c.MaxFPP() != f.MaxFPP() {
+		t.Fatal("clone changed shape")
+	}
+	if c.Count() != f.Count() {
+		t.Fatalf("clone count %d != %d", c.Count(), f.Count())
+	}
+	for i := 0; i < 50; i++ {
+		if !c.Contains(syncItem(i)) {
+			t.Fatalf("clone missing item %d", i)
+		}
+	}
+	if c.Stats().Insertions != 0 {
+		t.Fatal("clone inherited operation counters")
+	}
+	// Mutations do not leak either way.
+	c.Add(syncItem(1000))
+	if f.Contains(syncItem(1000)) {
+		t.Fatal("clone Add leaked into original")
+	}
+	f.Reset()
+	if !c.Contains(syncItem(3)) {
+		t.Fatal("original Reset erased the clone")
+	}
+}
+
+// TestDeltaSyncConverges drives the neighbor-sync cycle: snapshot,
+// fill, diff, merge — after each round the receiver answers positive
+// for everything the sender validated, with no false negatives.
+func TestDeltaSyncConverges(t *testing.T) {
+	src, err := NewPaper(500, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewPaper(500, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []uint64 // nil: first advert carries the whole filter
+	next := 0
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 40; i++ {
+			src.Add(syncItem(next))
+			next++
+		}
+		cur := src.Words()
+		deltas := DiffWords(snap, cur)
+		if len(deltas) == 0 {
+			t.Fatalf("round %d produced no deltas", round)
+		}
+		added := src.Count() - dst.Count()
+		if err := dst.MergeWords(src.Bits(), src.Hashes(), deltas, added); err != nil {
+			t.Fatalf("round %d merge: %v", round, err)
+		}
+		snap = cur
+		for i := 0; i < next; i++ {
+			if !dst.Contains(syncItem(i)) {
+				t.Fatalf("round %d: receiver missing item %d", round, i)
+			}
+		}
+	}
+	if dst.Count() != src.Count() {
+		t.Fatalf("receiver count %d != sender %d", dst.Count(), src.Count())
+	}
+	// Replaying the last delta is idempotent (full word values, OR).
+	before := dst.FillRatio()
+	if err := dst.MergeWords(src.Bits(), src.Hashes(), DiffWords(nil, snap), 0); err != nil {
+		t.Fatal(err)
+	}
+	if dst.FillRatio() != before {
+		t.Fatal("replayed delta changed the bit array")
+	}
+}
+
+func TestMergeWordsRejectsBadShapes(t *testing.T) {
+	dst, err := NewWithShape(640, 5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.MergeWords(641, 5, nil, 0); err == nil {
+		t.Error("accepted mismatched bits")
+	}
+	if err := dst.MergeWords(640, 4, nil, 0); err == nil {
+		t.Error("accepted mismatched hashes")
+	}
+	// 640 bits = 10 words; index 10 is out of range.
+	if err := dst.MergeWords(640, 5, []WordDelta{{Index: 10, Word: 1}}, 0); err == nil {
+		t.Error("accepted out-of-range word index")
+	}
+	// A failed merge must not partially apply.
+	if err := dst.MergeWords(640, 5, []WordDelta{{Index: 0, Word: ^uint64(0)}, {Index: 99, Word: 1}}, 5); err == nil {
+		t.Error("accepted delta with trailing bad index")
+	}
+	if dst.FillRatio() != 0 || dst.Count() != 0 {
+		t.Error("rejected merge partially applied")
+	}
+}
+
+func TestDiffWordsAgainstShortSnapshot(t *testing.T) {
+	cur := []uint64{1, 0, 4}
+	got := DiffWords([]uint64{1}, cur)
+	if len(got) != 1 || got[0].Index != 2 || got[0].Word != 4 {
+		t.Fatalf("DiffWords = %v", got)
+	}
+	if d := DiffWords(cur, cur); d != nil {
+		t.Fatalf("self-diff = %v", d)
+	}
+}

@@ -24,6 +24,18 @@ type AccessPath uint64
 // wired to its edge router traverses no intermediate entities).
 const EmptyAccessPath AccessPath = 0
 
+// AccessPathAny is the roaming wildcard: a tag issued with this value
+// matches any accumulated request path, so one tag stays valid as its
+// holder hands over between edges (the paper's deferred mobility
+// scenario). The value is signed like any AP_u, so it cannot be forged
+// onto an existing tag; the trade-off is that AP-based location binding
+// (threat (e): shared or replayed tags) is disabled for the tag, which
+// is why roaming tags are a deliberate lifecycle-service grant rather
+// than the default. All-ones cannot collide with an accumulated path in
+// practice: accumulation XORs 64-bit FNV hashes, and no realistic
+// entity set XORs to 2^64-1.
+const AccessPathAny AccessPath = ^AccessPath(0)
+
 // HashEntityID hashes a network entity identity for access-path
 // accumulation.
 func HashEntityID(id string) uint64 {
@@ -49,5 +61,8 @@ func AccessPathOf(entityIDs ...string) AccessPath {
 }
 
 // Matches reports whether an accumulated request path equals the tag's
-// recorded path.
-func (ap AccessPath) Matches(other AccessPath) bool { return ap == other }
+// recorded path. A tag carrying the AccessPathAny wildcard matches any
+// request path (the receiver is the tag's recorded path).
+func (ap AccessPath) Matches(other AccessPath) bool {
+	return ap == other || ap == AccessPathAny
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/bloom"
@@ -49,6 +50,13 @@ type Config struct {
 	// metadata. Off by default for fidelity to the paper; EXPERIMENTS.md
 	// quantifies the leak.
 	EnforceALOnAggregates bool
+	// DisableRevocationCheck skips the pre-BF revocation-set lookup, so
+	// an explicitly revoked tag is honoured until its T_e (ablation
+	// "NoRevocation" — TACTIC's original expiry-only behaviour). The
+	// conformance oracle also injects this flag into one plane at a time
+	// to prove the differential harness catches a forgotten revocation
+	// pre-check.
+	DisableRevocationCheck bool
 	// EdgeValidateOnMiss makes the edge router verify a tag's signature
 	// (and insert it on success) when the Bloom filter misses at
 	// Interest time, per §4.B's router description ("a router verifies
@@ -78,6 +86,17 @@ type Router struct {
 	validator *TagValidator
 	cfg       Config
 
+	// rev is the pushed revocation set, consulted before every BF
+	// lookup (lock-free reads).
+	rev *RevocationSet
+	// prev holds the previous epoch's filter after a rotation: lookups
+	// that miss the (freshly cleared) current filter fall back to it, so
+	// a rotation does not force the whole edge population back through
+	// signature verification at once. nil until the first rotation.
+	prev atomic.Pointer[bloom.Filter]
+	// epoch is the BF epoch, advanced by RotateEpoch.
+	epoch atomic.Uint64
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -92,7 +111,7 @@ type Router struct {
 
 // NewRouter creates a TACTIC router.
 func NewRouter(id string, bf *bloom.Filter, validator *TagValidator, rng *rand.Rand, cfg Config) *Router {
-	r := &Router{id: id, bf: bf, validator: validator, rng: rng, cfg: cfg}
+	r := &Router{id: id, bf: bf, validator: validator, rng: rng, cfg: cfg, rev: NewRevocationSet()}
 	if cfg.RequestDrivenReset {
 		r.requestResetThreshold = bloom.CapacityAtFPP(bf.Bits(), bf.Hashes(), bf.MaxFPP())
 		if r.requestResetThreshold == 0 {
@@ -111,6 +130,49 @@ func (r *Router) Bloom() *bloom.Filter { return r.bf }
 // Validator exposes the router's validator for metric collection.
 func (r *Router) Validator() *TagValidator { return r.validator }
 
+// Revocations exposes the router's revocation set: the control plane
+// applies pushed updates through it, metrics read its size and version.
+func (r *Router) Revocations() *RevocationSet { return r.rev }
+
+// Epoch returns the router's current BF epoch.
+func (r *Router) Epoch() uint64 { return r.epoch.Load() }
+
+// RotateEpoch advances the router to a new BF epoch: the current
+// filter's contents become the previous-epoch fallback and the current
+// filter is cleared, so bits accumulated before the rotation — notably
+// the stale positives a revocation storm leaves behind, which the
+// count-based auto-reset never sees — age out after one more rotation
+// instead of accumulating forever. Lookups consult current then
+// previous, re-inserting previous-epoch hits into the current filter,
+// so steady-state tags migrate forward without re-verification. Epochs
+// must advance; a stale or duplicate epoch is ignored (reported false),
+// which also terminates control-plane rotation floods.
+func (r *Router) RotateEpoch(epoch uint64) bool {
+	if r.cfg.DisableBloomFilter {
+		return false
+	}
+	r.resetMu.Lock()
+	defer r.resetMu.Unlock()
+	if epoch <= r.epoch.Load() {
+		return false
+	}
+	r.prev.Store(r.bf.Clone())
+	r.bf.Reset()
+	r.epoch.Store(epoch)
+	return true
+}
+
+// revoked is the pre-BF revocation check: it runs before any Bloom
+// lookup so a revoked tag is denied even while its bits are still set
+// in the filter (the BF caches "signature verified", which stays true
+// after revocation).
+func (r *Router) revoked(t *Tag) bool {
+	if r.cfg.DisableRevocationCheck {
+		return false
+	}
+	return r.rev.Contains(t.ID())
+}
+
 // bfContains performs the Bloom-filter lookup honouring the
 // DisableBloomFilter ablation.
 func (r *Router) bfContains(t *Tag) bool {
@@ -118,6 +180,15 @@ func (r *Router) bfContains(t *Tag) bool {
 		return false
 	}
 	hit := r.bf.Contains(t.CacheKey())
+	if !hit {
+		// Previous-epoch fallback: a tag validated before the last
+		// rotation is still vouched for; migrate it into the current
+		// filter so it survives the next rotation too.
+		if prev := r.prev.Load(); prev != nil && prev.Contains(t.CacheKey()) {
+			r.bf.Add(t.CacheKey())
+			hit = true
+		}
+	}
 	if r.cfg.RequestDrivenReset && !r.cfg.DisableAutoReset &&
 		r.bf.RequestsSinceReset() >= r.requestResetThreshold {
 		r.resetMu.Lock()
@@ -197,6 +268,9 @@ func (r *Router) EdgeOnInterest(t *Tag, requestAP AccessPath, contentName names.
 	if !t.AccessPath.Matches(requestAP) {
 		return EdgeInterestDecision{Drop: true, Reason: ErrAccessPathMismatch}
 	}
+	if r.revoked(t) {
+		return EdgeInterestDecision{Drop: true, Reason: ErrTagRevoked}
+	}
 	if r.bfContains(t) {
 		return EdgeInterestDecision{Flag: r.bf.FPP(), BFHit: true}
 	}
@@ -248,6 +322,9 @@ func (r *Router) EdgeOnAggregatedData(t *Tag, meta ContentMeta, now time.Time) (
 	if r.cfg.EnforceALOnAggregates && PreCheckContent(t, meta) != nil {
 		return false
 	}
+	if r.revoked(t) {
+		return false
+	}
 	if r.bfContains(t) {
 		return true
 	}
@@ -296,6 +373,9 @@ func (r *Router) ContentOnInterest(t *Tag, meta ContentMeta, flag float64, now t
 		if err := PreCheckContent(t, meta); err != nil {
 			return ContentDecision{NACK: true, Reason: err, Flag: flag}
 		}
+	}
+	if r.revoked(t) {
+		return ContentDecision{NACK: true, Reason: ErrTagRevoked, Flag: flag}
 	}
 	if r.cfg.DisableCollaboration {
 		flag = 0
@@ -349,6 +429,9 @@ func (r *Router) IntermediateOnAggregatedContent(t *Tag, meta ContentMeta, flag 
 		if err := PreCheckContent(t, meta); err != nil {
 			return AggregateDecision{NACK: true, Reason: err, Flag: flag}
 		}
+	}
+	if r.revoked(t) {
+		return AggregateDecision{NACK: true, Reason: ErrTagRevoked, Flag: flag}
 	}
 	if r.cfg.DisableCollaboration {
 		flag = 0

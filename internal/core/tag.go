@@ -20,7 +20,9 @@
 package core
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"time"
@@ -64,6 +66,49 @@ type Tag struct {
 
 	// enc caches the wire encoding; see Encode.
 	enc []byte
+	// id caches the lifecycle identity; see ID.
+	id *TagID
+}
+
+// TagID is a tag's lifecycle identity: the SHA-256 digest of its
+// SigningBytes. It covers every signed field but not the signature
+// itself, so re-signing the same tuple (ECDSA signatures are
+// randomised) yields the same ID — revoking an ID revokes the logical
+// grant, not one particular signature over it.
+type TagID [sha256.Size]byte
+
+// String renders the ID as lowercase hex (CLI and ledger format).
+func (id TagID) String() string { return hex.EncodeToString(id[:]) }
+
+// Short renders the ID's first six bytes — enough to eyeball in logs
+// and example output, not a substitute for the full form.
+func (id TagID) Short() string { return hex.EncodeToString(id[:6]) }
+
+// ParseTagID parses the hex form produced by String.
+func ParseTagID(s string) (TagID, error) {
+	var id TagID
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("core: parse tag ID: %w", err)
+	}
+	if len(b) != len(id) {
+		return id, fmt.Errorf("core: parse tag ID: want %d bytes, got %d", len(id), len(b))
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// ID returns the tag's lifecycle identity, computing and caching it on
+// first use. Like Encode, the lazy first call is not synchronised:
+// tags decoded from the wire (DecodeTag) and tags from IssueTag arrive
+// with the cache already populated, so sharing those across goroutines
+// is safe; hand-built Tag literals must call ID once before sharing.
+func (t *Tag) ID() TagID {
+	if t.id == nil {
+		id := TagID(sha256.Sum256(t.SigningBytes()))
+		t.id = &id
+	}
+	return *t.id
 }
 
 // Tag encoding/decoding errors.
@@ -169,7 +214,7 @@ func DecodeTag(b []byte) (*Tag, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: decode tag client key: %w", err)
 	}
-	return &Tag{
+	t := &Tag{
 		ProviderKey: prov,
 		Level:       AccessLevel(level),
 		ClientKey:   cli,
@@ -177,7 +222,9 @@ func DecodeTag(b []byte) (*Tag, error) {
 		Expiry:      time.Unix(0, int64(expiry)),
 		Signature:   append([]byte(nil), sig...),
 		enc:         append([]byte(nil), b[:d.off]...),
-	}, nil
+	}
+	t.ID() // populate the identity cache before the tag is shared
+	return t, nil
 }
 
 // decoder is a cursor over an encoded tag.
@@ -249,6 +296,7 @@ func IssueTag(signer pki.Signer, clientKey names.Name, level AccessLevel, ap Acc
 		return nil, fmt.Errorf("core: issue tag for %s: %w", clientKey, err)
 	}
 	t.Signature = sig
+	t.ID() // populate the identity cache before the tag is shared
 	return t, nil
 }
 

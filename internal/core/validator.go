@@ -36,6 +36,11 @@ var (
 	// from the tag's (Protocol 1 line 10 — defeats prefix hijack by a
 	// malicious provider, paper §6.B).
 	ErrProviderKeyMismatch = errors.New("core: provider key locator mismatch")
+	// ErrTagRevoked: the tag's ID is in the router's pushed revocation
+	// set — explicitly revoked by the issuance control plane before its
+	// T_e (the lifecycle extension; TACTIC's native revocation is expiry
+	// only).
+	ErrTagRevoked = errors.New("core: tag revoked")
 )
 
 // ContentMeta is the access-control metadata a provider embeds in every
@@ -205,6 +210,8 @@ func ReasonLabel(err error) string {
 		return "level"
 	case errors.Is(err, ErrProviderKeyMismatch):
 		return "key_mismatch"
+	case errors.Is(err, ErrTagRevoked):
+		return "revoked"
 	}
 	return "other"
 }
@@ -212,7 +219,7 @@ func ReasonLabel(err error) string {
 // ReasonLabels lists every label ReasonLabel can produce for a non-nil
 // error, so instrumentation can pre-create one counter per reason.
 func ReasonLabels() []string {
-	return []string{"no_tag", "expired", "forged", "prefix_mismatch", "access_path", "level", "key_mismatch", "other"}
+	return []string{"no_tag", "expired", "forged", "prefix_mismatch", "access_path", "level", "key_mismatch", "revoked", "other"}
 }
 
 // PreCheckEdge is the edge-router half of Protocol 1: a cheap filter

@@ -348,6 +348,10 @@ type Deployment struct {
 	// ClientKeys are the clients' verifying keys, aligned with Clients
 	// (for custom enrollment levels).
 	ClientKeys []pki.PublicKey
+	// ProviderSigners are the providers' signing keys, aligned with
+	// Providers — the credential a lifecycle issuance service needs to
+	// mint out-of-band grants (e.g. roaming tags) for this deployment.
+	ProviderSigners []pki.Signer
 	// Traces collects the run's assembled traces (nil unless
 	// Scenario.TraceEvery was set).
 	Traces *obs.Collector
@@ -418,6 +422,7 @@ func Build(s Scenario) (*Deployment, error) {
 		Attackers:        b.attackers,
 		ClientIdentities: b.clientCores,
 		ClientKeys:       b.clientKeys,
+		ProviderSigners:  b.provSigners,
 		Traces:           b.traces,
 		b:                b,
 	}, nil

@@ -1,0 +1,280 @@
+package forwarder
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/transport"
+)
+
+// rawEdgeConn opens a bare transport connection to an address.
+func rawConn(t *testing.T, addr string) *transport.Conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := transport.New(raw)
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// fetchWithTag sends one content Interest carrying tag and returns the
+// response.
+func fetchWithTag(t *testing.T, conn *transport.Conn, name names.Name, tag *core.Tag, nonce uint64) *ndn.Data {
+	t.Helper()
+	if err := conn.SendInterest(&ndn.Interest{Name: name, Kind: ndn.KindContent, Nonce: nonce, Tag: tag}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		pkt, err := conn.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Data != nil {
+			return pkt.Data
+		}
+		// Skip flooded control frames arriving on this face.
+	}
+}
+
+// waitRevoked polls until every router's revocation set contains id.
+func waitRevoked(t *testing.T, id core.TagID, routers ...*core.Router) {
+	t.Helper()
+	deadline := time.Now().Add(liveTimeout)
+	for {
+		all := true
+		for _, r := range routers {
+			if !r.Revocations().Contains(id) {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("revocation did not reach every router")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLiveRevocationPush is the tentpole's live acceptance check: one
+// CtrlRevoke frame pushed to the edge floods to every router, and the
+// revoked tag — still signed, still far from T_e, still in every Bloom
+// filter — is denied on the next request.
+func TestLiveRevocationPush(t *testing.T) {
+	n := startLiveNetworkCfg(t, time.Minute, nil, nil, func(cfg *Config) {
+		cfg.Tactic.EdgeValidateOnMiss = true
+	})
+	defer n.Close()
+
+	tag, err := core.IssueTag(n.provKey, names.MustParse("/users/alice/KEY/1"), 3,
+		core.EmptyAccessPath.Accumulate("edge-0"), time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := rawConn(t, n.edgeAddr)
+	if d := fetchWithTag(t, client, n.prefix.MustAppend("report", "chunk0"), tag, 1); d.Nack || d.Content == nil {
+		t.Fatalf("valid tag not served before revocation: %+v", d)
+	}
+
+	// Push the revocation to the edge only; the flood must carry it to
+	// the core router too.
+	pusher := rawConn(t, n.edgeAddr)
+	if err := pusher.SendControl(&ndn.Control{
+		Kind: ndn.CtrlRevoke, Version: 1, Origin: "issuer", Full: true,
+		Revoked: []core.TagID{tag.ID()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitRevoked(t, tag.ID(), n.edgeFwd.Tactic(), n.coreFwd.Tactic())
+
+	// Denied at the edge well before T_e, even though the tag's bits are
+	// still in the filter from the pre-revocation fetch.
+	if d := fetchWithTag(t, client, n.prefix.MustAppend("report", "chunk1"), tag, 2); !d.Nack {
+		t.Fatalf("revoked tag still served: %+v", d)
+	}
+
+	// A stale re-push (same version) is a no-op, not a re-flood.
+	if err := pusher.SendControl(&ndn.Control{Kind: ndn.CtrlRevoke, Version: 1, Origin: "issuer", Full: true}); err != nil {
+		t.Fatal(err)
+	}
+	// An advancing full push that drops the ID restores service.
+	if err := pusher.SendControl(&ndn.Control{Kind: ndn.CtrlRevoke, Version: 2, Origin: "issuer", Full: true}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(liveTimeout)
+	for n.edgeFwd.Tactic().Revocations().Contains(tag.ID()) {
+		if time.Now().After(deadline) {
+			t.Fatal("un-revocation never applied")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if d := fetchWithTag(t, client, n.prefix.MustAppend("report", "chunk2"), tag, 3); d.Nack {
+		t.Fatalf("tag still denied after revocation lifted: %+v", d)
+	}
+}
+
+// TestLiveEpochRotation pushes a CtrlRotate and checks the filter
+// rotates once (flood loops are version-terminated) while the
+// previously-validated tag keeps being served without re-verification.
+func TestLiveEpochRotation(t *testing.T) {
+	n := startLiveNetworkCfg(t, time.Minute, nil, nil, func(cfg *Config) {
+		cfg.Tactic.EdgeValidateOnMiss = true
+	})
+	defer n.Close()
+
+	tag, err := core.IssueTag(n.provKey, names.MustParse("/users/alice/KEY/1"), 3,
+		core.EmptyAccessPath.Accumulate("edge-0"), time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := rawConn(t, n.edgeAddr)
+	if d := fetchWithTag(t, client, n.prefix.MustAppend("report", "chunk0"), tag, 1); d.Nack {
+		t.Fatalf("warm-up fetch failed: %+v", d)
+	}
+	verifs := n.edgeFwd.Tactic().Validator().Verifications()
+
+	pusher := rawConn(t, n.edgeAddr)
+	if err := pusher.SendControl(&ndn.Control{Kind: ndn.CtrlRotate, Version: 1, Origin: "issuer"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(liveTimeout)
+	for n.edgeFwd.Tactic().Epoch() != 1 || n.coreFwd.Tactic().Epoch() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rotation did not reach every router: edge=%d core=%d",
+				n.edgeFwd.Tactic().Epoch(), n.coreFwd.Tactic().Epoch())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Served from the previous-epoch fallback: no second verification.
+	if d := fetchWithTag(t, client, n.prefix.MustAppend("report", "chunk1"), tag, 2); d.Nack {
+		t.Fatalf("fetch after rotation failed: %+v", d)
+	}
+	if got := n.edgeFwd.Tactic().Validator().Verifications(); got != verifs {
+		t.Errorf("rotation forced re-verification: %d -> %d", verifs, got)
+	}
+}
+
+// TestLiveNeighborBFSync is the roaming acceptance check: edge-0
+// validates a roaming tag, advertises its BF delta to edge-1, and the
+// client's handover fetch at edge-1 is served from the synced filter
+// with zero signature verifications there.
+func TestLiveNeighborBFSync(t *testing.T) {
+	n := startLiveNetworkCfg(t, time.Minute, nil, nil, func(cfg *Config) {
+		cfg.Tactic.EdgeValidateOnMiss = true
+	})
+	defer n.Close()
+
+	// Second edge attached to the same core.
+	edge2, err := New(Config{ID: "edge-1", Role: RoleEdge, Registry: n.registry, Seed: 3,
+		Tactic: core.Config{EdgeValidateOnMiss: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge2.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go edge2.Serve(ln) //nolint:errcheck // exits on close
+	up, err := edge2.DialUpstream(n.coreAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge2.AddRoute(n.prefix, up)
+
+	// Peer edge-0 -> edge-1 for BF sync.
+	peer, err := n.edgeFwd.DialUpstream(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.edgeFwd.AddSyncPeer(peer)
+
+	// A roaming tag: AP wildcard, so it is valid from either edge.
+	roam, err := core.IssueTag(n.provKey, names.MustParse("/users/alice/KEY/1"), 3,
+		core.AccessPathAny, time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Validate at edge-0 (one ECDSA verification) and advertise.
+	c0 := rawConn(t, n.edgeAddr)
+	if d := fetchWithTag(t, c0, n.prefix.MustAppend("report", "chunk0"), roam, 1); d.Nack {
+		t.Fatalf("fetch at home edge failed: %+v", d)
+	}
+	if got := n.edgeFwd.Tactic().Validator().Verifications(); got == 0 {
+		t.Fatal("home edge did not verify the roaming tag")
+	}
+	n.edgeFwd.SyncBF()
+	deadline := time.Now().Add(liveTimeout)
+	for edge2.Tactic().Bloom().Count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("BF sync never reached the neighbor edge")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Handover: the same tag at edge-1 hits the warm filter — no second
+	// signature verification anywhere on the new edge.
+	c1 := rawConn(t, ln.Addr().String())
+	if d := fetchWithTag(t, c1, n.prefix.MustAppend("report", "chunk0"), roam, 2); d.Nack || d.Content == nil {
+		t.Fatalf("roaming fetch at new edge failed: %+v", d)
+	}
+	if got := edge2.Tactic().Validator().Verifications(); got != 0 {
+		t.Errorf("roaming fetch re-verified at the new edge: %d verifications", got)
+	}
+}
+
+// TestLivePeriodicBFSync covers the ticker-driven advertisement path
+// (Config.BFSyncInterval) rather than an explicit SyncBF call.
+func TestLivePeriodicBFSync(t *testing.T) {
+	n := startLiveNetworkCfg(t, time.Minute, nil, nil, func(cfg *Config) {
+		cfg.Tactic.EdgeValidateOnMiss = true
+		cfg.BFSyncInterval = 5 * time.Millisecond
+	})
+	defer n.Close()
+
+	edge2, err := New(Config{ID: "edge-1", Role: RoleEdge, Registry: n.registry, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge2.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go edge2.Serve(ln) //nolint:errcheck // exits on close
+
+	peer, err := n.edgeFwd.DialUpstream(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.edgeFwd.AddSyncPeer(peer)
+
+	roam, err := core.IssueTag(n.provKey, names.MustParse("/users/alice/KEY/1"), 3,
+		core.AccessPathAny, time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := rawConn(t, n.edgeAddr)
+	if d := fetchWithTag(t, c0, n.prefix.MustAppend("report", "chunk0"), roam, 1); d.Nack {
+		t.Fatalf("fetch failed: %+v", d)
+	}
+	deadline := time.Now().Add(liveTimeout)
+	for edge2.Tactic().Bloom().Count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic BF sync never delivered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

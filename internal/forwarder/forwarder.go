@@ -77,6 +77,10 @@ type Config struct {
 	// period so peers' idle timeouts hold off on quiet-but-healthy
 	// links (0 = none).
 	KeepaliveInterval time.Duration
+	// BFSyncInterval advertises validated-tag Bloom filter deltas to
+	// the registered sync peers at this period (0 = disabled; see
+	// AddSyncPeer).
+	BFSyncInterval time.Duration
 	// Tactic selects protocol features.
 	Tactic core.Config
 	// Seed drives probabilistic re-validation (0 = time-seeded).
@@ -119,6 +123,14 @@ type Forwarder struct {
 	faces   map[ndn.FaceID]*faceState
 	next    ndn.FaceID
 	uplinks []*Uplink
+
+	// Neighbor BF sync state (see control.go). syncMu guards the peer
+	// list and the previous-advert snapshot.
+	syncMu    sync.Mutex
+	syncPeers []ndn.FaceID
+	syncSnap  []uint64
+	syncCount uint64
+	syncGen   atomic.Uint64
 
 	stats statCounters
 
@@ -191,6 +203,10 @@ func New(cfg Config) (*Forwarder, error) {
 	f.registerSampled(cfg.Obs)
 	f.wg.Add(1)
 	go f.expireLoop()
+	if cfg.BFSyncInterval > 0 {
+		f.wg.Add(1)
+		go f.syncLoop(cfg.BFSyncInterval)
+	}
 	return f, nil
 }
 
@@ -259,6 +275,8 @@ func (f *Forwarder) readLoop(fs *faceState) {
 			f.handleInterest(pkt.Interest, fs, pkt.DecodeDur)
 		case pkt.Data != nil:
 			f.handleData(pkt.Data, fs, pkt.DecodeDur)
+		case pkt.Control != nil:
+			f.handleControl(pkt.Control, fs)
 		}
 	}
 }

@@ -21,10 +21,12 @@ import (
 //	client —TCP— edge(tacticd) —TCP— core(tacticd) —TCP— producer
 type liveNetwork struct {
 	registry *pki.Registry
+	provKey  *pki.ECDSAKeyPair
 	producer *Producer
 	coreFwd  *Forwarder
 	edgeFwd  *Forwarder
 	edgeAddr string
+	coreAddr string
 	prefix   names.Name
 	payload  []byte
 	cleanup  []func()
@@ -58,6 +60,7 @@ func startLiveNetworkCfg(t testing.TB, tagTTL time.Duration, edgeObs, coreObs *o
 	if err != nil {
 		t.Fatal(err)
 	}
+	n.provKey = provKey
 	n.registry = pki.NewRegistry()
 	if err := n.registry.Register(provKey.Locator(), provKey.Public()); err != nil {
 		t.Fatal(err)
@@ -100,6 +103,7 @@ func startLiveNetworkCfg(t testing.TB, tagTTL time.Duration, edgeObs, coreObs *o
 		t.Fatal(err)
 	}
 	coreAddr := listen(n.coreFwd.Serve)
+	n.coreAddr = coreAddr
 	n.cleanup = append(n.cleanup, func() { n.coreFwd.Close() })
 	up, err := n.coreFwd.DialUpstream(prodAddr)
 	if err != nil {

@@ -103,6 +103,12 @@ type obsMetrics struct {
 	stagePITCS      *obs.Histogram
 	stageEncodeSend *obs.Histogram
 	stageDecode     *obs.Histogram
+
+	// Lifecycle control plane: frames by kind and outcome, and BF sync
+	// word-delta volume by direction.
+	ctrls        map[string]*obs.Counter // by kind + "/" + outcome
+	syncWordsIn  *obs.Counter
+	syncWordsOut *obs.Counter
 }
 
 // stageSampleMask selects which packets contribute pit_cs / encode_send
@@ -166,6 +172,18 @@ func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
 	for _, cause := range []string{dropDupNonce, dropNoRoute, dropNoFace, dropUnsolicited, dropUndeliverable, dropSendErr} {
 		m.drops[cause] = reg.Counter(MetricDrops, m.role, obs.L("cause", cause))
 	}
+	reg.Help(MetricControl, "Lifecycle control frames processed, by kind and outcome.")
+	reg.Help(MetricBFSyncWords, "Bloom-filter word deltas exchanged with sync peers, by direction.")
+	m.ctrls = make(map[string]*obs.Counter)
+	for _, kind := range []ndn.ControlKind{ndn.CtrlRevoke, ndn.CtrlRotate, ndn.CtrlBFSync} {
+		for _, outcome := range []string{ctrlApplied, ctrlStale, ctrlInvalid} {
+			m.ctrls[kind.String()+"/"+outcome] = reg.Counter(MetricControl, m.role,
+				obs.L("kind", kind.String()), obs.L("outcome", outcome))
+		}
+	}
+	m.ctrls["other"] = reg.Counter(MetricControl, m.role, obs.L("kind", "other"), obs.L("outcome", ctrlInvalid))
+	m.syncWordsIn = reg.Counter(MetricBFSyncWords, m.role, obs.L("dir", "in"))
+	m.syncWordsOut = reg.Counter(MetricBFSyncWords, m.role, obs.L("dir", "out"))
 	reg.Help(MetricStageSeconds, "Sampled pipeline-stage latency, by stage (decode, bf_lookup, verify, pit_cs, encode_send).")
 	m.stagePITCS = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "pit_cs"))
 	m.stageEncodeSend = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "encode_send"))
@@ -182,6 +200,20 @@ func (m *obsMetrics) nack(reason error) {
 	c, ok := m.nacks[label]
 	if !ok {
 		c = m.nacks["other"]
+	}
+	c.Inc()
+}
+
+// control counts one control frame under its kind and outcome labels.
+// The map is read-only after newObsMetrics (handleControl runs on
+// concurrent per-face goroutines); unknown kinds count under "other".
+func (m *obsMetrics) control(kind ndn.ControlKind, outcome string) {
+	if m.ctrls == nil {
+		return
+	}
+	c, ok := m.ctrls[kind.String()+"/"+outcome]
+	if !ok {
+		c = m.ctrls["other"]
 	}
 	c.Inc()
 }
@@ -246,6 +278,10 @@ func (f *Forwarder) registerSampled(reg *obs.Registry) {
 			func() float64 { return float64(get(f.tactic.Validator().Stats())) },
 			role, obs.L("reason", reason))
 	}
+	reg.Help(MetricRevokedEntries, "Tag IDs in the router's exact revocation set (consulted before the BF).")
+	reg.Help(MetricBFEpoch, "Current Bloom-filter epoch (bumped by CtrlRotate).")
+	reg.GaugeFunc(MetricRevokedEntries, func() float64 { return float64(f.tactic.Revocations().Len()) }, role)
+	reg.GaugeFunc(MetricBFEpoch, func() float64 { return float64(f.tactic.Epoch()) }, role)
 	reg.GaugeFunc(MetricBFFillRatio, func() float64 { return f.tactic.Bloom().FillRatio() }, role)
 	reg.GaugeFunc(MetricBFFPP, func() float64 { return f.tactic.Bloom().FPP() }, role)
 	reg.GaugeFunc(MetricBFEntries, func() float64 { return float64(f.tactic.Bloom().Count()) }, role)
@@ -301,31 +337,37 @@ type FaceStatus struct {
 
 // Status is the forwarder's /statusz document.
 type Status struct {
-	ID            string              `json:"id"`
-	Role          string              `json:"role"`
-	UptimeSeconds float64             `json:"uptime_seconds"`
-	PITEntries    int                 `json:"pit_entries"`
-	CSEntries     int                 `json:"cs_entries"`
-	FIBEntries    int                 `json:"fib_entries"`
-	Bloom         BloomStatus         `json:"bloom"`
-	Validator     core.ValidatorStats `json:"validator"`
-	Counters      Stats               `json:"counters"`
-	Faces         []FaceStatus        `json:"faces"`
+	ID            string  `json:"id"`
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	PITEntries    int     `json:"pit_entries"`
+	CSEntries     int     `json:"cs_entries"`
+	FIBEntries    int     `json:"fib_entries"`
+	// Epoch and RevokedEntries are the lifecycle control-plane state:
+	// the BF epoch this node has rotated to and its revocation-set size.
+	Epoch          uint64              `json:"epoch"`
+	RevokedEntries int                 `json:"revoked_entries"`
+	Bloom          BloomStatus         `json:"bloom"`
+	Validator      core.ValidatorStats `json:"validator"`
+	Counters       Stats               `json:"counters"`
+	Faces          []FaceStatus        `json:"faces"`
 }
 
 // Status snapshots the forwarder for /statusz. Only the face walk needs
 // a (read) lock; every other source is safe concurrently with traffic.
 func (f *Forwarder) Status() Status {
 	st := Status{
-		ID:            f.cfg.ID,
-		Role:          f.cfg.Role.String(),
-		UptimeSeconds: time.Since(f.start).Seconds(),
-		PITEntries:    f.pit.Len(),
-		CSEntries:     f.cs.Len(),
-		FIBEntries:    f.fib.Len(),
-		Bloom:         bloomStatus(f.tactic.Bloom()),
-		Validator:     f.tactic.Validator().Stats(),
-		Counters:      f.Stats(),
+		ID:             f.cfg.ID,
+		Role:           f.cfg.Role.String(),
+		UptimeSeconds:  time.Since(f.start).Seconds(),
+		PITEntries:     f.pit.Len(),
+		CSEntries:      f.cs.Len(),
+		FIBEntries:     f.fib.Len(),
+		Epoch:          f.tactic.Epoch(),
+		RevokedEntries: f.tactic.Revocations().Len(),
+		Bloom:          bloomStatus(f.tactic.Bloom()),
+		Validator:      f.tactic.Validator().Stats(),
+		Counters:       f.Stats(),
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()

@@ -33,6 +33,10 @@ type UplinkConfig struct {
 	// transports (internal/transport/chaos). Nil dials TCP with a 10 s
 	// timeout.
 	Dial func(addr string) (net.Conn, error)
+	// SyncPeer registers the uplink's face as a BF-sync peer while it is
+	// attached (see Forwarder.AddSyncPeer): neighbor edge routers receive
+	// this forwarder's validated-tag Bloom filter deltas through it.
+	SyncPeer bool
 }
 
 // Uplink is a supervised upstream link: it dials, attaches a face,
@@ -140,6 +144,9 @@ func (u *Uplink) run() {
 		for _, prefix := range u.cfg.Routes {
 			u.f.AddRoute(prefix, id)
 		}
+		if u.cfg.SyncPeer {
+			u.f.AddSyncPeer(id)
+		}
 		u.up.Store(true)
 		u.connects.Add(1)
 		u.f.logf("uplink %s: attached as face %d (%d routes)", u.cfg.Addr, id, len(u.cfg.Routes))
@@ -147,11 +154,17 @@ func (u *Uplink) run() {
 		select {
 		case <-u.closed:
 			u.up.Store(false)
+			if u.cfg.SyncPeer {
+				u.f.RemoveSyncPeer(id)
+			}
 			u.f.removeFace(id)
 			return
 		case <-down:
 			u.up.Store(false)
 			u.downs.Add(1)
+			if u.cfg.SyncPeer {
+				u.f.RemoveSyncPeer(id)
+			}
 			u.mu.Lock()
 			u.face = ndn.FaceNone
 			u.mu.Unlock()

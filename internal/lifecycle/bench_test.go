@@ -1,0 +1,166 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+// The issuance service must hold millions of outstanding grants: the
+// paper sizes the provider universe at thousands of providers with
+// (tens of) thousands of clients each. BenchmarkLookupMillion and
+// BenchmarkIssueAtMillion run against a pre-built index of 2^20 grants
+// (built once per process); BenchmarkIssue measures steady-state
+// minting from empty.
+
+func benchSigner(b *testing.B) *pki.FastKeyPair {
+	b.Helper()
+	signer, err := pki.GenerateFast(rand.New(rand.NewSource(1)), names.MustParse("/prov0/KEY/1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return signer
+}
+
+const millionScale = 1 << 20
+
+var millionSvc = sync.OnceValues(func() (*Service, []core.TagID) {
+	rng := rand.New(rand.NewSource(2))
+	signer, err := pki.GenerateFast(rng, names.MustParse("/prov0/KEY/1"))
+	if err != nil {
+		panic(err)
+	}
+	s, err := Open("", signer)
+	if err != nil {
+		panic(err)
+	}
+	ids := make([]core.TagID, 0, millionScale)
+	for i := 0; i < millionScale; i++ {
+		tag, err := s.Issue(names.MustNew("u", fmt.Sprintf("c%d", i), "KEY"),
+			core.AccessLevel(i%7), core.AccessPath(uint64(i)*2654435761), time.Unix(int64(1<<31+i), 0))
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, tag.ID())
+	}
+	return s, ids
+})
+
+func BenchmarkIssue(b *testing.B) {
+	s, err := Open("", benchSigner(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	client := names.MustParse("/u/alice/KEY/1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var i atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := i.Add(1)
+			if _, err := s.Issue(client, core.AccessLevel(n%7), core.AccessPath(n), time.Unix(int64(1<<31+n), 0)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkLookupMillion measures concurrent grant lookups against a
+// 2^20-grant index.
+func BenchmarkLookupMillion(b *testing.B) {
+	s, ids := millionSvc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(b.N)))
+		for pb.Next() {
+			id := ids[rng.Intn(len(ids))]
+			if _, ok := s.Lookup(id); !ok {
+				b.Error("lookup miss")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkIssueAtMillion measures minting while the index already
+// holds 2^20 grants (shard pressure, not an empty-map best case).
+func BenchmarkIssueAtMillion(b *testing.B) {
+	s, _ := millionSvc()
+	client := names.MustParse("/u/bob/KEY/1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Issue(client, 3, core.AccessPath(uint64(i)+1<<40), time.Unix(int64(1<<33+i), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRevoke measures revocation at a realistic storm size: the
+// revocation set is copy-on-write (reads on the router hot path are
+// lock-free), so cost grows with set size; the service keeps the set
+// exceptional-case small and this benchmark bounds it at 4096 live
+// revocations.
+func BenchmarkRevoke(b *testing.B) {
+	const pool = 4096
+	signer := benchSigner(b)
+	client := names.MustParse("/u/alice/KEY/1")
+	var s *Service
+	var ids []core.TagID
+	rebuild := func() {
+		var err error
+		s, err = Open("", signer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = ids[:0]
+		for i := 0; i < pool; i++ {
+			tag, err := s.Issue(client, 1, core.AccessPath(uint64(i)), time.Unix(int64(1<<31+i), 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, tag.ID())
+		}
+	}
+	rebuild()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%pool == 0 && i > 0 {
+			b.StopTimer()
+			rebuild()
+			b.StartTimer()
+		}
+		if _, err := s.Revoke(ids[i%pool]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLedgerIssue measures minting with the persisted ledger on
+// the write path.
+func BenchmarkLedgerIssue(b *testing.B) {
+	s, err := Open(b.TempDir()+"/ledger", benchSigner(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	client := names.MustParse("/u/alice/KEY/1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Issue(client, 1, core.AccessPath(uint64(i)), time.Unix(int64(1<<31+i), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package ndn
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+)
+
+// Control frames are the lifecycle control plane's wire format: the
+// issuance service pushes revocation-set updates and epoch rotations to
+// routers, and edge routers advertise validated-tag BF deltas to their
+// peers. Control rides next to Interest/Data as its own outer TLV type
+// (0x61, in the reserved range beside the transport keepalive), so
+// forwarders that predate it reject the frame cleanly instead of
+// misparsing it as traffic.
+
+// ControlKind discriminates control messages.
+type ControlKind uint8
+
+// Control message kinds.
+const (
+	// CtrlRevoke carries a revocation-set update (full snapshot or
+	// delta) at a set version.
+	CtrlRevoke ControlKind = 1
+	// CtrlRotate orders a BF epoch rotation to the carried epoch.
+	CtrlRotate ControlKind = 2
+	// CtrlBFSync advertises a neighbor's validated-tag BF word delta.
+	CtrlBFSync ControlKind = 3
+)
+
+// String returns the kind's stable label (metrics, logs).
+func (k ControlKind) String() string {
+	switch k {
+	case CtrlRevoke:
+		return "revoke"
+	case CtrlRotate:
+		return "rotate"
+	case CtrlBFSync:
+		return "bf_sync"
+	}
+	return fmt.Sprintf("kind_%d", uint8(k))
+}
+
+// Control is one control-plane message.
+type Control struct {
+	// Kind selects which fields below are meaningful.
+	Kind ControlKind
+	// Version orders messages from one origin: the revocation-set
+	// version for CtrlRevoke, the target epoch for CtrlRotate, the
+	// sender's sync generation for CtrlBFSync. Receivers apply a message
+	// only when it advances their state, which also terminates floods.
+	Version uint64
+	// Origin is the originating node's identity (dedup and diagnostics;
+	// for CtrlBFSync it names whose filter the delta describes).
+	Origin string
+
+	// Full marks a CtrlRevoke carrying the complete revocation set
+	// rather than a delta to union in.
+	Full bool
+	// Revoked lists the revoked tag IDs (CtrlRevoke).
+	Revoked []core.TagID
+
+	// Bits and Hashes are the advertised filter's shape (CtrlBFSync);
+	// receivers reject deltas from differently-shaped filters.
+	Bits   uint64
+	Hashes uint32
+	// Words are the changed bit-array words since the sender's previous
+	// advertisement (CtrlBFSync).
+	Words []bloom.WordDelta
+	// Added is the element count the delta represents on the sender's
+	// side, folded into the receiver's count-based FPP estimate.
+	Added uint64
+}
+
+// Control TLV types (outer frame type plus elements scoped to its body).
+const (
+	tlvControl = 0x61
+
+	ctrlKind    = 0x01
+	ctrlVersion = 0x02
+	ctrlOrigin  = 0x03
+	ctrlFull    = 0x04
+	ctrlRevoked = 0x05
+	ctrlShape   = 0x06
+	ctrlWords   = 0x07
+	ctrlAdded   = 0x08
+)
+
+// tagIDSize is the wire size of one revoked-tag ID.
+const tagIDSize = 32
+
+// wordDeltaSize is the wire size of one BF word delta (index + word).
+const wordDeltaSize = 4 + 8
+
+// EncodeControl serialises a control message to its TLV wire form.
+func EncodeControl(c *Control) ([]byte, error) {
+	return AppendControl(nil, c)
+}
+
+// AppendControl appends a control message's TLV wire form to dst (which
+// may be nil or pooled scratch) and returns the extended slice.
+func AppendControl(dst []byte, c *Control) ([]byte, error) {
+	if c.Kind == 0 {
+		return nil, fmt.Errorf("ndn: control message has no kind")
+	}
+	dst, start := openOuter(dst, tlvControl)
+	dst = append(dst, ctrlKind, 1, byte(c.Kind))
+	dst = append(dst, ctrlVersion, 8)
+	dst = binary.BigEndian.AppendUint64(dst, c.Version)
+	if c.Origin != "" {
+		dst = appendTLV(dst, ctrlOrigin, []byte(c.Origin))
+	}
+	if c.Full {
+		dst = append(dst, ctrlFull, 0)
+	}
+	if len(c.Revoked) > 0 {
+		dst = append(dst, ctrlRevoked)
+		dst = appendVarLen(dst, uint64(len(c.Revoked)*tagIDSize))
+		for i := range c.Revoked {
+			dst = append(dst, c.Revoked[i][:]...)
+		}
+	}
+	if c.Bits != 0 || c.Hashes != 0 {
+		dst = append(dst, ctrlShape, 12)
+		dst = binary.BigEndian.AppendUint64(dst, c.Bits)
+		dst = binary.BigEndian.AppendUint32(dst, c.Hashes)
+	}
+	if len(c.Words) > 0 {
+		dst = append(dst, ctrlWords)
+		dst = appendVarLen(dst, uint64(len(c.Words)*wordDeltaSize))
+		for _, w := range c.Words {
+			dst = binary.BigEndian.AppendUint32(dst, w.Index)
+			dst = binary.BigEndian.AppendUint64(dst, w.Word)
+		}
+	}
+	if c.Added != 0 {
+		dst = append(dst, ctrlAdded, 8)
+		dst = binary.BigEndian.AppendUint64(dst, c.Added)
+	}
+	return closeOuter(dst, start), nil
+}
+
+// DecodeControl reverses EncodeControl. Unknown elements are skipped,
+// per the codec's evolvability convention.
+func DecodeControl(b []byte) (*Control, error) {
+	outer := tlvReader{buf: b}
+	typ, body, ok, err := outer.next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok || typ != tlvControl {
+		return nil, fmt.Errorf("%w: want Control, got %#x", ErrTLVType, typ)
+	}
+	c := &Control{}
+	r := tlvReader{buf: body}
+	for {
+		typ, v, ok, err := r.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch typ {
+		case ctrlKind:
+			if len(v) != 1 {
+				return nil, fmt.Errorf("ndn: bad control Kind length %d", len(v))
+			}
+			c.Kind = ControlKind(v[0])
+		case ctrlVersion:
+			if len(v) != 8 {
+				return nil, fmt.Errorf("ndn: bad control Version length %d", len(v))
+			}
+			c.Version = binary.BigEndian.Uint64(v)
+		case ctrlOrigin:
+			c.Origin = string(v)
+		case ctrlFull:
+			c.Full = true
+		case ctrlRevoked:
+			if len(v)%tagIDSize != 0 {
+				return nil, fmt.Errorf("ndn: bad Revoked length %d", len(v))
+			}
+			c.Revoked = make([]core.TagID, len(v)/tagIDSize)
+			for i := range c.Revoked {
+				copy(c.Revoked[i][:], v[i*tagIDSize:])
+			}
+		case ctrlShape:
+			if len(v) != 12 {
+				return nil, fmt.Errorf("ndn: bad Shape length %d", len(v))
+			}
+			c.Bits = binary.BigEndian.Uint64(v)
+			c.Hashes = binary.BigEndian.Uint32(v[8:])
+		case ctrlWords:
+			if len(v)%wordDeltaSize != 0 {
+				return nil, fmt.Errorf("ndn: bad Words length %d", len(v))
+			}
+			c.Words = make([]bloom.WordDelta, len(v)/wordDeltaSize)
+			for i := range c.Words {
+				off := i * wordDeltaSize
+				c.Words[i].Index = binary.BigEndian.Uint32(v[off:])
+				c.Words[i].Word = binary.BigEndian.Uint64(v[off+4:])
+			}
+		case ctrlAdded:
+			if len(v) != 8 {
+				return nil, fmt.Errorf("ndn: bad Added length %d", len(v))
+			}
+			c.Added = binary.BigEndian.Uint64(v)
+		default:
+			// Skip unknown elements.
+		}
+	}
+	if c.Kind == 0 {
+		return nil, fmt.Errorf("ndn: control message has no kind")
+	}
+	return c, nil
+}
+
+// WireSizeControl estimates a control message's encoded size, for
+// traffic accounting in the simulator.
+func WireSizeControl(c *Control) int {
+	n := 6 + 3 + 10 // outer header + kind + version
+	if c.Origin != "" {
+		n += 2 + len(c.Origin)
+	}
+	if c.Full {
+		n += 2
+	}
+	if len(c.Revoked) > 0 {
+		n += 1 + varLenSize(uint64(len(c.Revoked)*tagIDSize)) + len(c.Revoked)*tagIDSize
+	}
+	if c.Bits != 0 || c.Hashes != 0 {
+		n += 14
+	}
+	if len(c.Words) > 0 {
+		n += 1 + varLenSize(uint64(len(c.Words)*wordDeltaSize)) + len(c.Words)*wordDeltaSize
+	}
+	if c.Added != 0 {
+		n += 10
+	}
+	return n
+}

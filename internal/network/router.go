@@ -551,6 +551,8 @@ func reasonString(err error) string {
 		return "insufficient-level"
 	case errors.Is(err, core.ErrProviderKeyMismatch):
 		return "provider-key-mismatch"
+	case errors.Is(err, core.ErrTagRevoked):
+		return "tag-revoked"
 	case errors.Is(err, core.ErrNoTag):
 		return "no-tag"
 	default:

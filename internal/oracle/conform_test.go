@@ -247,6 +247,173 @@ func TestHarnessDeterminism(t *testing.T) {
 	}
 }
 
+// TestRevokedReference pins the revoked threat class end to end on the
+// oracle and the sim plane: a correctly signed, unexpired tag whose ID
+// is in the pushed revocation set is denied at the edge with reason
+// "revoked", while its neighbour's valid tag is served — and bugging
+// the oracle's revocation knob together with the plane's restores
+// agreement (the mirrored-bug symmetry the harness is built on).
+func TestRevokedReference(t *testing.T) {
+	scn, info := handScenario(t,
+		[]ContentSpec{{Provider: 0, Object: "sec", Level: 1}},
+		[]TagSpec{
+			{User: 0, Provider: 0, Level: 2, Kind: TagRevoked},
+			{User: 1, Provider: 0, Level: 2, Kind: TagValid},
+		},
+		[]RequestSpec{
+			{Step: 0, User: 0, Content: 0, Tag: 0},
+			{Step: 1, User: 1, Content: 0, Tag: 1},
+		})
+
+	ref, err := RunReference(scn, info, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ref.Outcomes[0]; out.Delivered || out.Stage != StageEdgeInterest || out.Reason != "revoked" {
+		t.Fatalf("revoked outcome = %+v, want edge-interest revoked denial", out)
+	}
+	if out := ref.Outcomes[1]; !out.Delivered {
+		t.Fatalf("valid neighbour outcome = %+v, want delivered", out)
+	}
+	rep, err := RunScenario(scn, Options{SkipLive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("sim diverged from oracle: %s", d)
+	}
+
+	// Mirror the bug on both sides: the revoked tag is honoured
+	// everywhere, and the planes still agree.
+	ref, err = RunReference(scn, info, Knobs{DisableRevocationCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ref.Outcomes[0]; !out.Delivered {
+		t.Fatalf("bugged-oracle revoked outcome = %+v, want delivered (expiry-only behaviour)", out)
+	}
+	rep, err = RunScenario(scn, Options{
+		SimTactic: core.Config{DisableRevocationCheck: true},
+		Knobs:     Knobs{DisableRevocationCheck: true},
+		SkipLive:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("mirrored revocation bug still diverged: %s", d)
+	}
+}
+
+// TestRoamingReference pins the roaming threat class: on a two-edge
+// topology, a tag bound to the *other* edge is denied (access_path)
+// unless it carries the roaming wildcard, in which case it is served —
+// on the oracle and the sim plane identically.
+func TestRoamingReference(t *testing.T) {
+	scn := &Scenario{
+		Seed:     998,
+		Topo:     topology.Config{CoreRouters: 2, EdgeRouters: 2, Providers: 1, Clients: 2, AttachDegree: 2, Seed: 998},
+		Steps:    2,
+		Contents: []ContentSpec{{Provider: 0, Object: "sec", Level: 1}},
+		Tags: []TagSpec{
+			{User: 0, Provider: 0, Level: 2, Kind: TagRoaming},
+			{User: 0, Provider: 0, Level: 2, Kind: TagValid},
+		},
+		Requests: []RequestSpec{
+			{Step: 0, User: 0, Content: 0, Tag: 0},
+			{Step: 1, User: 0, Content: 0, Tag: 1},
+		},
+	}
+	info, err := buildTopo(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	away := (info.userEdge[0] + 1) % len(info.edges)
+	scn.Tags[0].HomeEdge = away
+	scn.Tags[1].HomeEdge = away
+
+	ref, err := RunReference(scn, info, Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ref.Outcomes[0]; !out.Delivered {
+		t.Fatalf("roaming outcome = %+v, want delivered via the wildcard", out)
+	}
+	if out := ref.Outcomes[1]; out.Delivered || out.Reason != "access_path" {
+		t.Fatalf("wrong-edge non-roaming outcome = %+v, want access_path denial", out)
+	}
+	rep, err := RunScenario(scn, Options{SkipLive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("sim diverged from oracle: %s", d)
+	}
+}
+
+// TestInjectedRevocationBugCaught is the lifecycle tentpole's
+// differential acceptance test: forgetting the revocation pre-check in
+// the sim plane (core.Config.DisableRevocationCheck — exactly the bug
+// of consulting only T_e) must produce a divergence with a replayable
+// seed that is clean under correct semantics, and detection must be
+// symmetric when the mirrored bug is injected into the oracle instead.
+func TestInjectedRevocationBugCaught(t *testing.T) {
+	bugged := Options{SimTactic: core.Config{DisableRevocationCheck: true}, SkipLive: true}
+	var caught *Report
+	var seed int64
+	for s := int64(1); s <= 20 && caught == nil; s++ {
+		rep, err := RunSeed(s, bugged)
+		if err != nil {
+			t.Fatalf("RunSeed(%d): %v", s, err)
+		}
+		if rep.Diverged() {
+			caught, seed = rep, s
+		}
+	}
+	if caught == nil {
+		t.Fatal("revocation check disabled in the sim plane, yet 20 seeds produced no divergence")
+	}
+	t.Logf("seed %d caught the forgotten revocation pre-check: %s", seed, caught.Divergences[0])
+
+	again, err := RunSeed(seed, bugged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Diverged() {
+		t.Fatalf("seed %d did not reproduce the divergence", seed)
+	}
+	clean, err := RunSeed(seed, Options{SkipLive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Diverged() {
+		t.Fatalf("seed %d diverges even without the bug: %v", seed, clean.Divergences)
+	}
+
+	// Mirrored injection: bugging the oracle's knob on the same seed
+	// diverges from the correct sim plane just as the bugged sim plane
+	// diverged from the correct oracle.
+	mirrored, err := RunSeed(seed, Options{Knobs: Knobs{DisableRevocationCheck: true}, SkipLive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mirrored.Diverged() {
+		t.Fatalf("seed %d: bugged oracle did not diverge from the correct sim plane", seed)
+	}
+
+	min, minRep, err := Minimize(caught.Scenario, bugged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minRep.Diverged() {
+		t.Fatal("minimized scenario no longer diverges")
+	}
+	if len(min.Requests) > len(caught.Scenario.Requests) {
+		t.Fatalf("minimization grew the scenario: %d -> %d requests", len(caught.Scenario.Requests), len(min.Requests))
+	}
+	t.Logf("minimized %d requests to %d", len(caught.Scenario.Requests), len(min.Requests))
+}
+
 // TestInjectedLiveBugCaught injects the pre-check bug into the live
 // plane only and requires the gate to catch it — via verdicts where the
 // bug flips a delivery, and via content-store end state where the
@@ -268,4 +435,34 @@ func TestInjectedLiveBugCaught(t *testing.T) {
 		}
 	}
 	t.Fatal("pre-check disabled in the live plane, yet 4 seeds produced no divergence")
+}
+
+// TestInjectedRevocationLiveBugCaught injects the forgotten revocation
+// pre-check into the live plane only: the concurrent forwarder pipeline
+// then honours a pushed-revoked tag until T_e, and the differential
+// gate must report it with a replayable seed.
+func TestInjectedRevocationLiveBugCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live plane in -short")
+	}
+	bugged := Options{LiveTactic: core.Config{DisableRevocationCheck: true}}
+	for s := int64(1); s <= 6; s++ {
+		rep, err := RunSeed(s, bugged)
+		if err != nil {
+			t.Fatalf("RunSeed(%d): %v", s, err)
+		}
+		if rep.Diverged() {
+			t.Logf("seed %d caught the live-plane revocation bug: %s", s, rep.Divergences[0])
+			// Replayable: the same seed is clean without the bug.
+			clean, err := RunSeed(s, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clean.Diverged() {
+				t.Fatalf("seed %d diverges even without the bug: %v", s, clean.Divergences)
+			}
+			return
+		}
+	}
+	t.Fatal("revocation check disabled in the live plane, yet 6 seeds produced no divergence")
 }

@@ -193,6 +193,16 @@ func RunLive(scn *Scenario, info *topoInfo, tactic core.Config) (*PlaneResult, e
 		}
 	}
 
+	// Seed the scenario's revocation set at every forwarder before the
+	// first request (applied directly rather than flooded, so the seed
+	// is in place deterministically; the flood protocol itself is pinned
+	// by internal/forwarder's live control-plane tests).
+	if len(mat.revoked) > 0 {
+		for _, f := range fwds {
+			f.Tactic().Revocations().Apply(1, true, mat.revoked)
+		}
+	}
+
 	outcomes := make([]PlaneOutcome, len(scn.Requests))
 	var nonce uint64
 	slept := false

@@ -21,6 +21,10 @@ type material struct {
 	providers []*core.Provider
 	contents  []*core.Content // aligned with Scenario.Contents
 	tags      []*core.Tag     // aligned with Scenario.Tags
+	// revoked is the scenario's revocation set: the IDs of every
+	// TagRevoked tag, which each plane pushes (version 1, full) to all
+	// of its routers before the first request.
+	revoked []core.TagID
 }
 
 // buildMaterial realises a scenario's tags and contents. expiryOf maps
@@ -73,7 +77,11 @@ func buildMaterial(scn *Scenario, info *topoInfo, expiryOf func(TagSpec) time.Ti
 		if spec.Kind == TagForged {
 			signer = rogues[spec.Provider]
 		}
-		tag, err := core.IssueTag(signer, info.userKey(spec.User), spec.Level, apOf(spec.HomeEdge), expiryOf(spec))
+		ap := apOf(spec.HomeEdge)
+		if spec.Kind == TagRoaming {
+			ap = core.AccessPathAny
+		}
+		tag, err := core.IssueTag(signer, info.userKey(spec.User), spec.Level, ap, expiryOf(spec))
 		if err != nil {
 			return nil, err
 		}
@@ -81,6 +89,9 @@ func buildMaterial(scn *Scenario, info *topoInfo, expiryOf func(TagSpec) time.Ti
 		// across concurrent per-request goroutines.
 		tag.Encode()
 		m.tags = append(m.tags, tag)
+		if spec.Kind == TagRevoked {
+			m.revoked = append(m.revoked, tag.ID())
+		}
 	}
 	return m, nil
 }

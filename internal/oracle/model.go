@@ -60,6 +60,10 @@ type Knobs struct {
 	DisableEdgePrecheck bool
 	// DisableContentPrecheck skips Protocol 1's content half (level + key).
 	DisableContentPrecheck bool
+	// DisableRevocationCheck skips the pre-BF revocation-set lookup,
+	// mirroring core.Config.DisableRevocationCheck: an explicitly
+	// revoked tag then behaves like a valid one until its T_e.
+	DisableRevocationCheck bool
 }
 
 // Stage identifies where the enforcement pipeline settled a request.
@@ -136,8 +140,9 @@ type RefResult struct {
 // independently on its edge→provider router path:
 //
 //   - Protocol 2 at the edge: Protocol 1 pre-check (prefix then expiry),
-//     access-path binding, then the validated-tag set. A set hit marks
-//     the request "vouched" (flag F > 0 in the real planes).
+//     access-path binding, the pushed revocation set, then the
+//     validated-tag set. A set hit marks the request "vouched" (flag
+//     F > 0 in the real planes).
 //   - Resolution at the first router whose content store held the name
 //     at the start of the step (same-step fills are invisible, matching
 //     both planes), else at the producer.
@@ -218,8 +223,19 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 					deny(StageEdgeInterest, "expired")
 				}
 			}
-			if out.Stage == StageDelivered && t.HomeEdge != edgePos {
+			if out.Stage == StageDelivered && t.Kind != TagRoaming && t.HomeEdge != edgePos {
+				// Roaming tags carry the AccessPathAny wildcard, so the
+				// binding check never fires for them.
 				deny(StageEdgeInterest, "access_path")
+			}
+			if out.Stage == StageDelivered && t.Kind == TagRevoked && !knobs.DisableRevocationCheck {
+				// The pushed revocation set is consulted before the
+				// validated-tag set, so revocation wins even for a tag the
+				// edge already vouches for. Content routers repeat the
+				// check (core.Router does at every enforcement point), but
+				// the edge always settles it first on this per-request
+				// model.
+				deny(StageEdgeInterest, "revoked")
 			}
 			if out.Stage == StageDelivered {
 				vouched = edgeSet.Contains(tk)

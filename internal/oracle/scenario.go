@@ -54,6 +54,16 @@ const (
 	// TagForged carries a signature that does not verify against the
 	// provider's registered key (threat (b)).
 	TagForged
+	// TagRevoked is correctly signed and unexpired, but its ID is in
+	// the revocation set the lifecycle control plane pushed to every
+	// router before the scenario starts: it must be denied at the edge
+	// without waiting for T_e.
+	TagRevoked
+	// TagRoaming is correctly signed and carries the AccessPathAny
+	// wildcard instead of an edge binding, so it stays valid when its
+	// holder requests from an edge other than HomeEdge (the lifecycle
+	// service's mobility grant).
+	TagRoaming
 )
 
 // String names the kind.
@@ -67,6 +77,10 @@ func (k TagKind) String() string {
 		return "mid-run"
 	case TagForged:
 		return "forged"
+	case TagRevoked:
+		return "revoked"
+	case TagRoaming:
+		return "roaming"
 	}
 	return "unknown"
 }
@@ -240,7 +254,8 @@ func (sc *scheduler) place(scn *Scenario, r RequestSpec) bool {
 // a small randomized topology, 1-2 providers each publishing a few
 // levelled contents, a population of users holding tags across the
 // ground-truth classes (valid, pre-expired, mid-run expiring, forged,
-// and traitor tags bound to the wrong edge), and a step schedule of
+// explicitly revoked, roaming, and traitor tags bound to the wrong
+// edge), and a step schedule of
 // requests including deliberate same-(step,name) aggregation groups.
 func GenerateScenario(seed int64) (*Scenario, error) {
 	rng := rand.New(rand.NewSource(seed))
@@ -290,15 +305,25 @@ func GenerateScenario(seed int64) (*Scenario, error) {
 			}
 			t := TagSpec{User: u, Provider: p, Level: core.AccessLevel(rng.Intn(3)), HomeEdge: info.userEdge[u]}
 			switch roll := rng.Float64(); {
-			case roll < 0.55:
+			case roll < 0.45:
 				t.Kind = TagValid
-			case roll < 0.70:
+			case roll < 0.58:
 				t.Kind = TagForged
-			case roll < 0.80:
+			case roll < 0.66:
 				t.Kind = TagPreExpired
-			case roll < 0.90:
+			case roll < 0.74:
 				t.Kind = TagMidRun
 				haveMidRun = true
+			case roll < 0.82:
+				t.Kind = TagRevoked
+			case roll < 0.90:
+				// Roaming tag: bound to no edge (AccessPathAny), and — when
+				// the topology allows — held by a user attached elsewhere,
+				// so only the wildcard lets it through.
+				t.Kind = TagRoaming
+				if edges > 1 {
+					t.HomeEdge = (info.userEdge[u] + 1 + rng.Intn(edges-1)) % edges
+				}
 			default:
 				// Traitor tag: valid signature, bound to another edge's
 				// location. Degenerates to TagValid on 1-edge topologies.
@@ -344,6 +369,22 @@ func GenerateScenario(seed int64) (*Scenario, error) {
 		}
 		for attempt := 0; attempt < 8; attempt++ {
 			r := RequestSpec{Step: scn.Boundary + rng.Intn(scn.Steps-scn.Boundary), User: t.User, Content: cands[rng.Intn(len(cands))], Tag: ti}
+			if sched.place(scn, r) {
+				break
+			}
+		}
+	}
+
+	// Every revoked and roaming tag is exercised at least once: revoked
+	// tags pin the explicit-revocation denial (the lifecycle tentpole's
+	// differential acceptance), roaming tags pin the wildcard delivery.
+	for ti, t := range scn.Tags {
+		if t.Kind != TagRevoked && t.Kind != TagRoaming {
+			continue
+		}
+		cands := contentsOf(t.Provider)
+		for attempt := 0; attempt < 8; attempt++ {
+			r := RequestSpec{Step: rng.Intn(scn.Steps), User: t.User, Content: cands[rng.Intn(len(cands))], Tag: ti}
 			if sched.place(scn, r) {
 				break
 			}

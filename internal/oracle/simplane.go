@@ -172,6 +172,15 @@ func RunSim(scn *Scenario, info *topoInfo, tactic core.Config) (*PlaneResult, er
 		}
 	}
 
+	// Seed the scenario's revocation set everywhere before any request —
+	// the simulated equivalent of the issuance service's CtrlRevoke push
+	// having flooded the deployment. The set is populated even when the
+	// plane under test disables the revocation *check*: the injected bug
+	// is "forgot to consult the set", not "never received the push".
+	if len(mat.revoked) > 0 {
+		net.PushRevocation(1, true, mat.revoked)
+	}
+
 	h := &simHarness{
 		outcomes: make([]PlaneOutcome, len(scn.Requests)),
 		open:     make(map[int][]simOpen),

@@ -41,5 +41,9 @@ func BenchmarkMicroBFLookup(b *testing.B) { MicroBFLookup()(b) }
 // BenchmarkMicroVerify measures one ECDSA tag validation.
 func BenchmarkMicroVerify(b *testing.B) { MicroVerify()(b) }
 
+// BenchmarkMicroRevocationCheck measures the pre-BF revocation-set
+// lookup (negative probe against 10k revoked grants).
+func BenchmarkMicroRevocationCheck(b *testing.B) { MicroRevocationCheck()(b) }
+
 // BenchmarkMicroTLVRoundTrip measures one Interest encode+decode cycle.
 func BenchmarkMicroTLVRoundTrip(b *testing.B) { MicroTLVRoundTrip()(b) }

@@ -457,6 +457,31 @@ func MicroVerify() func(*testing.B) {
 	}
 }
 
+// MicroRevocationCheck returns a benchmark body for the revocation-set
+// lookup every enforced request pays before its Bloom-filter stage: a
+// negative Contains against a set holding 10k revoked grants (a large
+// deployment's worth — the set is exact, not probabilistic, so misses
+// are the common case by design).
+func MicroRevocationCheck() func(*testing.B) {
+	return func(b *testing.B) {
+		set := core.NewRevocationSet()
+		ids := make([]core.TagID, 10_000)
+		for i := range ids {
+			ids[i][0], ids[i][1], ids[i][2] = byte(i), byte(i>>8), 1
+		}
+		set.Revoke(ids...)
+		var probe core.TagID // all-zero: never revoked above
+		probe[3] = 0xff
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if set.Contains(probe) {
+				b.Fatal("probe unexpectedly revoked")
+			}
+		}
+	}
+}
+
 // MicroTLVRoundTrip returns a benchmark body for one Interest
 // encode+decode cycle, the per-packet codec cost on the wire path.
 func MicroTLVRoundTrip() func(*testing.B) {

@@ -33,6 +33,9 @@ const (
 	// peers that predate keepalives interoperate: they parse and ignore
 	// the frame body, which is empty.
 	typeKeepalive = 0x60
+	// typeControl is a lifecycle control-plane frame (revocation push,
+	// epoch rotation, neighbor BF sync); see ndn.Control.
+	typeControl = 0x61
 )
 
 // Transport errors.
@@ -68,13 +71,15 @@ func IsFatal(err error) bool {
 	return errors.As(err, &ce)
 }
 
-// Packet is one received packet: exactly one of Interest or Data is
-// non-nil.
+// Packet is one received packet: exactly one of Interest, Data, or
+// Control is non-nil.
 type Packet struct {
 	// Interest is set for Interest frames.
 	Interest *ndn.Interest
 	// Data is set for Data frames.
 	Data *ndn.Data
+	// Control is set for lifecycle control frames.
+	Control *ndn.Control
 	// DecodeDur is the TLV decode latency, measured on the same 1-in-64
 	// sample that feeds Metrics.DecodeSeconds (zero otherwise); the
 	// forwarder attaches it to trace spans when both samplers coincide.
@@ -274,6 +279,18 @@ func (c *Conn) SendData(d *ndn.Data) error {
 	return c.writeFrame(frame)
 }
 
+// SendControl writes one control frame through a pooled scratch buffer.
+func (c *Conn) SendControl(m *ndn.Control) error {
+	buf := ndn.AcquireBuffer()
+	defer ndn.ReleaseBuffer(buf)
+	frame, err := ndn.AppendControl(*buf, m)
+	if err != nil {
+		return err
+	}
+	*buf = frame[:0] // keep any growth for the pool
+	return c.writeFrame(frame)
+}
+
 // writeFrame writes and flushes one frame under the write lock. A
 // failure here (including a write-deadline expiry) may leave a partial
 // frame in the stream, so it is reported as a fatal ConnError.
@@ -341,6 +358,13 @@ func (c *Conn) Receive() (Packet, error) {
 			hist.Observe(dur.Seconds())
 		}
 		return Packet{Data: d, DecodeDur: dur}, nil
+	case typeControl:
+		m, err := ndn.DecodeControl(frame)
+		if err != nil {
+			c.countErr()
+			return Packet{}, err
+		}
+		return Packet{Control: m}, nil
 	default:
 		c.countErr()
 		return Packet{}, fmt.Errorf("%w: %#x", ErrBadPacketType, typ)
