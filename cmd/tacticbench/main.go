@@ -184,8 +184,10 @@ func writeBenchSnapshot(path, historyPath string) error {
 		{"ForwarderPipeline/hit/faces=1", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 1})},
 		{"ForwarderPipeline/hit/faces=4", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 4})},
 		{"ForwarderPipeline/hit/faces=16", perf.ForwarderPipeline(perf.PipelineOptions{Faces: 16})},
+		{"ForwarderPipeline/mixed-flood/faces=16", perf.ForwarderFloodPipeline(perf.PipelineOptions{Faces: 16})},
 		{"MicroBFLookup", perf.MicroBFLookup()},
 		{"MicroVerify", perf.MicroVerify()},
+		{"MicroVerifyEd25519", perf.MicroVerifyEd25519()},
 		{"MicroRevocationCheck", perf.MicroRevocationCheck()},
 		{"MicroTLVRoundTrip", perf.MicroTLVRoundTrip()},
 	}

@@ -2,9 +2,13 @@
 // randomized scenarios against the TACTIC reference model
 // (internal/oracle), the discrete-event sim plane, and a live multi-node
 // forwarder topology, and fails on any verdict or end-state divergence.
+// Each seed is replayed twice: once as a standard scenario and once as
+// a TagFlood scenario (a verify-flood burst that must shed identically
+// — "overload" past the admission budget — in every plane).
 //
-//	tacticconform -seeds 50           # gate: seeds 1..50
-//	tacticconform -seed 1337 -v       # reproduce one reported seed
+//	tacticconform -seeds 50             # gate: seeds 1..50, both families
+//	tacticconform -seed 1337 -v         # reproduce one standard seed
+//	tacticconform -seed 1337 -flood     # reproduce one flood seed
 //	tacticconform -seed 1337 -minimize
 package main
 
@@ -18,52 +22,71 @@ import (
 
 func main() {
 	var (
-		seeds    = flag.Int("seeds", 50, "number of consecutive seeds to replay")
+		seeds    = flag.Int("seeds", 50, "number of consecutive seeds to replay per family")
 		start    = flag.Int64("start", 1, "first seed")
 		seed     = flag.Int64("seed", 0, "replay a single seed (overrides -seeds/-start)")
+		flood    = flag.Bool("flood", false, "with -seed, replay the flood family instead of the standard one")
 		minimize = flag.Bool("minimize", false, "on divergence, greedily shrink the scenario")
 		verbose  = flag.Bool("v", false, "print each scenario summary")
 	)
 	flag.Parse()
 
+	type family struct {
+		name string
+		run  func(int64, oracle.Options) (*oracle.Report, error)
+		flag string
+	}
+	families := []family{
+		{"standard", oracle.RunSeed, ""},
+		{"flood", oracle.RunFloodSeed, " -flood"},
+	}
 	first, n := *start, *seeds
 	if *seed != 0 {
 		first, n = *seed, 1
+		if *flood {
+			families = families[1:]
+		} else {
+			families = families[:1]
+		}
 	}
-	failed := 0
-	for s := first; s < first+int64(n); s++ {
-		rep, err := oracle.RunSeed(s, oracle.Options{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
-			os.Exit(2)
-		}
-		if *verbose {
-			fmt.Printf("seed %d: %d requests, %d divergences\n", s, len(rep.Scenario.Requests), len(rep.Divergences))
-		}
-		if !rep.Diverged() {
-			continue
-		}
-		failed++
-		fmt.Printf("seed %d DIVERGED (replay: tacticconform -seed %d):\n", s, s)
-		for _, d := range rep.Divergences {
-			fmt.Printf("  %s\n", d)
-		}
-		fmt.Printf("%s", rep.Scenario)
-		if *minimize {
-			min, minRep, err := oracle.Minimize(rep.Scenario, oracle.Options{})
+	failed, total := 0, 0
+	for _, fam := range families {
+		for s := first; s < first+int64(n); s++ {
+			total++
+			rep, err := fam.run(s, oracle.Options{})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "minimize: %v\n", err)
-			} else {
-				fmt.Printf("minimized to %d requests:\n%s", len(min.Requests), min)
-				for _, d := range minRep.Divergences {
-					fmt.Printf("  %s\n", d)
+				fmt.Fprintf(os.Stderr, "%s seed %d: %v\n", fam.name, s, err)
+				os.Exit(2)
+			}
+			if *verbose {
+				fmt.Printf("%s seed %d: %d requests, %d divergences\n",
+					fam.name, s, len(rep.Scenario.Requests), len(rep.Divergences))
+			}
+			if !rep.Diverged() {
+				continue
+			}
+			failed++
+			fmt.Printf("%s seed %d DIVERGED (replay: tacticconform -seed %d%s):\n", fam.name, s, s, fam.flag)
+			for _, d := range rep.Divergences {
+				fmt.Printf("  %s\n", d)
+			}
+			fmt.Printf("%s", rep.Scenario)
+			if *minimize {
+				min, minRep, err := oracle.Minimize(rep.Scenario, oracle.Options{})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "minimize: %v\n", err)
+				} else {
+					fmt.Printf("minimized to %d requests:\n%s", len(min.Requests), min)
+					for _, d := range minRep.Divergences {
+						fmt.Printf("  %s\n", d)
+					}
 				}
 			}
 		}
 	}
 	if failed > 0 {
-		fmt.Printf("conformance: %d/%d seeds diverged\n", failed, n)
+		fmt.Printf("conformance: %d/%d scenario replays diverged\n", failed, total)
 		os.Exit(1)
 	}
-	fmt.Printf("conformance: %d seeds, zero divergences\n", n)
+	fmt.Printf("conformance: %d scenario replays, zero divergences\n", total)
 }

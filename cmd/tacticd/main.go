@@ -66,10 +66,13 @@ func run(args []string) error {
 	traceOut := fs.String("trace", "", "per-Interest trace output: file path or - for stderr (empty = disabled)")
 	traceSample := fs.Float64("trace-sample", 1.0, "fraction of local packets traced, 0..1 (wire-sampled packets are always traced)")
 	traceRing := fs.Int("trace-ring", 0, "in-memory flight recorder capacity in spans, served at /tracez on -admin (0 = disabled)")
+	traceFlush := fs.String("trace-flush", "", "on graceful shutdown, dump the -trace-ring flight recorder as JSONL to this file (empty = disabled)")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-frame write deadline on every face (0 = none)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "recycle a face after this long without a frame (0 = never)")
 	keepalive := fs.Duration("keepalive", 0, "send keepalive frames on every face at this interval (0 = none); set peers' -idle-timeout to ~3x this")
 	chaosSpec := fs.String("chaos", "", "fault-inject upstream links, e.g. drop=0.05,delay=0.1,maxdelay=20ms,seed=1 (testing only)")
+	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification worker goroutines (0 = default)")
+	verifyBudget := fs.Int("verify-budget", 0, "per-face cap on parked+in-flight verifications; over-budget Interests are shed with Overload NACKs (0 = default)")
 	bfSync := fs.Duration("bf-sync-interval", 0, "advertise validated-tag BF deltas to -sync-peer neighbors at this period (0 = disabled)")
 	var trusts, routes, syncPeers multiFlag
 	fs.Var(&trusts, "trust", "provider public-key PEM file (repeatable)")
@@ -127,6 +130,9 @@ func run(args []string) error {
 	if *traceRing > 0 {
 		rec = obs.NewRecorder(*traceRing)
 	}
+	if *traceFlush != "" && rec == nil {
+		return fmt.Errorf("-trace-flush requires -trace-ring > 0")
+	}
 	tracer := obs.NewTracerRecorder(*id, *traceSample, traceW, rec)
 	if tracer != nil {
 		tracer.SetRole(*role)
@@ -151,6 +157,8 @@ func run(args []string) error {
 		IdleTimeout:       *idleTimeout,
 		KeepaliveInterval: *keepalive,
 		BFSyncInterval:    *bfSync,
+		VerifyWorkers:     *verifyWorkers,
+		VerifyBudget:      *verifyBudget,
 		Logf:              log.Printf,
 		Obs:               reg,
 		Tracer:            tracer,
@@ -240,9 +248,38 @@ func run(args []string) error {
 	}()
 	log.Printf("tacticd %s (%s) listening on %s", *id, *role, ln.Addr())
 	err = fwd.Serve(ln)
-	if ctx.Err() != nil && errors.Is(err, net.ErrClosed) {
-		log.Printf("shutting down")
-		return nil
+	if ctx.Err() == nil || !errors.Is(err, net.ErrClosed) {
+		return err
 	}
-	return err
+
+	// Graceful shutdown (SIGINT/SIGTERM): Close drains the verification
+	// pool first — in-flight verifications deliver their verdicts and
+	// every still-parked Interest is answered with an Overload NACK
+	// while its face can still carry it — then detaches uplinks and
+	// closes the remaining faces.
+	log.Printf("signal received; draining faces")
+	fwd.Close()
+	st := fwd.Stats()
+	log.Printf("drained: %d Interests forwarded lifetime, %d parked verifications flushed with NACKs",
+		st.Interests, st.VerifyFlushed)
+
+	// Flush the flight recorder last, after every face goroutine has
+	// finished its spans, so the dump holds the final moments of the
+	// process — the spans a crash-looping deployment needs most.
+	if *traceFlush != "" {
+		f, err := os.Create(*traceFlush)
+		if err != nil {
+			return err
+		}
+		n, werr := rec.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("-trace-flush: %w", werr)
+		}
+		log.Printf("flight recorder: %d spans flushed to %s", n, *traceFlush)
+	}
+	log.Printf("shutdown complete")
+	return nil
 }

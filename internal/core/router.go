@@ -57,6 +57,13 @@ type Config struct {
 	// to prove the differential harness catches a forgotten revocation
 	// pre-check.
 	DisableRevocationCheck bool
+	// DisableAdmission turns off the per-face verification admission
+	// budget (the bounded verify pool's shed policy), letting one face
+	// park unboundedly many Interests awaiting signature verification
+	// (ablation "NoAdmission"). The conformance oracle injects this flag
+	// into one plane at a time to prove the differential harness catches
+	// a forgotten cap ("forgot to cap one path").
+	DisableAdmission bool
 	// EdgeValidateOnMiss makes the edge router verify a tag's signature
 	// (and insert it on success) when the Bloom filter misses at
 	// Interest time, per §4.B's router description ("a router verifies
@@ -247,6 +254,12 @@ type EdgeInterestDecision struct {
 	// Verified reports a signature verification ran during this call
 	// (informational, for tracing).
 	Verified bool
+	// NeedVerify (fast path only) reports the decision is incomplete: the
+	// tag missed the Bloom filter and EdgeValidateOnMiss requires a
+	// signature verification before the Interest may proceed. The caller
+	// must finish with EdgeVerifyMiss — either inline or, on the live
+	// plane, after parking the Interest in the verification pool.
+	NeedVerify bool
 }
 
 // EdgeOnInterest runs Protocol 2's On-Interest procedure plus the edge
@@ -257,6 +270,21 @@ type EdgeInterestDecision struct {
 // content router holding the data can, and Protocol 1's content half
 // enforces it there.
 func (r *Router) EdgeOnInterest(t *Tag, requestAP AccessPath, contentName names.Name, now time.Time) EdgeInterestDecision {
+	dec := r.EdgeOnInterestFast(t, requestAP, contentName, now)
+	if dec.NeedVerify {
+		return r.EdgeVerifyMiss(t, now)
+	}
+	return dec
+}
+
+// EdgeOnInterestFast is the cheap half of EdgeOnInterest: pre-check,
+// access path, revocation, and the Bloom-filter lookup — everything
+// except the signature verification. When the tag misses the filter and
+// EdgeValidateOnMiss is set it returns NeedVerify instead of verifying
+// inline, so a face reader can park the Interest and keep draining its
+// socket while a worker performs the (three orders of magnitude more
+// expensive) EdgeVerifyMiss.
+func (r *Router) EdgeOnInterestFast(t *Tag, requestAP AccessPath, contentName names.Name, now time.Time) EdgeInterestDecision {
 	if t == nil {
 		return EdgeInterestDecision{Flag: 0}
 	}
@@ -275,13 +303,24 @@ func (r *Router) EdgeOnInterest(t *Tag, requestAP AccessPath, contentName names.
 		return EdgeInterestDecision{Flag: r.bf.FPP(), BFHit: true}
 	}
 	if r.cfg.EdgeValidateOnMiss {
-		if err := r.validator.Validate(t, now); err != nil {
-			return EdgeInterestDecision{Drop: true, Reason: err, Verified: true}
-		}
-		r.bfInsert(t)
-		return EdgeInterestDecision{Flag: r.bf.FPP(), Verified: true}
+		return EdgeInterestDecision{NeedVerify: true}
 	}
 	return EdgeInterestDecision{Flag: 0}
+}
+
+// EdgeVerifyMiss completes an EdgeOnInterestFast decision that reported
+// NeedVerify: verify the tag's signature and insert it into the Bloom
+// filter on success. The tag's revocation status is re-checked first —
+// a revocation push may have landed while the Interest was parked.
+func (r *Router) EdgeVerifyMiss(t *Tag, now time.Time) EdgeInterestDecision {
+	if r.revoked(t) {
+		return EdgeInterestDecision{Drop: true, Reason: ErrTagRevoked}
+	}
+	if err := r.validator.Validate(t, now); err != nil {
+		return EdgeInterestDecision{Drop: true, Reason: err, Verified: true}
+	}
+	r.bfInsert(t)
+	return EdgeInterestDecision{Flag: r.bf.FPP(), Verified: true}
 }
 
 // EdgeOnTagResponse handles a registration response (a fresh tag T_u^new
@@ -355,11 +394,30 @@ type ContentDecision struct {
 	// on the F = 0 path a BF miss, on the F != 0 path the probabilistic
 	// re-check firing (informational, for tracing).
 	Verified bool
+	// NeedVerify (fast path only) reports the decision is incomplete: a
+	// signature verification is required (F = 0 BF miss, or the F != 0
+	// probabilistic re-check fired). The caller must finish with
+	// ContentVerifyMiss, passing this decision's Flag (the effective F
+	// after the DisableCollaboration ablation).
+	NeedVerify bool
 }
 
 // ContentOnInterest runs Protocol 3 plus the content half of Protocol
 // 1's pre-check for a request that hit this router's content store.
 func (r *Router) ContentOnInterest(t *Tag, meta ContentMeta, flag float64, now time.Time) ContentDecision {
+	dec := r.ContentOnInterestFast(t, meta, flag, now)
+	if dec.NeedVerify {
+		return r.ContentVerifyMiss(t, dec.Flag, now)
+	}
+	return dec
+}
+
+// ContentOnInterestFast is the cheap half of ContentOnInterest:
+// everything except the signature verification. When verification is
+// required it returns NeedVerify with Flag holding the effective F the
+// completion must use; callers finish with ContentVerifyMiss (inline or
+// after parking the Interest in the verification pool).
+func (r *Router) ContentOnInterestFast(t *Tag, meta ContentMeta, flag float64, now time.Time) ContentDecision {
 	if meta.Level == Public {
 		// "We set the AL_D (of a publicly available data) to NULL, which
 		// allows an r_C^c to return the requested content without tag
@@ -384,21 +442,33 @@ func (r *Router) ContentOnInterest(t *Tag, meta ContentMeta, flag float64, now t
 		if r.bfContains(t) {
 			return ContentDecision{Flag: 0, BFHit: true}
 		}
-		if err := r.validator.Validate(t, now); err != nil {
-			return ContentDecision{NACK: true, Reason: err, Flag: 0, Verified: true}
-		}
-		r.bfInsert(t)
-		return ContentDecision{Flag: 0, Verified: true}
+		return ContentDecision{NeedVerify: true, Flag: 0}
 	}
 	// F != 0: the edge vouches for the tag; re-validate only with
 	// probability F (the edge filter's false-positive probability).
 	if r.decideRevalidate(flag) {
-		if err := r.validator.Validate(t, now); err != nil {
-			return ContentDecision{NACK: true, Reason: err, Flag: flag, Verified: true}
-		}
-		return ContentDecision{Flag: flag, Verified: true}
+		return ContentDecision{NeedVerify: true, Flag: flag}
 	}
 	return ContentDecision{Flag: flag}
+}
+
+// ContentVerifyMiss completes a ContentOnInterestFast decision that
+// reported NeedVerify: verify the signature, and on the F = 0 path
+// insert the tag into the Bloom filter (the F != 0 re-check path never
+// inserts — the tag is vouched for by the edge's filter, not this
+// one's). Revocation is re-checked first, as a push may have landed
+// while the Interest was parked.
+func (r *Router) ContentVerifyMiss(t *Tag, flag float64, now time.Time) ContentDecision {
+	if r.revoked(t) {
+		return ContentDecision{NACK: true, Reason: ErrTagRevoked, Flag: flag}
+	}
+	if err := r.validator.Validate(t, now); err != nil {
+		return ContentDecision{NACK: true, Reason: err, Flag: flag, Verified: true}
+	}
+	if flag == 0 {
+		r.bfInsert(t)
+	}
+	return ContentDecision{Flag: flag, Verified: true}
 }
 
 // --- Protocol 4: intermediate router -------------------------------------------

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -41,7 +42,98 @@ var (
 	// T_e (the lifecycle extension; TACTIC's native revocation is expiry
 	// only).
 	ErrTagRevoked = errors.New("core: tag revoked")
+	// ErrOverload: the router shed the request instead of verifying its
+	// tag because the arrival face exceeded its verification budget (the
+	// admission-control extension). Unlike every other reason this is not
+	// a verdict on the tag — the signature was never checked — it is an
+	// explicit local denial so the client can back off and retry instead
+	// of timing out against a silent drop.
+	ErrOverload = errors.New("core: verification shed under overload")
 )
+
+// DefaultVerifyBudget is the default per-face cap on Interests parked or
+// in flight in the verification pool. One face can hold at most this
+// many unverified tags pending at once; beyond it the router sheds with
+// ErrOverload. At ~100 µs per P-256 verification a budget of 64 bounds
+// the work one face can queue to ~6 ms — far below a reader stall, far
+// above what any honest client pipeline needs (tags repeat, so steady
+// state is Bloom-filter hits).
+const DefaultVerifyBudget = 64
+
+// Wire codes for NACK reasons (the NackReason TLV payload). 0 is
+// reserved for "unspecified/other" so an absent or unknown code decodes
+// to a non-nil generic reason on a NACK.
+const (
+	reasonCodeOther uint8 = iota
+	reasonCodeNoTag
+	reasonCodeExpired
+	reasonCodeForged
+	reasonCodePrefixMismatch
+	reasonCodeAccessPath
+	reasonCodeLevel
+	reasonCodeKeyMismatch
+	reasonCodeRevoked
+	reasonCodeOverload
+)
+
+// ErrDenied is the catch-all NACK reason: a denial whose specific cause
+// was not (or could not be) carried on the wire.
+var ErrDenied = errors.New("core: request denied")
+
+// ReasonCode maps a validation error to its 1-byte wire code for the
+// NackReason TLV. Unknown errors (and nil) map to 0.
+func ReasonCode(err error) uint8 {
+	switch {
+	case err == nil:
+		return reasonCodeOther
+	case errors.Is(err, ErrNoTag):
+		return reasonCodeNoTag
+	case errors.Is(err, ErrTagExpired):
+		return reasonCodeExpired
+	case errors.Is(err, ErrTagForged):
+		return reasonCodeForged
+	case errors.Is(err, ErrPrefixMismatch):
+		return reasonCodePrefixMismatch
+	case errors.Is(err, ErrAccessPathMismatch):
+		return reasonCodeAccessPath
+	case errors.Is(err, ErrInsufficientLevel):
+		return reasonCodeLevel
+	case errors.Is(err, ErrProviderKeyMismatch):
+		return reasonCodeKeyMismatch
+	case errors.Is(err, ErrTagRevoked):
+		return reasonCodeRevoked
+	case errors.Is(err, ErrOverload):
+		return reasonCodeOverload
+	}
+	return reasonCodeOther
+}
+
+// ReasonFromCode maps a wire code back to the canonical sentinel error.
+// Unknown codes (including 0) map to ErrDenied so a decoded NACK always
+// carries a non-nil reason.
+func ReasonFromCode(code uint8) error {
+	switch code {
+	case reasonCodeNoTag:
+		return ErrNoTag
+	case reasonCodeExpired:
+		return ErrTagExpired
+	case reasonCodeForged:
+		return ErrTagForged
+	case reasonCodePrefixMismatch:
+		return ErrPrefixMismatch
+	case reasonCodeAccessPath:
+		return ErrAccessPathMismatch
+	case reasonCodeLevel:
+		return ErrInsufficientLevel
+	case reasonCodeKeyMismatch:
+		return ErrProviderKeyMismatch
+	case reasonCodeRevoked:
+		return ErrTagRevoked
+	case reasonCodeOverload:
+		return ErrOverload
+	}
+	return ErrDenied
+}
 
 // ContentMeta is the access-control metadata a provider embeds in every
 // content packet, "included in the content's packets and signed by the
@@ -123,6 +215,19 @@ func (v *TagValidator) SetVerifyHistogram(h *obs.Histogram) { v.verifySeconds.St
 // filters amortise; see the type comment for how concurrent duplicate
 // validations are collapsed.
 func (v *TagValidator) Validate(t *Tag, now time.Time) error {
+	return v.ValidateCtx(context.Background(), t, now)
+}
+
+// ValidateCtx is Validate with cancellation for waiters collapsed onto
+// another caller's in-flight verification. A waiter whose ctx is
+// canceled detaches immediately and returns ctx.Err(); the shared call
+// it was waiting on is unaffected — the performing caller still
+// completes, publishes the result, and clears the slot, so a canceled
+// waiter neither leaks the call entry nor consumes the outcome other
+// waiters share. Cancellation does not abort the performing caller's
+// own signature check (the result is shared state; aborting it would
+// poison every concurrent waiter).
+func (v *TagValidator) ValidateCtx(ctx context.Context, t *Tag, now time.Time) error {
 	if t == nil {
 		v.missing.Add(1)
 		return ErrNoTag
@@ -135,8 +240,12 @@ func (v *TagValidator) Validate(t *Tag, now time.Time) error {
 	v.mu.Lock()
 	if c, ok := v.calls[key]; ok {
 		v.mu.Unlock()
-		<-c.done
-		return c.err
+		select {
+		case <-c.done:
+			return c.err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	c := &verifyCall{done: make(chan struct{})}
 	v.calls[key] = c
@@ -212,6 +321,8 @@ func ReasonLabel(err error) string {
 		return "key_mismatch"
 	case errors.Is(err, ErrTagRevoked):
 		return "revoked"
+	case errors.Is(err, ErrOverload):
+		return "overload"
 	}
 	return "other"
 }
@@ -219,7 +330,7 @@ func ReasonLabel(err error) string {
 // ReasonLabels lists every label ReasonLabel can produce for a non-nil
 // error, so instrumentation can pre-create one counter per reason.
 func ReasonLabels() []string {
-	return []string{"no_tag", "expired", "forged", "prefix_mismatch", "access_path", "level", "key_mismatch", "revoked", "other"}
+	return []string{"no_tag", "expired", "forged", "prefix_mismatch", "access_path", "level", "key_mismatch", "revoked", "overload", "other"}
 }
 
 // PreCheckEdge is the edge-router half of Protocol 1: a cheap filter

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// TestValidatorCanceledWaiterDetaches holds one verification open, parks
+// two waiters on it, and cancels one: the canceled waiter must return
+// context.Canceled immediately — while the shared verification is still
+// in flight — without disturbing the leader, the remaining waiter, or
+// the singleflight slot (the next Validate after retirement re-verifies
+// as usual).
+func TestValidatorCanceledWaiterDetaches(t *testing.T) {
+	g := &gateVerifier{started: make(chan struct{}, 1), release: make(chan struct{})}
+	v := NewTagValidator(g)
+	tag := testTag("alice")
+	now := time.Now()
+
+	leaderDone := make(chan error, 1)
+	go func() { leaderDone <- v.Validate(tag, now) }()
+	<-g.started // the leader is inside Verify and holds the call open
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceledDone := make(chan error, 1)
+	go func() { canceledDone <- v.ValidateCtx(ctx, tag, now) }()
+	keptDone := make(chan error, 1)
+	go func() { keptDone <- v.ValidateCtx(context.Background(), tag, now) }()
+
+	// Let both waiters park on the in-flight call, then cancel one.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-canceledDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not detach while the shared verification was in flight")
+	}
+
+	close(g.release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader Validate: %v", err)
+	}
+	if err := <-keptDone; err != nil {
+		t.Fatalf("attached waiter: %v", err)
+	}
+	if got := g.calls.Load(); got != 1 {
+		t.Fatalf("verifier called %d times, want 1 (cancellation must not re-verify)", got)
+	}
+
+	// The retired slot is clear: a fresh Validate performs a new check.
+	if err := v.Validate(tag, now); err != nil {
+		t.Fatalf("post-cancel Validate: %v", err)
+	}
+	if got := g.calls.Load(); got != 2 {
+		t.Fatalf("verifier called %d times after fresh Validate, want 2", got)
+	}
+}
+
+// slowVerifier holds each Verify open briefly so concurrent callers
+// overlap: some become singleflight leaders, the rest park as waiters.
+type slowVerifier struct{}
+
+func (slowVerifier) Verify(names.Name, []byte, []byte) error {
+	time.Sleep(100 * time.Microsecond)
+	return nil
+}
+
+// TestValidatorCanceledWaiterConcurrentMiss races canceled waiters
+// against concurrent misses on a handful of tags: every call must
+// return either the shared verdict or context.Canceled, with no waiter
+// wedged and no in-flight accounting leaked. Its real assertions fire
+// under `make race` — a data race between a detaching waiter and the
+// leader publishing the result is exactly what the detector sees here.
+func TestValidatorCanceledWaiterConcurrentMiss(t *testing.T) {
+	v := NewTagValidator(slowVerifier{})
+	now := time.Now()
+	tags := []*Tag{testTag("a"), testTag("b"), testTag("c"), testTag("d")}
+	for _, tag := range tags {
+		// CacheKey memoizes the tag's encoding on first use; warm it so
+		// sharing one *Tag across goroutines mirrors production, where
+		// every packet decode arrives with its encoding already set.
+		tag.CacheKey()
+	}
+
+	const workers = 32
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tag := tags[(w+i)%len(tags)]
+				ctx, cancel := context.WithCancel(context.Background())
+				if (w+i)%3 == 0 {
+					// Cancel up front: a leader still verifies (shared state
+					// must not be poisoned), a waiter detaches immediately.
+					cancel()
+				} else if (w+i)%3 == 1 {
+					// Cancel mid-wait, racing the leader's publish.
+					go func() {
+						time.Sleep(50 * time.Microsecond)
+						cancel()
+					}()
+				}
+				if err := v.ValidateCtx(ctx, tag, now); err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("worker %d iter %d: %v", w, i, err)
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := v.InFlight(); got != 0 {
+		t.Fatalf("InFlight() = %d after quiescence, want 0", got)
+	}
+	// No retired-but-leaked call entry: a final Validate must verify
+	// fresh rather than park on a ghost.
+	done := make(chan error, 1)
+	go func() { done <- v.Validate(testTag("a"), now) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("final Validate: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("final Validate parked on a leaked singleflight entry")
+	}
+}

@@ -44,6 +44,7 @@ func (f *Forwarder) handleControl(m *ndn.Control, from *faceState) {
 		}
 		f.m.control(m.Kind, ctrlApplied)
 		f.logf("control: revocation set v%d (%d entries, full=%v) from %q", m.Version, len(m.Revoked), m.Full, m.Origin)
+		f.flushRevokedParked()
 		f.floodControl(m, from.id)
 	case ndn.CtrlRotate:
 		if !f.tactic.RotateEpoch(m.Version) {
@@ -99,8 +100,28 @@ func (f *Forwarder) ApplyRevocation(version uint64, full bool, revoked []core.Ta
 		return false
 	}
 	f.m.control(ndn.CtrlRevoke, ctrlApplied)
+	f.flushRevokedParked()
 	f.floodControl(&ndn.Control{Kind: ndn.CtrlRevoke, Version: version, Origin: f.cfg.ID, Full: full, Revoked: revoked}, ndn.FaceNone)
 	return true
+}
+
+// flushRevokedParked NACKs parked verify jobs whose tag fell into the
+// revocation set while they waited — a revoked tag's verdict is already
+// known, so burning a worker slot (and making the client wait) on its
+// signature would be wasted work. In-flight jobs re-check revocation in
+// EdgeVerifyMiss/ContentVerifyMiss, so nothing slips through. No-op
+// when the router skips revocation checks (ablation).
+func (f *Forwarder) flushRevokedParked() {
+	if f.cfg.Tactic.DisableRevocationCheck {
+		return
+	}
+	rev := f.tactic.Revocations()
+	n := f.vp.flushWhere(func(j *verifyJob) bool {
+		return j.i.Tag != nil && rev.Contains(j.i.Tag.ID())
+	}, core.ErrTagRevoked)
+	if n > 0 {
+		f.logf("control: flushed %d parked verifies for revoked tags", n)
+	}
 }
 
 // AddSyncPeer registers an attached face as a BF-sync peer: the

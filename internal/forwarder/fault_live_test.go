@@ -51,6 +51,13 @@ type faultNet struct {
 // edge uplink's dialer (chaos injection).
 func startFaultNet(t *testing.T, dial func(string) (net.Conn, error)) *faultNet {
 	t.Helper()
+	return startFaultNetCfg(t, dial, nil)
+}
+
+// startFaultNetCfg is startFaultNet with a hook to adjust the edge
+// forwarder's config before boot (verify budgets, TACTIC knobs).
+func startFaultNetCfg(t *testing.T, dial func(string) (net.Conn, error), mod func(*Config)) *faultNet {
+	t.Helper()
 	fn := &faultNet{t: t, prefix: names.MustParse("/prov0")}
 
 	provKey, err := pki.GenerateECDSA(rand.Reader, names.MustParse("/prov0/KEY/1"))
@@ -87,10 +94,14 @@ func startFaultNet(t *testing.T, dial func(string) (net.Conn, error)) *faultNet 
 	fn.startCore("127.0.0.1:0")
 
 	fn.edgeObs = obs.NewRegistry()
-	fn.edgeFwd, err = New(Config{
+	edgeCfg := Config{
 		ID: "edge-0", Role: RoleEdge, Registry: fn.registry, Seed: 2,
 		WriteTimeout: 2 * time.Second, Obs: fn.edgeObs,
-	})
+	}
+	if mod != nil {
+		mod(&edgeCfg)
+	}
+	fn.edgeFwd, err = New(edgeCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

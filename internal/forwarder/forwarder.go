@@ -58,6 +58,19 @@ type Config struct {
 	Role Role
 	// Registry holds the trusted provider keys.
 	Registry *pki.Registry
+	// Verifier, when non-nil, overrides Registry as the signature
+	// verifier behind the tag validator (Registry still serves
+	// registration and key distribution). Tests and the conformance
+	// harness use it to interpose on verification timing.
+	Verifier pki.Verifier
+	// VerifyWorkers sizes the bounded async verification pool draining
+	// the per-face admission queues (default 4).
+	VerifyWorkers int
+	// VerifyBudget caps parked + in-flight verifications per arrival
+	// face; an over-budget face is shed with an Overload NACK (default
+	// core.DefaultVerifyBudget; Tactic.DisableAdmission removes the cap
+	// while keeping verification asynchronous).
+	VerifyBudget int
 	// BFCapacity and BFMaxFPP shape the Bloom filter (paper defaults
 	// when zero).
 	BFCapacity int
@@ -119,6 +132,10 @@ type Forwarder struct {
 	pit *ndn.ShardedPIT
 	cs  *ndn.ShardedCS
 
+	// vp parks Interests awaiting signature verification off the face
+	// readers (see verifypool.go).
+	vp *verifyPool
+
 	mu      sync.RWMutex // guards faces, next, uplinks
 	faces   map[ndn.FaceID]*faceState
 	next    ndn.FaceID
@@ -159,6 +176,12 @@ type Stats struct {
 	NACKs uint64
 	// Drops counts packets dropped (no route, invalid, unsolicited).
 	Drops uint64
+	// VerifySheds counts Interests shed with Overload NACKs because
+	// their arrival face exceeded its verification budget.
+	VerifySheds uint64
+	// VerifyFlushed counts parked Interests flushed with NACKs on face
+	// death, revocation, or shutdown.
+	VerifyFlushed uint64
 }
 
 // New creates a forwarder.
@@ -181,6 +204,12 @@ func New(cfg Config) (*Forwarder, error) {
 	if cfg.PITLifetime <= 0 {
 		cfg.PITLifetime = 4 * time.Second
 	}
+	if cfg.VerifyWorkers <= 0 {
+		cfg.VerifyWorkers = 4
+	}
+	if cfg.VerifyBudget <= 0 {
+		cfg.VerifyBudget = core.DefaultVerifyBudget
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
@@ -189,9 +218,13 @@ func New(cfg Config) (*Forwarder, error) {
 	if err != nil {
 		return nil, err
 	}
+	verifier := pki.Verifier(cfg.Registry)
+	if cfg.Verifier != nil {
+		verifier = cfg.Verifier
+	}
 	f := &Forwarder{
 		cfg:    cfg,
-		tactic: core.NewRouter(cfg.ID, bf, core.NewTagValidator(cfg.Registry), rand.New(rand.NewSource(seed)), cfg.Tactic),
+		tactic: core.NewRouter(cfg.ID, bf, core.NewTagValidator(verifier), rand.New(rand.NewSource(seed)), cfg.Tactic),
 		start:  time.Now(),
 		m:      newObsMetrics(cfg.Obs, cfg.Role),
 		fib:    ndn.NewLockedFIB(),
@@ -200,6 +233,11 @@ func New(cfg Config) (*Forwarder, error) {
 		faces:  make(map[ndn.FaceID]*faceState),
 		closed: make(chan struct{}),
 	}
+	budget := cfg.VerifyBudget
+	if cfg.Tactic.DisableAdmission {
+		budget = 0 // park without bound; the shed policy is ablated away
+	}
+	f.vp = newVerifyPool(f, cfg.VerifyWorkers, budget)
 	f.registerSampled(cfg.Obs)
 	f.wg.Add(1)
 	go f.expireLoop()
@@ -306,6 +344,9 @@ func (f *Forwarder) removeFace(id ndn.FaceID) {
 		f.m.pitFlushed.Add(uint64(len(flushed)))
 		f.logf("face %d: flushed %d pending interests", id, len(flushed))
 	}
+	if n := f.vp.flushFace(id, core.ErrOverload); n > 0 {
+		f.logf("face %d: flushed %d parked verifications", id, n)
+	}
 	fs.conn.Close()
 	f.logf("face %d closed", id)
 	if fs.onDown != nil {
@@ -343,11 +384,15 @@ func (f *Forwarder) Serve(ln net.Listener) error {
 	}
 }
 
-// Close shuts the forwarder down and waits for its goroutines. Managed
-// uplinks stop first (their supervisors remove their own faces), then
-// the remaining faces are closed.
+// Close shuts the forwarder down and waits for its goroutines. The
+// verify pool drains first — in-flight verifications deliver their
+// verdicts and every still-parked Interest is flushed with an Overload
+// NACK while its face can still carry it — then managed uplinks stop
+// (their supervisors remove their own faces), then the remaining faces
+// are closed.
 func (f *Forwarder) Close() error {
 	f.once.Do(func() { close(f.closed) })
+	f.vp.shutdown()
 	f.mu.Lock()
 	ups := f.uplinks
 	f.uplinks = nil
@@ -368,11 +413,13 @@ func (f *Forwarder) Close() error {
 // Stats returns a snapshot of the forwarder's counters.
 func (f *Forwarder) Stats() Stats {
 	return Stats{
-		Interests: f.stats.interests.Load(),
-		Data:      f.stats.data.Load(),
-		CSHits:    f.stats.csHits.Load(),
-		NACKs:     f.stats.nacks.Load(),
-		Drops:     f.stats.drops.Load(),
+		Interests:     f.stats.interests.Load(),
+		Data:          f.stats.data.Load(),
+		CSHits:        f.stats.csHits.Load(),
+		NACKs:         f.stats.nacks.Load(),
+		Drops:         f.stats.drops.Load(),
+		VerifySheds:   f.vp.Sheds(),
+		VerifyFlushed: f.vp.Flushed(),
 	}
 }
 
@@ -434,10 +481,42 @@ func formatFlag(flag float64) string {
 	return "F=" + strconv.FormatFloat(flag, 'g', -1, 64)
 }
 
+// nackInterest denies an Interest back to its arrival face with the
+// given reason, counting the NACK and ending the span.
+func (f *Forwarder) nackInterest(i *ndn.Interest, from *faceState, reason error, sp *obs.Span, inTC ndn.TraceContext) {
+	f.stats.nacks.Add(1)
+	f.m.nack(reason)
+	f.send(from.id, &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: reason,
+		Trace: propagateTrace(inTC, sp)})
+	sp.End("nack:" + core.ReasonLabel(reason))
+}
+
+// parkForVerify hands an Interest whose enforcement decision needs a
+// signature check to the verification pool, shedding with an Overload
+// NACK when the arrival face is over budget. Called from face readers
+// (first park) and from pool workers (an edge-verified Interest whose
+// content decision then also needs a verify).
+func (f *Forwarder) parkForVerify(job *verifyJob) {
+	job.parkedAt = time.Now()
+	// Annotate before admitting: the moment admit succeeds the job
+	// belongs to a pool worker, and the span with it.
+	if job.sp != nil {
+		job.sp.Event("park", "verify")
+	}
+	if f.vp.admit(job) {
+		return
+	}
+	f.m.shed()
+	f.nackInterest(job.i, job.from, core.ErrOverload, job.sp, job.inTC)
+}
+
 // handleInterest runs the Interest pipeline (the real-time analogue of
 // the simulator's RouterNode.HandleInterest). It holds no forwarder-wide
 // lock: enforcement, CS, PIT, and FIB synchronise themselves, so faces
-// proceed in parallel and serialise only per name shard.
+// proceed in parallel and serialise only per name shard. Signature
+// verification never runs here: a decision that needs one parks the
+// Interest in the verify pool and the reader moves to the next packet,
+// so the hop histogram measures the reader's hot path only.
 func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur time.Duration) {
 	now := time.Now()
 	inTC := i.Trace
@@ -461,7 +540,7 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur t
 		if sp != nil {
 			enfStart = time.Now()
 		}
-		dec := f.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
+		dec := f.tactic.EdgeOnInterestFast(i.Tag, i.AccessPath, i.Name, now)
 		if sp != nil {
 			enfDur := time.Since(enfStart)
 			if dec.Reason != nil {
@@ -471,8 +550,6 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur t
 			}
 			// The enforcement verdict: which check decided, and its cost.
 			switch {
-			case dec.Verified:
-				sp.EventDur("verify", enfDur, verifyDetail(dec.Drop))
 			case dec.BFHit:
 				sp.EventDur("bf_lookup", enfDur, "hit")
 			default:
@@ -480,11 +557,12 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur t
 			}
 		}
 		if dec.Drop {
-			f.stats.nacks.Add(1)
-			f.m.nack(dec.Reason)
-			f.send(from.id, &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: dec.Reason,
-				Trace: propagateTrace(inTC, sp)})
-			sp.End("nack:" + core.ReasonLabel(dec.Reason))
+			f.nackInterest(i, from, dec.Reason, sp, inTC)
+			return
+		}
+		if dec.NeedVerify {
+			f.parkForVerify(&verifyJob{kind: verifyEdgeInterest, i: i, from: from,
+				now: now, sp: sp, inTC: inTC, sampled: sampled})
 			return
 		}
 		i.Flag = dec.Flag
@@ -496,6 +574,42 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur t
 		sp.Event("flag", formatFlag(i.Flag))
 	}
 
+	f.continueInterest(i, from, now, sp, inTC, sampled)
+}
+
+// finishContentHit sends the verdict for a content-store hit: the
+// content (alongside a NACK when the tag failed — the paper's §5.B
+// trade-off), or the content alone.
+func (f *Forwarder) finishContentHit(i *ndn.Interest, from *faceState, content *core.Content, dec core.ContentDecision, sp *obs.Span, inTC ndn.TraceContext, sampled bool) {
+	if dec.NACK {
+		f.stats.nacks.Add(1)
+		f.m.nack(dec.Reason)
+	} else {
+		f.stats.csHits.Add(1)
+		f.m.csHits.Inc()
+	}
+	var sendStart time.Time
+	if sampled {
+		sendStart = time.Now()
+	}
+	f.send(from.id, &ndn.Data{
+		Name: i.Name, Content: content, Tag: i.Tag,
+		Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+		Trace: propagateTrace(inTC, sp),
+	})
+	observeStageSpan(f.m.stageEncodeSend, "encode_send", sendStart, sp)
+	if dec.NACK {
+		sp.End("nack:" + core.ReasonLabel(dec.Reason))
+	} else {
+		sp.End("cs_hit")
+	}
+}
+
+// continueInterest is the Interest pipeline after edge enforcement
+// settled (or was not required): content-store lookup, PIT admission,
+// FIB resolution, forward. It runs on the face reader when no signature
+// check was needed and on a verify-pool worker otherwise.
+func (f *Forwarder) continueInterest(i *ndn.Interest, from *faceState, now time.Time, sp *obs.Span, inTC ndn.TraceContext, sampled bool) {
 	var tables time.Time
 	if sampled {
 		tables = time.Now()
@@ -503,44 +617,26 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur t
 	if i.Kind == ndn.KindContent {
 		if content, ok := f.cs.Lookup(i.Name); ok {
 			observeStageSpan(f.m.stagePITCS, "pit_cs", tables, sp)
-			dec := f.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
+			dec := f.tactic.ContentOnInterestFast(i.Tag, content.Meta, i.Flag, now)
 			if sp != nil {
 				// The content-router verdict: on F != 0 whether the
 				// probabilistic re-check fired; on F = 0 which check
 				// vouched for the tag.
 				switch {
-				case i.Flag != 0 && dec.Verified:
-					sp.Event("flag_check", "recheck:"+verifyDetail(dec.NACK))
+				case i.Flag != 0 && dec.NeedVerify:
+					sp.Event("flag_check", "recheck")
 				case i.Flag != 0:
 					sp.Event("flag_check", "recheck_skipped")
 				case dec.BFHit:
 					sp.Event("bf_lookup", "hit")
-				case dec.Verified:
-					sp.Event("verify", verifyDetail(dec.NACK))
 				}
 			}
-			if dec.NACK {
-				f.stats.nacks.Add(1)
-				f.m.nack(dec.Reason)
-			} else {
-				f.stats.csHits.Add(1)
-				f.m.csHits.Inc()
+			if dec.NeedVerify {
+				f.parkForVerify(&verifyJob{kind: verifyContentHit, i: i, from: from,
+					content: content, flag: dec.Flag, now: now, sp: sp, inTC: inTC, sampled: sampled})
+				return
 			}
-			var sendStart time.Time
-			if sampled {
-				sendStart = time.Now()
-			}
-			f.send(from.id, &ndn.Data{
-				Name: i.Name, Content: content, Tag: i.Tag,
-				Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
-				Trace: propagateTrace(inTC, sp),
-			})
-			observeStageSpan(f.m.stageEncodeSend, "encode_send", sendStart, sp)
-			if dec.NACK {
-				sp.End("nack:" + core.ReasonLabel(dec.Reason))
-			} else {
-				sp.End("cs_hit")
-			}
+			f.finishContentHit(i, from, content, dec, sp, inTC, sampled)
 			return
 		}
 	}

@@ -53,6 +53,15 @@ const (
 	MetricStageSeconds   = "tactic_stage_seconds"
 	MetricVerifyInFlight = "tactic_tag_verifications_in_flight"
 
+	// Bounded async verification pool: Interests shed over a face's
+	// admission budget, Interests currently parked awaiting a worker,
+	// parked Interests flushed on face death/revocation/shutdown, and
+	// the time each Interest spent parked.
+	MetricVerifySheds       = "tactic_verify_sheds_total"
+	MetricVerifyParked      = "tactic_verify_parked"
+	MetricVerifyFlushed     = "tactic_verify_flushed_total"
+	MetricVerifyParkSeconds = "tactic_verify_park_seconds"
+
 	MetricProducerServed    = "tactic_producer_served_total"
 	MetricProducerNACKs     = "tactic_producer_nacks_total"
 	MetricRegistrations     = "tactic_registrations_total"
@@ -103,6 +112,11 @@ type obsMetrics struct {
 	stagePITCS      *obs.Histogram
 	stageEncodeSend *obs.Histogram
 	stageDecode     *obs.Histogram
+
+	// Verify-pool series: sheds over budget and park time (the parked
+	// gauge is a registerSampled callback over the pool itself).
+	sheds       *obs.Counter
+	parkSeconds *obs.Histogram
 
 	// Lifecycle control plane: frames by kind and outcome, and BF sync
 	// word-delta volume by direction.
@@ -188,7 +202,25 @@ func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
 	m.stagePITCS = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "pit_cs"))
 	m.stageEncodeSend = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "encode_send"))
 	m.stageDecode = reg.Histogram(MetricStageSeconds, nil, m.role, obs.L("stage", "decode"))
+	reg.Help(MetricVerifySheds, "Interests shed with Overload NACKs because their face exceeded its verification budget.")
+	reg.Help(MetricVerifyParkSeconds, "Time Interests spent parked awaiting a verification worker.")
+	m.sheds = reg.Counter(MetricVerifySheds, m.role)
+	m.parkSeconds = reg.Histogram(MetricVerifyParkSeconds, nil, m.role)
 	return m
+}
+
+// shed counts one Interest shed over a face's verification budget.
+func (m *obsMetrics) shed() {
+	if m.sheds != nil {
+		m.sheds.Inc()
+	}
+}
+
+// observeParkTime records how long one Interest sat parked.
+func (m *obsMetrics) observeParkTime(d time.Duration) {
+	if m.parkSeconds != nil {
+		m.parkSeconds.Observe(d.Seconds())
+	}
 }
 
 // nack counts one NACK under its reason label.
@@ -264,6 +296,10 @@ func (f *Forwarder) registerSampled(reg *obs.Registry) {
 	f.tactic.Validator().SetVerifyHistogram(reg.Histogram(MetricStageSeconds, nil, role, obs.L("stage", "verify")))
 	reg.Help(MetricVerifyInFlight, "Tag signature verifications currently executing.")
 	reg.GaugeFunc(MetricVerifyInFlight, func() float64 { return float64(f.tactic.Validator().InFlight()) }, role)
+	reg.Help(MetricVerifyParked, "Interests currently parked in the verification pool.")
+	reg.Help(MetricVerifyFlushed, "Parked Interests flushed with NACKs (face death, revocation, shutdown).")
+	reg.GaugeFunc(MetricVerifyParked, func() float64 { return float64(f.vp.Parked()) }, role)
+	reg.CounterFunc(MetricVerifyFlushed, func() float64 { return float64(f.vp.Flushed()) }, role)
 	reg.CounterFunc(MetricBFLookups, func() float64 { return float64(f.tactic.Bloom().Stats().Lookups) }, role)
 	reg.CounterFunc(MetricBFInsertions, func() float64 { return float64(f.tactic.Bloom().Stats().Insertions) }, role)
 	reg.CounterFunc(MetricBFResets, func() float64 { return float64(f.tactic.Bloom().Stats().Resets) }, role)
@@ -350,7 +386,22 @@ type Status struct {
 	Bloom          BloomStatus         `json:"bloom"`
 	Validator      core.ValidatorStats `json:"validator"`
 	Counters       Stats               `json:"counters"`
-	Faces          []FaceStatus        `json:"faces"`
+	// VerifyPool is the bounded async verification subsystem's state.
+	VerifyPool VerifyPoolStatus `json:"verify_pool"`
+	Faces      []FaceStatus     `json:"faces"`
+}
+
+// VerifyPoolStatus describes the verification pool for /statusz.
+type VerifyPoolStatus struct {
+	// Workers is the pool size; Budget the per-face parked+in-flight
+	// cap (0 = admission disabled).
+	Workers int `json:"workers"`
+	Budget  int `json:"budget"`
+	// Parked counts Interests currently awaiting a worker.
+	Parked int64 `json:"parked"`
+	// Sheds and Flushed are lifetime Overload sheds and flush NACKs.
+	Sheds   uint64 `json:"sheds"`
+	Flushed uint64 `json:"flushed"`
 }
 
 // Status snapshots the forwarder for /statusz. Only the face walk needs
@@ -368,6 +419,13 @@ func (f *Forwarder) Status() Status {
 		Bloom:          bloomStatus(f.tactic.Bloom()),
 		Validator:      f.tactic.Validator().Stats(),
 		Counters:       f.Stats(),
+		VerifyPool: VerifyPoolStatus{
+			Workers: f.cfg.VerifyWorkers,
+			Budget:  f.vp.budget,
+			Parked:  f.vp.Parked(),
+			Sheds:   f.vp.Sheds(),
+			Flushed: f.vp.Flushed(),
+		},
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()

@@ -2,6 +2,7 @@ package ndn
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -119,6 +120,12 @@ func FuzzPacketRoundTrip(f *testing.F) {
 	f.Add(uint64(42), math.Float64bits(0.25), uint64(7), "obj/c0", []byte("payload"), uint8(2), false)
 	f.Add(uint64(0), uint64(0), uint64(0), "", []byte{}, uint8(0), true)
 	f.Add(uint64(1), math.Float64bits(math.Inf(1)), ^uint64(0), "a/b/c/d/e/f", []byte{0, 0xff}, uint8(9), false)
+	// NACK seeds: the level byte doubles as the NackReason wire code, so
+	// these cover an Overload shed (9), a revocation (8), and an
+	// out-of-table code that must degrade to the generic reason.
+	f.Add(uint64(7), uint64(0), uint64(3), "obj/c1", []byte("x"), uint8(9), true)
+	f.Add(uint64(8), uint64(0), uint64(4), "obj/c2", []byte("y"), uint8(8), true)
+	f.Add(uint64(9), uint64(0), uint64(5), "obj/c3", []byte("z"), uint8(200), true)
 	f.Fuzz(func(t *testing.T, nonce, flagBits, ap uint64, rawName string, payload []byte, level uint8, nack bool) {
 		prov, tag := fuzzFixtures()
 		name := fuzzName(rawName)
@@ -146,6 +153,13 @@ func FuzzPacketRoundTrip(f *testing.F) {
 			t.Fatalf("Publish: %v", err)
 		}
 		d := &Data{Name: name, Content: content, Tag: tag, Flag: flag, Nack: nack}
+		if nack {
+			// Reuse the level byte as the NackReason wire code: the
+			// canonical sentinel for any code (known or not) must survive
+			// the round trip. ReasonFromCode is total, so this also walks
+			// unknown codes through the generic-reason path.
+			d.NackReason = core.ReasonFromCode(level)
+		}
 		dEnc, err := EncodeData(d)
 		if err != nil {
 			t.Fatalf("EncodeData: %v", err)
@@ -156,6 +170,9 @@ func FuzzPacketRoundTrip(f *testing.F) {
 		}
 		if !dGot.Name.Equal(d.Name) || dGot.Nack != d.Nack {
 			t.Fatalf("Data round trip mutated fields: %+v != %+v", dGot, d)
+		}
+		if nack && !errors.Is(dGot.NackReason, d.NackReason) {
+			t.Fatalf("NackReason mutated: %v -> %v", d.NackReason, dGot.NackReason)
 		}
 		checkFlag(t, flag, dGot.Flag)
 		// Non-Public payloads are encrypted at Publish; compare wire

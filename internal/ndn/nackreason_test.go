@@ -1,0 +1,107 @@
+package ndn
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// TestNackReasonRoundTrip pins the NackReason wire contract: every
+// canonical denial reason — Overload above all, the only one that is
+// not a verdict on the tag — crosses the wire as its one-byte code and
+// decodes back to the same sentinel, while wrapped or unmapped errors
+// degrade to ErrDenied rather than losing the NACK itself.
+func TestNackReasonRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		send error
+		want error
+	}{
+		{"overload", core.ErrOverload, core.ErrOverload},
+		{"no_tag", core.ErrNoTag, core.ErrNoTag},
+		{"expired", core.ErrTagExpired, core.ErrTagExpired},
+		{"forged", core.ErrTagForged, core.ErrTagForged},
+		{"prefix_mismatch", core.ErrPrefixMismatch, core.ErrPrefixMismatch},
+		{"access_path", core.ErrAccessPathMismatch, core.ErrAccessPathMismatch},
+		{"level", core.ErrInsufficientLevel, core.ErrInsufficientLevel},
+		{"key_mismatch", core.ErrProviderKeyMismatch, core.ErrProviderKeyMismatch},
+		{"revoked", core.ErrTagRevoked, core.ErrTagRevoked},
+		// A wrapped sentinel carries its code, not its wrapping text.
+		{"wrapped_overload", errors.Join(core.ErrOverload, errors.New("face 3 over budget")), core.ErrOverload},
+		// An error outside the reason table degrades to the generic code.
+		{"unmapped", errors.New("some local failure"), core.ErrDenied},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, err := EncodeData(&Data{
+				Name: names.MustParse("/prov0/obj/c0"), Nack: true, NackReason: tc.send,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeData(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Nack {
+				t.Fatal("NACK bit lost")
+			}
+			if !errors.Is(got.NackReason, tc.want) {
+				t.Fatalf("NackReason = %v, want %v", got.NackReason, tc.want)
+			}
+		})
+	}
+
+	// A reasonless NACK stays reasonless: no NackReason TLV on the wire,
+	// nil after decode (old senders must keep interoperating).
+	enc, err := EncodeData(&Data{Name: names.MustParse("/prov0/obj/c0"), Nack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeData(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Nack || got.NackReason != nil {
+		t.Fatalf("reasonless NACK decoded as Nack=%t reason=%v, want true/<nil>", got.Nack, got.NackReason)
+	}
+}
+
+// TestNackOverloadUnknownTLVSkipped splices unknown elements on both
+// sides of the NackReason TLV inside an Overload NACK: decoders that
+// predate (or postdate) this code point must skip what they don't know
+// without losing the NACK bit or the reason.
+func TestNackOverloadUnknownTLVSkipped(t *testing.T) {
+	enc, err := EncodeData(&Data{
+		Name: names.MustParse("/prov0/obj/c0"), Nack: true, NackReason: core.ErrOverload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encoder emits the outer element with the 4-byte length form
+	// unconditionally: type, 0xFE, then a big-endian uint32.
+	if len(enc) < 6 || enc[1] != 0xFE {
+		t.Fatalf("unexpected outer header % x", enc[:2])
+	}
+	body := enc[6:]
+	// Unknown elements before the body and after it (so one lands ahead
+	// of the NackReason element and one behind).
+	spliced := []byte{0xE0, 2, 0xAB, 0xCD}
+	spliced = append(spliced, body...)
+	spliced = append(spliced, 0xE1, 3, 1, 2, 3)
+	repacked := append([]byte{enc[0], 0xFE}, byte(len(spliced)>>24), byte(len(spliced)>>16), byte(len(spliced)>>8), byte(len(spliced)))
+	repacked = append(repacked, spliced...)
+
+	got, err := DecodeData(repacked)
+	if err != nil {
+		t.Fatalf("unknown elements broke decoding: %v", err)
+	}
+	if !got.Nack {
+		t.Fatal("NACK bit lost around unknown elements")
+	}
+	if !errors.Is(got.NackReason, core.ErrOverload) {
+		t.Fatalf("NackReason = %v, want ErrOverload", got.NackReason)
+	}
+}

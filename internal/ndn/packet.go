@@ -101,7 +101,10 @@ type Data struct {
 	// Nack marks the tag invalid; the edge router must not deliver to
 	// that client (Protocol 2 lines 19-20).
 	Nack bool
-	// NackReason records why, for diagnostics and metrics.
+	// NackReason records why. It crosses the wire as a one-byte reason
+	// code (core.ReasonCode / core.ReasonFromCode), so a decoded NACK
+	// carries the canonical sentinel error for its code rather than the
+	// originating router's wrapped error.
 	NackReason error
 	// Registration carries a fresh tag for KindRegistration responses.
 	Registration *core.RegistrationResponse

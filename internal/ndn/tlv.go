@@ -36,6 +36,7 @@ const (
 	tlvNack         = 0xF5
 	tlvRegResponse  = 0xF6
 	tlvTraceCtx     = 0xF7
+	tlvNackReason   = 0xF8
 )
 
 // TLV codec errors.
@@ -298,9 +299,11 @@ func DecodeInterest(b []byte) (*Interest, error) {
 	return i, nil
 }
 
-// EncodeData serialises a Data packet to its TLV wire form. NackReason
-// is a diagnostic and does not cross the wire (a real deployment would
-// map it to a NACK reason code).
+// EncodeData serialises a Data packet to its TLV wire form. On a NACK,
+// NackReason crosses the wire as a one-byte reason code (NackReason TLV
+// 0xF8) mapped through core.ReasonCode, so downstream routers and
+// clients can distinguish an enforcement verdict (forged, expired, …)
+// from an Overload shed and react accordingly.
 func EncodeData(d *Data) ([]byte, error) {
 	return AppendData(nil, d)
 }
@@ -328,6 +331,9 @@ func AppendData(dst []byte, d *Data) ([]byte, error) {
 	}
 	if d.Nack {
 		dst = append(dst, tlvNack, 0)
+		if d.NackReason != nil {
+			dst = append(dst, tlvNackReason, 1, core.ReasonCode(d.NackReason))
+		}
 	}
 	if d.Registration != nil {
 		enc, err := core.EncodeRegistrationResponse(d.Registration)
@@ -382,6 +388,11 @@ func DecodeData(b []byte) (*Data, error) {
 			d.Flag = math.Float64frombits(binary.BigEndian.Uint64(v))
 		case tlvNack:
 			d.Nack = true
+		case tlvNackReason:
+			if len(v) != 1 {
+				return nil, fmt.Errorf("ndn: bad NackReason length %d", len(v))
+			}
+			d.NackReason = core.ReasonFromCode(v[0])
 		case tlvRegResponse:
 			if d.Registration, err = core.DecodeRegistrationResponse(v); err != nil {
 				return nil, err

@@ -46,6 +46,14 @@ type RouterConfig struct {
 	// edge observes (the paper's future-work traitor-tracing feature;
 	// typically one detector shared by all edge routers of an ISP).
 	Traitor *core.TraitorDetector
+	// VerifyBudget, when positive, mirrors the live forwarder's per-face
+	// verification admission control: an edge face may have at most this
+	// many signature verifications outstanding (completion instant still
+	// in the virtual future); requests beyond the budget are shed with an
+	// Overload NACK. Zero keeps the pre-admission behaviour, so existing
+	// experiment reproductions are untouched. Tactic.DisableAdmission
+	// forces it off regardless (the "forgot to cap" ablation).
+	VerifyBudget int
 	// Colluding models threat (f) of the paper's threat model: "an
 	// unreliable router that delivers a content to unauthorized users"
 	// (§3.C) — the compromised-ISP-router collusion §6 concedes breaks
@@ -78,6 +86,12 @@ type RouterNode struct {
 	dataSeen  uint64
 	nacksSent uint64
 	drops     map[string]uint64
+	// verifyPending tracks, per arrival face, the virtual completion
+	// instants of outstanding signature verifications — the sim mirror of
+	// the live verify pool's parked+in-flight occupancy. Entries at or
+	// before "now" have retired and are pruned on the next admission
+	// check. Only populated when the admission budget is active.
+	verifyPending map[ndn.FaceID][]time.Time
 	opCount   uint64
 	// cpuBusyUntil serialises computational delays: a router is a
 	// single processing pipeline, so a burst of signature verifications
@@ -108,6 +122,8 @@ func NewRouterNode(net *Network, index int, isEdge bool, verifier pki.Verifier, 
 		cfg:    cfg,
 		rng:    rng,
 		drops:  make(map[string]uint64),
+
+		verifyPending: make(map[ndn.FaceID][]time.Time),
 	}
 	return r, nil
 }
@@ -208,6 +224,43 @@ func (r *RouterNode) cpuWait(work time.Duration) time.Duration {
 	return end.Sub(now)
 }
 
+// verifyBudget returns the per-face verify admission budget; 0 means
+// admission is off (either unconfigured or the DisableAdmission
+// ablation).
+func (r *RouterNode) verifyBudget() int {
+	if r.cfg.Tactic.DisableAdmission {
+		return 0
+	}
+	return r.cfg.VerifyBudget
+}
+
+// admitVerify prunes the face's retired verifications and reports
+// whether one more fits under the budget. Always true when admission is
+// off.
+func (r *RouterNode) admitVerify(from ndn.FaceID, now time.Time) bool {
+	budget := r.verifyBudget()
+	if budget <= 0 {
+		return true
+	}
+	kept := r.verifyPending[from][:0]
+	for _, done := range r.verifyPending[from] {
+		if done.After(now) {
+			kept = append(kept, done)
+		}
+	}
+	r.verifyPending[from] = kept
+	return len(kept) < budget
+}
+
+// noteVerify records an admitted verification's virtual completion
+// instant against its arrival face.
+func (r *RouterNode) noteVerify(from ndn.FaceID, done time.Time) {
+	if r.verifyBudget() <= 0 {
+		return
+	}
+	r.verifyPending[from] = append(r.verifyPending[from], done)
+}
+
 // maybeGCPIT lazily expires PIT entries every pitGCStride operations.
 func (r *RouterNode) maybeGCPIT() {
 	r.opCount++
@@ -227,11 +280,33 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 
 	if i.Kind == ndn.KindContent && r.isEdge && !r.cfg.DisableEnforcement && !r.cfg.Colluding &&
 		r.net.PeerKind(r.index, from) == topology.KindAccessPoint {
-		// Protocol 2 (On Interest) at the edge for client-side arrivals.
+		// Protocol 2 (On Interest) at the edge for client-side arrivals,
+		// split fast/slow exactly like the live forwarder: the BF-backed
+		// fast decision runs first, and only a miss that needs a
+		// signature check passes through per-face admission. The split is
+		// RNG-neutral — SampleOpsSplit draws per operation in class order
+		// (lookups, inserts, verifies), which is the same sequence the
+		// combined charge produced.
 		var dec core.EdgeInterestDecision
 		proc += r.chargeSpan(sp, func() {
-			dec = r.tactic.EdgeOnInterest(i.Tag, i.AccessPath, i.Name, now)
+			dec = r.tactic.EdgeOnInterestFast(i.Tag, i.AccessPath, i.Name, now)
 		})
+		if dec.NeedVerify {
+			if !r.admitVerify(from, now) {
+				r.drop(reasonString(core.ErrOverload))
+				r.nacksSent++
+				sp.Event("precheck", 0, reasonString(core.ErrOverload))
+				nack := &ndn.Data{Name: i.Name, Tag: i.Tag, Nack: true, NackReason: core.ErrOverload,
+					Trace: NextHopTrace(inTC, sp)}
+				r.net.SendData(r.index, from, nack, proc)
+				sp.End("nack", proc)
+				return
+			}
+			proc += r.chargeSpan(sp, func() {
+				dec = r.tactic.EdgeVerifyMiss(i.Tag, now)
+			})
+			r.noteVerify(from, now.Add(proc))
+		}
 		if dec.Drop {
 			r.drop(reasonString(dec.Reason))
 			r.nacksSent++
@@ -555,6 +630,8 @@ func reasonString(err error) string {
 		return "tag-revoked"
 	case errors.Is(err, core.ErrNoTag):
 		return "no-tag"
+	case errors.Is(err, core.ErrOverload):
+		return "overload"
 	default:
 		return "invalid"
 	}

@@ -5,7 +5,10 @@
 // writers.
 package obs
 
-import "sync/atomic"
+import (
+	"io"
+	"sync/atomic"
+)
 
 // Recorder retains the last N finished SpanRecords. Add is lock-free
 // (one atomic fetch-add for the slot index plus one atomic pointer
@@ -53,6 +56,24 @@ func (r *Recorder) Total() uint64 {
 		return 0
 	}
 	return r.cur.Load()
+}
+
+// WriteJSONL writes the retained spans, oldest first, as one JSON line
+// each — the same line format the live trace writer emits — and returns
+// how many spans were written. Used to flush the flight recorder to
+// disk on shutdown (tacticd -trace-flush).
+func (r *Recorder) WriteJSONL(w io.Writer) (int, error) {
+	var buf []byte
+	n := 0
+	for _, rec := range r.Snapshot() {
+		buf = appendSpanJSON(buf[:0], rec)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Snapshot copies the retained spans, oldest first. Concurrent adds may

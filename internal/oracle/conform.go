@@ -66,6 +66,17 @@ func RunSeed(seed int64, opts Options) (*Report, error) {
 	return RunScenario(scn, opts)
 }
 
+// RunFloodSeed generates the TagFlood scenario for a seed and replays
+// it: the flood gate proving all planes shed identically under a
+// seeded verify-flood burst.
+func RunFloodSeed(seed int64, opts Options) (*Report, error) {
+	scn, err := GenerateFloodScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunScenario(scn, opts)
+}
+
 // RunScenario replays one scenario against the reference model, the
 // sim plane, and (unless opts.SkipLive) the live plane, and reports
 // every per-request verdict and end-state disagreement.
@@ -74,21 +85,33 @@ func RunScenario(scn *Scenario, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref, err := RunReference(scn, info, opts.Knobs)
+	simTactic, liveTactic, knobs := opts.SimTactic, opts.LiveTactic, opts.Knobs
+	if scn.Flood != nil {
+		// Flood scenarios verify at the edge — that is the hot path the
+		// admission budget protects — with the scenario's budget mirrored
+		// into the model unless the oracle-side "forgot to cap" injection
+		// is active. Plane-side injections go through the planes' own
+		// core.Config.DisableAdmission.
+		simTactic.EdgeValidateOnMiss = true
+		liveTactic.EdgeValidateOnMiss = true
+		knobs.EdgeValidateOnMiss = true
+		knobs.AdmissionBudget = scn.Flood.Budget
+	}
+	ref, err := RunReference(scn, info, knobs)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := RunSim(scn, info, opts.SimTactic)
+	sim, err := RunSim(scn, info, simTactic)
 	if err != nil {
 		return nil, err
 	}
 	var live *PlaneResult
 	if !opts.SkipLive {
-		live, err = RunLive(scn, info, opts.LiveTactic)
+		live, err = RunLive(scn, info, liveTactic)
 		if errors.Is(err, ErrTimingSkew) {
 			// A loaded machine can miss a mid-run expiry window; the run
 			// is invalid (not divergent), so try once more.
-			live, err = RunLive(scn, info, opts.LiveTactic)
+			live, err = RunLive(scn, info, liveTactic)
 		}
 		if err != nil {
 			return nil, err
@@ -122,6 +145,14 @@ func RunScenario(scn *Scenario, opts Options) (*Report, error) {
 		}
 		if o.LiveNacked() != l.Nacked {
 			diverge(ri, "nacked(live)", boolStr(o.LiveNacked()), boolStr(l.Nacked))
+		}
+		if o.Stage == StageEdgeInterest && o.LiveNacked() && l.Nacked && o.Reason != l.Reason {
+			// Edge-Interest denials carry their reason code on the wire
+			// and are settled per-request before any PIT interaction, so
+			// the live reason is comparable. Denials settled upstream are
+			// not: an aggregated record inherits the primary answer's
+			// (possibly absent) reason.
+			diverge(ri, "reason(live)", o.Reason, l.Reason)
 		}
 	}
 	compareCS(ref.CS, sim.CS, "sim", diverge)

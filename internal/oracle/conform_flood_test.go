@@ -1,0 +1,117 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/core"
+)
+
+// TestFloodScenarioShape pins the reference model's prediction for a
+// flood scenario: exactly Budget burst requests are admitted and denied
+// "forged", the remainder are shed "overload" in request order, and
+// every victim request is delivered.
+func TestFloodScenarioShape(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		scn, err := GenerateFloodScenario(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		info, err := buildTopo(scn)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := RunReference(scn, info, Knobs{EdgeValidateOnMiss: true, AdmissionBudget: scn.Flood.Budget})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var forged, overload, delivered int
+		seenOverload := false
+		for _, o := range ref.Outcomes {
+			switch o.Reason {
+			case "forged":
+				forged++
+				if seenOverload {
+					t.Fatalf("seed %d: admitted burst request after a shed one — order broken", seed)
+				}
+			case "overload":
+				overload++
+				seenOverload = true
+			}
+			if o.Delivered {
+				delivered++
+			}
+		}
+		if forged != scn.Flood.Budget {
+			t.Errorf("seed %d: %d admitted, want budget %d", seed, forged, scn.Flood.Budget)
+		}
+		if overload == 0 {
+			t.Errorf("seed %d: no sheds — burst does not overflow the budget", seed)
+		}
+		if victims := len(scn.Requests) - forged - overload; delivered != victims {
+			t.Errorf("seed %d: %d delivered, want all %d victim requests", seed, delivered, victims)
+		}
+	}
+}
+
+// TestFloodConformance is the flood gate: the seeded verify-flood
+// scenarios must replay divergence-free across the reference model,
+// the sim plane, and the live plane.
+func TestFloodConformance(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rep, err := RunFloodSeed(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Diverged() {
+			t.Fatalf("seed %d diverged:\n%v\n%s", seed, rep.Divergences, rep.Scenario)
+		}
+	}
+}
+
+// TestFloodCatchesUncappedPlane injects the "forgot to cap one path"
+// bug — DisableAdmission on exactly one plane — and asserts the
+// harness reports it and Minimize shrinks the reproduction.
+func TestFloodCatchesUncappedPlane(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		plane string
+	}{
+		{"live", Options{LiveTactic: core.Config{DisableAdmission: true}}, "reason(live)"},
+		{"sim", Options{SimTactic: core.Config{DisableAdmission: true}}, "reason(sim)"},
+		{"oracle", Options{Knobs: Knobs{DisableAdmission: true}}, "reason("},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := RunFloodSeed(1, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Diverged() {
+				t.Fatal("uncapped plane not caught")
+			}
+			found := false
+			for _, d := range rep.Divergences {
+				if strings.Contains(d.Field, tc.plane) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %s divergence in %v", tc.plane, rep.Divergences)
+			}
+			min, minRep, err := Minimize(rep.Scenario, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !minRep.Diverged() {
+				t.Fatal("minimized scenario no longer diverges")
+			}
+			if len(min.Requests) >= len(rep.Scenario.Requests) {
+				t.Errorf("minimize made no progress: %d -> %d requests",
+					len(rep.Scenario.Requests), len(min.Requests))
+			}
+			t.Logf("minimized to %d requests (from %d)", len(min.Requests), len(rep.Scenario.Requests))
+		})
+	}
+}

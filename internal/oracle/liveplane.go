@@ -10,7 +10,9 @@ import (
 
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/forwarder"
+	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/pki"
 	"github.com/tactic-icn/tactic/internal/topology"
 	"github.com/tactic-icn/tactic/internal/transport"
 )
@@ -40,6 +42,52 @@ const (
 // scenario: enough for every pre-boundary step to finish first.
 func liveMidRunTTL(scn *Scenario) time.Duration {
 	return time.Duration(scn.Boundary)*liveStepBudget + liveExpiryMargin
+}
+
+// gatedVerifier wraps a pki.Verifier with a hold/release gate. During
+// the flood burst the gate is held, so every admitted verification
+// stays in flight — occupying its face's admission budget — until the
+// whole burst has been read off the wire; releasing then lets the
+// verdicts land. This removes the only timing freedom in the burst
+// (how fast workers drain relative to the reader), making the live
+// shed/verify split a pure function of arrival order.
+type gatedVerifier struct {
+	inner pki.Verifier
+	mu    sync.Mutex
+	gate  chan struct{} // nil = open; else closed-on-release
+}
+
+func newGatedVerifier(inner pki.Verifier) *gatedVerifier {
+	return &gatedVerifier{inner: inner}
+}
+
+func (g *gatedVerifier) Verify(locator names.Name, msg, sig []byte) error {
+	g.mu.Lock()
+	ch := g.gate
+	g.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	return g.inner.Verify(locator, msg, sig)
+}
+
+// hold blocks future Verify calls until release; idempotent.
+func (g *gatedVerifier) hold() {
+	g.mu.Lock()
+	if g.gate == nil {
+		g.gate = make(chan struct{})
+	}
+	g.mu.Unlock()
+}
+
+// release unblocks held Verify calls; idempotent.
+func (g *gatedVerifier) release() {
+	g.mu.Lock()
+	if g.gate != nil {
+		close(g.gate)
+		g.gate = nil
+	}
+	g.mu.Unlock()
 }
 
 // RunLive replays a scenario on the live plane: one forwarder.Forwarder
@@ -90,20 +138,32 @@ func RunLive(scn *Scenario, info *topoInfo, tactic core.Config) (*PlaneResult, e
 		}
 	}()
 
+	var gate *gatedVerifier
+	var floodBudget int
+	if scn.Flood != nil {
+		gate = newGatedVerifier(mat.registry)
+		floodBudget = scn.Flood.Budget
+	}
 	fwds := make(map[int]*forwarder.Forwarder)
 	newFwd := func(idx int, role forwarder.Role) error {
 		seed := scn.Seed*1009 + int64(idx) + 1
 		if seed == 0 {
 			seed = 1
 		}
+		var verifier pki.Verifier
+		if gate != nil {
+			verifier = gate
+		}
 		f, err := forwarder.New(forwarder.Config{
-			ID:         info.nodeID(idx),
-			Role:       role,
-			Registry:   mat.registry,
-			CSCapacity: liveCSCapacity,
-			Tactic:     tactic,
-			Seed:       seed,
-			Logf:       func(string, ...any) {},
+			ID:           info.nodeID(idx),
+			Role:         role,
+			Registry:     mat.registry,
+			Verifier:     verifier,
+			VerifyBudget: floodBudget,
+			CSCapacity:   liveCSCapacity,
+			Tactic:       tactic,
+			Seed:         seed,
+			Logf:         func(string, ...any) {},
 		})
 		if err != nil {
 			return err
@@ -218,6 +278,13 @@ func RunLive(scn *Scenario, info *topoInfo, tactic core.Config) (*PlaneResult, e
 			time.Sleep(time.Until(expiry.Add(liveExpiryMargin)))
 			slept = true
 		}
+		if scn.Flood != nil && step == scn.Flood.Step {
+			if err := liveFlood(scn, info, mat, fwds, gate, outcomes, lo, hi, &nonce); err != nil {
+				return nil, err
+			}
+			lo = hi
+			continue
+		}
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		var lastMidRun time.Time
@@ -286,13 +353,94 @@ func liveRequest(info *topoInfo, mat *material, fwds map[int]*forwarder.Forwarde
 			continue
 		}
 		if d.Nack {
-			// The TLV codec does not carry NackReason; Reason stays "".
-			return PlaneOutcome{Nacked: true}
+			// The reason crosses the wire as a one-byte code; report its
+			// canonical label for the edge-denial comparison.
+			return PlaneOutcome{Nacked: true, Reason: core.ReasonLabel(d.NackReason)}
 		}
 		if d.Content != nil {
 			return PlaneOutcome{Delivered: true}
 		}
 	}
+}
+
+// liveFlood replays the burst step of a flood scenario: every request
+// in [lo, hi) is sent back-to-back on ONE client connection — the
+// admission budget is per arrival face, so the burst must share one —
+// while the verify gate is held. Once the edge has read the whole
+// burst (its Interest counter has advanced by the burst size, which
+// holds whether or not admission is enforced — the property that lets
+// the harness catch an uncapped plane rather than hang on it), the
+// gate opens and the burst's verdicts are collected: admitted forged
+// tags NACK "forged", over-budget ones were already shed "overload".
+func liveFlood(scn *Scenario, info *topoInfo, mat *material, fwds map[int]*forwarder.Forwarder,
+	gate *gatedVerifier, outcomes []PlaneOutcome, lo, hi int, nonce *uint64) error {
+	edge := fwds[info.edges[info.userEdge[scn.Flood.User]]]
+	before := edge.Stats().Interests
+	burst := uint64(hi - lo)
+
+	// TCP, not net.Pipe: the shed NACKs are written by the edge's reader
+	// goroutine before the client starts reading, and the socket buffers
+	// absorb them where a synchronous pipe would deadlock the reader.
+	cliConn, edgeConn, err := tcpPair()
+	if err != nil {
+		return err
+	}
+	edge.AddFace(transport.New(edgeConn), true)
+	cli := transport.New(cliConn)
+	defer cli.Close()
+
+	gate.hold()
+	defer gate.release()
+	byTag := make(map[string]int, hi-lo)
+	for ri := lo; ri < hi; ri++ {
+		r := scn.Requests[ri]
+		if r.User != scn.Flood.User {
+			return fmt.Errorf("oracle: flood step %d holds a non-flood request %d", scn.Flood.Step, ri)
+		}
+		*nonce++
+		tag := mat.tags[r.Tag]
+		byTag[string(tag.CacheKey())] = ri
+		if err := cli.SendInterest(&ndn.Interest{
+			Name: info.contentName(scn, r.Content), Kind: ndn.KindContent, Nonce: *nonce, Tag: tag,
+		}); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for edge.Stats().Interests-before < burst {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("oracle: edge read %d of %d burst Interests before deadline",
+				edge.Stats().Interests-before, burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gate.release()
+
+	cliConn.SetReadDeadline(time.Now().Add(liveRequestTimeout)) //nolint:errcheck // TCP conns support deadlines
+	for got := 0; got < int(burst); {
+		pkt, err := cli.Receive()
+		if err != nil {
+			return fmt.Errorf("oracle: flood burst verdicts: got %d of %d: %w", got, burst, err)
+		}
+		d := pkt.Data
+		if d == nil || d.Tag == nil {
+			continue
+		}
+		ri, ok := byTag[string(d.Tag.CacheKey())]
+		if !ok {
+			continue // duplicate delivery for an already-settled tag
+		}
+		delete(byTag, string(d.Tag.CacheKey()))
+		out := &outcomes[ri]
+		if d.Nack {
+			out.Nacked = true
+			out.Reason = core.ReasonLabel(d.NackReason)
+		} else if d.Content != nil {
+			out.Delivered = true
+		}
+		got++
+	}
+	return nil
 }
 
 // tcpPair returns the two ends of a loopback TCP connection. The live

@@ -74,14 +74,21 @@ func buildMaterial(scn *Scenario, info *topoInfo, expiryOf func(TagSpec) time.Ti
 	for ti := range scn.Tags {
 		spec := scn.Tags[ti]
 		signer := pki.Signer(signers[spec.Provider])
-		if spec.Kind == TagForged {
+		if spec.Kind == TagForged || spec.Kind == TagFlood {
 			signer = rogues[spec.Provider]
 		}
 		ap := apOf(spec.HomeEdge)
 		if spec.Kind == TagRoaming {
 			ap = core.AccessPathAny
 		}
-		tag, err := core.IssueTag(signer, info.userKey(spec.User), spec.Level, ap, expiryOf(spec))
+		clientKey := info.userKey(spec.User)
+		if spec.Kind == TagFlood {
+			// Salt the serial into the key locator: every flood tag then
+			// has a distinct encoding, so each burst Interest presents a
+			// never-cached tag and forces a fresh signature check.
+			clientKey = clientKey.MustAppend(fmt.Sprintf("flood%d", spec.Serial))
+		}
+		tag, err := core.IssueTag(signer, clientKey, spec.Level, ap, expiryOf(spec))
 		if err != nil {
 			return nil, err
 		}

@@ -64,6 +64,23 @@ type Knobs struct {
 	// mirroring core.Config.DisableRevocationCheck: an explicitly
 	// revoked tag then behaves like a valid one until its T_e.
 	DisableRevocationCheck bool
+	// EdgeValidateOnMiss mirrors core.Config.EdgeValidateOnMiss: the
+	// edge settles a validated-set miss itself (signature check, then
+	// set insert) instead of stamping F = 0 and deferring to the
+	// content router. Flood scenarios run with it on — edge-side
+	// verification is what the admission budget protects.
+	EdgeValidateOnMiss bool
+	// AdmissionBudget caps, per (step, edge), how many validated-set
+	// misses are admitted into edge verification; the rest are denied
+	// "overload" at StageEdgeInterest, in request order — the reference
+	// mirror of the planes' per-face verify admission budgets. 0 means
+	// unbounded (the DisableAdmission ablation).
+	AdmissionBudget int
+	// DisableAdmission removes the admission cap while the planes keep
+	// theirs — the oracle-side "forgot to cap" injection, which must
+	// diverge from correct planes exactly like an uncapped plane
+	// diverges from the correct oracle.
+	DisableAdmission bool
 }
 
 // Stage identifies where the enforcement pipeline settled a request.
@@ -184,6 +201,9 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 	}
 
 	res := &RefResult{Outcomes: make([]RefOutcome, len(scn.Requests))}
+	// admitted counts edge-verification admissions per (step, edge) for
+	// the EdgeValidateOnMiss admission budget.
+	admitted := make(map[[2]int]int)
 	step := -1
 	var csPrev map[string]map[string]bool
 	for ri, r := range scn.Requests {
@@ -240,6 +260,31 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 			if out.Stage == StageDelivered {
 				vouched = edgeSet.Contains(tk)
 			}
+			if out.Stage == StageDelivered && !vouched && knobs.EdgeValidateOnMiss {
+				// The edge settles the miss itself. Admission first: the
+				// planes budget parked+in-flight verifications per face,
+				// which this per-request model mirrors as a per
+				// (step, edge) counter in request order — scenarios are
+				// generated so the distinction cannot be observed (only
+				// the flood burst exceeds the budget, and it arrives on
+				// one face in request order).
+				ek := [2]int{r.Step, edgePos}
+				admitted[ek]++
+				budget := knobs.AdmissionBudget
+				if knobs.DisableAdmission {
+					budget = 0
+				}
+				if budget > 0 && admitted[ek] > budget {
+					deny(StageEdgeInterest, "overload")
+				} else if t.Kind == TagForged || t.Kind == TagFlood {
+					deny(StageEdgeInterest, "forged")
+				} else if tagExpiredAt(scn, t, r.Step) {
+					deny(StageEdgeInterest, "expired")
+				} else {
+					edgeSet.Add(tk)
+					vouched = true
+				}
+			}
 		}
 		if out.Stage == StageEdgeInterest {
 			res.Outcomes[ri] = out
@@ -285,7 +330,7 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 					if !resSet.Contains(tk) {
 						if tagExpiredAt(scn, t, r.Step) {
 							deny(StageContent, "expired")
-						} else if t.Kind == TagForged {
+						} else if t.Kind == TagForged || t.Kind == TagFlood {
 							deny(StageContent, "forged")
 						} else {
 							resSet.Add(tk)
@@ -296,7 +341,7 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 					// probability F (no insert on this path).
 					if tagExpiredAt(scn, t, r.Step) {
 						deny(StageContent, "expired")
-					} else if t.Kind == TagForged {
+					} else if t.Kind == TagForged || t.Kind == TagFlood {
 						deny(StageContent, "forged")
 					}
 				}

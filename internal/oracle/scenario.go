@@ -64,6 +64,12 @@ const (
 	// holder requests from an edge other than HomeEdge (the lifecycle
 	// service's mobility grant).
 	TagRoaming
+	// TagFlood is a forged tag minted for the verify-flood threat: like
+	// TagForged its signature does not verify, but each flood tag gets a
+	// distinct Serial salted into its ClientKey so every burst Interest
+	// presents a never-seen tag and forces a fresh signature check —
+	// the attack the bounded verification pool exists to absorb.
+	TagFlood
 )
 
 // String names the kind.
@@ -81,6 +87,8 @@ func (k TagKind) String() string {
 		return "revoked"
 	case TagRoaming:
 		return "roaming"
+	case TagFlood:
+		return "flood"
 	}
 	return "unknown"
 }
@@ -103,6 +111,11 @@ type TagSpec struct {
 	// tag whose HomeEdge differs from the requester's edge models the
 	// paper's traitor scenario (threat (e)).
 	HomeEdge int
+	// Serial distinguishes otherwise-identical TagFlood tags: each
+	// plane salts it into the tag's ClientKey, so every flood tag has a
+	// distinct wire encoding (and hence a distinct Bloom-filter /
+	// validated-set key). Zero for every other kind.
+	Serial int
 }
 
 // ContentSpec is one published chunk.
@@ -144,6 +157,25 @@ type Scenario struct {
 	Contents []ContentSpec
 	Tags     []TagSpec
 	Requests []RequestSpec
+	// Flood, when non-nil, marks this as a verify-flood scenario: every
+	// request in Flood.Step belongs to Flood.User and is issued on one
+	// shared client connection in request order, and every plane runs
+	// with the per-face verify admission budget Flood.Budget.
+	Flood *FloodSpec
+}
+
+// FloodSpec parameterises a verify-flood burst (the TagFlood threat
+// class): one attacker sends a back-to-back burst of never-seen forged
+// tags on a single face, and the planes must agree — request by
+// request — on which Interests are admitted into verification (and
+// denied "forged") and which are shed with an Overload NACK.
+type FloodSpec struct {
+	// User is the flooding user index.
+	User int
+	// Step is the burst step; it contains only the flood requests.
+	Step int
+	// Budget is the per-face verify admission budget for every plane.
+	Budget int
 }
 
 // String renders the scenario compactly for divergence reports.
@@ -152,12 +184,15 @@ func (s *Scenario) String() string {
 	fmt.Fprintf(&b, "scenario seed=%d topo{core=%d edge=%d prov=%d users=%d} steps=%d boundary=%d\n",
 		s.Seed, s.Topo.CoreRouters, s.Topo.EdgeRouters, s.Topo.Providers,
 		s.Topo.Clients+s.Topo.Attackers, s.Steps, s.Boundary)
+	if s.Flood != nil {
+		fmt.Fprintf(&b, "  flood user=%d step=%d budget=%d\n", s.Flood.User, s.Flood.Step, s.Flood.Budget)
+	}
 	for i, c := range s.Contents {
 		fmt.Fprintf(&b, "  content[%d] prov%d/%s level=%d\n", i, c.Provider, c.Object, c.Level)
 	}
 	for i, t := range s.Tags {
-		fmt.Fprintf(&b, "  tag[%d] user=%d prov=%d level=%d kind=%s homeEdge=%d\n",
-			i, t.User, t.Provider, t.Level, t.Kind, t.HomeEdge)
+		fmt.Fprintf(&b, "  tag[%d] user=%d prov=%d level=%d kind=%s homeEdge=%d serial=%d\n",
+			i, t.User, t.Provider, t.Level, t.Kind, t.HomeEdge, t.Serial)
 	}
 	for i, r := range s.Requests {
 		fmt.Fprintf(&b, "  req[%d] step=%d user=%d content=%d tag=%d\n", i, r.Step, r.User, r.Content, r.Tag)
@@ -430,5 +465,70 @@ func GenerateScenario(seed int64) (*Scenario, error) {
 	sort.SliceStable(scn.Requests, func(i, j int) bool {
 		return scn.Requests[i].Step < scn.Requests[j].Step
 	})
+	return scn, nil
+}
+
+// floodBudget is the per-face verify admission budget flood scenarios
+// run with. It is deliberately tiny: the burst must overflow it by a
+// margin while the victims' per-step verification demand (at most one
+// per victim per edge per step) stays strictly below it, so admission
+// never fires outside the burst.
+const floodBudget = 4
+
+// GenerateFloodScenario derives a verify-flood scenario from seed:
+// victims warm their valid tags into the edge filters (step 0), one
+// attacker bursts a budget-overflowing run of distinct TagFlood tags on
+// a single connection (step 1), and the victims re-request under Bloom
+// filter hits (step 2). Every plane must agree which burst Interests
+// were admitted to verification (denied "forged") and which were shed
+// ("overload") — in request order, that is the first Budget and the
+// rest respectively.
+func GenerateFloodScenario(seed int64) (*Scenario, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0xf100d))
+	topo := topology.Config{
+		CoreRouters:  2 + rng.Intn(2),
+		EdgeRouters:  2,
+		Providers:    1,
+		Clients:      2,
+		Attackers:    1,
+		AttachDegree: 2,
+		Seed:         seed,
+	}
+	scn := &Scenario{Seed: seed, Topo: topo, Steps: 3}
+	info, err := buildTopo(scn)
+	if err != nil {
+		return nil, err
+	}
+	attacker := len(info.users) - 1 // users lists clients first, then attackers
+	scn.Flood = &FloodSpec{User: attacker, Step: 1, Budget: floodBudget}
+
+	scn.Contents = []ContentSpec{{Provider: 0, Object: "o0", Level: core.AccessLevel(rng.Intn(3))}}
+
+	// Victims hold top-level valid tags bound to their own edges.
+	for u := 0; u < topo.Clients; u++ {
+		scn.Tags = append(scn.Tags, TagSpec{
+			User: u, Provider: 0, Level: core.AccessLevel(2), Kind: TagValid, HomeEdge: info.userEdge[u],
+		})
+	}
+	// The burst overflows the budget by 4-7 distinct flood tags, so both
+	// verdict classes are always present.
+	burst := floodBudget + 4 + rng.Intn(4)
+	floodBase := len(scn.Tags)
+	for i := 0; i < burst; i++ {
+		scn.Tags = append(scn.Tags, TagSpec{
+			User: attacker, Provider: 0, Level: core.AccessLevel(2), Kind: TagFlood,
+			HomeEdge: info.userEdge[attacker], Serial: i,
+		})
+	}
+
+	for u := 0; u < topo.Clients; u++ {
+		scn.Requests = append(scn.Requests, RequestSpec{Step: 0, User: u, Content: 0, Tag: u})
+	}
+	for i := 0; i < burst; i++ {
+		scn.Requests = append(scn.Requests, RequestSpec{Step: 1, User: attacker, Content: 0, Tag: floodBase + i})
+	}
+	for u := 0; u < topo.Clients; u++ {
+		scn.Requests = append(scn.Requests, RequestSpec{Step: 2, User: u, Content: 0, Tag: u})
+	}
 	return scn, nil
 }

@@ -41,6 +41,21 @@ const (
 	simPITLifetime = 2 * time.Second
 )
 
+// floodSimDelays is the deterministic delay model flood scenarios
+// charge: σ = 0 everywhere (samples are exactly the mean), and a
+// signature verification costs 200 ms of virtual time — orders of
+// magnitude above the burst's per-packet link serialisation (~216 µs
+// for a tag-bearing Interest on the 10 Mbps edge link) and far below
+// the 5 s step gap, so burst verifications pile up against the budget
+// within the step and fully drain before the next one.
+func floodSimDelays() sim.OpDelays {
+	return sim.OpDelays{
+		BFLookup:  sim.NormalDelay{Mean: time.Microsecond},
+		BFInsert:  sim.NormalDelay{Mean: time.Microsecond},
+		SigVerify: sim.NormalDelay{Mean: 200 * time.Millisecond},
+	}
+}
+
 // simExpiry places a tag spec's T_e on the sim plane's virtual clock.
 func simExpiry(scn *Scenario, t TagSpec) time.Time {
 	switch t.Kind {
@@ -127,6 +142,18 @@ func RunSim(scn *Scenario, info *topoInfo, tactic core.Config) (*PlaneResult, er
 		CSCapacity:  1024,
 		PITLifetime: simPITLifetime,
 		Tactic:      tactic,
+	}
+	if scn.Flood != nil {
+		// The flood burst needs verifications to *occupy* virtual time,
+		// or the per-face outstanding-verify mirror of the admission
+		// budget would drain between the burst's serialized arrivals.
+		// A fixed zero-σ verify delay far above the burst's total wire
+		// time plays the role the gated verifier plays on the live
+		// plane: every burst verification is still outstanding when the
+		// last burst Interest arrives, deterministically.
+		rcfg.VerifyBudget = scn.Flood.Budget
+		net.ChargeDelays = true
+		net.Delays = floodSimDelays()
 	}
 	routers := make(map[int]*network.RouterNode)
 	for _, idx := range info.cores {

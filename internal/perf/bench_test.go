@@ -14,6 +14,11 @@ func BenchmarkForwarderPipeline(b *testing.B) {
 	for _, faces := range []int{1, 4, 16} {
 		b.Run(benchName("hit", faces), ForwarderPipeline(PipelineOptions{Faces: faces}))
 	}
+	// mixed-flood: face 0 floods unique forged tags (all BF misses, all
+	// needing verification) while 15 victim faces run the warm hit path;
+	// ops count victim exchanges only, so ns/op is victim service time
+	// under flood with the admission cap engaged.
+	b.Run("mixed-flood/faces=16", ForwarderFloodPipeline(PipelineOptions{Faces: 16}))
 }
 
 func benchName(kind string, faces int) string {
@@ -40,6 +45,10 @@ func BenchmarkMicroBFLookup(b *testing.B) { MicroBFLookup()(b) }
 
 // BenchmarkMicroVerify measures one ECDSA tag validation.
 func BenchmarkMicroVerify(b *testing.B) { MicroVerify()(b) }
+
+// BenchmarkMicroVerifyEd25519 measures one Ed25519 tag validation (the
+// pluggable-scheme alternative to P-256).
+func BenchmarkMicroVerifyEd25519(b *testing.B) { MicroVerifyEd25519()(b) }
 
 // BenchmarkMicroRevocationCheck measures the pre-BF revocation-set
 // lookup (negative probe against 10k revoked grants).

@@ -24,10 +24,12 @@ import (
 	"bytes"
 	"crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -56,6 +58,17 @@ type PipelineOptions struct {
 	// Window is the per-face number of Interests kept in flight
 	// (default 32).
 	Window int
+	// VerifyBudget overrides the forwarder's per-face verification
+	// admission budget (0 keeps the forwarder default).
+	VerifyBudget int
+	// Flood equips face 0 with a flood frame: a forged-tag Interest
+	// whose tag client key is patched per send, so every Interest
+	// presents a never-seen tag (fresh Bloom-filter miss, fresh
+	// verification). Used by ForwarderFloodPipeline.
+	Flood bool
+	// FloodWindow is the flooding face's in-flight window (default 256;
+	// it must exceed the admission budget for the flood to shed).
+	FloodWindow int
 }
 
 const (
@@ -67,6 +80,11 @@ const (
 	// nonceSentinel marks the nonce bytes inside a pre-encoded frame so
 	// the patch offset can be located once per frame.
 	nonceSentinel = 0xA5C3A5C3A5C3A5C3
+	// floodKeySentinel marks the patchable region of the flood frame's
+	// tag client key: 16 bytes overwritten with the hex of a serial per
+	// send. Hex keeps the component valid (never '/', never empty) while
+	// giving 2^64 distinct tag cache keys from one pre-encoded frame.
+	floodKeySentinel = "AAAAAAAAAAAAAAAA"
 )
 
 // benchClient is one downstream face: a raw conn end plus pre-encoded
@@ -85,6 +103,11 @@ type pipelineEnv struct {
 	fwd     *forwarder.Forwarder
 	clients []*benchClient
 	name    names.Name
+	// Flood frame (opts.Flood): pre-encoded forged-tag Interest with
+	// patch offsets for the nonce and the tag client-key serial.
+	floodFrame   []byte
+	floodNonceAt int
+	floodKeyAt   int
 }
 
 // encodeWithSentinel encodes an Interest carrying the sentinel nonce and
@@ -209,12 +232,13 @@ func newPipelineEnv(b *testing.B, opts PipelineOptions) *pipelineEnv {
 	// every packet (and full span recording on the sampled ones).
 	tracer := obs.NewTracerRecorder(edgeID, 1.0/1024, io.Discard, obs.NewRecorder(1024))
 	fwd, err := forwarder.New(forwarder.Config{
-		ID:       edgeID,
-		Role:     forwarder.RoleEdge,
-		Registry: reg,
-		Tactic:   core.Config{EdgeValidateOnMiss: true},
-		Seed:     1,
-		Tracer:   tracer,
+		ID:           edgeID,
+		Role:         forwarder.RoleEdge,
+		Registry:     reg,
+		Tactic:       core.Config{EdgeValidateOnMiss: true},
+		Seed:         1,
+		Tracer:       tracer,
+		VerifyBudget: opts.VerifyBudget,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -245,6 +269,28 @@ func newPipelineEnv(b *testing.B, opts PipelineOptions) *pipelineEnv {
 			Expiry:      expiry,
 			Signature:   append([]byte(nil), anchor.Signature...),
 		})
+	}
+
+	if opts.Flood {
+		// The flood frame's tag is forged like the others but its client
+		// key carries the patchable serial region, so face 0 can present
+		// a distinct unverifiable tag on every send.
+		ft := &core.Tag{
+			ProviderKey: provKey.Locator(),
+			Level:       1,
+			ClientKey:   names.MustNew("users", "flood", floodKeySentinel, "KEY", "1"),
+			AccessPath:  ap,
+			Expiry:      expiry,
+			Signature:   append([]byte(nil), anchor.Signature...),
+		}
+		frame, nonceAt := encodeWithSentinel(b, &ndn.Interest{
+			Name: env.name, Kind: ndn.KindContent, Tag: ft,
+		})
+		keyAt := bytes.Index(frame, []byte(floodKeySentinel))
+		if keyAt < 0 || bytes.Contains(frame[keyAt+len(floodKeySentinel):], []byte(floodKeySentinel)) {
+			b.Fatalf("flood key sentinel not unique in encoded frame")
+		}
+		env.floodFrame, env.floodNonceAt, env.floodKeyAt = frame, nonceAt, keyAt
 	}
 
 	for i := 0; i < opts.Faces; i++ {
@@ -406,6 +452,106 @@ func ForwarderPipeline(opts PipelineOptions) func(*testing.B) {
 	}
 }
 
+// ForwarderFloodPipeline returns a benchmark body measuring victim-face
+// service time under a verify flood: face 0 saturates the forwarder
+// with unique forged tags — every Interest a fresh Bloom-filter miss
+// demanding a full signature verification — while the remaining faces
+// run the warm BF-hit path. One op is one *victim* Interest→response
+// exchange, so ns/op is the number the per-face admission budget exists
+// to protect: what legitimate clients pay while one face monopolises
+// the verifiers. The body fails the benchmark if the flooding face is
+// never shed (admission cap not engaged), and reports the shed count so
+// a capped run is distinguishable from one where the flood simply never
+// outran the workers.
+func ForwarderFloodPipeline(opts PipelineOptions) func(*testing.B) {
+	return func(b *testing.B) {
+		opts.Flood = true
+		if opts.Faces < 2 {
+			opts.Faces = 16
+		}
+		env := newPipelineEnv(b, opts)
+		defer env.close()
+		flood, victims := env.clients[0], env.clients[1:]
+
+		window := opts.FloodWindow
+		if window <= 0 {
+			window = 256
+		}
+		var stop atomic.Bool
+		ramped := make(chan struct{})
+		floodDone := make(chan struct{})
+		go func() {
+			defer close(floodDone)
+			var serial uint64
+			var raw [8]byte
+			inflight := 0
+			for !stop.Load() {
+				serial++
+				binary.BigEndian.PutUint64(raw[:], serial)
+				hex.Encode(env.floodFrame[env.floodKeyAt:env.floodKeyAt+len(floodKeySentinel)], raw[:])
+				flood.patchNonce(env.floodFrame, env.floodNonceAt, 1<<63|serial)
+				if inflight == window {
+					if err := flood.awaitResponse(); err != nil {
+						return
+					}
+					inflight--
+				}
+				if _, err := flood.conn.Write(env.floodFrame); err != nil {
+					return
+				}
+				inflight++
+				if serial == uint64(window) {
+					close(ramped)
+				}
+			}
+			// Every flood Interest gets a response eventually (Overload
+			// NACK on shed, forged NACK after verification), so draining
+			// terminates and leaves the forwarder's write side unblocked.
+			for ; inflight > 0; inflight-- {
+				if err := flood.awaitResponse(); err != nil {
+					return
+				}
+			}
+		}()
+		// Wait for the flood to fill its window before the clock starts:
+		// with the window above the budget, the admission cap is engaged
+		// from the first measured op even in short calibration rounds.
+		<-ramped
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		perFace := b.N / len(victims)
+		extra := b.N % len(victims)
+		for i, cl := range victims {
+			n := perFace
+			if i < extra {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, cl *benchClient, n int) {
+				defer wg.Done()
+				if err := cl.run(i+1, n, opts.Window, 0); err != nil {
+					b.Error(err)
+				}
+			}(i, cl, n)
+		}
+		wg.Wait()
+		b.StopTimer()
+		stop.Store(true)
+		<-floodDone
+
+		stats := env.fwd.Stats()
+		if stats.VerifySheds == 0 {
+			b.Fatal("flooding face was never shed: admission cap not engaged")
+		}
+		b.ReportMetric(float64(stats.VerifySheds), "sheds")
+	}
+}
+
 // MicroBFLookup returns a benchmark body for a single Bloom-filter
 // membership test over a realistic tag cache key (~200 bytes).
 func MicroBFLookup() func(*testing.B) {
@@ -434,6 +580,37 @@ func MicroVerify() func(*testing.B) {
 	return func(b *testing.B) {
 		reg := pki.NewRegistry()
 		provKey, err := pki.GenerateECDSA(rand.Reader, names.MustNew("provbench", "KEY", "1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Register(provKey.Locator(), provKey.Public()); err != nil {
+			b.Fatal(err)
+		}
+		tag, err := core.IssueTag(provKey, names.MustNew("users", "u0", "KEY", "1"), 1,
+			core.EmptyAccessPath, time.Now().Add(time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := core.NewTagValidator(reg)
+		now := time.Now()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := v.Validate(tag, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MicroVerifyEd25519 returns a benchmark body for one full tag
+// validation under the Ed25519 scheme — the drop-in alternative to
+// P-256 the verification pool's pluggable-signer seam exists for.
+// Compare against MicroVerify to price the scheme swap.
+func MicroVerifyEd25519() func(*testing.B) {
+	return func(b *testing.B) {
+		reg := pki.NewRegistry()
+		provKey, err := pki.GenerateEd25519(rand.Reader, names.MustNew("provbench", "KEY", "1"))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package pki
 
 import (
 	"crypto/ecdsa"
+	"crypto/ed25519"
 	"crypto/sha256"
 	"crypto/x509"
 	"encoding/hex"
@@ -19,9 +20,11 @@ import (
 
 // PEM block types.
 const (
-	pemECDSAPrivate = "TACTIC ECDSA PRIVATE KEY"
-	pemECDSAPublic  = "TACTIC ECDSA PUBLIC KEY"
-	pemFastPrivate  = "TACTIC SIM PRIVATE KEY"
+	pemECDSAPrivate   = "TACTIC ECDSA PRIVATE KEY"
+	pemECDSAPublic    = "TACTIC ECDSA PUBLIC KEY"
+	pemFastPrivate    = "TACTIC SIM PRIVATE KEY"
+	pemEd25519Private = "TACTIC ED25519 PRIVATE KEY"
+	pemEd25519Public  = "TACTIC ED25519 PUBLIC KEY"
 )
 
 // pemLocatorHeader carries the key-locator name.
@@ -72,6 +75,32 @@ func UnmarshalECDSAPrivate(data []byte, rng io.Reader) (*ECDSAKeyPair, error) {
 	}, nil
 }
 
+// MarshalEd25519Private serialises an Ed25519 key pair (private half)
+// to PEM.
+func MarshalEd25519Private(k *Ed25519KeyPair) ([]byte, error) {
+	return pem.EncodeToMemory(&pem.Block{
+		Type:    pemEd25519Private,
+		Headers: map[string]string{pemLocatorHeader: k.locator.String()},
+		Bytes:   k.priv.Seed(),
+	}), nil
+}
+
+// UnmarshalEd25519Private parses a PEM Ed25519 key pair.
+func UnmarshalEd25519Private(data []byte) (*Ed25519KeyPair, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemEd25519Private {
+		return nil, fmt.Errorf("pki: no %s PEM block", pemEd25519Private)
+	}
+	locator, err := names.Parse(block.Headers[pemLocatorHeader])
+	if err != nil {
+		return nil, fmt.Errorf("pki: key locator header: %w", err)
+	}
+	if len(block.Bytes) != ed25519.SeedSize {
+		return nil, fmt.Errorf("pki: bad ed25519 seed length %d", len(block.Bytes))
+	}
+	return &Ed25519KeyPair{priv: ed25519.NewKeyFromSeed(block.Bytes), locator: locator}, nil
+}
+
 // MarshalPublic serialises a verifying key (with its locator) to PEM.
 // ECDSA keys use PKIX encoding; simulation keys export their seed (they
 // are symmetric — see the FastScheme caveat).
@@ -86,6 +115,12 @@ func MarshalPublic(locator names.Name, key PublicKey) ([]byte, error) {
 			Type:    pemECDSAPublic,
 			Headers: map[string]string{pemLocatorHeader: locator.String()},
 			Bytes:   der,
+		}), nil
+	case ed25519PublicKey:
+		return pem.EncodeToMemory(&pem.Block{
+			Type:    pemEd25519Public,
+			Headers: map[string]string{pemLocatorHeader: locator.String()},
+			Bytes:   k.pub,
 		}), nil
 	case fastPublicKey:
 		return pem.EncodeToMemory(&pem.Block{
@@ -120,6 +155,11 @@ func UnmarshalPublic(data []byte) (names.Name, PublicKey, error) {
 			return names.Name{}, nil, fmt.Errorf("pki: not an ECDSA key: %T", pub)
 		}
 		return locator, ecdsaPublicKey{pub: ecPub}, nil
+	case pemEd25519Public:
+		if len(block.Bytes) != ed25519.PublicKeySize {
+			return names.Name{}, nil, fmt.Errorf("pki: bad ed25519 public key length %d", len(block.Bytes))
+		}
+		return locator, ed25519PublicKey{pub: ed25519.PublicKey(append([]byte(nil), block.Bytes...))}, nil
 	case pemFastPrivate:
 		if len(block.Bytes) != 32 {
 			return names.Name{}, nil, fmt.Errorf("pki: bad sim key length %d", len(block.Bytes))
