@@ -47,13 +47,14 @@ func run(args []string) error {
 	benchOut := fs.String("bench-out", "", "run the live forwarding-plane benchmarks and write a JSON snapshot to this file instead of the simulation suite")
 	benchHistory := fs.String("bench-history", "BENCH_history.jsonl", "with -bench-out, also append the snapshot as one JSONL line to this file (empty disables)")
 	benchDiff := fs.String("bench-diff", "", "compare a benchmark snapshot (JSON file) against its pre_change_baseline and the previous history entry, then exit")
+	benchWarn := fs.Float64("bench-warn", 0, "with -bench-diff, emit ::warning lines and exit nonzero when any benchmark's ns/op regresses more than this percent against the previous history entry (0 disables)")
 	quiet := fs.Bool("q", false, "suppress per-run progress")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *benchDiff != "" {
-		return diffBenchSnapshot(*benchDiff, *benchHistory)
+		return diffBenchSnapshot(*benchDiff, *benchHistory, *benchWarn)
 	}
 	if *benchOut != "" {
 		return writeBenchSnapshot(*benchOut, *benchHistory)
@@ -133,6 +134,9 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+	// PPS carries the custom packets-per-second metric of the wire
+	// benchmarks (absent for the in-process pipeline benches).
+	PPS float64 `json:"pps,omitempty"`
 }
 
 // benchSnapshot is the decoded shape of a snapshot file or history line.
@@ -190,6 +194,10 @@ func writeBenchSnapshot(path, historyPath string) error {
 		{"MicroVerifyEd25519", perf.MicroVerifyEd25519()},
 		{"MicroRevocationCheck", perf.MicroRevocationCheck()},
 		{"MicroTLVRoundTrip", perf.MicroTLVRoundTrip()},
+		{"WirePPS/tcp", perf.WirePPS("tcp")},
+		{"WirePPS/tcp-coalesced", perf.WirePPS("tcp-coalesced")},
+		{"WirePPS/udp", perf.WirePPS("udp")},
+		{"WirePPS/udp-batched", perf.WirePPS("udp-batched")},
 	}
 
 	out := map[string]any{
@@ -214,6 +222,7 @@ func writeBenchSnapshot(path, historyPath string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 			Iterations:  r.N,
+			PPS:         r.Extra["pps"],
 		}
 	}
 	out["benchmarks"] = results
@@ -257,10 +266,13 @@ func writeBenchSnapshot(path, historyPath string) error {
 
 // diffBenchSnapshot compares the snapshot at path against (a) its own
 // pre_change_baseline, if recorded, and (b) the last history entry
-// older than the snapshot. It reports deltas and always exits zero:
-// benchmark noise across machines makes hard-failing on a threshold
-// here worse than useless, so the gate is informational.
-func diffBenchSnapshot(path, historyPath string) error {
+// older than the snapshot. It reports deltas and, by default, exits
+// zero: benchmark noise across machines makes hard-failing on a
+// threshold worse than useless. warnPct > 0 opts into an advisory
+// gate — any ns/op regression beyond that percent against the history
+// entry prints a "::warning" line (GitHub annotation syntax) and turns
+// the exit nonzero, for CI jobs that run with continue-on-error.
+func diffBenchSnapshot(path, historyPath string, warnPct float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -291,6 +303,26 @@ func diffBenchSnapshot(path, historyPath string) error {
 	}
 	fmt.Printf("\n%s vs history entry %s:\n", path, when)
 	printBenchDiff(snap.Benchmarks, prev)
+
+	if warnPct > 0 {
+		var regressed []string
+		for name, c := range snap.Benchmarks {
+			r, ok := prev[name]
+			if !ok || r.NsPerOp <= 0 {
+				continue
+			}
+			if pct := (c.NsPerOp - r.NsPerOp) / r.NsPerOp * 100; pct > warnPct {
+				regressed = append(regressed, fmt.Sprintf("%s +%.1f%% (%.0f -> %.0f ns/op)", name, pct, r.NsPerOp, c.NsPerOp))
+			}
+		}
+		sort.Strings(regressed)
+		for _, msg := range regressed {
+			fmt.Printf("::warning title=benchmark regression::%s\n", msg)
+		}
+		if len(regressed) > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs history entry %s", len(regressed), warnPct, when)
+		}
+	}
 	return nil
 }
 
@@ -349,6 +381,9 @@ func printBenchDiff(cur, ref map[string]benchResult) {
 			mark = "  <-- slower"
 		case pct <= -3:
 			mark = "  <-- faster"
+		}
+		if c.PPS > 0 {
+			mark = fmt.Sprintf("  [%.0f pps]%s", c.PPS, mark)
 		}
 		fmt.Printf("  %-36s %10.0f ns/op  vs %10.0f  (%+.1f%%, allocs %d vs %d)%s\n",
 			name, c.NsPerOp, r.NsPerOp, pct, c.AllocsPerOp, r.AllocsPerOp, mark)

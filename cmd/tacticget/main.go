@@ -4,6 +4,9 @@
 //
 //	tacticget -edge 127.0.0.1:6362 -edge-id edge-0 -key alice.key \
 //	          -name /prov0/report -out report.pdf
+//
+// The edge address takes an optional scheme: udp://host:port fetches
+// over batched datagram faces, plain host:port (or tcp://) over TCP.
 package main
 
 import (
@@ -31,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tacticget", flag.ContinueOnError)
-	edge := fs.String("edge", "127.0.0.1:6362", "edge forwarder address")
+	edge := fs.String("edge", "127.0.0.1:6362", "edge forwarder address; prefix udp:// for datagram transport (default TCP)")
 	edgeID := fs.String("edge-id", "", "edge node identity (binds the tag's access path)")
 	keyPath := fs.String("key", "", "client private key PEM (tactickey gen)")
 	nameStr := fs.String("name", "", "object name, e.g. /prov0/report")

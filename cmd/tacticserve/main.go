@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -26,6 +25,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
+	"github.com/tactic-icn/tactic/internal/transport"
 )
 
 func main() {
@@ -43,7 +43,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tacticserve", flag.ContinueOnError)
-	listen := fs.String("listen", ":7000", "listen address")
+	listen := fs.String("listen", ":7000", "listen address; prefix udp:// for datagram faces (default TCP)")
 	admin := fs.String("admin", "", "admin HTTP address for /metrics, /statusz, /debug/pprof (empty = disabled)")
 	prefixStr := fs.String("prefix", "", "provider name prefix, e.g. /prov0")
 	keyPath := fs.String("key", "", "provider private key PEM (tactickey gen)")
@@ -160,10 +160,11 @@ func run(args []string) error {
 		log.Printf("published %s/%s: %d bytes in %d chunks (AL %d)", prefix, object, len(payload), chunks, *level)
 	}
 
-	ln, err := net.Listen("tcp", *listen)
+	ln, err := transport.ListenFace(*listen, transport.UDPOptions{})
 	if err != nil {
 		return err
 	}
-	log.Printf("tacticserve %s listening on %s (tag TTL %s)", prefix, ln.Addr(), *ttl)
-	return producer.Serve(ln)
+	network, _ := transport.SplitScheme(*listen)
+	log.Printf("tacticserve %s listening on %s/%s (tag TTL %s)", prefix, network, ln.Addr(), *ttl)
+	return producer.ServeFaces(ln)
 }

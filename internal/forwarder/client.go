@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -22,7 +21,7 @@ import (
 // it registers for tags on demand, attaches them to Interests, matches
 // responses to outstanding requests, and surfaces NACKs as errors.
 type Client struct {
-	conn     *transport.Conn
+	conn     transport.Face
 	identity *core.Client
 	nodeID   string
 	ap       core.AccessPath
@@ -60,22 +59,24 @@ var (
 	ErrClosed = errors.New("forwarder: client closed")
 )
 
-// Dial connects a client identity to an edge forwarder. edgeID is the
-// edge's entity identity, which determines the access path tags bind to
-// (the edge is the client's first-hop entity); nodeID names this device
-// in registration Interests.
+// Dial connects a client identity to an edge forwarder. The address
+// may carry a scheme ("udp://host:port" fetches over datagrams); bare
+// addresses dial TCP. edgeID is the edge's entity identity, which
+// determines the access path tags bind to (the edge is the client's
+// first-hop entity); nodeID names this device in registration
+// Interests.
 func Dial(addr string, identity *core.Client, nodeID, edgeID string) (*Client, error) {
-	raw, err := net.Dial("tcp", addr)
+	face, err := transport.DialFace(addr, transport.UDPOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("forwarder: dial edge %s: %w", addr, err)
 	}
 	var salt [8]byte
 	if _, err := rand.Read(salt[:]); err != nil {
-		raw.Close()
+		face.Close()
 		return nil, fmt.Errorf("forwarder: nonce salt: %w", err)
 	}
 	c := &Client{
-		conn:     transport.New(raw),
+		conn:     face,
 		identity: identity,
 		nodeID:   nodeID,
 		ap:       core.EmptyAccessPath.Accumulate(edgeID),
@@ -175,6 +176,15 @@ func (c *Client) SetAttempts(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.attempts = n
+}
+
+// StartKeepalive emits liveness frames on the client's face every
+// interval (<= 0 is a no-op). Required over datagram edges: a quiet
+// stream client is detected dead by its FIN, but a quiet UDP client is
+// indistinguishable from a vanished one, so the edge reaps its face by
+// idle timeout unless keepalives refresh it.
+func (c *Client) StartKeepalive(interval time.Duration) {
+	c.conn.StartKeepalive(interval)
 }
 
 // SetTracer enables end-to-end tracing: every every-th Fetch records a

@@ -158,6 +158,25 @@ func (p *Producer) Serve(ln net.Listener) error {
 	}
 }
 
+// ServeFaces accepts faces from any FaceListener — a stream listener
+// or a UDP endpoint (one face per remote, created on its first
+// datagram) — until the listener closes.
+func (p *Producer) ServeFaces(l transport.FaceListener) error {
+	for {
+		face, err := l.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		p.wg.Add(1)
+		go p.serveConn(face)
+	}
+}
+
 // ServeConn answers Interests arriving on an already-established
 // connection (e.g. one end of a net.Pipe), returning immediately; the
 // serving goroutine exits when the connection closes. It lets a
@@ -169,8 +188,8 @@ func (p *Producer) ServeConn(conn net.Conn) {
 	go p.serveConn(c)
 }
 
-// serveConn answers one connection's Interests.
-func (p *Producer) serveConn(c *transport.Conn) {
+// serveConn answers one face's Interests.
+func (p *Producer) serveConn(c transport.Face) {
 	defer p.wg.Done()
 	defer c.Close()
 	for {

@@ -30,9 +30,15 @@ type UplinkConfig struct {
 	// resets the count.
 	MaxAttempts int
 	// Dial overrides the dialer — tests inject fault-injecting
-	// transports (internal/transport/chaos). Nil dials TCP with a 10 s
-	// timeout.
+	// transports (internal/transport/chaos). It receives the full Addr
+	// including any scheme prefix; a "udp://" Addr has the returned conn
+	// treated as datagram-semantics (one Write = one datagram). Nil
+	// dials by scheme: "udp://" opens a batched datagram face, anything
+	// else TCP with a 10 s timeout.
 	Dial func(addr string) (net.Conn, error)
+	// UDP tunes datagram uplinks (MTU, reassembly bounds); ignored for
+	// stream schemes.
+	UDP transport.UDPOptions
 	// SyncPeer registers the uplink's face as a BF-sync peer while it is
 	// attached (see Forwarder.AddSyncPeer): neighbor edge routers receive
 	// this forwarder's validated-tag Bloom filter deltas through it.
@@ -70,11 +76,6 @@ func (f *Forwarder) ManageUpstream(cfg UplinkConfig) (*Uplink, error) {
 		return nil, errors.New("forwarder: uplink address required")
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
-	if cfg.Dial == nil {
-		cfg.Dial = func(addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, 10*time.Second)
-		}
-	}
 	u := &Uplink{f: f, cfg: cfg, closed: make(chan struct{}), face: ndn.FaceNone}
 	if reg := f.m.reg; reg != nil {
 		reg.Help(MetricUplinkConnects, "Managed-uplink attaches, including reconnects.")
@@ -114,7 +115,7 @@ func (u *Uplink) run() {
 			return
 		default:
 		}
-		raw, err := u.cfg.Dial(u.cfg.Addr)
+		face, err := u.dialFace()
 		if err != nil {
 			failures++
 			if u.cfg.MaxAttempts > 0 && failures >= u.cfg.MaxAttempts {
@@ -137,7 +138,7 @@ func (u *Uplink) run() {
 		// goroutine) whatever killed the face — peer reset, fatal send
 		// error, idle timeout — so every path funnels back here.
 		down := make(chan struct{})
-		id := u.f.addFace(transport.New(raw), false, func() { close(down) })
+		id := u.f.addFace(face, false, func() { close(down) })
 		u.mu.Lock()
 		u.face = id
 		u.mu.Unlock()
@@ -171,6 +172,33 @@ func (u *Uplink) run() {
 			u.f.logf("uplink %s: face %d down, reconnecting", u.cfg.Addr, id)
 		}
 	}
+}
+
+// dialFace establishes one upstream face by scheme: a custom dialer's
+// conn is framed as a stream or wrapped as a datagram face depending on
+// the Addr scheme; the default path dials TCP or opens a batched UDP
+// face. Datagram uplinks "connect" instantly — their death (and hence
+// this redial loop) is driven by idle timeouts plus keepalives.
+func (u *Uplink) dialFace() (transport.Face, error) {
+	network, hostport := transport.SplitScheme(u.cfg.Addr)
+	if u.cfg.Dial != nil {
+		raw, err := u.cfg.Dial(u.cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if network == "udp" {
+			return transport.NewDatagramConn(raw, u.cfg.UDP), nil
+		}
+		return transport.New(raw), nil
+	}
+	if network == "udp" {
+		return transport.DialUDP(hostport, u.cfg.UDP)
+	}
+	raw, err := net.DialTimeout(network, hostport, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return transport.New(raw), nil
 }
 
 // Up reports whether the uplink currently has a live face.

@@ -56,3 +56,12 @@ func BenchmarkMicroRevocationCheck(b *testing.B) { MicroRevocationCheck()(b) }
 
 // BenchmarkMicroTLVRoundTrip measures one Interest encode+decode cycle.
 func BenchmarkMicroTLVRoundTrip(b *testing.B) { MicroTLVRoundTrip()(b) }
+
+// BenchmarkWirePPS measures raw frame throughput over real loopback
+// sockets for each transport variant; compare the pps metric across
+// variants (batched UDP should clear stream TCP by a wide margin).
+func BenchmarkWirePPS(b *testing.B) {
+	for _, variant := range []string{"tcp", "tcp-coalesced", "udp", "udp-batched"} {
+		b.Run(variant, WirePPS(variant))
+	}
+}

@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"net"
+	"strings"
+)
+
+// SplitScheme splits a scheme-prefixed face address ("udp://host:port",
+// "tcp://host:port", "unix:///path") into its network and bare address.
+// A bare address with no scheme is TCP, the historical default.
+func SplitScheme(spec string) (network, addr string) {
+	for _, s := range [...]struct{ prefix, network string }{
+		{"udp://", "udp"},
+		{"tcp://", "tcp"},
+		{"unix://", "unix"},
+	} {
+		if strings.HasPrefix(spec, s.prefix) {
+			return s.network, spec[len(s.prefix):]
+		}
+	}
+	return "tcp", spec
+}
+
+// FaceListener accepts wire faces: stream listeners yield one framed
+// Conn per accepted connection, a UDPEndpoint yields one DatagramFace
+// per new remote 5-tuple.
+type FaceListener interface {
+	// Accept blocks for the next face. After Close it returns an error
+	// wrapping net.ErrClosed.
+	Accept() (Face, error)
+	// Close stops accepting and releases the listener.
+	Close() error
+	// Addr returns the bound local address.
+	Addr() net.Addr
+}
+
+// streamListener adapts a net.Listener into a FaceListener by framing
+// every accepted connection.
+type streamListener struct{ net.Listener }
+
+func (l streamListener) Accept() (Face, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return New(c), nil
+}
+
+// ListenFace listens on a scheme-prefixed address and returns a face
+// listener: "udp://" binds a datagram endpoint (udp controls its
+// fragmentation and batching), anything else a stream listener.
+func ListenFace(spec string, udp UDPOptions) (FaceListener, error) {
+	network, addr := SplitScheme(spec)
+	if network == "udp" {
+		return ListenUDP(addr, udp)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return streamListener{ln}, nil
+}
+
+// DialFace dials a scheme-prefixed address and returns a connected
+// face: "udp://" yields a batched datagram face, anything else a
+// framed stream Conn.
+func DialFace(spec string, udp UDPOptions) (Face, error) {
+	network, addr := SplitScheme(spec)
+	if network == "udp" {
+		return DialUDP(addr, udp)
+	}
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(c), nil
+}

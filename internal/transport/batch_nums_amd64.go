@@ -1,0 +1,9 @@
+//go:build linux && amd64
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers on linux/amd64.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers on linux/arm64.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

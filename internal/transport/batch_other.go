@@ -1,0 +1,22 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+import (
+	"net"
+	"net/netip"
+)
+
+// batchMax still sizes the write-side drain on platforms without
+// batched syscalls; each datagram is its own sendto.
+const batchMax = 32
+
+// batchIO is unavailable here; the endpoint falls back to
+// single-datagram ReadFromUDPAddrPort/WriteToUDPAddrPort.
+type batchIO struct{}
+
+func newBatchIO(pc *net.UDPConn, bufSize int) *batchIO { return nil }
+
+func (b *batchIO) readBatch() (int, error)          { panic("transport: batch I/O unavailable") }
+func (b *batchIO) msg(int) ([]byte, netip.AddrPort) { panic("transport: batch I/O unavailable") }
+func (b *batchIO) writeBatch([]outDatagram)         { panic("transport: batch I/O unavailable") }

@@ -71,6 +71,37 @@ func IsFatal(err error) bool {
 	return errors.As(err, &ce)
 }
 
+// Face is one attached wire endpoint, stream- or datagram-backed:
+// *Conn frames packets over byte streams (TCP, Unix, net.Pipe) and
+// *DatagramFace carries them over UDP with fragmentation. Reads are
+// single-reader; sends are safe for concurrent use.
+type Face interface {
+	// Receive blocks for the next packet; keepalives are consumed
+	// internally. io.EOF signals a clean close.
+	Receive() (Packet, error)
+	// SendInterest, SendData, and SendControl encode and send one packet.
+	SendInterest(*ndn.Interest) error
+	SendData(*ndn.Data) error
+	SendControl(*ndn.Control) error
+	// SendFrame sends one pre-encoded TLV frame verbatim — the zero-copy
+	// relay hook: a forwarder holding valid frame bytes need not re-encode.
+	SendFrame(frame []byte) error
+	// SendKeepalive sends one liveness frame.
+	SendKeepalive() error
+	// StartKeepalive sends liveness frames every interval until close.
+	StartKeepalive(interval time.Duration)
+	// SetWriteTimeout, SetIdleTimeout, and SetMetrics tune the face.
+	SetWriteTimeout(d time.Duration)
+	SetIdleTimeout(d time.Duration)
+	SetMetrics(m *Metrics)
+	// Stats snapshots the face's frame counters.
+	Stats() Stats
+	// RemoteAddr returns the peer address.
+	RemoteAddr() net.Addr
+	// Close releases the face.
+	Close() error
+}
+
 // Packet is one received packet: exactly one of Interest, Data, or
 // Control is non-nil.
 type Packet struct {
@@ -120,12 +151,21 @@ type Conn struct {
 	c  net.Conn
 	r  *bufio.Reader
 	w  *bufio.Writer
-	mu sync.Mutex // guards w
+	mu sync.Mutex // guards w, wErr, flushTimer, timerArmed
 
 	// writeTimeout and idleTimeout hold time.Duration nanoseconds;
 	// 0 disables the respective deadline.
 	writeTimeout atomic.Int64
 	idleTimeout  atomic.Int64
+
+	// coalesce holds the flush-aggregation window in nanoseconds; 0
+	// flushes every frame (the default). See SetCoalesce.
+	coalesce   atomic.Int64
+	flushTimer *time.Timer
+	timerArmed bool
+	// wErr is the sticky write-path error: once the stream failed (or an
+	// async coalesced flush failed) every later send reports it as fatal.
+	wErr error
 
 	framesIn, framesOut atomic.Uint64
 	bytesIn, bytesOut   atomic.Uint64
@@ -141,12 +181,36 @@ type Conn struct {
 
 // New wraps a net.Conn.
 func New(c net.Conn) *Conn {
-	return &Conn{
+	conn := &Conn{
 		c:    c,
-		r:    bufio.NewReaderSize(c, 64<<10),
 		w:    bufio.NewWriterSize(c, 64<<10),
 		done: make(chan struct{}),
 	}
+	// Reads go through progressReader so the idle deadline refreshes on
+	// every low-level read, not once per frame: a slow multi-KB frame on
+	// a lossy link keeps making progress without tripping the idle timer.
+	conn.r = bufio.NewReaderSize(&progressReader{c: conn}, 64<<10)
+	return conn
+}
+
+// progressReader is the read path beneath the bufio.Reader: it pushes
+// the idle deadline forward before every underlying read, so any byte
+// of progress counts as liveness (reads served from the bufio buffer
+// never block and need no deadline).
+type progressReader struct {
+	c   *Conn
+	set bool // a deadline is currently installed
+}
+
+func (p *progressReader) Read(b []byte) (int, error) {
+	if d := time.Duration(p.c.idleTimeout.Load()); d > 0 {
+		p.c.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the read reports failures
+		p.set = true
+	} else if p.set {
+		p.c.c.SetReadDeadline(time.Time{}) //nolint:errcheck // best-effort
+		p.set = false
+	}
+	return p.c.c.Read(b)
 }
 
 // SetWriteTimeout bounds each frame write (header through flush): a
@@ -205,10 +269,38 @@ func (c *Conn) countErr() {
 	}
 }
 
+// SetCoalesce enables write aggregation: instead of flushing every
+// frame, frames accumulate in the write buffer and flush when it holds
+// coalesceFlushBytes or when window elapses since the first buffered
+// frame — back-to-back Data replies share one syscall. window <= 0
+// restores flush-per-frame (the default). A failed asynchronous flush
+// is sticky: the next send reports it as a fatal ConnError.
+func (c *Conn) SetCoalesce(window time.Duration) {
+	if window < 0 {
+		window = 0
+	}
+	c.coalesce.Store(int64(window))
+}
+
+// coalesceFlushBytes flushes a coalescing writer early once this many
+// bytes are buffered, keeping latency bounded under load.
+const coalesceFlushBytes = 32 << 10
+
 // Close closes the underlying connection and stops the keepalive
-// sender, if any.
+// sender, if any. Buffered coalesced frames are flushed best-effort
+// first (skipped when a writer currently holds the lock).
 func (c *Conn) Close() error {
 	c.doneOnce.Do(func() { close(c.done) })
+	if c.mu.TryLock() {
+		if c.timerArmed {
+			c.flushTimer.Stop()
+			c.timerArmed = false
+		}
+		if c.wErr == nil && c.w.Buffered() > 0 {
+			c.w.Flush() //nolint:errcheck // best-effort on teardown
+		}
+		c.mu.Unlock()
+	}
 	err := c.c.Close()
 	c.kaWG.Wait()
 	return err
@@ -291,28 +383,85 @@ func (c *Conn) SendControl(m *ndn.Control) error {
 	return c.writeFrame(frame)
 }
 
-// writeFrame writes and flushes one frame under the write lock. A
-// failure here (including a write-deadline expiry) may leave a partial
-// frame in the stream, so it is reported as a fatal ConnError.
+// SendFrame writes one pre-encoded TLV frame verbatim. The caller
+// vouches for the bytes being a complete frame; no validation beyond
+// the size bound is applied.
+func (c *Conn) SendFrame(frame []byte) error { return c.writeFrame(frame) }
+
+// writeFrame writes one frame under the write lock, flushing
+// immediately (the default) or deferring the flush to the coalescing
+// window (SetCoalesce). A failure here (including a write-deadline
+// expiry) may leave a partial frame in the stream, so it is reported as
+// a fatal ConnError.
 func (c *Conn) writeFrame(frame []byte) error {
 	if len(frame) > MaxPacketSize {
 		return ErrPacketTooLarge
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.wErr != nil {
+		return &ConnError{Op: "write", Err: c.wErr}
+	}
 	if d := time.Duration(c.writeTimeout.Load()); d > 0 {
 		c.c.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the write reports failures
 	}
 	if _, err := c.w.Write(frame); err != nil {
 		c.countErr()
+		c.wErr = err
 		return &ConnError{Op: "write", Err: err}
 	}
-	if err := c.w.Flush(); err != nil {
-		c.countErr()
-		return &ConnError{Op: "flush", Err: err}
+	window := time.Duration(c.coalesce.Load())
+	if window <= 0 || c.w.Buffered() >= coalesceFlushBytes {
+		if err := c.flushLocked(); err != nil {
+			return err
+		}
+		c.countOut(len(frame))
+		return nil
+	}
+	// Coalescing: leave the frame buffered and arm the flush timer once
+	// per aggregation window (the first buffered frame arms it).
+	if !c.timerArmed {
+		c.timerArmed = true
+		if c.flushTimer == nil {
+			c.flushTimer = time.AfterFunc(window, c.timedFlush)
+		} else {
+			c.flushTimer.Reset(window)
+		}
 	}
 	c.countOut(len(frame))
 	return nil
+}
+
+// flushLocked flushes the write buffer; the caller holds mu.
+func (c *Conn) flushLocked() error {
+	if c.timerArmed {
+		c.flushTimer.Stop()
+		c.timerArmed = false
+	}
+	if err := c.w.Flush(); err != nil {
+		c.countErr()
+		c.wErr = err
+		return &ConnError{Op: "flush", Err: err}
+	}
+	return nil
+}
+
+// timedFlush is the coalescing window expiry: flush whatever is
+// buffered. Errors are sticky and surface on the next send.
+func (c *Conn) timedFlush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timerArmed = false
+	if c.wErr != nil || c.w.Buffered() == 0 {
+		return
+	}
+	if d := time.Duration(c.writeTimeout.Load()); d > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort
+	}
+	if err := c.w.Flush(); err != nil {
+		c.countErr()
+		c.wErr = err
+	}
 }
 
 // Receive blocks for the next packet. io.EOF signals a clean close.
@@ -372,12 +521,11 @@ func (c *Conn) Receive() (Packet, error) {
 }
 
 // receiveFrame reads the next non-keepalive frame into buf (growing it
-// as needed), applying the idle deadline per frame.
+// as needed). The idle deadline is applied beneath the bufio layer
+// (progressReader), refreshed on any read progress rather than once per
+// frame.
 func (c *Conn) receiveFrame(buf *[]byte) ([]byte, byte, error) {
 	for {
-		if d := time.Duration(c.idleTimeout.Load()); d > 0 {
-			c.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the read reports failures
-		}
 		frame, typ, err := readFrame(c.r, buf)
 		if err != nil {
 			if !errors.Is(err, io.EOF) { // clean close is not an error

@@ -383,3 +383,155 @@ func TestSendAfterPeerCloseIsFatal(t *testing.T) {
 	}
 	a.Close()
 }
+
+// TestIdleDeadlineRefreshesOnReadProgress is the slow-frame regression:
+// a multi-KB frame trickling in slower than the idle timeout (but with
+// steady byte progress) must not false-trip it — the deadline refreshes
+// on every low-level read, not once per frame.
+func TestIdleDeadlineRefreshesOnReadProgress(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	recv := New(b)
+	defer recv.Close()
+	recv.SetIdleTimeout(150 * time.Millisecond)
+
+	// One ~2 KB Data frame, drip-fed in 256-byte chunks every 60 ms:
+	// total transfer ~500 ms, each inter-chunk gap well under the idle
+	// timeout.
+	frame, err := ndn.AppendData(nil, &ndn.Data{
+		Name: names.MustParse("/prov0/obj/slow"),
+		Content: &core.Content{
+			Meta:      core.ContentMeta{Name: names.MustParse("/prov0/obj/slow"), Level: 1, ProviderKey: names.MustParse("/prov0/KEY/1")},
+			Payload:   make([]byte, 2048),
+			Signature: []byte("sig"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for off := 0; off < len(frame); off += 256 {
+			end := off + 256
+			if end > len(frame) {
+				end = len(frame)
+			}
+			if _, err := a.Write(frame[off:end]); err != nil {
+				return
+			}
+			time.Sleep(60 * time.Millisecond)
+		}
+	}()
+	pkt, err := recv.Receive()
+	if err != nil {
+		t.Fatalf("slow frame tripped the idle timeout: %v", err)
+	}
+	if pkt.Data == nil || len(pkt.Data.Content.Payload) != 2048 {
+		t.Fatal("frame corrupted")
+	}
+	// The timeout still works when the link actually goes quiet.
+	if _, err := recv.Receive(); err == nil {
+		t.Fatal("idle timeout never fired on a silent link")
+	}
+}
+
+func TestCoalescedWritesShareAFlush(t *testing.T) {
+	a, b := net.Pipe()
+	send := New(a)
+	recv := New(b)
+	defer send.Close()
+	defer recv.Close()
+	send.SetCoalesce(5 * time.Millisecond)
+
+	got := make(chan *ndn.Interest, 3)
+	go func() {
+		for {
+			pkt, err := recv.Receive()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- pkt.Interest
+		}
+	}()
+	// Three sends inside one window: none blocks on the synchronous
+	// pipe, proving no per-frame flush happened; the timer delivers all
+	// three in one write.
+	for i := 0; i < 3; i++ {
+		if err := send.SendInterest(&ndn.Interest{Name: names.MustParse("/p/x"), Kind: ndn.KindContent, Nonce: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case in := <-got:
+			if in == nil || in.Nonce != uint64(i) {
+				t.Fatalf("frame %d: %+v", i, in)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("frame %d never flushed", i)
+		}
+	}
+	if st := send.Stats(); st.FramesOut != 3 {
+		t.Fatalf("frames out: %d", st.FramesOut)
+	}
+}
+
+func TestCoalesceFlushesOnThreshold(t *testing.T) {
+	a, b := net.Pipe()
+	send := New(a)
+	recv := New(b)
+	defer send.Close()
+	defer recv.Close()
+	send.SetCoalesce(time.Hour) // only the byte threshold can flush
+
+	payload := make([]byte, 40<<10) // one frame past coalesceFlushBytes
+	done := make(chan error, 1)
+	go func() {
+		done <- send.SendData(&ndn.Data{
+			Name: names.MustParse("/prov0/obj/big"),
+			Content: &core.Content{
+				Meta:      core.ContentMeta{Name: names.MustParse("/prov0/obj/big"), Level: 1, ProviderKey: names.MustParse("/prov0/KEY/1")},
+				Payload:   payload,
+				Signature: []byte("sig"),
+			},
+		})
+	}()
+	pkt, err := recv.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Data == nil || len(pkt.Data.Content.Payload) != len(payload) {
+		t.Fatal("threshold flush lost the frame")
+	}
+}
+
+func TestCoalesceAsyncFlushErrorIsSticky(t *testing.T) {
+	a, b := net.Pipe()
+	send := New(a)
+	defer send.Close()
+	send.SetCoalesce(10 * time.Millisecond)
+	b.Close() // the peer is gone; the timed flush will fail
+
+	if err := send.SendInterest(&ndn.Interest{Name: names.MustParse("/p/x"), Kind: ndn.KindContent, Nonce: 1}); err != nil {
+		t.Fatalf("buffered send should succeed: %v", err)
+	}
+	// After the window the flush has failed; the next send must surface
+	// it as fatal so the face is recycled.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := send.SendInterest(&ndn.Interest{Name: names.MustParse("/p/x"), Kind: ndn.KindContent, Nonce: 2})
+		if err != nil {
+			if !IsFatal(err) {
+				t.Fatalf("sticky flush error not fatal: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flush error never surfaced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

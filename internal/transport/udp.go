@@ -1,0 +1,826 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+// UDPOptions tunes a datagram endpoint or face. The zero value uses
+// the package defaults.
+type UDPOptions struct {
+	// MTU is the per-datagram payload budget: frames larger than this are
+	// fragmented (see frag.go). Both ends of a link should agree; default
+	// DefaultMTU, minimum MinMTU.
+	MTU int
+	// DisableBatch forces single-datagram syscalls even where recvmmsg/
+	// sendmmsg are available — the un-batched baseline for benchmarks.
+	DisableBatch bool
+	// ReassemblyTimeout evicts a partial packet this long after its first
+	// fragment (default DefaultReassemblyTimeout).
+	ReassemblyTimeout time.Duration
+	// ReassemblyEntries bounds concurrent reassemblies per face (default
+	// DefaultReassemblyEntries).
+	ReassemblyEntries int
+}
+
+// withDefaults resolves zero fields.
+func (o UDPOptions) withDefaults() UDPOptions {
+	if o.MTU <= 0 {
+		o.MTU = DefaultMTU
+	}
+	if o.MTU < MinMTU {
+		o.MTU = MinMTU
+	}
+	if o.ReassemblyTimeout <= 0 {
+		o.ReassemblyTimeout = DefaultReassemblyTimeout
+	}
+	if o.ReassemblyEntries <= 0 {
+		o.ReassemblyEntries = DefaultReassemblyEntries
+	}
+	return o
+}
+
+// recvQueueLen is the per-face receive queue depth; datagrams arriving
+// while the queue is full are dropped, as a congested UDP socket would.
+const recvQueueLen = 1024
+
+// maxWriteBurst is how many queued datagrams the write loop drains per
+// round: deep enough that GSO can pack long equal-size runs (e.g. the
+// fragments of several large frames) into few kernel traversals.
+const maxWriteBurst = 512
+
+// sendQueueLen is the endpoint's shared send queue depth; senders block
+// (bounded by their write timeout) when it fills.
+const sendQueueLen = 1024
+
+// outDatagram is one queued send: a pooled buffer bound for addr.
+type outDatagram struct {
+	addr netip.AddrPort
+	buf  *[]byte
+}
+
+// UDPEndpoint is one UDP socket demultiplexed into connectionless
+// faces keyed by remote address: the first datagram from an unknown
+// 5-tuple creates a face surfaced through Accept, and faces die on
+// idle timeout (a NAT-rebound peer simply appears as a new face).
+// Reads and writes go through recvmmsg/sendmmsg batches where the
+// platform supports them, amortising syscall cost across datagrams.
+type UDPEndpoint struct {
+	pc   *net.UDPConn
+	opts UDPOptions
+	bio  *batchIO // nil: single-datagram syscalls
+	rbuf []byte   // single-datagram read scratch when bio == nil
+
+	mu    sync.Mutex
+	faces map[netip.AddrPort]*DatagramFace
+
+	acceptQ chan *DatagramFace
+	sendQ   chan outDatagram
+
+	// dialPeer, when valid, pins the endpoint to one remote (DialUDP):
+	// datagrams from anyone else are dropped and closing the single face
+	// closes the endpoint.
+	dialPeer netip.AddrPort
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// rxDrops counts datagrams dropped on full face queues.
+	rxDrops atomic.Uint64
+}
+
+// ListenUDP binds a datagram endpoint on addr ("host:port").
+func ListenUDP(addr string, opts UDPOptions) (*UDPEndpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	return newEndpoint(pc, opts, netip.AddrPort{}), nil
+}
+
+// DialUDP opens a datagram face to addr over a fresh ephemeral-port
+// endpoint. The face is live immediately — UDP has no handshake — so
+// peer death only surfaces through idle timeouts; pair SetIdleTimeout
+// with keepalives when liveness matters.
+func DialUDP(addr string, opts UDPOptions) (*DatagramFace, error) {
+	ra, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	peer := canonAddr(ra.AddrPort())
+	network := "udp6"
+	if peer.Addr().Is4() {
+		network = "udp4"
+	}
+	pc, err := net.ListenUDP(network, nil)
+	if err != nil {
+		return nil, err
+	}
+	ep := newEndpoint(pc, opts, peer)
+	return ep.newFace(peer), nil
+}
+
+// newEndpoint wires up the socket, loops, and (where available) batch I/O.
+func newEndpoint(pc *net.UDPConn, opts UDPOptions, dialPeer netip.AddrPort) *UDPEndpoint {
+	opts = opts.withDefaults()
+	// Deep socket buffers ride out batch-sized bursts; best-effort.
+	pc.SetReadBuffer(4 << 20)  //nolint:errcheck
+	pc.SetWriteBuffer(4 << 20) //nolint:errcheck
+	bufSize := opts.MTU + 128
+	if bufSize < 2048 {
+		bufSize = 2048
+	}
+	ep := &UDPEndpoint{
+		pc:       pc,
+		opts:     opts,
+		faces:    make(map[netip.AddrPort]*DatagramFace),
+		acceptQ:  make(chan *DatagramFace, 64),
+		sendQ:    make(chan outDatagram, sendQueueLen),
+		dialPeer: dialPeer,
+		closed:   make(chan struct{}),
+	}
+	if !opts.DisableBatch {
+		ep.bio = newBatchIO(pc, bufSize)
+	}
+	if ep.bio == nil {
+		ep.rbuf = make([]byte, bufSize)
+	}
+	ep.wg.Add(2)
+	go ep.readLoop()
+	go ep.writeLoop()
+	return ep
+}
+
+// Accept blocks for the next auto-created face (first datagram from an
+// unknown remote). Implements FaceListener.
+func (ep *UDPEndpoint) Accept() (Face, error) {
+	select {
+	case f := <-ep.acceptQ:
+		return f, nil
+	case <-ep.closed:
+		return nil, fmt.Errorf("transport: udp endpoint: %w", net.ErrClosed)
+	}
+}
+
+// Addr returns the bound local address.
+func (ep *UDPEndpoint) Addr() net.Addr { return ep.pc.LocalAddr() }
+
+// Faces returns the number of live faces.
+func (ep *UDPEndpoint) Faces() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.faces)
+}
+
+// RxDrops returns datagrams dropped on full per-face receive queues.
+func (ep *UDPEndpoint) RxDrops() uint64 { return ep.rxDrops.Load() }
+
+// Close stops the endpoint: the socket closes, every face's Receive
+// unblocks with an error, and the loops drain.
+func (ep *UDPEndpoint) Close() error {
+	var err error
+	ep.closeOnce.Do(func() {
+		close(ep.closed)
+		err = ep.pc.Close()
+		ep.mu.Lock()
+		faces := make([]*DatagramFace, 0, len(ep.faces))
+		for _, f := range ep.faces {
+			faces = append(faces, f)
+		}
+		ep.mu.Unlock()
+		for _, f := range faces {
+			f.markDone()
+		}
+		ep.wg.Wait()
+	})
+	return err
+}
+
+// newFace creates and registers a face for remote (caller must ensure
+// no face for remote exists).
+func (ep *UDPEndpoint) newFace(remote netip.AddrPort) *DatagramFace {
+	f := &DatagramFace{
+		ep:    ep,
+		raddr: remote,
+		rq:    make(chan *[]byte, recvQueueLen),
+		asm:   newReassembler(ep.opts.ReassemblyEntries, ep.opts.ReassemblyTimeout),
+		done:  make(chan struct{}),
+	}
+	ep.mu.Lock()
+	ep.faces[remote] = f
+	ep.mu.Unlock()
+	return f
+}
+
+// dropFace unregisters a face (only if it is still the one mapped).
+func (ep *UDPEndpoint) dropFace(f *DatagramFace) {
+	ep.mu.Lock()
+	if ep.faces[f.raddr] == f {
+		delete(ep.faces, f.raddr)
+	}
+	ep.mu.Unlock()
+}
+
+// canonAddr normalises an address for face keying (IPv4-mapped IPv6
+// unifies with plain IPv4 so a dialed v4 peer matches its replies).
+func canonAddr(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+// readLoop pulls datagram batches off the socket and demultiplexes
+// them into per-face receive queues, creating faces for new remotes.
+func (ep *UDPEndpoint) readLoop() {
+	defer ep.wg.Done()
+	for {
+		if ep.bio != nil {
+			n, err := ep.bio.readBatch()
+			if err != nil {
+				if ep.readDead(err) {
+					return
+				}
+				continue
+			}
+			for i := 0; i < n; i++ {
+				data, addr, seg := ep.bio.msg(i)
+				ap := canonAddr(addr)
+				if seg > 0 && len(data) > seg {
+					// A GRO message: several coalesced datagrams, every
+					// seg bytes starting a new one, the last often shorter.
+					for off := 0; off < len(data); off += seg {
+						end := off + seg
+						if end > len(data) {
+							end = len(data)
+						}
+						ep.deliver(data[off:end], ap)
+					}
+					continue
+				}
+				ep.deliver(data, ap)
+			}
+			continue
+		}
+		n, addr, err := ep.pc.ReadFromUDPAddrPort(ep.rbuf)
+		if err != nil {
+			if ep.readDead(err) {
+				return
+			}
+			continue
+		}
+		ep.deliver(ep.rbuf[:n], canonAddr(addr))
+	}
+}
+
+// readDead reports whether a read error means the endpoint is done.
+func (ep *UDPEndpoint) readDead(err error) bool {
+	select {
+	case <-ep.closed:
+		return true
+	default:
+	}
+	return errors.Is(err, net.ErrClosed)
+}
+
+// deliver routes one datagram to its face, creating the face when the
+// remote is new. The datagram bytes are copied into a pooled buffer
+// owned by the face until its receive loop releases it.
+func (ep *UDPEndpoint) deliver(data []byte, addr netip.AddrPort) {
+	if ep.dialPeer.IsValid() && addr != ep.dialPeer {
+		return // dialed endpoints talk to exactly one remote
+	}
+	ep.mu.Lock()
+	f := ep.faces[addr]
+	ep.mu.Unlock()
+	if f == nil {
+		f = ep.newFace(addr)
+		select {
+		case ep.acceptQ <- f:
+		case <-ep.closed:
+			return
+		}
+	}
+	buf := ndn.AcquireBuffer()
+	*buf = append((*buf)[:0], data...)
+	select {
+	case f.rq <- buf:
+	default:
+		// Face queue full: shed like a saturated socket buffer would.
+		ndn.ReleaseBuffer(buf)
+		ep.rxDrops.Add(1)
+	}
+}
+
+// writeLoop drains the send queue in batches, releasing pooled buffers
+// after each syscall round.
+func (ep *UDPEndpoint) writeLoop() {
+	defer ep.wg.Done()
+	pend := make([]outDatagram, 0, maxWriteBurst)
+	for {
+		pend = pend[:0]
+		select {
+		case d := <-ep.sendQ:
+			pend = append(pend, d)
+		case <-ep.closed:
+			return
+		}
+	fill:
+		for len(pend) < maxWriteBurst {
+			select {
+			case d := <-ep.sendQ:
+				pend = append(pend, d)
+			default:
+				break fill
+			}
+		}
+		if ep.bio != nil {
+			ep.bio.writeBatch(pend)
+		} else {
+			for _, d := range pend {
+				ep.pc.WriteToUDPAddrPort(*d.buf, d.addr) //nolint:errcheck // datagram sends are fire-and-forget
+			}
+		}
+		for i := range pend {
+			ndn.ReleaseBuffer(pend[i].buf)
+		}
+	}
+}
+
+// enqueue queues one datagram for addr, blocking while the send queue
+// is full (bounded by timeout when > 0).
+func (ep *UDPEndpoint) enqueue(addr netip.AddrPort, dg []byte, timeout time.Duration) error {
+	buf := ndn.AcquireBuffer()
+	*buf = append((*buf)[:0], dg...)
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case ep.sendQ <- outDatagram{addr: addr, buf: buf}:
+			return nil
+		case <-t.C:
+			ndn.ReleaseBuffer(buf)
+			return &ConnError{Op: "write", Err: errors.New("transport: udp send queue full")}
+		case <-ep.closed:
+			ndn.ReleaseBuffer(buf)
+			return &ConnError{Op: "write", Err: net.ErrClosed}
+		}
+	}
+	select {
+	case ep.sendQ <- outDatagram{addr: addr, buf: buf}:
+		return nil
+	case <-ep.closed:
+		ndn.ReleaseBuffer(buf)
+		return &ConnError{Op: "write", Err: net.ErrClosed}
+	}
+}
+
+// ErrIdleTimeout is returned by a datagram face's Receive when no
+// datagram (keepalives count) arrived within the idle timeout.
+var ErrIdleTimeout = errors.New("transport: idle timeout")
+
+// DatagramFace carries NDN packets over UDP: one remote 5-tuple,
+// fragmentation past the MTU, per-datagram (not per-stream) error
+// recovery — a corrupt datagram is counted and skipped, because the
+// next datagram re-synchronises framing for free. Faces come from a
+// UDPEndpoint (listener- or dial-side, batched I/O) or from
+// NewDatagramConn (any datagram-semantics net.Conn, e.g. chaos-wrapped).
+// Reads are single-reader; sends are safe for concurrent use.
+type DatagramFace struct {
+	// Endpoint mode: ep+raddr+rq carry datagrams demultiplexed by the
+	// endpoint's batch loops.
+	ep    *UDPEndpoint
+	raddr netip.AddrPort
+	rq    chan *[]byte
+
+	// Conn mode: a connected datagram net.Conn read/written directly.
+	c    net.Conn
+	rbuf []byte
+	wmu  sync.Mutex
+
+	opts UDPOptions
+	asm  *reassembler
+
+	writeTimeout atomic.Int64
+	idleTimeout  atomic.Int64
+	pktID        atomic.Uint64
+
+	framesIn, framesOut atomic.Uint64
+	bytesIn, bytesOut   atomic.Uint64
+	errs                atomic.Uint64
+	kaIn, kaOut         atomic.Uint64
+	metrics             atomic.Pointer[Metrics]
+
+	done     chan struct{}
+	doneOnce sync.Once
+	kaOnce   sync.Once
+	kaWG     sync.WaitGroup
+}
+
+// NewDatagramConn wraps a datagram-semantics net.Conn (each Write is
+// one datagram, each Read returns one whole datagram) as a face: the
+// interposition point for fault injection (chaos.Wrap) and custom
+// dialers, at single-datagram syscall cost.
+func NewDatagramConn(c net.Conn, opts UDPOptions) *DatagramFace {
+	opts = opts.withDefaults()
+	bufSize := opts.MTU + 128
+	if bufSize < 2048 {
+		bufSize = 2048
+	}
+	// Deep socket buffers absorb fragment bursts: a single MaxPacketSize
+	// frame fans out into ~750 datagrams at the default MTU, far beyond
+	// the kernel's default receive buffer.
+	if bc, ok := c.(interface{ SetReadBuffer(int) error }); ok {
+		bc.SetReadBuffer(4 << 20) //nolint:errcheck // best-effort; capped by rmem_max
+	}
+	if bc, ok := c.(interface{ SetWriteBuffer(int) error }); ok {
+		bc.SetWriteBuffer(4 << 20) //nolint:errcheck
+	}
+	return &DatagramFace{
+		c:    c,
+		rbuf: make([]byte, bufSize),
+		opts: opts,
+		asm:  newReassembler(opts.ReassemblyEntries, opts.ReassemblyTimeout),
+		done: make(chan struct{}),
+	}
+}
+
+// mtu returns the face's datagram payload budget.
+func (f *DatagramFace) mtu() int {
+	if f.ep != nil {
+		return f.ep.opts.MTU
+	}
+	return f.opts.MTU
+}
+
+// SetWriteTimeout bounds each datagram send (queue admission in
+// endpoint mode, the socket write in conn mode). 0 disables.
+func (f *DatagramFace) SetWriteTimeout(d time.Duration) { f.writeTimeout.Store(int64(d)) }
+
+// SetIdleTimeout makes Receive fail with ErrIdleTimeout when no
+// datagram (keepalives count) arrives for d — the only way a
+// connectionless peer's death is detected. 0 disables.
+func (f *DatagramFace) SetIdleTimeout(d time.Duration) { f.idleTimeout.Store(int64(d)) }
+
+// SetMetrics attaches per-face observability counters.
+func (f *DatagramFace) SetMetrics(m *Metrics) { f.metrics.Store(m) }
+
+// Stats returns a snapshot of the face's counters.
+func (f *DatagramFace) Stats() Stats {
+	return Stats{
+		FramesIn:      f.framesIn.Load(),
+		FramesOut:     f.framesOut.Load(),
+		BytesIn:       f.bytesIn.Load(),
+		BytesOut:      f.bytesOut.Load(),
+		Errors:        f.errs.Load(),
+		KeepalivesIn:  f.kaIn.Load(),
+		KeepalivesOut: f.kaOut.Load(),
+	}
+}
+
+// countInBytes accounts one received datagram's bytes; frames are
+// counted separately so a fragmented packet is one frame, not N.
+func (f *DatagramFace) countInBytes(n int) {
+	f.bytesIn.Add(uint64(n))
+	if m := f.metrics.Load(); m != nil {
+		m.BytesIn.Add(uint64(n))
+	}
+}
+
+// countInFrame accounts one complete logical frame.
+func (f *DatagramFace) countInFrame() {
+	f.framesIn.Add(1)
+	if m := f.metrics.Load(); m != nil {
+		m.FramesIn.Inc()
+	}
+}
+
+func (f *DatagramFace) countOut(n int) {
+	f.framesOut.Add(1)
+	f.bytesOut.Add(uint64(n))
+	if m := f.metrics.Load(); m != nil {
+		m.FramesOut.Inc()
+		m.BytesOut.Add(uint64(n))
+	}
+}
+
+func (f *DatagramFace) countErr() {
+	f.errs.Add(1)
+	if m := f.metrics.Load(); m != nil {
+		m.Errors.Inc()
+	}
+}
+
+// RemoteAddr returns the peer address.
+func (f *DatagramFace) RemoteAddr() net.Addr {
+	if f.c != nil {
+		return f.c.RemoteAddr()
+	}
+	return net.UDPAddrFromAddrPort(f.raddr)
+}
+
+// markDone releases Receive waiters without touching shared state.
+func (f *DatagramFace) markDone() { f.doneOnce.Do(func() { close(f.done) }) }
+
+// Close releases the face. On a dialed endpoint the whole endpoint
+// closes with it; on a listener endpoint only this remote's slot frees
+// (a later datagram from the same remote makes a fresh face).
+func (f *DatagramFace) Close() error {
+	f.markDone()
+	var err error
+	if f.c != nil {
+		err = f.c.Close()
+	} else if f.ep.dialPeer.IsValid() {
+		err = f.ep.Close()
+	} else {
+		f.ep.dropFace(f)
+	}
+	f.kaWG.Wait()
+	return err
+}
+
+// SendKeepalive sends one liveness datagram.
+func (f *DatagramFace) SendKeepalive() error {
+	if err := f.sendFrame([]byte{typeKeepalive, 0}); err != nil {
+		return err
+	}
+	f.kaOut.Add(1)
+	return nil
+}
+
+// StartKeepalive sends a liveness datagram every interval until the
+// face closes or a send fails. At most one keepalive goroutine runs
+// per face; interval <= 0 is a no-op.
+func (f *DatagramFace) StartKeepalive(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	f.kaOnce.Do(func() {
+		f.kaWG.Add(1)
+		go func() {
+			defer f.kaWG.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-f.done:
+					return
+				case <-t.C:
+					if err := f.SendKeepalive(); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	})
+}
+
+// SendInterest encodes and sends one Interest.
+func (f *DatagramFace) SendInterest(i *ndn.Interest) error {
+	buf := ndn.AcquireBuffer()
+	defer ndn.ReleaseBuffer(buf)
+	frame, err := ndn.AppendInterest(*buf, i)
+	if err != nil {
+		return err
+	}
+	*buf = frame[:0]
+	return f.sendFrame(frame)
+}
+
+// SendData encodes and sends one Data, fragmenting past the MTU.
+func (f *DatagramFace) SendData(d *ndn.Data) error {
+	buf := ndn.AcquireBuffer()
+	defer ndn.ReleaseBuffer(buf)
+	frame, err := ndn.AppendData(*buf, d)
+	if err != nil {
+		return err
+	}
+	*buf = frame[:0]
+	return f.sendFrame(frame)
+}
+
+// SendControl encodes and sends one control frame.
+func (f *DatagramFace) SendControl(m *ndn.Control) error {
+	buf := ndn.AcquireBuffer()
+	defer ndn.ReleaseBuffer(buf)
+	frame, err := ndn.AppendControl(*buf, m)
+	if err != nil {
+		return err
+	}
+	*buf = frame[:0]
+	return f.sendFrame(frame)
+}
+
+// SendFrame sends one pre-encoded TLV frame verbatim.
+func (f *DatagramFace) SendFrame(frame []byte) error { return f.sendFrame(frame) }
+
+// sendFrame fragments (when needed) and transmits one frame.
+func (f *DatagramFace) sendFrame(frame []byte) error {
+	select {
+	case <-f.done:
+		return net.ErrClosed
+	default:
+	}
+	if len(frame) > MaxPacketSize {
+		return ErrPacketTooLarge
+	}
+	var id uint64
+	if len(frame) > f.mtu() {
+		id = f.pktID.Add(1)
+	}
+	err := fragmentFrame(frame, f.mtu(), id, f.emit)
+	if err != nil {
+		if IsFatal(err) {
+			f.countErr()
+		}
+		return err
+	}
+	f.countOut(len(frame))
+	return nil
+}
+
+// emit transmits one datagram.
+func (f *DatagramFace) emit(dg []byte) error {
+	timeout := time.Duration(f.writeTimeout.Load())
+	if f.ep != nil {
+		return f.ep.enqueue(f.raddr, dg, timeout)
+	}
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if timeout > 0 {
+		f.c.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck // best-effort; the write reports failures
+	}
+	if _, err := f.c.Write(dg); err != nil {
+		return &ConnError{Op: "write", Err: err}
+	}
+	return nil
+}
+
+// Receive blocks for the next packet. Corrupt datagrams are counted
+// and skipped (datagram framing self-heals); only endpoint teardown,
+// socket death, or an idle timeout surface as errors.
+func (f *DatagramFace) Receive() (Packet, error) {
+	for {
+		var pkt Packet
+		var ok bool
+		var err error
+		if f.ep != nil {
+			buf, rerr := f.nextQueued()
+			if rerr != nil {
+				return Packet{}, rerr
+			}
+			pkt, ok, err = f.process(*buf)
+			ndn.ReleaseBuffer(buf)
+		} else {
+			dg, rerr := f.readConn()
+			if rerr != nil {
+				return Packet{}, rerr
+			}
+			pkt, ok, err = f.process(dg)
+		}
+		if err != nil {
+			f.countErr()
+			continue
+		}
+		if ok {
+			return pkt, nil
+		}
+	}
+}
+
+// nextQueued waits for the next datagram from the endpoint demux,
+// honouring the idle timeout and face teardown.
+func (f *DatagramFace) nextQueued() (*[]byte, error) {
+	// Fast path: a queued datagram needs no timer machinery.
+	select {
+	case buf := <-f.rq:
+		return buf, nil
+	default:
+	}
+	if d := time.Duration(f.idleTimeout.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case buf := <-f.rq:
+			return buf, nil
+		case <-t.C:
+			return nil, ErrIdleTimeout
+		case <-f.done:
+			return nil, net.ErrClosed
+		}
+	}
+	select {
+	case buf := <-f.rq:
+		return buf, nil
+	case <-f.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// readConn reads one datagram off the wrapped net.Conn, honouring the
+// idle timeout via read deadlines.
+func (f *DatagramFace) readConn() ([]byte, error) {
+	if d := time.Duration(f.idleTimeout.Load()); d > 0 {
+		f.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the read reports failures
+	} else {
+		f.c.SetReadDeadline(time.Time{}) //nolint:errcheck
+	}
+	n, err := f.c.Read(f.rbuf)
+	if err != nil {
+		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			return nil, ErrIdleTimeout
+		}
+		return nil, err
+	}
+	return f.rbuf[:n], nil
+}
+
+// process ingests one datagram: keepalives refresh liveness, fragments
+// feed the reassembler, whole frames decode directly. ok reports
+// whether pkt carries a decoded packet.
+func (f *DatagramFace) process(dg []byte) (pkt Packet, ok bool, err error) {
+	typ, body, err := parseDatagram(dg)
+	if err != nil {
+		return Packet{}, false, err
+	}
+	f.countInBytes(len(dg))
+	switch typ {
+	case typeKeepalive:
+		f.kaIn.Add(1)
+		return Packet{}, false, nil
+	case typeFrag:
+		frame, err := f.asm.add(time.Now(), body)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		if frame == nil {
+			return Packet{}, false, nil
+		}
+		pkt, err := f.decodeFrame(frame[0], frame)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		f.countInFrame()
+		return pkt, true, nil
+	default:
+		pkt, err := f.decodeFrame(typ, dg)
+		if err != nil {
+			return Packet{}, false, err
+		}
+		f.countInFrame()
+		return pkt, true, nil
+	}
+}
+
+// decodeFrame decodes one complete TLV frame, sampling decode latency
+// like the stream path does.
+func (f *DatagramFace) decodeFrame(typ byte, frame []byte) (Packet, error) {
+	var hist *obs.Histogram
+	var start time.Time
+	if m := f.metrics.Load(); m != nil && m.DecodeSeconds != nil && f.framesIn.Load()&decodeSampleMask == 0 {
+		hist = m.DecodeSeconds
+		start = time.Now()
+	}
+	switch typ {
+	case typeInterest:
+		i, err := ndn.DecodeInterest(frame)
+		if err != nil {
+			return Packet{}, err
+		}
+		var dur time.Duration
+		if hist != nil {
+			dur = time.Since(start)
+			hist.Observe(dur.Seconds())
+		}
+		return Packet{Interest: i, DecodeDur: dur}, nil
+	case typeData:
+		d, err := ndn.DecodeData(frame)
+		if err != nil {
+			return Packet{}, err
+		}
+		var dur time.Duration
+		if hist != nil {
+			dur = time.Since(start)
+			hist.Observe(dur.Seconds())
+		}
+		return Packet{Data: d, DecodeDur: dur}, nil
+	case typeControl:
+		m, err := ndn.DecodeControl(frame)
+		if err != nil {
+			return Packet{}, err
+		}
+		return Packet{Control: m}, nil
+	default:
+		return Packet{}, fmt.Errorf("%w: %#x", ErrBadPacketType, typ)
+	}
+}
