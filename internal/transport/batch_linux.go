@@ -130,9 +130,12 @@ func newBatchIO(pc *net.UDPConn, bufSize int) *batchIO {
 func (b *batchIO) readBatch() (int, error) {
 	for i := range b.rhdrs {
 		b.rhdrs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+		// Flags must clear every round: the kernel writes MSG_TRUNC there
+		// when a datagram outgrows the buffer, and stale flags would mark
+		// later datagrams in the slot as truncated.
+		b.rhdrs[i].hdr.Flags = 0
 		if b.gro {
 			b.rhdrs[i].hdr.SetControllen(cmsgSpace16)
-			b.rhdrs[i].hdr.Flags = 0
 		}
 	}
 	var n int
@@ -163,17 +166,20 @@ func (b *batchIO) readBatch() (int, error) {
 }
 
 // msg returns the i-th received message of the last readBatch plus its
-// GRO segment size (0 = a plain datagram). When seg > 0 the bytes hold
+// GRO segment size (0 = a plain datagram) and whether the kernel
+// truncated it to fit the buffer (MSG_TRUNC — the sender's datagram was
+// oversized and data is incomplete). When seg > 0 the bytes hold
 // several coalesced datagrams: every seg bytes starts a new one, the
 // last possibly shorter. The bytes alias the batch buffer — valid only
 // until the next readBatch.
-func (b *batchIO) msg(i int) (data []byte, addr netip.AddrPort, seg int) {
+func (b *batchIO) msg(i int) (data []byte, addr netip.AddrPort, seg int, truncated bool) {
 	data = b.rbufs[i][:b.rhdrs[i].mlen]
 	addr = parseRawSockaddr(&b.rnames[i])
 	if b.gro {
 		seg = parseGROSegSize(b.rctrls[i][:], int(b.rhdrs[i].hdr.Controllen))
 	}
-	return data, addr, seg
+	truncated = b.rhdrs[i].hdr.Flags&syscall.MSG_TRUNC != 0
+	return data, addr, seg, truncated
 }
 
 // parseGROSegSize walks a control buffer for the UDP_GRO cmsg and

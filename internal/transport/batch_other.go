@@ -17,6 +17,8 @@ type batchIO struct{}
 
 func newBatchIO(pc *net.UDPConn, bufSize int) *batchIO { return nil }
 
-func (b *batchIO) readBatch() (int, error)          { panic("transport: batch I/O unavailable") }
-func (b *batchIO) msg(int) ([]byte, netip.AddrPort) { panic("transport: batch I/O unavailable") }
-func (b *batchIO) writeBatch([]outDatagram)         { panic("transport: batch I/O unavailable") }
+func (b *batchIO) readBatch() (int, error) { panic("transport: batch I/O unavailable") }
+func (b *batchIO) msg(int) ([]byte, netip.AddrPort, int, bool) {
+	panic("transport: batch I/O unavailable")
+}
+func (b *batchIO) writeBatch([]outDatagram) { panic("transport: batch I/O unavailable") }

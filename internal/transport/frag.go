@@ -47,8 +47,9 @@ const (
 // Fragmentation errors.
 var (
 	// ErrBadFragment is returned for malformed fragment datagrams
-	// (truncated header, zero or oversized count, index out of range, or
-	// a count disagreeing with earlier fragments of the same packet).
+	// (truncated header, zero or oversized count, index out of range,
+	// empty payload, or a count disagreeing with earlier fragments of
+	// the same packet).
 	ErrBadFragment = errors.New("transport: malformed fragment")
 	// ErrReassemblyOverflow is returned when a packet's fragments sum past
 	// MaxPacketSize; the partial packet is discarded.
@@ -188,6 +189,15 @@ func (r *reassembler) add(now time.Time, body []byte) ([]byte, error) {
 		return nil, ErrBadFragment
 	}
 	payload := body[fragHeaderLen:]
+	if len(payload) == 0 {
+		// fragmentFrame never emits empty fragments, so one is hostile or
+		// corrupt. Accepting it would also break bookkeeping: the stored
+		// copy of a zero-length payload is a nil slice, indistinguishable
+		// from a missing fragment, so duplicates would double-count and a
+		// packet could "complete" with fragments absent — or complete as a
+		// zero-length frame the decode path cannot index.
+		return nil, ErrBadFragment
+	}
 	r.expire(now)
 	p := r.entries[id]
 	if p == nil {

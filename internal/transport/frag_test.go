@@ -145,6 +145,8 @@ func TestReassemblerRejectsMalformed(t *testing.T) {
 		mkFragBody(1, 0, 0, nil),           // zero count
 		mkFragBody(1, 5, 5, nil),           // index out of range
 		mkFragBody(1, 0, maxFragCount+1, nil), // oversized count
+		mkFragBody(1, 0, 1, nil),           // empty payload, count=1: would complete empty
+		mkFragBody(1, 0, 2, nil),           // empty payload mid-packet
 	}
 	for i, body := range cases {
 		if _, err := r.add(now, body); !errors.Is(err, ErrBadFragment) {
@@ -158,6 +160,46 @@ func TestReassemblerRejectsMalformed(t *testing.T) {
 	}
 	if _, ok := r.entries[9]; ok {
 		t.Fatal("mismatched packet not discarded")
+	}
+}
+
+func TestReassemblerNeverCompletesEmptyFrame(t *testing.T) {
+	// A single-fragment packet with an empty payload must be rejected,
+	// not reassembled into a zero-length frame: the receive path indexes
+	// frame[0], so an empty completion would panic it on remote input.
+	r := newReassembler(4, time.Second)
+	frame, err := r.add(time.Now(), mkFragBody(99, 0, 1, nil))
+	if !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("expected ErrBadFragment, got frame=%v err=%v", frame, err)
+	}
+	if frame != nil {
+		t.Fatalf("empty fragment completed a %d-byte frame", len(frame))
+	}
+}
+
+func TestReassemblerEmptyDuplicateCannotFakeCompletion(t *testing.T) {
+	// Before payload receipt was tracked by a non-nil slice invariant, a
+	// duplicated zero-length fragment double-counted have and completed a
+	// packet with fragments missing. Empty payloads are now rejected
+	// outright; a packet must still need every distinct index.
+	r := newReassembler(4, time.Second)
+	now := time.Now()
+	if _, err := r.add(now, mkFragBody(5, 0, 3, nil)); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("empty fragment accepted: %v", err)
+	}
+	if _, err := r.add(now, mkFragBody(5, 0, 3, nil)); !errors.Is(err, ErrBadFragment) {
+		t.Fatalf("duplicate empty fragment accepted: %v", err)
+	}
+	r.add(now, mkFragBody(5, 0, 3, []byte("a"))) //nolint:errcheck
+	r.add(now, mkFragBody(5, 1, 3, []byte("b"))) //nolint:errcheck
+	// Duplicate of index 1 must not stand in for the missing index 2.
+	frame, err := r.add(now, mkFragBody(5, 1, 3, []byte("b")))
+	if err != nil || frame != nil {
+		t.Fatalf("duplicate completed packet: frame=%v err=%v", frame, err)
+	}
+	frame, err = r.add(now, mkFragBody(5, 2, 3, []byte("c")))
+	if err != nil || !bytes.Equal(frame, []byte("abc")) {
+		t.Fatalf("completion: frame=%q err=%v", frame, err)
 	}
 }
 

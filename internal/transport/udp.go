@@ -77,7 +77,9 @@ type UDPEndpoint struct {
 	pc   *net.UDPConn
 	opts UDPOptions
 	bio  *batchIO // nil: single-datagram syscalls
-	rbuf []byte   // single-datagram read scratch when bio == nil
+	// rbuf is the single-datagram read scratch when bio == nil, sized
+	// one byte past the datagram budget so truncation is detectable.
+	rbuf []byte
 
 	mu    sync.Mutex
 	faces map[netip.AddrPort]*DatagramFace
@@ -94,8 +96,13 @@ type UDPEndpoint struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	// rxDrops counts datagrams dropped on full face queues.
+	// rxDrops counts datagrams dropped on full face queues and new
+	// remotes shed on a full accept backlog.
 	rxDrops atomic.Uint64
+	// rxOversize counts datagrams larger than the receive buffer
+	// (MTU + headroom), truncated by the socket and dropped — a peer
+	// configured with a bigger MTU, not generic corruption.
+	rxOversize atomic.Uint64
 }
 
 // ListenUDP binds a datagram endpoint on addr ("host:port").
@@ -156,7 +163,9 @@ func newEndpoint(pc *net.UDPConn, opts UDPOptions, dialPeer netip.AddrPort) *UDP
 		ep.bio = newBatchIO(pc, bufSize)
 	}
 	if ep.bio == nil {
-		ep.rbuf = make([]byte, bufSize)
+		// One byte of headroom past the budget: a read filling the whole
+		// buffer means the kernel truncated an oversized datagram.
+		ep.rbuf = make([]byte, bufSize+1)
 	}
 	ep.wg.Add(2)
 	go ep.readLoop()
@@ -185,8 +194,14 @@ func (ep *UDPEndpoint) Faces() int {
 	return len(ep.faces)
 }
 
-// RxDrops returns datagrams dropped on full per-face receive queues.
+// RxDrops returns datagrams dropped on full per-face receive queues
+// or shed on a full accept backlog.
 func (ep *UDPEndpoint) RxDrops() uint64 { return ep.rxDrops.Load() }
+
+// RxOversize returns datagrams dropped because they exceeded the
+// receive buffer (a peer with a larger MTU), counted separately from
+// parse errors so an MTU mismatch is diagnosable.
+func (ep *UDPEndpoint) RxOversize() uint64 { return ep.rxOversize.Load() }
 
 // Close stops the endpoint: the socket closes, every face's Receive
 // unblocks with an error, and the loops drain.
@@ -254,7 +269,13 @@ func (ep *UDPEndpoint) readLoop() {
 				continue
 			}
 			for i := 0; i < n; i++ {
-				data, addr, seg := ep.bio.msg(i)
+				data, addr, seg, trunc := ep.bio.msg(i)
+				if trunc {
+					// The kernel cut the datagram to fit the batch buffer
+					// (MSG_TRUNC): an oversized send from a bigger-MTU peer.
+					ep.rxOversize.Add(1)
+					continue
+				}
 				ap := canonAddr(addr)
 				if seg > 0 && len(data) > seg {
 					// A GRO message: several coalesced datagrams, every
@@ -277,6 +298,11 @@ func (ep *UDPEndpoint) readLoop() {
 			if ep.readDead(err) {
 				return
 			}
+			continue
+		}
+		if n == len(ep.rbuf) {
+			// The headroom byte was consumed: the datagram was truncated.
+			ep.rxOversize.Add(1)
 			continue
 		}
 		ep.deliver(ep.rbuf[:n], canonAddr(addr))
@@ -307,7 +333,14 @@ func (ep *UDPEndpoint) deliver(data []byte, addr netip.AddrPort) {
 		f = ep.newFace(addr)
 		select {
 		case ep.acceptQ <- f:
-		case <-ep.closed:
+		default:
+			// Accept backlog full (or endpoint closing): shed the new
+			// remote instead of stalling the shared read loop — blocking
+			// here would freeze receive for every existing face behind a
+			// slow Accept caller. The remote's next datagram retries.
+			ep.dropFace(f)
+			f.markDone()
+			ep.rxDrops.Add(1)
 			return
 		}
 	}
@@ -419,6 +452,10 @@ type DatagramFace struct {
 	bytesIn, bytesOut   atomic.Uint64
 	errs                atomic.Uint64
 	kaIn, kaOut         atomic.Uint64
+	// oversize counts truncated-and-dropped datagrams in conn mode
+	// (endpoint mode counts them on the endpoint); kept apart from errs
+	// so an MTU mismatch is diagnosable.
+	oversize atomic.Uint64
 	metrics             atomic.Pointer[Metrics]
 
 	done     chan struct{}
@@ -447,8 +484,10 @@ func NewDatagramConn(c net.Conn, opts UDPOptions) *DatagramFace {
 		bc.SetWriteBuffer(4 << 20) //nolint:errcheck
 	}
 	return &DatagramFace{
-		c:    c,
-		rbuf: make([]byte, bufSize),
+		c: c,
+		// One byte of headroom so a read filling the buffer is detectable
+		// as a truncated oversized datagram (see readConn).
+		rbuf: make([]byte, bufSize+1),
 		opts: opts,
 		asm:  newReassembler(opts.ReassemblyEntries, opts.ReassemblyTimeout),
 		done: make(chan struct{}),
@@ -474,6 +513,11 @@ func (f *DatagramFace) SetIdleTimeout(d time.Duration) { f.idleTimeout.Store(int
 
 // SetMetrics attaches per-face observability counters.
 func (f *DatagramFace) SetMetrics(m *Metrics) { f.metrics.Store(m) }
+
+// Oversize returns conn-mode datagrams dropped because they exceeded
+// the receive buffer (a peer with a larger MTU); endpoint-mode faces
+// report these on UDPEndpoint.RxOversize instead.
+func (f *DatagramFace) Oversize() uint64 { return f.oversize.Load() }
 
 // Stats returns a snapshot of the face's counters.
 func (f *DatagramFace) Stats() Stats {
@@ -728,21 +772,31 @@ func (f *DatagramFace) nextQueued() (*[]byte, error) {
 }
 
 // readConn reads one datagram off the wrapped net.Conn, honouring the
-// idle timeout via read deadlines.
+// idle timeout via read deadlines. Oversized datagrams (truncated by
+// the socket to the buffer) are counted and skipped here, before the
+// parse layer would misreport them as generic length-mismatch errors.
 func (f *DatagramFace) readConn() ([]byte, error) {
-	if d := time.Duration(f.idleTimeout.Load()); d > 0 {
-		f.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the read reports failures
-	} else {
-		f.c.SetReadDeadline(time.Time{}) //nolint:errcheck
-	}
-	n, err := f.c.Read(f.rbuf)
-	if err != nil {
-		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
-			return nil, ErrIdleTimeout
+	for {
+		if d := time.Duration(f.idleTimeout.Load()); d > 0 {
+			f.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck // best-effort; the read reports failures
+		} else {
+			f.c.SetReadDeadline(time.Time{}) //nolint:errcheck
 		}
-		return nil, err
+		n, err := f.c.Read(f.rbuf)
+		if err != nil {
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				return nil, ErrIdleTimeout
+			}
+			return nil, err
+		}
+		if n == len(f.rbuf) {
+			// The headroom byte was consumed: a bigger-MTU peer's datagram
+			// was truncated by the socket.
+			f.oversize.Add(1)
+			continue
+		}
+		return f.rbuf[:n], nil
 	}
-	return f.rbuf[:n], nil
 }
 
 // process ingests one datagram: keepalives refresh liveness, fragments
@@ -765,6 +819,12 @@ func (f *DatagramFace) process(dg []byte) (pkt Packet, ok bool, err error) {
 		}
 		if frame == nil {
 			return Packet{}, false, nil
+		}
+		if len(frame) == 0 {
+			// The reassembler rejects empty fragments, so a complete frame
+			// is never empty; guard anyway — frame[0] on a zero-length
+			// reassembly would panic the receive loop on remote input.
+			return Packet{}, false, ErrBadFragment
 		}
 		pkt, err := f.decodeFrame(frame[0], frame)
 		if err != nil {

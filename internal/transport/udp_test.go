@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"net"
 	"testing"
 	"time"
 
@@ -296,6 +297,165 @@ func TestUDPReassemblyTimeoutEvictionOnFace(t *testing.T) {
 	df := srv.(*DatagramFace)
 	if df.asm.evicted != 1 {
 		t.Fatalf("evicted=%d, want 1", df.asm.evicted)
+	}
+}
+
+func TestUDPCraftedEmptyFragmentDoesNotPanic(t *testing.T) {
+	// The remote-crash repro from review: a fragment datagram announcing
+	// count=1 with an empty payload used to reassemble into a non-nil
+	// zero-length frame, and process() indexing frame[0] panicked the
+	// receive goroutine — one ~14-byte datagram killed the process. It
+	// must now be counted as a malformed fragment and skipped.
+	ep, cl := udpPair(t, UDPOptions{})
+	crafted := mkFragBody(3, 0, 1, nil)
+	dg := append([]byte{typeFrag}, appendTLVLen(nil, len(crafted))...)
+	dg = append(dg, crafted...)
+	if err := cl.SendFrame(dg); err != nil {
+		t.Fatal(err)
+	}
+	// Chase it with an honest Interest: Receive must skip the crafted
+	// datagram and surface the Interest, proving the loop survived.
+	if err := cl.SendInterest(&ndn.Interest{Name: names.MustParse("/p/a"), Kind: ndn.KindContent, Nonce: 77}); err != nil {
+		t.Fatal(err)
+	}
+	srv := acceptOne(t, ep)
+	srv.SetIdleTimeout(2 * time.Second)
+	pkt, err := srv.Receive()
+	if err != nil || pkt.Interest == nil || pkt.Interest.Nonce != 77 {
+		t.Fatalf("receive after crafted fragment: %+v err=%v", pkt, err)
+	}
+	if st := srv.Stats(); st.Errors != 1 {
+		t.Fatalf("errors=%d, want 1 (the crafted fragment)", st.Errors)
+	}
+}
+
+func TestUDPAcceptBacklogShedsInsteadOfBlocking(t *testing.T) {
+	// With nobody calling Accept, new remotes past the backlog (64) used
+	// to block the endpoint's single read loop, stalling receive for
+	// every existing face. They must be shed instead.
+	ep, err := ListenUDP("127.0.0.1:0", UDPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	first, err := DialUDP(ep.Addr().String(), UDPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if err := first.SendInterest(&ndn.Interest{Name: names.MustParse("/p/a"), Kind: ndn.KindContent, Nonce: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Flood from fresh 5-tuples until the backlog overflows and sheds.
+	// A shed remote's face unregisters, so resending from the same
+	// client re-trips the full queue — retry loops absorb UDP loss.
+	var extras []*DatagramFace
+	defer func() {
+		for _, c := range extras {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 70; i++ {
+		c, err := DialUDP(ep.Addr().String(), UDPOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		extras = append(extras, c)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ep.RxDrops() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("accept backlog never shed (drops=%d faces=%d)", ep.RxDrops(), ep.Faces())
+		}
+		for _, c := range extras {
+			c.SendKeepalive() //nolint:errcheck
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The read loop must still be live: traffic for the first face (the
+	// head of the accept queue) still flows.
+	if err := first.SendInterest(&ndn.Interest{Name: names.MustParse("/p/a"), Kind: ndn.KindContent, Nonce: 2}); err != nil {
+		t.Fatal(err)
+	}
+	srv := acceptOne(t, ep)
+	srv.SetIdleTimeout(2 * time.Second)
+	seen := make(map[uint64]bool)
+	for !seen[2] {
+		pkt, err := srv.Receive()
+		if err != nil {
+			t.Fatalf("read loop stalled: %v (seen=%v)", err, seen)
+		}
+		if pkt.Interest != nil {
+			seen[pkt.Interest.Nonce] = true
+		}
+	}
+}
+
+func TestUDPOversizeDatagramCountedEndpoint(t *testing.T) {
+	// A peer with a larger MTU sends datagrams past our buffer: the
+	// kernel truncates them, and they must be counted as oversize drops
+	// — not parsed as garbage and misreported as framing errors.
+	ep, err := ListenUDP("127.0.0.1:0", UDPOptions{DisableBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	cl, err := net.Dial("udp", ep.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Default MTU 1400 → 2048-byte budget (+1 headroom): 3000 bytes gets
+	// truncated. Resend until counted (loopback UDP may shed).
+	big := bytes.Repeat([]byte{0x5A}, 3000)
+	deadline := time.Now().Add(5 * time.Second)
+	for ep.RxOversize() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("oversized datagram never counted")
+		}
+		if _, err := cl.Write(big); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Oversized datagrams are dropped before demux: no face was created.
+	if n := ep.Faces(); n != 0 {
+		t.Fatalf("oversized datagram created a face (faces=%d)", n)
+	}
+}
+
+func TestUDPOversizeDatagramCountedConnMode(t *testing.T) {
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewDatagramConn(pc, UDPOptions{})
+	defer f.Close()
+	cl, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Write(bytes.Repeat([]byte{0x5A}, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ndn.AppendInterest(nil, &ndn.Interest{Name: names.MustParse("/p/a"), Kind: ndn.KindContent, Nonce: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	f.SetIdleTimeout(2 * time.Second)
+	pkt, err := f.Receive()
+	if err != nil || pkt.Interest == nil || pkt.Interest.Nonce != 9 {
+		t.Fatalf("receive after oversized datagram: %+v err=%v", pkt, err)
+	}
+	if n := f.Oversize(); n != 1 {
+		t.Fatalf("oversize=%d, want 1", n)
+	}
+	if st := f.Stats(); st.Errors != 0 {
+		t.Fatalf("oversized datagram misreported as %d generic errors", st.Errors)
 	}
 }
 
