@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test test-short race chaos soak trace-smoke conform fuzz-smoke cover bench bench-smoke bench-json bench-diff repro repro-full demo-keys clean
+.PHONY: all build vet check test test-short race chaos soak trace-smoke conform fuzz-smoke metrics-lint cover bench bench-smoke bench-json bench-diff repro repro-full demo-keys clean
 
 all: build test
 
@@ -14,10 +14,11 @@ vet:
 
 # The pre-merge gate: compile, static checks, full tests, the race
 # detector over the concurrent packages, the fault-injection suite, the
-# conformance oracle, the native fuzz targets' smoke pass, the coverage
-# floor, a one-iteration smoke pass over the pipeline benchmarks, the
-# end-to-end tracing smoke test, and the benchmark regression report.
-check: build vet test race chaos conform fuzz-smoke cover bench-smoke trace-smoke bench-diff
+# conformance oracle, the native fuzz targets' smoke pass, the
+# exposition-format lint, the coverage floor, a one-iteration smoke
+# pass over the pipeline benchmarks, the end-to-end tracing smoke test,
+# and the benchmark regression report.
+check: build vet test race chaos conform fuzz-smoke metrics-lint cover bench-smoke trace-smoke bench-diff
 
 test:
 	$(GO) test ./...
@@ -29,7 +30,7 @@ test-short:
 # concurrently: the forwarder itself plus its lock-free/sharded layers
 # (bloom, core validator, ndn tables) and the transports.
 race:
-	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/... ./internal/bloom/... ./internal/core/... ./internal/ndn/... ./internal/lifecycle/...
+	$(GO) test -race ./internal/forwarder/... ./internal/transport/... ./internal/obs/... ./internal/fleet/... ./internal/bloom/... ./internal/core/... ./internal/ndn/... ./internal/lifecycle/...
 
 # Fault-injection suite: failover/chaos soaks and face churn, under the
 # race detector (see README "Failure handling & chaos testing").
@@ -65,6 +66,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzRevocationTLV$$' -fuzztime $(FUZZTIME) ./internal/ndn/
 	$(GO) test -run '^$$' -fuzz '^FuzzControlSync$$' -fuzztime $(FUZZTIME) ./internal/ndn/
 	$(GO) test -run '^$$' -fuzz '^FuzzFragRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/transport/
+
+# Metrics exposition lint: scrape a live registry and require valid
+# Prometheus text format plus the repo's naming conventions (counters
+# end in _total, HELP on every family, consistent histograms).
+metrics-lint:
+	$(GO) test -count=1 -run 'TestMetricsLint|TestWritePrometheus' ./internal/fleet/ ./internal/obs/
 
 # Statement-coverage floor on the enforcement core, the wire codec,
 # and the tag-lifecycle service.

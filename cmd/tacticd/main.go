@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -72,6 +73,7 @@ func run(args []string) error {
 	traceSample := fs.Float64("trace-sample", 1.0, "fraction of local packets traced, 0..1 (wire-sampled packets are always traced)")
 	traceRing := fs.Int("trace-ring", 0, "in-memory flight recorder capacity in spans, served at /tracez on -admin (0 = disabled)")
 	traceFlush := fs.String("trace-flush", "", "on graceful shutdown, dump the -trace-ring flight recorder as JSONL to this file (empty = disabled)")
+	eventRing := fs.Int("events", 256, "typed event-log ring capacity, served at /eventz on -admin and bridged to stderr (0 = disabled)")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-frame write deadline on every face (0 = none)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "recycle a face after this long without a frame (0 = never)")
 	keepalive := fs.Duration("keepalive", 0, "send keepalive frames on every face at this interval (0 = none); set peers' -idle-timeout to ~3x this")
@@ -153,6 +155,16 @@ func run(args []string) error {
 		}
 	}
 
+	// The typed event log: face churn, uplink redials, revocations,
+	// epoch rotations, shed bursts. Ring-buffered for /eventz and
+	// bridged to stderr through slog so `journalctl` alone tells the
+	// operator story.
+	var ev *obs.Events
+	if *eventRing > 0 {
+		ev = obs.NewEvents(*id, *eventRing)
+		ev.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+
 	fwd, err := forwarder.New(forwarder.Config{
 		ID:                *id,
 		Role:              r,
@@ -169,6 +181,7 @@ func run(args []string) error {
 		VerifyBudget:      *verifyBudget,
 		Logf:              log.Printf,
 		Obs:               reg,
+		Events:            ev,
 		Tracer:            tracer,
 	})
 	if err != nil {
@@ -177,12 +190,18 @@ func run(args []string) error {
 	defer fwd.Close()
 
 	if *admin != "" {
-		aln, err := obs.ServeAdminTracer(*admin, reg, func() any { return fwd.Status() }, tracer)
+		mux := obs.NewAdminMux(reg, func() any { return fwd.Status() })
+		obs.AttachTracez(mux, tracer)
+		if ev != nil {
+			obs.AttachEventz(mux, ev)
+		}
+		obs.AttachHealthz(mux, obs.NewHealth(reg, *id, obs.HealthConfig{}, ev))
+		aln, err := obs.Serve(*admin, mux)
 		if err != nil {
 			return err
 		}
 		defer aln.Close()
-		log.Printf("admin endpoint on http://%s (/metrics /statusz /tracez /debug/pprof)", aln.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /statusz /healthz /eventz /tracez /debug/pprof)", aln.Addr())
 	}
 
 	// Optional upstream fault injection for soak/demo runs.
@@ -250,6 +269,9 @@ func run(args []string) error {
 	ln, err := transport.ListenFace(*listen, udpOpts)
 	if err != nil {
 		return err
+	}
+	if ep, ok := ln.(*transport.UDPEndpoint); ok {
+		ep.Instrument(reg, obs.L("role", *role))
 	}
 	// A signal closes the listener, which unblocks ServeFaces for a
 	// clean deferred shutdown.

@@ -1,0 +1,110 @@
+// Command tacticmon is the fleet monitor: it polls a set of TACTIC
+// nodes' admin endpoints (/metrics, /healthz, /eventz), merges them
+// into one fleet snapshot with network-wide rates and alert rules, and
+// serves a dashboard.
+//
+//	tacticmon -node edge-0=127.0.0.1:9300 -node core-0=127.0.0.1:9301 \
+//	          -listen :9400 -interval 2s -archive fleet.jsonl
+//
+//	curl -s 127.0.0.1:9400/        # terminal dashboard
+//	curl -s 127.0.0.1:9400/fleetz  # merged snapshot as JSON
+//
+// Alert rules fire on: unreachable nodes, any node self-reporting
+// degraded/unhealthy, fleet-wide verify-shed rate over -shed-alert
+// (the paper's distributed brute-force signal), and BF epoch skew
+// between nodes (a rotation that did not reach the whole deployment).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/fleet"
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tacticmon:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tacticmon", flag.ContinueOnError)
+	listen := fs.String("listen", ":9400", "dashboard listen address (/ text, /fleetz JSON)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	shedAlert := fs.Float64("shed-alert", 25, "fleet-wide verify-shed rate (Interests/s) that raises the brute-force alert")
+	eventLimit := fs.Int("events", 32, "events fetched per node per poll")
+	archive := fs.String("archive", "", "append every fleet snapshot as one JSON line to this file (empty = disabled)")
+	once := fs.Bool("once", false, "poll once, print the dashboard to stdout, and exit (scripting)")
+	var nodeSpecs multiFlag
+	fs.Var(&nodeSpecs, "node", "node to poll, name=host:port of its -admin endpoint (repeatable; bare host:port names itself)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(nodeSpecs) == 0 {
+		return fmt.Errorf("at least one -node is required")
+	}
+	nodes := make([]fleet.Node, 0, len(nodeSpecs))
+	for _, spec := range nodeSpecs {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			name, addr = spec, spec
+		}
+		nodes = append(nodes, fleet.Node{Name: name, Addr: addr})
+	}
+
+	cfg := fleet.Config{
+		Nodes:          nodes,
+		Interval:       *interval,
+		EventLimit:     *eventLimit,
+		ShedRatePerSec: *shedAlert,
+		Logf:           log.Printf,
+	}
+	if *archive != "" {
+		ar, err := fleet.NewArchiver(*archive)
+		if err != nil {
+			return err
+		}
+		defer ar.Close()
+		cfg.Archive = ar
+		log.Printf("archiving snapshots to %s", *archive)
+	}
+	p := fleet.NewPoller(cfg)
+
+	if *once {
+		p.PollOnce(context.Background())
+		return p.WriteDashboard(os.Stdout)
+	}
+
+	mux := http.NewServeMux()
+	p.Attach(mux)
+	ln, err := obs.Serve(*listen, mux)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	log.Printf("tacticmon polling %d nodes every %s, dashboard on http://%s", len(nodes), *interval, ln.Addr())
+	p.Start()
+	defer p.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("signal received; shutting down")
+	return nil
+}

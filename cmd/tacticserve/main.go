@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -112,15 +113,23 @@ func run(args []string) error {
 		log.Printf("tracing enabled (sample %g, ring %d)", *traceSample, *traceRing)
 	}
 
+	var reg *obs.Registry
+	var ev *obs.Events
 	if *admin != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		producer.Instrument(reg)
-		aln, err := obs.ServeAdminTracer(*admin, reg, func() any { return producer.Stats() }, tracer)
+		ev = obs.NewEvents(prefix.String(), 256)
+		ev.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+		mux := obs.NewAdminMux(reg, func() any { return producer.Stats() })
+		obs.AttachTracez(mux, tracer)
+		obs.AttachEventz(mux, ev)
+		obs.AttachHealthz(mux, obs.NewHealth(reg, prefix.String(), obs.HealthConfig{}, ev))
+		aln, err := obs.Serve(*admin, mux)
 		if err != nil {
 			return err
 		}
 		defer aln.Close()
-		log.Printf("admin endpoint on http://%s (/metrics /statusz /tracez /debug/pprof)", aln.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /statusz /healthz /eventz /tracez /debug/pprof)", aln.Addr())
 	}
 
 	for _, e := range enrolls {
@@ -163,6 +172,9 @@ func run(args []string) error {
 	ln, err := transport.ListenFace(*listen, transport.UDPOptions{})
 	if err != nil {
 		return err
+	}
+	if ep, ok := ln.(*transport.UDPEndpoint); ok && reg != nil {
+		ep.Instrument(reg, obs.L("role", "producer"))
 	}
 	network, _ := transport.SplitScheme(*listen)
 	log.Printf("tacticserve %s listening on %s/%s (tag TTL %s)", prefix, network, ln.Addr(), *ttl)

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Naming per the Prometheus data model: metric names may use [a-zA-Z0-9_:],
+// label names [a-zA-Z0-9_], neither starting with a digit.
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.ContainsRune(s, ':')
+}
+
+// Lint validates a parsed exposition against the format and the repo's
+// naming conventions, returning one problem string per violation:
+//
+//   - metric and label names must be well-formed; label names must not
+//     be reserved (__*) or "le" outside histogram buckets
+//   - every family must declare # TYPE and carry # HELP text
+//   - counter families end in _total; gauge families must not
+//   - series keys must be unique (no duplicate name+labels)
+//   - sample values must be finite for counters (gauges may be ±Inf/NaN)
+//   - every histogram needs _sum, _count, a le="+Inf" bucket whose
+//     value equals _count, and cumulative buckets monotone in le
+func Lint(exp *Exposition) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	seen := map[string]bool{}
+	families := map[string]bool{}
+	for _, s := range exp.Samples {
+		fam := baseFamily(s.Name, exp.Types)
+		families[fam] = true
+		if !validMetricName(s.Name) {
+			addf("invalid metric name %q", s.Name)
+		}
+		for k := range s.Labels {
+			if !validLabelName(k) {
+				addf("%s: invalid label name %q", s.Name, k)
+			}
+			if strings.HasPrefix(k, "__") {
+				addf("%s: reserved label name %q", s.Name, k)
+			}
+			if k == "le" && !strings.HasSuffix(s.Name, "_bucket") {
+				addf("%s: label \"le\" outside a histogram bucket", s.Name)
+			}
+		}
+		key := s.Key()
+		if seen[key] {
+			addf("duplicate series %s", key)
+		}
+		seen[key] = true
+		kind := exp.Types[fam]
+		if kind == "counter" && (math.IsNaN(s.Value) || math.IsInf(s.Value, 0) || s.Value < 0) {
+			addf("counter %s has non-finite or negative value %v", key, s.Value)
+		}
+	}
+
+	for fam := range families {
+		kind, ok := exp.Types[fam]
+		if !ok {
+			addf("family %s has no # TYPE line", fam)
+			continue
+		}
+		if _, ok := exp.Help[fam]; !ok {
+			addf("family %s has no # HELP text", fam)
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(fam, "_total") {
+				addf("counter family %s does not end in _total", fam)
+			}
+		case "gauge":
+			if strings.HasSuffix(fam, "_total") {
+				addf("gauge family %s must not end in _total", fam)
+			}
+		case "histogram":
+			problems = append(problems, lintHistogram(exp, fam)...)
+		}
+	}
+	// A # TYPE with no samples is legal (family registered, nothing
+	// observed yet), so absent families are not checked further.
+	sort.Strings(problems)
+	return problems
+}
+
+// lintHistogram checks one histogram family's structural invariants
+// for every label set (identified by the bucket labels minus le).
+func lintHistogram(exp *Exposition, fam string) []string {
+	var problems []string
+	type hseries struct {
+		buckets map[float64]float64 // le -> cumulative count
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	group := map[string]*hseries{}
+	at := func(s Sample, drop string) *hseries {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if k != drop {
+				labels[k] = v
+			}
+		}
+		key := Sample{Name: fam, Labels: labels}.Key()
+		h := group[key]
+		if h == nil {
+			h = &hseries{buckets: map[float64]float64{}}
+			group[key] = h
+		}
+		return h
+	}
+	for _, s := range exp.Samples {
+		switch s.Name {
+		case fam + "_bucket":
+			le, err := strconv.ParseFloat(s.Labels["le"], 64)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: bad le %q", s.Key(), s.Labels["le"]))
+				continue
+			}
+			at(s, "le").buckets[le] = s.Value
+		case fam + "_count":
+			h := at(s, "")
+			h.count, h.hasCnt = s.Value, true
+		case fam + "_sum":
+			at(s, "").hasSum = true
+		}
+	}
+	for key, h := range group {
+		if !h.hasCnt || !h.hasSum {
+			problems = append(problems, fmt.Sprintf("histogram %s missing _count or _sum", key))
+		}
+		inf, ok := h.buckets[math.Inf(1)]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("histogram %s missing le=\"+Inf\" bucket", key))
+		} else if h.hasCnt && inf != h.count {
+			problems = append(problems, fmt.Sprintf("histogram %s: +Inf bucket %v != _count %v", key, inf, h.count))
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := -1.0
+		for _, le := range les {
+			if h.buckets[le] < prev {
+				problems = append(problems, fmt.Sprintf("histogram %s: bucket le=%v not monotone", key, le))
+			}
+			prev = h.buckets[le]
+		}
+	}
+	return problems
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/tactic-icn/tactic/internal/bloom"
 	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/transport"
 )
 
@@ -43,6 +44,7 @@ func (f *Forwarder) handleControl(m *ndn.Control, from *faceState) {
 			return
 		}
 		f.m.control(m.Kind, ctrlApplied)
+		f.ev.Emit(obs.EventRevocation, int(from.id), "v"+itoa(int(m.Version))+" from "+m.Origin, uint64(len(m.Revoked)))
 		f.logf("control: revocation set v%d (%d entries, full=%v) from %q", m.Version, len(m.Revoked), m.Full, m.Origin)
 		f.flushRevokedParked()
 		f.floodControl(m, from.id)
@@ -52,6 +54,7 @@ func (f *Forwarder) handleControl(m *ndn.Control, from *faceState) {
 			return
 		}
 		f.m.control(m.Kind, ctrlApplied)
+		f.ev.Emit(obs.EventEpochRotate, int(from.id), "ordered by "+m.Origin, m.Version)
 		f.logf("control: rotated BF to epoch %d (ordered by %q)", m.Version, m.Origin)
 		f.floodControl(m, from.id)
 	case ndn.CtrlBFSync:
@@ -100,6 +103,7 @@ func (f *Forwarder) ApplyRevocation(version uint64, full bool, revoked []core.Ta
 		return false
 	}
 	f.m.control(ndn.CtrlRevoke, ctrlApplied)
+	f.ev.Emit(obs.EventRevocation, -1, "v"+itoa(int(version))+" local", uint64(len(revoked)))
 	f.flushRevokedParked()
 	f.floodControl(&ndn.Control{Kind: ndn.CtrlRevoke, Version: version, Origin: f.cfg.ID, Full: full, Revoked: revoked}, ndn.FaceNone)
 	return true

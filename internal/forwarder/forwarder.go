@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,12 @@ type Config struct {
 	// Obs, when non-nil, receives runtime telemetry (counters, gauges,
 	// histograms; see the Metric* constants).
 	Obs *obs.Registry
+	// Events, when non-nil, receives typed operator events (face churn,
+	// uplink redials, revocations, epoch rotations, shed bursts) for
+	// /eventz and the slog bridge. Emission is off the forwarding fast
+	// path: only lifecycle transitions and rate-limited burst summaries
+	// are recorded.
+	Events *obs.Events
 	// Tracer, when non-nil, samples per-packet trace spans through the
 	// enforcement pipeline.
 	Tracer *obs.Tracer
@@ -130,6 +137,10 @@ type Forwarder struct {
 	tactic *core.Router
 	start  time.Time
 	m      *obsMetrics
+	ev     *obs.Events // nil-safe event log (cfg.Events)
+	// shedGate coalesces verify-shed events to at most one per second;
+	// the shed counter still counts every occurrence.
+	shedGate obs.BurstGate
 
 	// fib, pit, and cs synchronise themselves (see internal/ndn); the
 	// pipeline reaches them without holding f.mu.
@@ -232,6 +243,7 @@ func New(cfg Config) (*Forwarder, error) {
 		tactic: core.NewRouter(cfg.ID, bf, core.NewTagValidator(verifier), rand.New(rand.NewSource(seed)), cfg.Tactic),
 		start:  time.Now(),
 		m:      newObsMetrics(cfg.Obs, cfg.Role),
+		ev:     cfg.Events,
 		fib:    ndn.NewLockedFIB(),
 		pit:    ndn.NewShardedPIT(),
 		cs:     ndn.NewShardedCS(cfg.CSCapacity),
@@ -303,11 +315,33 @@ func (f *Forwarder) addFace(conn transport.Face, downstream bool, onDown func())
 	fs := &faceState{id: id, conn: conn, downstream: downstream, onDown: onDown}
 	f.faces[id] = fs
 	f.mu.Unlock()
-	conn.SetMetrics(f.m.faceMetrics(id, downstream))
+	_, datagram := conn.(*transport.DatagramFace)
+	tm := f.m.faceMetrics(id, downstream, datagram)
+	if tm == nil && f.ev != nil {
+		tm = &transport.Metrics{} // events-only attachment; counters stay nil (no-op)
+	}
+	if tm != nil {
+		tm.Events = f.ev
+		tm.Face = int(id)
+	}
+	conn.SetMetrics(tm)
+	f.ev.Emit(obs.EventFaceUp, int(id), faceAttr(conn, downstream), 0)
 
 	f.wg.Add(1)
 	go f.readLoop(fs)
 	return id
+}
+
+// faceAttr renders a face's link kind and remote for event detail.
+func faceAttr(conn transport.Face, downstream bool) string {
+	attr := "upstream"
+	if downstream {
+		attr = "downstream"
+	}
+	if addr := conn.RemoteAddr(); addr != nil {
+		attr += " " + addr.String()
+	}
+	return attr
 }
 
 // readLoop pumps one face's packets through the pipeline.
@@ -359,6 +393,7 @@ func (f *Forwarder) removeFace(id ndn.FaceID) {
 		f.logf("face %d: flushed %d parked verifications", id, n)
 	}
 	fs.conn.Close()
+	f.ev.Emit(obs.EventFaceDown, int(id), faceAttr(fs.conn, fs.downstream), 0)
 	f.logf("face %d closed", id)
 	if fs.onDown != nil {
 		go fs.onDown()
@@ -401,6 +436,21 @@ func (f *Forwarder) Serve(ln net.Listener) error {
 // listener or a UDP endpoint, whose faces appear on the first datagram
 // from each new remote — until the listener closes.
 func (f *Forwarder) ServeFaces(l transport.FaceListener) error {
+	if ep, ok := l.(*transport.UDPEndpoint); ok {
+		// Demux-created faces process datagrams before Accept hands them
+		// to addFace (which attaches the per-face-ID series); a shared
+		// interim Metrics keyed face="demux" counts that window so no
+		// traffic is invisible to the registry.
+		demux := f.m.demuxMetrics()
+		if demux != nil || f.ev != nil {
+			if demux == nil {
+				demux = &transport.Metrics{}
+			}
+			demux.Events = f.ev
+			demux.Face = -1
+			ep.SetMetricsFactory(func(netip.AddrPort) *transport.Metrics { return demux })
+		}
+	}
 	for {
 		face, err := l.Accept()
 		if err != nil {
@@ -538,6 +588,13 @@ func (f *Forwarder) parkForVerify(job *verifyJob) {
 		return
 	}
 	f.m.shed()
+	if f.ev != nil {
+		// Rate-limited to ~1 event/s: a shed storm logs as a burst count,
+		// not one event per dropped Interest.
+		if burst := f.shedGate.Add(1); burst > 0 {
+			f.ev.Emit(obs.EventShedBurst, int(job.from.id), "verify_overload", burst)
+		}
+	}
 	f.nackInterest(job.i, job.from, core.ErrOverload, job.sp, job.inTC)
 }
 

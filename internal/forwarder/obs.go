@@ -28,6 +28,12 @@ const (
 	MetricVerifyFailed  = "tactic_tag_verify_failures_total"
 	MetricBFFillRatio   = "tactic_bf_fill_ratio"
 	MetricBFFPP         = "tactic_bf_fpp"
+	// MetricBFMeasuredFPP / MetricBFTargetFPP feed the health engine's
+	// BF-saturation watchdog (aliased from obs so the rule inputs and
+	// the emitters cannot drift): the bits-exact measured FPP versus the
+	// configured target the filter was shaped for.
+	MetricBFMeasuredFPP = obs.FamilyBFMeasuredFPP
+	MetricBFTargetFPP   = obs.FamilyBFTargetFPP
 	MetricBFEntries     = "tactic_bf_entries"
 	MetricPITEntries    = "tactic_pit_entries"
 	MetricCSEntries     = "tactic_cs_entries"
@@ -43,7 +49,7 @@ const (
 	MetricPITExpired     = "tactic_pit_expired_total"
 	MetricPITFlushed     = "tactic_pit_flushed_total"
 	MetricRoutesDetached = "tactic_routes_detached_total"
-	MetricUplinkConnects = "tactic_uplink_connects_total"
+	MetricUplinkConnects = obs.FamilyUplinkConnects
 	MetricUplinkDown     = "tactic_uplink_down_total"
 	MetricUplinkUp       = "tactic_uplink_up"
 
@@ -57,7 +63,7 @@ const (
 	// admission budget, Interests currently parked awaiting a worker,
 	// parked Interests flushed on face death/revocation/shutdown, and
 	// the time each Interest spent parked.
-	MetricVerifySheds       = "tactic_verify_sheds_total"
+	MetricVerifySheds       = obs.FamilyVerifySheds
 	MetricVerifyParked      = "tactic_verify_parked"
 	MetricVerifyFlushed     = "tactic_verify_flushed_total"
 	MetricVerifyParkSeconds = "tactic_verify_park_seconds"
@@ -165,9 +171,14 @@ func newObsMetrics(reg *obs.Registry, role Role) *obsMetrics {
 		return m
 	}
 	reg.Help(MetricInterests, "Interests entering the pipeline.")
+	reg.Help(MetricData, "Data packets entering the pipeline.")
+	reg.Help(MetricCSHits, "Interests answered from the content store.")
 	reg.Help(MetricNACKs, "Invalidity signals sent, by validation failure reason.")
 	reg.Help(MetricDrops, "Packets dropped, by cause.")
 	reg.Help(MetricHopSeconds, "Per-hop Interest pipeline latency.")
+	reg.Help(MetricFaceFrames, "Frames moved per face, by link kind and direction.")
+	reg.Help(MetricFaceBytes, "Frame bytes moved per face, by link kind and direction.")
+	reg.Help(MetricFaceErrors, "Framing and I/O failures per face.")
 	reg.Help(MetricPITExpired, "PIT entries expired unanswered (the paper's silent request expiry).")
 	reg.Help(MetricPITFlushed, "PIT entries flushed because their upstream face died.")
 	reg.Help(MetricRoutesDetached, "FIB routes detached because their face died.")
@@ -258,8 +269,10 @@ func (m *obsMetrics) drop(cause string) {
 	m.drops[cause].Inc()
 }
 
-// faceMetrics builds the per-face transport counters.
-func (m *obsMetrics) faceMetrics(id ndn.FaceID, downstream bool) *transport.Metrics {
+// faceMetrics builds the per-face transport counters. datagram adds the
+// UDP-plane series (fragments, reassembly, evictions, oversize) that
+// only datagram faces bump.
+func (m *obsMetrics) faceMetrics(id ndn.FaceID, downstream, datagram bool) *transport.Metrics {
 	if m.reg == nil {
 		return nil
 	}
@@ -270,13 +283,48 @@ func (m *obsMetrics) faceMetrics(id ndn.FaceID, downstream bool) *transport.Metr
 	face := obs.L("face", itoa(int(id)))
 	kind := obs.L("link", link)
 	in, out := obs.L("dir", "in"), obs.L("dir", "out")
-	return &transport.Metrics{
+	tm := &transport.Metrics{
 		FramesIn:      m.reg.Counter(MetricFaceFrames, m.role, face, kind, in),
 		FramesOut:     m.reg.Counter(MetricFaceFrames, m.role, face, kind, out),
 		BytesIn:       m.reg.Counter(MetricFaceBytes, m.role, face, kind, in),
 		BytesOut:      m.reg.Counter(MetricFaceBytes, m.role, face, kind, out),
 		Errors:        m.reg.Counter(MetricFaceErrors, m.role, face, kind),
 		DecodeSeconds: m.stageDecode,
+	}
+	if datagram {
+		m.reg.Help(transport.MetricUDPFragments, "Fragment datagrams moved, by direction.")
+		m.reg.Help(transport.MetricUDPReassembled, "Frames completed from fragment reassembly.")
+		m.reg.Help(transport.MetricUDPReassemblyEvictions, "Partial packets evicted before reassembly completed (timeout or slot pressure).")
+		m.reg.Help(transport.MetricUDPRxOversize, "UDP datagrams truncated and dropped for exceeding the receive buffer (MTU mismatch).")
+		tm.FragmentsIn = m.reg.Counter(transport.MetricUDPFragments, m.role, face, kind, in)
+		tm.FragmentsOut = m.reg.Counter(transport.MetricUDPFragments, m.role, face, kind, out)
+		tm.Reassembled = m.reg.Counter(transport.MetricUDPReassembled, m.role, face, kind)
+		tm.ReassemblyEvictions = m.reg.Counter(transport.MetricUDPReassemblyEvictions, m.role, face, kind)
+		tm.Oversize = m.reg.Counter(transport.MetricUDPRxOversize, m.role, face, kind)
+	}
+	return tm
+}
+
+// demuxMetrics builds the shared interim Metrics for faces the UDP
+// endpoint demuxes before Accept hands them to addFace. One series set
+// keyed face="demux" (not the remote address) keeps label cardinality
+// bounded no matter how many remotes connect.
+func (m *obsMetrics) demuxMetrics() *transport.Metrics {
+	if m.reg == nil {
+		return nil
+	}
+	face := obs.L("face", "demux")
+	in, out := obs.L("dir", "in"), obs.L("dir", "out")
+	return &transport.Metrics{
+		FramesIn:            m.reg.Counter(MetricFaceFrames, m.role, face, obs.L("link", "downstream"), in),
+		BytesIn:             m.reg.Counter(MetricFaceBytes, m.role, face, obs.L("link", "downstream"), in),
+		Errors:              m.reg.Counter(MetricFaceErrors, m.role, face, obs.L("link", "downstream")),
+		DecodeSeconds:       m.stageDecode,
+		FragmentsIn:         m.reg.Counter(transport.MetricUDPFragments, m.role, face, in),
+		FragmentsOut:        m.reg.Counter(transport.MetricUDPFragments, m.role, face, out),
+		Reassembled:         m.reg.Counter(transport.MetricUDPReassembled, m.role, face),
+		ReassemblyEvictions: m.reg.Counter(transport.MetricUDPReassemblyEvictions, m.role, face),
+		Oversize:            m.reg.Counter(transport.MetricUDPRxOversize, m.role, face),
 	}
 }
 
@@ -316,10 +364,26 @@ func (f *Forwarder) registerSampled(reg *obs.Registry) {
 	}
 	reg.Help(MetricRevokedEntries, "Tag IDs in the router's exact revocation set (consulted before the BF).")
 	reg.Help(MetricBFEpoch, "Current Bloom-filter epoch (bumped by CtrlRotate).")
+	reg.Help(MetricBFLookups, "Bloom-filter membership lookups.")
+	reg.Help(MetricBFInsertions, "Bloom-filter insertions.")
+	reg.Help(MetricBFResets, "Bloom-filter resets (FPP threshold or epoch rotation).")
+	reg.Help(MetricVerifications, "Tag signature verifications executed.")
+	reg.Help(MetricVerifyFailed, "Tag verification failures, by reason.")
+	reg.Help(MetricBFFillRatio, "Fraction of Bloom-filter bits set.")
+	reg.Help(MetricBFFPP, "Live Bloom-filter false-positive probability estimate (from insert count).")
+	reg.Help(MetricBFMeasuredFPP, "Bits-exact measured Bloom-filter false-positive probability (fill ratio ^ k).")
+	reg.Help(MetricBFTargetFPP, "Configured Bloom-filter false-positive probability target.")
+	reg.Help(MetricBFEntries, "Elements inserted into the Bloom filter since its last reset.")
+	reg.Help(MetricPITEntries, "Pending Interest table entries.")
+	reg.Help(MetricCSEntries, "Content-store entries.")
+	reg.Help(MetricFIBEntries, "FIB routes installed.")
+	reg.Help(MetricFaces, "Faces currently attached.")
 	reg.GaugeFunc(MetricRevokedEntries, func() float64 { return float64(f.tactic.Revocations().Len()) }, role)
 	reg.GaugeFunc(MetricBFEpoch, func() float64 { return float64(f.tactic.Epoch()) }, role)
 	reg.GaugeFunc(MetricBFFillRatio, func() float64 { return f.tactic.Bloom().FillRatio() }, role)
 	reg.GaugeFunc(MetricBFFPP, func() float64 { return f.tactic.Bloom().FPP() }, role)
+	reg.GaugeFunc(MetricBFMeasuredFPP, func() float64 { return f.tactic.Bloom().MeasuredFPP() }, role)
+	reg.GaugeFunc(MetricBFTargetFPP, func() float64 { return f.tactic.Bloom().MaxFPP() }, role)
 	reg.GaugeFunc(MetricBFEntries, func() float64 { return float64(f.tactic.Bloom().Count()) }, role)
 	reg.GaugeFunc(MetricPITEntries, func() float64 { return float64(f.pit.Len()) }, role)
 	reg.GaugeFunc(MetricCSEntries, func() float64 { return float64(f.cs.Len()) }, role)

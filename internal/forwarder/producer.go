@@ -73,6 +73,7 @@ func (p *Producer) Instrument(reg *obs.Registry) {
 		return func() float64 { return float64(get(p.Stats())) }
 	}
 	reg.Help(MetricProducerServed, "Content responses served by the origin.")
+	reg.Help(MetricProducerNACKs, "Requests NACKed by the origin (unknown content, registration refusals).")
 	reg.Help(MetricRegistrations, "Tag registrations handled by the origin, by result.")
 	reg.CounterFunc(MetricProducerServed, sampled(func(s ProducerStats) uint64 { return s.Served }), role, prefix)
 	reg.CounterFunc(MetricProducerNACKs, sampled(func(s ProducerStats) uint64 { return s.NACKed }), role, prefix)

@@ -150,6 +150,7 @@ func (u *Uplink) run() {
 		}
 		u.up.Store(true)
 		u.connects.Add(1)
+		u.f.ev.Emit(obs.EventUplinkUp, int(id), u.cfg.Addr, 0)
 		u.f.logf("uplink %s: attached as face %d (%d routes)", u.cfg.Addr, id, len(u.cfg.Routes))
 
 		select {
@@ -163,6 +164,7 @@ func (u *Uplink) run() {
 		case <-down:
 			u.up.Store(false)
 			u.downs.Add(1)
+			u.f.ev.Emit(obs.EventUplinkDown, int(id), u.cfg.Addr, 0)
 			if u.cfg.SyncPeer {
 				u.f.RemoveSyncPeer(id)
 			}

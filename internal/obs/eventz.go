@@ -1,0 +1,92 @@
+// /eventz and /healthz exposition: the event ring as JSON or streamed
+// JSONL, and the health engine's verdict as machine-readable JSON.
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// AttachEventz mounts /eventz on mux, serving the ev ring:
+//
+//	/eventz                 JSON {node, total, events: [...]} oldest first
+//	/eventz?limit=N         only the newest N events
+//	/eventz?format=jsonl    one JSON event per line (archive-friendly)
+//	/eventz?follow=1        JSONL: recent history, then live events
+//	                        streamed until the client disconnects
+func AttachEventz(mux *http.ServeMux, ev *Events) {
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, r *http.Request) {
+		events := ev.Snapshot()
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		follow := r.URL.Query().Get("follow") != ""
+		if follow || r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			enc := json.NewEncoder(w)
+			for i := range events {
+				enc.Encode(&events[i]) //nolint:errcheck // client gone mid-write
+			}
+			if !follow {
+				return
+			}
+			fl, _ := w.(http.Flusher)
+			if fl != nil {
+				fl.Flush()
+			}
+			ch, cancel := ev.Subscribe(64)
+			defer cancel()
+			var last uint64
+			if len(events) > 0 {
+				last = events[len(events)-1].Seq
+			}
+			for {
+				select {
+				case e, ok := <-ch:
+					if !ok {
+						return
+					}
+					if e.Seq <= last { // already replayed from the ring
+						continue
+					}
+					if enc.Encode(&e) != nil {
+						return
+					}
+					if fl != nil {
+						fl.Flush()
+					}
+				case <-r.Context().Done():
+					return
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{ //nolint:errcheck // client gone mid-write
+			"node":   ev.Node(),
+			"total":  ev.Total(),
+			"events": events,
+		})
+	})
+}
+
+// AttachHealthz mounts /healthz on mux: each request evaluates h and
+// returns the HealthReport as JSON — HTTP 200 for ready and degraded
+// (the node still serves), 503 for unhealthy so dumb probes can act on
+// the status code alone.
+func AttachHealthz(mux *http.ServeMux, h *Health) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		rep := h.Eval()
+		w.Header().Set("Content-Type", "application/json")
+		if rep.Status == HealthUnhealthy.String() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck // client gone mid-write
+	})
+}

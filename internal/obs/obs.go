@@ -507,7 +507,10 @@ func writeHistogram(w io.Writer, name string, s *series) error {
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	// _count must equal the +Inf bucket (Prometheus spec). Reusing cum —
+	// rather than re-loading h.Count() — keeps the two consistent even
+	// when Observe races the scrape between the loads.
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, cum)
 	return err
 }
 

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrape renders the registry and returns the non-comment sample lines.
+func scrape(t *testing.T, reg *Registry) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" && !strings.HasPrefix(line, "#") {
+			lines = append(lines, line)
+		}
+	}
+	return lines
+}
+
+func sampleValue(t *testing.T, lines []string, prefix string) string {
+	t.Helper()
+	for _, line := range lines {
+		if strings.HasPrefix(line, prefix) {
+			i := strings.LastIndexByte(line, ' ')
+			return line[i+1:]
+		}
+	}
+	t.Fatalf("no sample with prefix %q in %v", prefix, lines)
+	return ""
+}
+
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tactic_test_total",
+		L("path", `C:\tmp\"x"`),
+		L("msg", "line1\nline2")).Add(1)
+	lines := scrape(t, reg)
+	if len(lines) != 1 {
+		t.Fatalf("lines = %v", lines)
+	}
+	line := lines[0]
+	// The exposition format escapes backslash, double-quote, and
+	// newline inside label values exactly like Go quoting does.
+	start := strings.IndexByte(line, '{')
+	end := strings.LastIndexByte(line, '}')
+	if start < 0 || end < start {
+		t.Fatalf("no label block in %q", line)
+	}
+	if strings.ContainsAny(line, "\n\r") {
+		t.Fatalf("raw newline leaked into exposition: %q", line)
+	}
+	for _, pair := range strings.Split(line[start+1:end], ",") {
+		k, quoted, ok := strings.Cut(pair, "=")
+		if !ok {
+			t.Fatalf("malformed label pair %q", pair)
+		}
+		val, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("label %s value %s does not round-trip: %v", k, quoted, err)
+		}
+		switch k {
+		case "path":
+			if val != `C:\tmp\"x"` {
+				t.Fatalf("path unescaped to %q", val)
+			}
+		case "msg":
+			if val != "line1\nline2" {
+				t.Fatalf("msg unescaped to %q", val)
+			}
+		default:
+			t.Fatalf("unexpected label %q", k)
+		}
+	}
+}
+
+func TestWritePrometheusNaNInfGauges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("tactic_test_nan").Set(math.NaN())
+	reg.Gauge("tactic_test_posinf").Set(math.Inf(1))
+	reg.Gauge("tactic_test_neginf").Set(math.Inf(-1))
+	lines := scrape(t, reg)
+	if got := sampleValue(t, lines, "tactic_test_nan "); got != "NaN" {
+		t.Fatalf("NaN rendered as %q", got)
+	}
+	if got := sampleValue(t, lines, "tactic_test_posinf "); got != "+Inf" {
+		t.Fatalf("+Inf rendered as %q", got)
+	}
+	if got := sampleValue(t, lines, "tactic_test_neginf "); got != "-Inf" {
+		t.Fatalf("-Inf rendered as %q", got)
+	}
+}
+
+// TestWritePrometheusHistogramConsistency hammers a histogram with
+// concurrent Observe while scraping, asserting the spec invariants on
+// every scrape: buckets are monotonically non-decreasing in le order,
+// and _count equals the +Inf bucket exactly.
+func TestWritePrometheusHistogramConsistency(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("tactic_test_seconds", []float64{0.001, 0.01, 0.1, 1})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(v)
+				v = math.Mod(v*1.7+0.003, 2.5)
+			}
+		}(0.0005 * float64(w+1))
+	}
+
+	for i := 0; i < 200; i++ {
+		lines := scrape(t, reg)
+		var buckets []uint64
+		var count uint64
+		var haveCount bool
+		for _, line := range lines {
+			i := strings.LastIndexByte(line, ' ')
+			name, val := line[:i], line[i+1:]
+			switch {
+			case strings.HasPrefix(name, "tactic_test_seconds_bucket"):
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("bucket value %q: %v", val, err)
+				}
+				buckets = append(buckets, n)
+			case strings.HasPrefix(name, "tactic_test_seconds_count"):
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("count value %q: %v", val, err)
+				}
+				count, haveCount = n, true
+			}
+		}
+		if len(buckets) != 5 || !haveCount {
+			t.Fatalf("scrape shape: buckets=%d haveCount=%v", len(buckets), haveCount)
+		}
+		for j := 1; j < len(buckets); j++ {
+			if buckets[j] < buckets[j-1] {
+				t.Fatalf("bucket regression at le index %d: %v", j, buckets)
+			}
+		}
+		if inf := buckets[len(buckets)-1]; count != inf {
+			t.Fatalf("scrape %d: _count %d != +Inf bucket %d", i, count, inf)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWritePrometheusNoDuplicateSeries guards the family/series model:
+// the same name+labels must render exactly once however many handles
+// point at it, and distinct label sets render distinct series.
+func TestWritePrometheusNoDuplicateSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tactic_dup_total", L("role", "edge")).Add(1)
+	reg.Counter("tactic_dup_total", L("role", "edge")).Add(1) // same series
+	reg.Counter("tactic_dup_total", L("role", "core")).Add(5)
+	seen := map[string]bool{}
+	for _, line := range scrape(t, reg) {
+		name := line[:strings.LastIndexByte(line, ' ')]
+		if seen[name] {
+			t.Fatalf("duplicate series %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("series count = %d, want 2 (%v)", len(seen), seen)
+	}
+}

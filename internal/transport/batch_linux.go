@@ -16,6 +16,7 @@ import (
 	"math/bits"
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"syscall"
 	"unsafe"
 )
@@ -67,8 +68,14 @@ type batchIO struct {
 	// v6 marks a v6 (possibly dual-stack) socket: v4 destinations are
 	// sent as v4-mapped v6 sockaddrs.
 	v6 bool
-	// gso / gro record offload support probed at socket setup.
-	gso, gro bool
+	// gso / gro record offload support probed at socket setup. gso may
+	// flip off at runtime (writeBatch's fallback) and is only touched by
+	// the write loop; gsoProbed keeps the immutable probe result for
+	// observers, and fallbacks counts the runtime disable transitions so
+	// scrapers never race the write loop's plain bool.
+	gso, gro  bool
+	gsoProbed bool
+	fallbacks atomic.Uint64
 
 	rhdrs  [batchMax]mmsghdr
 	riovs  [batchMax]syscall.Iovec
@@ -99,6 +106,7 @@ func newBatchIO(pc *net.UDPConn, bufSize int) *batchIO {
 	raw.Control(func(fd uintptr) { //nolint:errcheck // probe only
 		if syscall.SetsockoptInt(int(fd), solUDP, udpSegment, 0) == nil {
 			b.gso = true
+			b.gsoProbed = true
 		}
 		if syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1) == nil {
 			b.gro = true
@@ -286,6 +294,7 @@ func (b *batchIO) writeBatch(msgs []outDatagram) {
 					// The kernel rejected a GSO message: turn the offload
 					// off and replay its datagrams one per message.
 					b.gso = false
+					b.fallbacks.Add(1)
 					msgs = msgs[starts[sent]:]
 					regroup = true
 					break
@@ -300,6 +309,17 @@ func (b *batchIO) writeBatch(msgs []outDatagram) {
 		}
 		msgs = msgs[consumed:]
 	}
+}
+
+// stats reports the probed offload support and how many times the GSO
+// fallback fired. It reads only immutable and atomic state, so it is
+// safe to call from a metrics scraper while the write loop runs; GSO is
+// effectively active when gsoProbed && fallbacks == 0.
+func (b *batchIO) stats() (gso, gro bool, fallbacks uint64) {
+	if b == nil {
+		return false, false, 0
+	}
+	return b.gsoProbed, b.gro, b.fallbacks.Load()
 }
 
 // htons converts a port to the network byte order a raw sockaddr

@@ -22,3 +22,7 @@ func (b *batchIO) msg(int) ([]byte, netip.AddrPort, int, bool) {
 	panic("transport: batch I/O unavailable")
 }
 func (b *batchIO) writeBatch([]outDatagram) { panic("transport: batch I/O unavailable") }
+
+// stats is callable (unlike the I/O methods, which never run here):
+// metric closures scrape it unconditionally on every platform.
+func (b *batchIO) stats() (gso, gro bool, fallbacks uint64) { return false, false, 0 }

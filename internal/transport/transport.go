@@ -139,6 +139,21 @@ type Metrics struct {
 	// DecodeSeconds, when set, receives the TLV decode latency of a
 	// sample (1 in 64) of received packets.
 	DecodeSeconds *obs.Histogram
+
+	// Datagram-plane counters, nil on stream faces: fragments sent and
+	// received, frames completed by reassembly, partial packets evicted
+	// (timeout or slot pressure), and oversized datagrams dropped.
+	FragmentsIn, FragmentsOut   *obs.Counter
+	Reassembled                 *obs.Counter
+	ReassemblyEvictions         *obs.Counter
+	Oversize                    *obs.Counter
+
+	// Events, when set, receives operator events from the face (e.g.
+	// reassembly-eviction bursts), labelled with Face.
+	Events *obs.Events
+	// Face is the face ID used in emitted events (set it alongside
+	// Events; -1 when the face has no forwarder ID).
+	Face int
 }
 
 // decodeSampleMask selects which received packets are timed for

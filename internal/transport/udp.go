@@ -103,6 +103,31 @@ type UDPEndpoint struct {
 	// (MTU + headroom), truncated by the socket and dropped — a peer
 	// configured with a bigger MTU, not generic corruption.
 	rxOversize atomic.Uint64
+
+	// Endpoint-wide datagram-plane aggregates, summed across faces
+	// (including ones that have since died): fragments moved, frames
+	// completed by reassembly, partial packets evicted.
+	fragsIn, fragsOut atomic.Uint64
+	reassembled       atomic.Uint64
+	reasmEvicted      atomic.Uint64
+
+	// metricsFactory, when set, builds the Metrics attached to each
+	// demux-created face at creation time, so auto-accepted faces are
+	// counted from their first datagram (faces surfaced through Accept
+	// can still have metrics replaced later via SetMetrics).
+	metricsFactory atomic.Pointer[func(netip.AddrPort) *Metrics]
+}
+
+// SetMetricsFactory installs a constructor invoked for every face the
+// endpoint creates (demuxed remotes and dialed faces alike); the
+// returned Metrics (nil allowed) is attached before the face sees its
+// first datagram. Safe to call concurrently with the read loop.
+func (ep *UDPEndpoint) SetMetricsFactory(fn func(remote netip.AddrPort) *Metrics) {
+	if fn == nil {
+		ep.metricsFactory.Store(nil)
+		return
+	}
+	ep.metricsFactory.Store(&fn)
 }
 
 // ListenUDP binds a datagram endpoint on addr ("host:port").
@@ -203,6 +228,27 @@ func (ep *UDPEndpoint) RxDrops() uint64 { return ep.rxDrops.Load() }
 // parse errors so an MTU mismatch is diagnosable.
 func (ep *UDPEndpoint) RxOversize() uint64 { return ep.rxOversize.Load() }
 
+// Fragments returns fragment datagrams received and sent across every
+// face this endpoint ever demuxed (dead faces' counts persist).
+func (ep *UDPEndpoint) Fragments() (in, out uint64) {
+	return ep.fragsIn.Load(), ep.fragsOut.Load()
+}
+
+// Reassembled returns frames completed from fragments across all faces.
+func (ep *UDPEndpoint) Reassembled() uint64 { return ep.reassembled.Load() }
+
+// ReassemblyEvictions returns partial packets evicted before completion
+// across all faces.
+func (ep *UDPEndpoint) ReassemblyEvictions() uint64 { return ep.reasmEvicted.Load() }
+
+// BatchStats reports whether batched I/O is active and the probed
+// GSO/GRO offload state, plus how many times the runtime GSO fallback
+// fired (a kernel that rejected a segmented send).
+func (ep *UDPEndpoint) BatchStats() (batch, gso, gro bool, gsoFallbacks uint64) {
+	gso, gro, gsoFallbacks = ep.bio.stats()
+	return ep.bio != nil, gso, gro, gsoFallbacks
+}
+
 // Close stops the endpoint: the socket closes, every face's Receive
 // unblocks with an error, and the loops drain.
 func (ep *UDPEndpoint) Close() error {
@@ -233,6 +279,9 @@ func (ep *UDPEndpoint) newFace(remote netip.AddrPort) *DatagramFace {
 		rq:    make(chan *[]byte, recvQueueLen),
 		asm:   newReassembler(ep.opts.ReassemblyEntries, ep.opts.ReassemblyTimeout),
 		done:  make(chan struct{}),
+	}
+	if fn := ep.metricsFactory.Load(); fn != nil {
+		f.metrics.Store((*fn)(remote))
 	}
 	ep.mu.Lock()
 	ep.faces[remote] = f
@@ -456,7 +505,18 @@ type DatagramFace struct {
 	// (endpoint mode counts them on the endpoint); kept apart from errs
 	// so an MTU mismatch is diagnosable.
 	oversize atomic.Uint64
-	metrics             atomic.Pointer[Metrics]
+	// Datagram-plane counters: fragments moved, frames completed by
+	// reassembly, partial packets evicted.
+	fragsIn, fragsOut atomic.Uint64
+	reassembled       atomic.Uint64
+	reasmEvicted      atomic.Uint64
+	// evictSeen tracks how much of asm.evicted has been published into
+	// reasmEvicted; plain (non-atomic) because only the single receive
+	// loop that owns asm touches it.
+	evictSeen uint64
+	// evictGate rate-limits reassembly-eviction events to one per second.
+	evictGate obs.BurstGate
+	metrics   atomic.Pointer[Metrics]
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -519,6 +579,18 @@ func (f *DatagramFace) SetMetrics(m *Metrics) { f.metrics.Store(m) }
 // report these on UDPEndpoint.RxOversize instead.
 func (f *DatagramFace) Oversize() uint64 { return f.oversize.Load() }
 
+// Fragments returns fragment datagrams received and sent by this face.
+func (f *DatagramFace) Fragments() (in, out uint64) {
+	return f.fragsIn.Load(), f.fragsOut.Load()
+}
+
+// Reassembled returns frames this face completed from fragments.
+func (f *DatagramFace) Reassembled() uint64 { return f.reassembled.Load() }
+
+// ReassemblyEvictions returns partial packets this face evicted before
+// completion (reassembly timeout or slot pressure).
+func (f *DatagramFace) ReassemblyEvictions() uint64 { return f.reasmEvicted.Load() }
+
 // Stats returns a snapshot of the face's counters.
 func (f *DatagramFace) Stats() Stats {
 	return Stats{
@@ -562,6 +634,73 @@ func (f *DatagramFace) countErr() {
 	f.errs.Add(1)
 	if m := f.metrics.Load(); m != nil {
 		m.Errors.Inc()
+	}
+}
+
+// countFragIn accounts one received fragment datagram.
+func (f *DatagramFace) countFragIn() {
+	f.fragsIn.Add(1)
+	if f.ep != nil {
+		f.ep.fragsIn.Add(1)
+	}
+	if m := f.metrics.Load(); m != nil {
+		m.FragmentsIn.Inc()
+	}
+}
+
+// countFragsOut accounts n sent fragment datagrams.
+func (f *DatagramFace) countFragsOut(n int) {
+	f.fragsOut.Add(uint64(n))
+	if f.ep != nil {
+		f.ep.fragsOut.Add(uint64(n))
+	}
+	if m := f.metrics.Load(); m != nil {
+		m.FragmentsOut.Add(uint64(n))
+	}
+}
+
+// countReassembled accounts one frame completed by reassembly.
+func (f *DatagramFace) countReassembled() {
+	f.reassembled.Add(1)
+	if f.ep != nil {
+		f.ep.reassembled.Add(1)
+	}
+	if m := f.metrics.Load(); m != nil {
+		m.Reassembled.Inc()
+	}
+}
+
+// noteEvictions publishes reassembler evictions accumulated since the
+// last call (the reassembler's counter is private to the receive loop)
+// and emits a rate-limited reassembly_evict event. Called from the
+// receive loop only, right after the reassembler ran.
+func (f *DatagramFace) noteEvictions() {
+	d := f.asm.evicted - f.evictSeen
+	if d == 0 {
+		return
+	}
+	f.evictSeen = f.asm.evicted
+	f.reasmEvicted.Add(d)
+	if f.ep != nil {
+		f.ep.reasmEvicted.Add(d)
+	}
+	m := f.metrics.Load()
+	if m != nil {
+		m.ReassemblyEvictions.Add(d)
+	}
+	if m != nil && m.Events != nil {
+		if burst := f.evictGate.Add(d); burst > 0 {
+			m.Events.Emit(obs.EventReassemblyEvict, m.Face, f.RemoteAddr().String(), burst)
+		}
+	}
+}
+
+// countOversize accounts one truncated-and-dropped oversized datagram
+// (conn mode; endpoint mode counts these on the shared socket).
+func (f *DatagramFace) countOversize() {
+	f.oversize.Add(1)
+	if m := f.metrics.Load(); m != nil {
+		m.Oversize.Inc()
 	}
 }
 
@@ -679,8 +818,11 @@ func (f *DatagramFace) sendFrame(frame []byte) error {
 		return ErrPacketTooLarge
 	}
 	var id uint64
-	if len(frame) > f.mtu() {
+	var nfrags int
+	if mtu := f.mtu(); len(frame) > mtu {
 		id = f.pktID.Add(1)
+		chunk := mtu - fragOverhead
+		nfrags = (len(frame) + chunk - 1) / chunk
 	}
 	err := fragmentFrame(frame, f.mtu(), id, f.emit)
 	if err != nil {
@@ -688,6 +830,9 @@ func (f *DatagramFace) sendFrame(frame []byte) error {
 			f.countErr()
 		}
 		return err
+	}
+	if nfrags > 0 {
+		f.countFragsOut(nfrags)
 	}
 	f.countOut(len(frame))
 	return nil
@@ -792,7 +937,7 @@ func (f *DatagramFace) readConn() ([]byte, error) {
 		if n == len(f.rbuf) {
 			// The headroom byte was consumed: a bigger-MTU peer's datagram
 			// was truncated by the socket.
-			f.oversize.Add(1)
+			f.countOversize()
 			continue
 		}
 		return f.rbuf[:n], nil
@@ -813,7 +958,9 @@ func (f *DatagramFace) process(dg []byte) (pkt Packet, ok bool, err error) {
 		f.kaIn.Add(1)
 		return Packet{}, false, nil
 	case typeFrag:
+		f.countFragIn()
 		frame, err := f.asm.add(time.Now(), body)
+		f.noteEvictions()
 		if err != nil {
 			return Packet{}, false, err
 		}
@@ -830,6 +977,7 @@ func (f *DatagramFace) process(dg []byte) (pkt Packet, ok bool, err error) {
 		if err != nil {
 			return Packet{}, false, err
 		}
+		f.countReassembled()
 		f.countInFrame()
 		return pkt, true, nil
 	default:

@@ -346,6 +346,17 @@ func TestUDPAcceptBacklogShedsInsteadOfBlocking(t *testing.T) {
 	if err := first.SendInterest(&ndn.Interest{Name: names.MustParse("/p/a"), Kind: ndn.KindContent, Nonce: 1}); err != nil {
 		t.Fatal(err)
 	}
+	// Wait until first's face has registered (head of the accept queue)
+	// before flooding: if the initial datagram is lost under load, the
+	// flood would fill the backlog and shed first itself, and the face
+	// accepted below would be a keepalive-only flood face.
+	for deadline := time.Now().Add(2 * time.Second); ep.Faces() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("first face never registered")
+		}
+		first.SendInterest(&ndn.Interest{Name: names.MustParse("/p/a"), Kind: ndn.KindContent, Nonce: 1}) //nolint:errcheck
+		time.Sleep(5 * time.Millisecond)
+	}
 	// Flood from fresh 5-tuples until the backlog overflows and sheds.
 	// A shed remote's face unregisters, so resending from the same
 	// client re-trips the full queue — retry loops absorb UDP loss.

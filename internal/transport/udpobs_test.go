@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/ndn"
+	"github.com/tactic-icn/tactic/internal/obs"
+)
+
+// TestUDPMetricsFactoryCountsDemuxedFaces is the regression test for
+// the demux gap: faces auto-created by the endpoint's read loop got no
+// Metrics, so their traffic was invisible to the registry. A factory
+// installed on the endpoint must see every demuxed face counted from
+// its first datagram.
+func TestUDPMetricsFactoryCountsDemuxedFaces(t *testing.T) {
+	reg := obs.NewRegistry()
+	ev := obs.NewEvents("n0", 32)
+	ep, cl := udpPair(t, UDPOptions{})
+	var made int
+	ep.SetMetricsFactory(func(remote netip.AddrPort) *Metrics {
+		made++
+		l := obs.L("face", remote.String())
+		return &Metrics{
+			FramesIn:            reg.Counter("tactic_face_frames_in_total", l),
+			FragmentsIn:         reg.Counter(MetricUDPFragments, l, obs.L("dir", "in")),
+			Reassembled:         reg.Counter(MetricUDPReassembled, l),
+			ReassemblyEvictions: reg.Counter(MetricUDPReassemblyEvictions, l),
+			Events:              ev,
+			Face:                7,
+		}
+	})
+
+	// A fragmented Data exercises fragsIn + reassembled on the demuxed
+	// (factory-built) face.
+	payload := bytes.Repeat([]byte{0x5A}, 3500)
+	if err := cl.SendData(testData(payload)); err != nil {
+		t.Fatal(err)
+	}
+	srv := acceptOne(t, ep)
+	pkt, err := srv.Receive()
+	if err != nil || pkt.Data == nil {
+		t.Fatalf("receive: %+v err=%v", pkt, err)
+	}
+	if made != 1 {
+		t.Fatalf("factory invoked %d times, want 1", made)
+	}
+	df := srv.(*DatagramFace)
+	in, _ := df.Fragments()
+	if in < 2 || df.Reassembled() != 1 {
+		t.Fatalf("face frag counters: in=%d reassembled=%d", in, df.Reassembled())
+	}
+	epIn, epOut := ep.Fragments()
+	if epIn != in || ep.Reassembled() != 1 {
+		t.Fatalf("endpoint aggregates: in=%d out=%d reassembled=%d", epIn, epOut, ep.Reassembled())
+	}
+	// The dial side counted the outgoing fragments.
+	if _, out := cl.Fragments(); out != in {
+		t.Fatalf("dialer frags out = %d, want %d", out, in)
+	}
+	snap := reg.Snapshot()
+	var sawFrag, sawReasm bool
+	for k, v := range snap {
+		if strings.HasPrefix(k, MetricUDPFragments+"{") && v == float64(in) {
+			sawFrag = true
+		}
+		if strings.HasPrefix(k, MetricUDPReassembled+"{") && v == 1 {
+			sawReasm = true
+		}
+	}
+	if !sawFrag || !sawReasm {
+		t.Fatalf("registry missing factory-fed series: frag=%v reasm=%v snap=%v", sawFrag, sawReasm, snap)
+	}
+}
+
+// TestUDPReassemblyEvictionMetricsAndEvent drives a timeout eviction
+// and asserts it surfaces in the per-face counter, the endpoint
+// aggregate, and a reassembly_evict event.
+func TestUDPReassemblyEvictionMetricsAndEvent(t *testing.T) {
+	reg := obs.NewRegistry()
+	ev := obs.NewEvents("n0", 32)
+	ep, cl := udpPair(t, UDPOptions{ReassemblyTimeout: 60 * time.Millisecond})
+	ep.SetMetricsFactory(func(remote netip.AddrPort) *Metrics {
+		return &Metrics{
+			ReassemblyEvictions: reg.Counter(MetricUDPReassemblyEvictions, obs.L("face", "1")),
+			Events:              ev,
+			Face:                1,
+		}
+	})
+	frag := func(id uint64, idx, cnt uint16, payload []byte) []byte {
+		body := mkFragBody(id, idx, cnt, payload)
+		dg := append([]byte{typeFrag}, appendTLVLen(nil, len(body))...)
+		return append(dg, body...)
+	}
+	whole := func(nonce uint64) []byte {
+		buf, err := ndn.AppendInterest(nil, &ndn.Interest{Name: names.MustParse("/p/x"), Kind: ndn.KindContent, Nonce: nonce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	// First half of packet 1, chased by a marker so the reassembler
+	// stamps it now; past the timeout, a new fragment (of packet 2)
+	// triggers the expiry sweep.
+	cl.SendFrame(frag(1, 0, 2, []byte("half"))) //nolint:errcheck
+	cl.SendFrame(whole(8))                      //nolint:errcheck
+	srv := acceptOne(t, ep)
+	srv.SetIdleTimeout(2 * time.Second)
+	if pkt, err := srv.Receive(); err != nil || pkt.Interest == nil || pkt.Interest.Nonce != 8 {
+		t.Fatalf("marker: %+v err=%v", pkt, err)
+	}
+	time.Sleep(120 * time.Millisecond)
+	cl.SendFrame(frag(2, 0, 2, []byte("next"))) //nolint:errcheck
+	cl.SendFrame(whole(9))                      //nolint:errcheck
+	if pkt, err := srv.Receive(); err != nil || pkt.Interest == nil || pkt.Interest.Nonce != 9 {
+		t.Fatalf("post-evict marker: %+v err=%v", pkt, err)
+	}
+	df := srv.(*DatagramFace)
+	if df.ReassemblyEvictions() != 1 || ep.ReassemblyEvictions() != 1 {
+		t.Fatalf("evictions: face=%d endpoint=%d, want 1/1", df.ReassemblyEvictions(), ep.ReassemblyEvictions())
+	}
+	if got := reg.Snapshot()[MetricUDPReassemblyEvictions+`{face="1"}`]; got != 1 {
+		t.Fatalf("registry eviction counter = %v, want 1", got)
+	}
+	var found *obs.Event
+	for _, e := range ev.Snapshot() {
+		if e.Type == obs.EventReassemblyEvict {
+			e := e
+			found = &e
+		}
+	}
+	if found == nil || found.Face != 1 || found.Value != 1 {
+		t.Fatalf("reassembly_evict event = %+v", found)
+	}
+}
+
+// TestUDPEndpointInstrument registers the endpoint families and checks
+// the scope label plus live values after traffic.
+func TestUDPEndpointInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	ep, cl := udpPair(t, UDPOptions{})
+	ep.Instrument(reg, obs.L("role", "edge"))
+	payload := bytes.Repeat([]byte{0x11}, 3000)
+	if err := cl.SendData(testData(payload)); err != nil {
+		t.Fatal(err)
+	}
+	srv := acceptOne(t, ep)
+	if pkt, err := srv.Receive(); err != nil || pkt.Data == nil {
+		t.Fatalf("receive: %+v err=%v", pkt, err)
+	}
+	snap := reg.Snapshot()
+	in, _ := ep.Fragments()
+	fragKey := MetricUDPFragments + `{dir="in",role="edge",scope="endpoint"}`
+	if got := snap[fragKey]; got != float64(in) || in < 2 {
+		t.Fatalf("%s = %v, want %d (snap %v)", fragKey, got, in, snap)
+	}
+	facesKey := MetricUDPFaces + `{role="edge",scope="endpoint"}`
+	if got := snap[facesKey]; got != 1 {
+		t.Fatalf("%s = %v, want 1", facesKey, got)
+	}
+	batch, gso, _, fb := ep.BatchStats()
+	batchKey := MetricUDPBatchEnabled + `{role="edge",scope="endpoint"}`
+	if got := snap[batchKey]; got != boolGauge(batch) {
+		t.Fatalf("%s = %v, want %v", batchKey, got, boolGauge(batch))
+	}
+	gsoKey := MetricUDPGSOEnabled + `{role="edge",scope="endpoint"}`
+	if got := snap[gsoKey]; got != boolGauge(gso && fb == 0) {
+		t.Fatalf("%s = %v", gsoKey, got)
+	}
+}
