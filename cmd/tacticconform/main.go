@@ -10,6 +10,7 @@
 //	tacticconform -seed 1337 -v         # reproduce one standard seed
 //	tacticconform -seed 1337 -flood     # reproduce one flood seed
 //	tacticconform -seed 1337 -minimize
+//	tacticconform -seeds 50 -scheme=ibac  # gate the IBAC backend
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/oracle"
 )
 
@@ -28,8 +30,16 @@ func main() {
 		flood    = flag.Bool("flood", false, "with -seed, replay the flood family instead of the standard one")
 		minimize = flag.Bool("minimize", false, "on divergence, greedily shrink the scenario")
 		verbose  = flag.Bool("v", false, "print each scenario summary")
+		scheme   = flag.String("scheme", "tactic", "enforcement backend for all three harnesses: tactic|ibac")
 	)
 	flag.Parse()
+
+	sch, err := core.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := oracle.Options{Scheme: sch}
 
 	type family struct {
 		name string
@@ -53,7 +63,7 @@ func main() {
 	for _, fam := range families {
 		for s := first; s < first+int64(n); s++ {
 			total++
-			rep, err := fam.run(s, oracle.Options{})
+			rep, err := fam.run(s, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s seed %d: %v\n", fam.name, s, err)
 				os.Exit(2)
@@ -72,7 +82,7 @@ func main() {
 			}
 			fmt.Printf("%s", rep.Scenario)
 			if *minimize {
-				min, minRep, err := oracle.Minimize(rep.Scenario, oracle.Options{})
+				min, minRep, err := oracle.Minimize(rep.Scenario, opts)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "minimize: %v\n", err)
 				} else {

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/forwarder"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/obs"
@@ -64,6 +65,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("tacticd", flag.ContinueOnError)
 	listen := fs.String("listen", ":6363", "downstream listen address; prefix udp:// for datagram faces (default TCP)")
 	role := fs.String("role", "core", "router role: edge|core")
+	schemeName := fs.String("scheme", "tactic", "enforcement backend: tactic|ibac")
 	id := fs.String("id", "", "node identity (edge IDs bind client access paths)")
 	bfSize := fs.Int("bf", 500, "Bloom-filter capacity")
 	bfFPP := fs.Float64("fpp", 1e-4, "Bloom-filter max FPP")
@@ -92,6 +94,10 @@ func run(args []string) error {
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
+	}
+	scheme, err := core.ParseScheme(*schemeName)
+	if err != nil {
+		return err
 	}
 	var r forwarder.Role
 	switch *role {
@@ -169,6 +175,7 @@ func run(args []string) error {
 		ID:                *id,
 		Role:              r,
 		Registry:          registry,
+		Tactic:            core.Config{Scheme: scheme},
 		BFCapacity:        *bfSize,
 		BFMaxFPP:          *bfFPP,
 		CSCapacity:        *csSize,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/baseline"
+	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/experiment"
 	"github.com/tactic-icn/tactic/internal/metrics"
 )
@@ -32,7 +33,7 @@ func run(args []string) error {
 	ttl := fs.Duration("ttl", 10*time.Second, "tag expiry period")
 	fidelity := fs.Bool("fidelity", true, "paper-fidelity mode")
 	ecdsa := fs.Bool("ecdsa", false, "use real ECDSA P-256 signatures")
-	scheme := fs.String("scheme", "tactic", "access-control scheme: tactic|open-ndn|client-side-ac|provider-auth-ac")
+	scheme := fs.String("scheme", "tactic", "access-control scheme: tactic|ibac|open-ndn|client-side-ac|provider-auth-ac")
 	traceEvery := fs.Int("trace-every", 0, "trace every Nth client request and report per-hop latency decomposition (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +54,11 @@ func run(args []string) error {
 	switch *scheme {
 	case "tactic":
 		sc.Baseline = baseline.TACTIC
+	case "ibac":
+		// IBAC runs on the TACTIC substrate with the enforcement engine
+		// swapped: every router authorizes (token, name) pairs.
+		sc.Baseline = baseline.TACTIC
+		sc.Ablations.Scheme = core.SchemeIBAC
 	case "open-ndn":
 		sc.Baseline = baseline.OpenNDN
 	case "client-side-ac":
@@ -72,8 +78,12 @@ func run(args []string) error {
 
 	fmt.Printf("TACTIC simulation — topology %d, seed %d, %s simulated (%s wall, %d events)\n\n",
 		*topo, *seed, *duration, wall.Round(time.Millisecond), res.Events)
+	schemeLabel := sc.Baseline.String()
+	if sc.Ablations.Scheme != core.SchemeTACTIC {
+		schemeLabel = sc.Ablations.Scheme.String()
+	}
 	fmt.Printf("scheme: %s   BF capacity %d @ max FPP %g   tag TTL %s   fidelity %v\n\n",
-		sc.Baseline, *bfSize, *bfFPP, *ttl, *fidelity)
+		schemeLabel, *bfSize, *bfFPP, *ttl, *fidelity)
 
 	printDelivery := func(label string, d metrics.Delivery) {
 		fmt.Printf("%-10s requested %9d   received %9d   delivery rate %.4f\n",

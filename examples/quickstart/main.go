@@ -20,6 +20,7 @@ import (
 
 	"github.com/tactic-icn/tactic/internal/bloom"
 	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/enforce"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/pki"
 )
@@ -84,32 +85,32 @@ func run() error {
 		client.KeyLocator(), tag.Level, tag.Expiry.Format(time.TimeOnly), tag.Size())
 
 	// --- Routers ---
-	newRouter := func(id string) *core.Router {
+	newRouter := func(id string) *enforce.Router {
 		bf, err := bloom.NewPaper(500, 1e-4)
 		if err != nil {
 			panic(err) // static parameters; cannot fail
 		}
-		return core.NewRouter(id, bf, core.NewTagValidator(registry), mrand.New(mrand.NewSource(1)), core.Config{})
+		return enforce.NewRouter(id, bf, core.NewTagValidator(registry), mrand.New(mrand.NewSource(1)), core.Config{})
 	}
 	edge := newRouter("edge-0")
 	contentRouter := newRouter("core-7")
 
 	// --- Protocol 2: edge router processes the Interest ---
 	dec := edge.EdgeOnInterest(tag, homeAP, contentName, now)
-	if dec.Drop {
+	if dec.Denied() {
 		return fmt.Errorf("unexpected edge drop: %w", dec.Reason)
 	}
 	fmt.Printf("edge router forwards with F=%g (first sight: not in Bloom filter)\n", dec.Flag)
 
 	// --- Protocol 3: content router serves from its cache ---
 	cdec := contentRouter.ContentOnInterest(tag, content.Meta, dec.Flag, now)
-	if cdec.NACK {
+	if cdec.Denied() {
 		return fmt.Errorf("unexpected content NACK: %w", cdec.Reason)
 	}
 	fmt.Printf("content router validated the tag (1 signature verification) and returned <D, T> with F=%g\n", cdec.Flag)
 
 	// --- Edge learns the validation and delivers ---
-	if !edge.EdgeOnData(tag, cdec.Flag, cdec.NACK) {
+	if edge.EdgeOnData(tag, cdec.Flag, cdec.Denied()).Denied() {
 		return fmt.Errorf("edge refused delivery")
 	}
 
@@ -130,7 +131,7 @@ func run() error {
 	// --- Attacks (paper §3.C) ---
 	// (e) Tag shared to a different location: access-path mismatch.
 	awayAP := core.AccessPathOf("ap-away")
-	if d := edge.EdgeOnInterest(tag, awayAP, contentName, now); d.Drop {
+	if d := edge.EdgeOnInterest(tag, awayAP, contentName, now); d.Denied() {
 		fmt.Printf("shared tag from another AP: dropped (%v)\n", d.Reason)
 	}
 	// (b) Forged tag claiming the provider's key locator.
@@ -142,12 +143,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if d := contentRouter.ContentOnInterest(forged, content.Meta, 0, now); d.NACK {
+	if d := contentRouter.ContentOnInterest(forged, content.Meta, 0, now); d.Denied() {
 		fmt.Printf("forged tag: NACK (%v)\n", d.Reason)
 	}
 	// (c) Expired tag.
 	later := now.Add(31 * time.Second)
-	if d := edge.EdgeOnInterest(tag, homeAP, contentName, later); d.Drop {
+	if d := edge.EdgeOnInterest(tag, homeAP, contentName, later); d.Denied() {
 		fmt.Printf("expired tag: dropped at edge pre-check (%v)\n", d.Reason)
 	}
 	// Revocation = not issuing fresh tags (paper §7).

@@ -5,83 +5,26 @@ import (
 	"testing"
 	"time"
 
-	"github.com/tactic-icn/tactic/internal/bloom"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/pki"
 )
 
-// benchRouter builds a router with a pre-validated tag in its filter.
-func benchRouter(b *testing.B, cfg Config) (*Router, *Tag, ContentMeta) {
-	b.Helper()
+// The router-path benchmarks (edge hit, content trusted/verify) live in
+// internal/enforce next to the decision engine; these cover core's own
+// primitives.
+
+// BenchmarkPreCheck is Protocol 1 alone.
+func BenchmarkPreCheck(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	signer, err := pki.GenerateFast(rng, names.MustParse("/prov0/KEY/1"))
 	if err != nil {
 		b.Fatal(err)
 	}
-	reg := pki.NewRegistry()
-	if err := reg.Register(signer.Locator(), signer.Public()); err != nil {
-		b.Fatal(err)
-	}
-	bf, err := bloom.NewPaper(500, 1e-4)
-	if err != nil {
-		b.Fatal(err)
-	}
-	r := NewRouter("bench", bf, NewTagValidator(reg), rng, cfg)
 	tag, err := IssueTag(signer, names.MustParse("/u/alice/KEY/1"), 3, AccessPathOf("ap0"), time.Unix(1<<31, 0))
 	if err != nil {
 		b.Fatal(err)
 	}
 	meta := ContentMeta{Name: names.MustParse("/prov0/obj/c0"), Level: 2, ProviderKey: signer.Locator()}
-	r.EdgeOnTagResponse(tag) // warm the filter
-	return r, tag, meta
-}
-
-// BenchmarkEdgeOnInterestHit is TACTIC's hot path: pre-check + BF hit.
-func BenchmarkEdgeOnInterestHit(b *testing.B) {
-	r, tag, meta := benchRouter(b, Config{})
-	now := time.Unix(10, 0)
-	ap := AccessPathOf("ap0")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d := r.EdgeOnInterest(tag, ap, meta.Name, now)
-		if d.Drop {
-			b.Fatal(d.Reason)
-		}
-	}
-}
-
-// BenchmarkContentOnInterestTrusted is the content router's common case:
-// F != 0, no re-validation.
-func BenchmarkContentOnInterestTrusted(b *testing.B) {
-	r, tag, meta := benchRouter(b, Config{})
-	now := time.Unix(10, 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d := r.ContentOnInterest(tag, meta, 1e-6, now)
-		if d.NACK {
-			b.Fatal(d.Reason)
-		}
-	}
-}
-
-// BenchmarkContentOnInterestVerify is the expensive path: BF disabled,
-// full signature verification per request (the NoBloomFilter ablation's
-// per-request cost).
-func BenchmarkContentOnInterestVerify(b *testing.B) {
-	r, tag, meta := benchRouter(b, Config{DisableBloomFilter: true})
-	now := time.Unix(10, 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		d := r.ContentOnInterest(tag, meta, 0, now)
-		if d.NACK {
-			b.Fatal(d.Reason)
-		}
-	}
-}
-
-// BenchmarkPreCheck is Protocol 1 alone.
-func BenchmarkPreCheck(b *testing.B) {
-	_, tag, meta := benchRouter(b, Config{})
 	now := time.Unix(10, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

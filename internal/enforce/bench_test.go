@@ -1,0 +1,117 @@
+package enforce
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+// benchRouter builds a router with a pre-validated tag in its filter.
+func benchRouter(b *testing.B, cfg core.Config) (*Router, *core.Tag, core.ContentMeta) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	signer, err := pki.GenerateFast(rng, names.MustParse("/prov0/KEY/1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := pki.NewRegistry()
+	if err := reg.Register(signer.Locator(), signer.Public()); err != nil {
+		b.Fatal(err)
+	}
+	bf, err := bloom.NewPaper(500, 1e-4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRouter("bench", bf, core.NewTagValidator(reg), rng, cfg)
+	tag, err := core.IssueTag(signer, names.MustParse("/u/alice/KEY/1"), 3, core.AccessPathOf("ap0"), time.Unix(1<<31, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta := core.ContentMeta{Name: names.MustParse("/prov0/obj/c0"), Level: 2, ProviderKey: signer.Locator()}
+	r.EdgeOnTagResponse(tag) // warm the filter (TACTIC; IBAC warms lazily)
+	return r, tag, meta
+}
+
+// BenchmarkEdgeOnInterestHit is TACTIC's hot path: pre-check + BF hit.
+func BenchmarkEdgeOnInterestHit(b *testing.B) {
+	r, tag, meta := benchRouter(b, core.Config{})
+	now := time.Unix(10, 0)
+	ap := core.AccessPathOf("ap0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.EdgeOnInterest(tag, ap, meta.Name, now)
+		if d.Denied() {
+			b.Fatal(d.Reason)
+		}
+	}
+}
+
+// BenchmarkEdgeOnInterestHitIBAC is the same hot path under the IBAC
+// backend: pre-check + (token, name) cache hit after one warm-up
+// verification.
+func BenchmarkEdgeOnInterestHitIBAC(b *testing.B) {
+	r, tag, meta := benchRouter(b, core.Config{Scheme: core.SchemeIBAC})
+	now := time.Unix(10, 0)
+	ap := core.AccessPathOf("ap0")
+	if d := r.EdgeOnInterest(tag, ap, meta.Name, now); d.Denied() {
+		b.Fatal(d.Reason)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.EdgeOnInterest(tag, ap, meta.Name, now)
+		if d.Denied() {
+			b.Fatal(d.Reason)
+		}
+	}
+}
+
+// BenchmarkContentOnInterestTrusted is the content router's common case:
+// F != 0, no re-validation.
+func BenchmarkContentOnInterestTrusted(b *testing.B) {
+	r, tag, meta := benchRouter(b, core.Config{})
+	now := time.Unix(10, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.ContentOnInterest(tag, meta, 1e-6, now)
+		if d.Denied() {
+			b.Fatal(d.Reason)
+		}
+	}
+}
+
+// BenchmarkContentOnInterestIBACHit is the IBAC content router's common
+// case: no vouching, every request pays its own (token, name) lookup.
+func BenchmarkContentOnInterestIBACHit(b *testing.B) {
+	r, tag, meta := benchRouter(b, core.Config{Scheme: core.SchemeIBAC})
+	now := time.Unix(10, 0)
+	if d := r.ContentOnInterest(tag, meta, 0, now); d.Denied() {
+		b.Fatal(d.Reason)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.ContentOnInterest(tag, meta, 0, now)
+		if d.Denied() {
+			b.Fatal(d.Reason)
+		}
+	}
+}
+
+// BenchmarkContentOnInterestVerify is the expensive path: BF disabled,
+// full signature verification per request (the NoBloomFilter ablation's
+// per-request cost).
+func BenchmarkContentOnInterestVerify(b *testing.B) {
+	r, tag, meta := benchRouter(b, core.Config{DisableBloomFilter: true})
+	now := time.Unix(10, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := r.ContentOnInterest(tag, meta, 0, now)
+		if d.Denied() {
+			b.Fatal(d.Reason)
+		}
+	}
+}

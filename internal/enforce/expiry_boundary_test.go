@@ -1,9 +1,11 @@
-package core
+package enforce
 
 import (
 	"errors"
 	"testing"
 	"time"
+
+	"github.com/tactic-icn/tactic/internal/core"
 )
 
 // T_e boundary semantics: a tag is valid at exactly T_e (Expired uses
@@ -13,7 +15,7 @@ import (
 // forwarder path is pinned to the same table in
 // internal/forwarder's TestExpiryBoundaryLive.
 func TestExpiryBoundaryExactlyAtTe(t *testing.T) {
-	r, prov := testRouter(t, 31, Config{})
+	r, prov := testRouter(t, 31, core.Config{})
 	te := testTime(50)
 	tag := issueTestTag(t, prov, 1, 0, te)
 
@@ -23,24 +25,24 @@ func TestExpiryBoundaryExactlyAtTe(t *testing.T) {
 	if !tag.Expired(te.Add(time.Nanosecond)) {
 		t.Error("Tag.Expired false one nanosecond past T_e")
 	}
-	if err := PreCheckEdge(tag, testContentName, te); err != nil {
+	if err := core.PreCheckEdge(tag, testContentName, te); err != nil {
 		t.Errorf("PreCheckEdge at exactly T_e: %v", err)
 	}
-	if err := PreCheckEdge(tag, testContentName, te.Add(time.Nanosecond)); !errors.Is(err, ErrTagExpired) {
+	if err := core.PreCheckEdge(tag, testContentName, te.Add(time.Nanosecond)); !errors.Is(err, core.ErrTagExpired) {
 		t.Errorf("PreCheckEdge past T_e = %v, want ErrTagExpired", err)
 	}
 	if err := r.Validator().Validate(tag, te); err != nil {
 		t.Errorf("Validate at exactly T_e: %v", err)
 	}
-	if err := r.Validator().Validate(tag, te.Add(time.Nanosecond)); !errors.Is(err, ErrTagExpired) {
+	if err := r.Validator().Validate(tag, te.Add(time.Nanosecond)); !errors.Is(err, core.ErrTagExpired) {
 		t.Errorf("Validate past T_e = %v, want ErrTagExpired", err)
 	}
 
-	if dec := r.EdgeOnInterest(tag, 0, testContentName, te); dec.Drop {
+	if dec := r.EdgeOnInterest(tag, 0, testContentName, te); dec.Denied() {
 		t.Errorf("EdgeOnInterest dropped at exactly T_e: %v", dec.Reason)
 	}
 	dec := r.EdgeOnInterest(tag, 0, testContentName, te.Add(time.Nanosecond))
-	if !dec.Drop || !errors.Is(dec.Reason, ErrTagExpired) {
+	if !dec.Denied() || !errors.Is(dec.Reason, core.ErrTagExpired) {
 		t.Errorf("EdgeOnInterest past T_e = %+v, want expired drop", dec)
 	}
 }
@@ -50,14 +52,14 @@ func TestExpiryBoundaryExactlyAtTe(t *testing.T) {
 // expiry pre-check before the filter lookup, so the entry is
 // unreachable even though it is still set.
 func TestExpiryBetweenBFInsertAndLaterHit(t *testing.T) {
-	r, prov := testRouter(t, 32, Config{})
+	r, prov := testRouter(t, 32, core.Config{})
 	te := testTime(50)
 	tag := issueTestTag(t, prov, 1, 0, te)
-	meta := ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+	meta := core.ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
 
 	// Full validation before T_e inserts the tag into the filter.
 	cdec := r.ContentOnInterest(tag, meta, 0, testTime(40))
-	if cdec.NACK || !cdec.Verified {
+	if cdec.Denied() || !cdec.Verified {
 		t.Fatalf("pre-expiry validation = %+v, want verified serve", cdec)
 	}
 	// The filter now vouches at the edge…
@@ -66,7 +68,7 @@ func TestExpiryBetweenBFInsertAndLaterHit(t *testing.T) {
 	}
 	// …but after T_e the pre-check fires first and the hit is unreachable.
 	dec := r.EdgeOnInterest(tag, 0, testContentName, testTime(60))
-	if !dec.Drop || !errors.Is(dec.Reason, ErrTagExpired) {
+	if !dec.Denied() || !errors.Is(dec.Reason, core.ErrTagExpired) {
 		t.Fatalf("post-expiry edge decision = %+v, want expired drop", dec)
 	}
 	if dec.BFHit {
@@ -74,7 +76,7 @@ func TestExpiryBetweenBFInsertAndLaterHit(t *testing.T) {
 	}
 	// The validator agrees, and reports expiry before even looking at
 	// the (valid) signature.
-	if err := r.Validator().Validate(tag, testTime(60)); !errors.Is(err, ErrTagExpired) {
+	if err := r.Validator().Validate(tag, testTime(60)); !errors.Is(err, core.ErrTagExpired) {
 		t.Errorf("post-expiry Validate = %v, want ErrTagExpired", err)
 	}
 }

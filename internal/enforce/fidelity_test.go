@@ -1,4 +1,4 @@
-package core
+package enforce
 
 import (
 	"errors"
@@ -6,17 +6,18 @@ import (
 	"testing"
 
 	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
 	"github.com/tactic-icn/tactic/internal/pki"
 )
 
 func TestEdgeValidateOnMissVerifiesAndInserts(t *testing.T) {
-	r, prov := testRouter(t, 50, Config{EdgeValidateOnMiss: true})
+	r, prov := testRouter(t, 50, core.Config{EdgeValidateOnMiss: true})
 	now := testTime(10)
-	tag := issueTestTag(t, prov, 1, AccessPathOf("ap0"), testTime(100))
+	tag := issueTestTag(t, prov, 1, core.AccessPathOf("ap0"), testTime(100))
 
 	// First sight: BF miss -> signature verified, inserted, F = FPP.
-	d := r.EdgeOnInterest(tag, AccessPathOf("ap0"), testContentName, now)
-	if d.Drop {
+	d := r.EdgeOnInterest(tag, core.AccessPathOf("ap0"), testContentName, now)
+	if d.Denied() {
 		t.Fatalf("valid tag dropped: %v", d.Reason)
 	}
 	if d.Flag <= 0 {
@@ -29,8 +30,8 @@ func TestEdgeValidateOnMissVerifiesAndInserts(t *testing.T) {
 		t.Error("validated tag not inserted")
 	}
 	// Second sight: BF hit, no extra verification.
-	d = r.EdgeOnInterest(tag, AccessPathOf("ap0"), testContentName, now)
-	if d.Drop || d.Flag <= 0 {
+	d = r.EdgeOnInterest(tag, core.AccessPathOf("ap0"), testContentName, now)
+	if d.Denied() || d.Flag <= 0 {
 		t.Fatalf("second interest: %+v", d)
 	}
 	if r.Validator().Verifications() != 1 {
@@ -39,12 +40,12 @@ func TestEdgeValidateOnMissVerifiesAndInserts(t *testing.T) {
 }
 
 func TestEdgeValidateOnMissDropsForged(t *testing.T) {
-	r, prov := testRouter(t, 51, Config{EdgeValidateOnMiss: true})
+	r, prov := testRouter(t, 51, core.Config{EdgeValidateOnMiss: true})
 	forged := issueTestTag(t, prov, 1, 0, testTime(100))
 	forged.Signature = append([]byte(nil), forged.Signature...)
 	forged.Signature[0] ^= 1
 	d := r.EdgeOnInterest(forged, 0, testContentName, testTime(10))
-	if !d.Drop || !errors.Is(d.Reason, ErrTagForged) {
+	if !d.Denied() || !errors.Is(d.Reason, core.ErrTagForged) {
 		t.Errorf("forged tag at validating edge: %+v", d)
 	}
 	if r.Bloom().Count() != 0 {
@@ -65,9 +66,9 @@ func TestRequestDrivenResetCadence(t *testing.T) {
 	if threshold < 50 || threshold > 400 {
 		t.Fatalf("threshold = %d, want the paper's ~50-250 band", threshold)
 	}
-	r := NewRouter("r", bf, NewTagValidator(reg), rand.New(rand.NewSource(52)), Config{RequestDrivenReset: true})
+	r := NewRouter("r", bf, core.NewTagValidator(reg), rand.New(rand.NewSource(52)), core.Config{RequestDrivenReset: true})
 	tag := issueTestTag(t, prov, 1, 0, testTime(100))
-	meta := ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+	meta := core.ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
 
 	const rounds = 3
 	for i := uint64(0); i < threshold*rounds+1; i++ {
@@ -92,36 +93,36 @@ func TestRequestDrivenResetCadence(t *testing.T) {
 // and the EnforceALOnAggregates hardening closes it.
 func TestAggregateALBypassAndHardening(t *testing.T) {
 	now := testTime(10)
-	highMeta := func(prov pki.Signer) ContentMeta {
-		return ContentMeta{Name: testContentName, Level: 3, ProviderKey: prov.Locator()}
+	highMeta := func(prov pki.Signer) core.ContentMeta {
+		return core.ContentMeta{Name: testContentName, Level: 3, ProviderKey: prov.Locator()}
 	}
 
 	// Paper-faithful router: the low-level tag is delivered.
-	r, prov := testRouter(t, 54, Config{})
+	r, prov := testRouter(t, 54, core.Config{})
 	low := issueTestTag(t, prov, 1, 0, testTime(100)) // AL_u=1 < AL_D=3
-	if d := r.ContentOnInterest(low, highMeta(prov), 0, now); !d.NACK {
+	if d := r.ContentOnInterest(low, highMeta(prov), 0, now); !d.Denied() {
 		t.Fatal("content router should reject the low-level tag (Protocol 1)")
 	}
-	if !r.EdgeOnAggregatedData(low, highMeta(prov), now) {
+	if r.EdgeOnAggregatedData(low, highMeta(prov), now).Denied() {
 		t.Error("paper-faithful aggregate path should (incorrectly) deliver — the documented flaw")
 	}
-	if d := r.IntermediateOnAggregatedContent(low, highMeta(prov), 0, now); d.NACK {
+	if d := r.IntermediateOnAggregatedContent(low, highMeta(prov), 0, now); d.Denied() {
 		t.Error("paper-faithful intermediate aggregate path should (incorrectly) forward")
 	}
 
 	// Hardened router: both aggregate paths reject it.
-	hr, hprov := testRouter(t, 55, Config{EnforceALOnAggregates: true})
+	hr, hprov := testRouter(t, 55, core.Config{EnforceALOnAggregates: true})
 	hlow := issueTestTag(t, hprov, 1, 0, testTime(100))
-	if hr.EdgeOnAggregatedData(hlow, highMeta(hprov), now) {
+	if !hr.EdgeOnAggregatedData(hlow, highMeta(hprov), now).Denied() {
 		t.Error("hardened edge aggregate path delivered a low-level tag")
 	}
-	if d := hr.IntermediateOnAggregatedContent(hlow, highMeta(hprov), 0, now); !d.NACK ||
-		!errors.Is(d.Reason, ErrInsufficientLevel) {
+	if d := hr.IntermediateOnAggregatedContent(hlow, highMeta(hprov), 0, now); !d.Denied() ||
+		!errors.Is(d.Reason, core.ErrInsufficientLevel) {
 		t.Errorf("hardened intermediate aggregate path: %+v", d)
 	}
 	// Valid high-level tags still pass under hardening.
 	high := issueTestTag(t, hprov, 3, 0, testTime(100))
-	if !hr.EdgeOnAggregatedData(high, highMeta(hprov), now) {
+	if hr.EdgeOnAggregatedData(high, highMeta(hprov), now).Denied() {
 		t.Error("hardening broke legitimate aggregate delivery")
 	}
 }
@@ -133,10 +134,10 @@ func TestRequestDrivenResetRespectsDisableAutoReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := NewRouter("r", bf, NewTagValidator(reg), rand.New(rand.NewSource(53)),
-		Config{RequestDrivenReset: true, DisableAutoReset: true})
+	r := NewRouter("r", bf, core.NewTagValidator(reg), rand.New(rand.NewSource(53)),
+		core.Config{RequestDrivenReset: true, DisableAutoReset: true})
 	tag := issueTestTag(t, prov, 1, 0, testTime(100))
-	meta := ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+	meta := core.ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
 	for i := 0; i < 5000; i++ {
 		r.ContentOnInterest(tag, meta, 0, testTime(10))
 	}

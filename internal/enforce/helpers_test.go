@@ -1,0 +1,65 @@
+package enforce
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+	"github.com/tactic-icn/tactic/internal/pki"
+)
+
+func newTestSigner(t testing.TB, seed int64, locator string) *pki.FastKeyPair {
+	t.Helper()
+	kp, err := pki.GenerateFast(rand.New(rand.NewSource(seed)), names.MustParse(locator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+// newTestRegistry registers the given signers.
+func newTestRegistry(t testing.TB, signers ...pki.Signer) *pki.Registry {
+	t.Helper()
+	reg := pki.NewRegistry()
+	for _, s := range signers {
+		if err := reg.Register(s.Locator(), s.Public()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func testTime(sec int64) time.Time { return time.Unix(sec, 0) }
+
+// testRouter builds an enforcement router with the given config, plus a
+// provider signer enrolled in its registry.
+func testRouter(t testing.TB, seed int64, cfg core.Config) (*Router, *pki.FastKeyPair) {
+	t.Helper()
+	prov := newTestSigner(t, seed, "/prov0/KEY/1")
+	reg := newTestRegistry(t, prov)
+	bf, err := bloom.NewPaper(500, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter("r1", bf, core.NewTagValidator(reg), rand.New(rand.NewSource(seed)), cfg)
+	return r, prov
+}
+
+func issueTestTag(t testing.TB, prov pki.Signer, level core.AccessLevel, ap core.AccessPath, expiry time.Time) *core.Tag {
+	t.Helper()
+	tag, err := core.IssueTag(prov, names.MustParse("/u/alice/KEY/1"), level, ap, expiry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+var testContentName = names.MustParse("/prov0/obj1/chunk0")
+
+// aggMeta builds permissive content metadata for aggregate-path tests.
+func aggMeta(prov pki.Signer) core.ContentMeta {
+	return core.ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+}

@@ -1,0 +1,215 @@
+package enforce
+
+import (
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// ibacEngine implements Interest-based access control (Ghali et al.,
+// "Interest-Based Access Control for Content Centric Networks" — see
+// PAPERS.md): a consumer presents an authorization token with each
+// Interest and every enforcing router authorizes the (token, name) pair
+// on first sight, caching the result. The reproduction reuses TACTIC's
+// tag as the token (same issuance, signature, and expiry machinery) so
+// the two schemes differ only in enforcement semantics:
+//
+//   - Authorization is per (token, name), not per token: a token never
+//     vouches for a name it has not been checked against at this
+//     router, so the cache key binds both.
+//   - No access-path binding: tokens are location-independent, so a
+//     borrowed token replayed from another edge, or a traitor's token
+//     shared out-of-path, is honoured (TACTIC's threat (c) coverage is
+//     the scheme's known gap — EXPERIMENTS.md quantifies it).
+//   - No downstream collaboration: there is no flag F, no vouching, and
+//     no probabilistic re-validation. The edge always verifies a cache
+//     miss (EdgeValidateOnMiss is implied) and upstream routers always
+//     run their own (token, name) check; forwarded packets carry F = 0.
+//   - Aggregated records re-check the content half of Protocol 1
+//     (level/provider) unconditionally: per-name authorization has the
+//     arriving content's metadata at hand, so IBAC does not exhibit the
+//     aggregate access-level leak EnforceALOnAggregates patches in
+//     TACTIC.
+//
+// Pre-checks (prefix/expiry at the edge, level/provider at content),
+// the revocation set, the Public bypass, and epoch rotation behave as
+// in TACTIC.
+type ibacEngine struct {
+	cache
+	rev *core.RevocationSet
+}
+
+func newIBAC(bf *bloom.Filter, rev *core.RevocationSet, cfg core.Config) *ibacEngine {
+	e := &ibacEngine{rev: rev}
+	e.cache.init(bf, cfg)
+	return e
+}
+
+func (e *ibacEngine) Scheme() core.Scheme { return core.SchemeIBAC }
+
+func (e *ibacEngine) revoked(t *core.Tag) bool {
+	if e.cfg.DisableRevocationCheck {
+		return false
+	}
+	return e.rev.Contains(t.ID())
+}
+
+// tokenKey is the authorization-cache key binding token and name.
+func tokenKey(t *core.Tag, name names.Name) []byte {
+	tk := t.CacheKey()
+	ns := name.String()
+	key := make([]byte, 0, len(tk)+1+len(ns))
+	key = append(key, tk...)
+	key = append(key, 0)
+	key = append(key, ns...)
+	return key
+}
+
+func (e *ibacEngine) CheckInterest(in InterestInput) Verdict {
+	switch in.Op {
+	case OpEdgeInterest:
+		switch in.Phase {
+		case PhasePreVerify:
+			if e.revoked(in.Tag) {
+				return Verdict{Action: ActionDeny, Stage: StageEdgeInterest, Reason: core.ErrTagRevoked}
+			}
+			return Verdict{Action: ActionVerify, Stage: StageEdgeInterest}
+		case PhasePostVerify:
+			if in.VerifyErr != nil {
+				return Verdict{Action: ActionDeny, Stage: StageEdgeInterest, Reason: in.VerifyErr, Verified: true}
+			}
+			e.insert(tokenKey(in.Tag, in.Name))
+			return Verdict{Stage: StageEdgeInterest, Verified: true}
+		default:
+			return e.edgeInterestFast(in)
+		}
+	case OpContent:
+		switch in.Phase {
+		case PhasePreVerify:
+			if e.revoked(in.Tag) {
+				return Verdict{Action: ActionDeny, Stage: StageContent, Reason: core.ErrTagRevoked}
+			}
+			return Verdict{Action: ActionVerify, Stage: StageContent}
+		case PhasePostVerify:
+			if in.VerifyErr != nil {
+				return Verdict{Action: ActionDeny, Stage: StageContent, Reason: in.VerifyErr, Verified: true}
+			}
+			e.insert(tokenKey(in.Tag, in.Meta.Name))
+			return Verdict{Stage: StageContent, Verified: true}
+		default:
+			return e.contentFast(in)
+		}
+	}
+	return Verdict{Action: ActionDeny, Stage: StageNone, Reason: core.ErrDenied}
+}
+
+// edgeInterestFast authorizes an Interest at the edge: prefix/expiry
+// pre-check, revocation, then the (token, name) cache — a miss always
+// escalates to signature verification, the defining IBAC behaviour. A
+// nil token is forwarded (the edge cannot know whether the content is
+// Public); the content router settles it.
+func (e *ibacEngine) edgeInterestFast(in InterestInput) Verdict {
+	if in.Tag == nil {
+		return Verdict{Stage: StageEdgeInterest, Flag: 0}
+	}
+	if !e.cfg.DisablePrecheck {
+		if err := core.PreCheckEdge(in.Tag, in.Name, in.Now); err != nil {
+			return Verdict{Action: ActionDeny, Stage: StageEdgeInterest, Reason: err}
+		}
+	}
+	if e.revoked(in.Tag) {
+		return Verdict{Action: ActionDeny, Stage: StageEdgeInterest, Reason: core.ErrTagRevoked}
+	}
+	if e.contains(tokenKey(in.Tag, in.Name)) {
+		return Verdict{Stage: StageEdgeInterest, BFHit: true}
+	}
+	return Verdict{Action: ActionVerify, Stage: StageEdgeInterest}
+}
+
+// contentFast authorizes a content hit: Public bypass, token presence,
+// level/provider pre-check, revocation, then this router's own
+// (token, name) cache. The incoming F is ignored — IBAC routers do not
+// accept downstream vouching.
+func (e *ibacEngine) contentFast(in InterestInput) Verdict {
+	if in.Meta.Level == core.Public {
+		return Verdict{Stage: StageContent}
+	}
+	if in.Tag == nil {
+		return Verdict{Action: ActionDeny, Stage: StageContent, Reason: core.ErrNoTag}
+	}
+	if !e.cfg.DisablePrecheck {
+		if err := core.PreCheckContent(in.Tag, in.Meta); err != nil {
+			return Verdict{Action: ActionDeny, Stage: StageContent, Reason: err}
+		}
+	}
+	if e.revoked(in.Tag) {
+		return Verdict{Action: ActionDeny, Stage: StageContent, Reason: core.ErrTagRevoked}
+	}
+	if e.contains(tokenKey(in.Tag, in.Meta.Name)) {
+		return Verdict{Stage: StageContent, BFHit: true}
+	}
+	return Verdict{Action: ActionVerify, Stage: StageContent}
+}
+
+func (e *ibacEngine) CheckContent(in ContentInput) Verdict {
+	switch in.Op {
+	case OpEdgeData:
+		// No data-path learning: the edge authorized this (token, name)
+		// at Interest time, so the only question is whether the upstream
+		// NACKed.
+		if in.Nack {
+			return Verdict{Action: ActionDeny, Stage: StageEdgeData, Reason: core.ErrDenied}
+		}
+		return Verdict{Stage: StageEdgeData}
+	case OpEdgeAggregate, OpAggregate:
+		switch in.Phase {
+		case PhasePostVerify:
+			if in.VerifyErr != nil {
+				return Verdict{Action: ActionDeny, Stage: StageAggregate, Reason: in.VerifyErr, Verified: true}
+			}
+			e.insert(tokenKey(in.Tag, in.Meta.Name))
+			return Verdict{Stage: StageAggregate, Verified: true}
+		default:
+			return e.aggregateFast(in)
+		}
+	}
+	return Verdict{Action: ActionDeny, Stage: StageNone, Reason: core.ErrDenied}
+}
+
+// aggregateFast authorizes one aggregated PIT record on content
+// arrival. Per-name authorization always has the content's metadata at
+// this point, so the level/provider pre-check runs unconditionally
+// (closing TACTIC's aggregate access-level gap by construction).
+func (e *ibacEngine) aggregateFast(in ContentInput) Verdict {
+	if in.Tag == nil {
+		return Verdict{Action: ActionDeny, Stage: StageAggregate, Reason: core.ErrNoTag}
+	}
+	if !e.cfg.DisablePrecheck {
+		if err := core.PreCheckContent(in.Tag, in.Meta); err != nil {
+			return Verdict{Action: ActionDeny, Stage: StageAggregate, Reason: err}
+		}
+	}
+	if e.revoked(in.Tag) {
+		return Verdict{Action: ActionDeny, Stage: StageAggregate, Reason: core.ErrTagRevoked}
+	}
+	if e.contains(tokenKey(in.Tag, in.Meta.Name)) {
+		return Verdict{Stage: StageAggregate, BFHit: true}
+	}
+	return Verdict{Action: ActionVerify, Stage: StageAggregate}
+}
+
+func (e *ibacEngine) OnTagIssued(*core.Tag) {
+	// A freshly issued token has authorized no names yet; there is
+	// nothing to cache.
+}
+
+func (e *ibacEngine) OnRevocation(core.TagID) {
+	// The revocation set gates every cache lookup, so stale (token,
+	// name) bits are unreachable; rotation ages them out.
+}
+
+func (e *ibacEngine) OnEpochRotate(epoch uint64) bool { return e.rotate(epoch) }
+
+func (e *ibacEngine) Epoch() uint64 { return e.epoch.Load() }
+
+func (e *ibacEngine) Bloom() *bloom.Filter { return e.bf }

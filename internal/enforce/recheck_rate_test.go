@@ -1,4 +1,4 @@
-package core
+package enforce
 
 import (
 	"encoding/binary"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
 )
 
 // The collaboration protocol's contract (§4.B): when an edge filter
@@ -36,11 +37,11 @@ func TestCoreRecheckRateMatchesEdgeFPP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	edge := NewRouter("edge", edgeBF, NewTagValidator(reg), rand.New(rand.NewSource(41)), Config{})
-	coreR := NewRouter("core", coreBF, NewTagValidator(reg), rand.New(rand.NewSource(42)), Config{})
+	edge := NewRouter("edge", edgeBF, core.NewTagValidator(reg), rand.New(rand.NewSource(41)), core.Config{})
+	coreR := NewRouter("core", coreBF, core.NewTagValidator(reg), rand.New(rand.NewSource(42)), core.Config{})
 
 	tag := issueTestTag(t, prov, 1, 0, testTime(1000))
-	meta := ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
+	meta := core.ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov.Locator()}
 	now := testTime(10)
 
 	// The edge learns the tag the way Protocol 2 does — from the
@@ -55,14 +56,14 @@ func TestCoreRecheckRateMatchesEdgeFPP(t *testing.T) {
 	rechecks := 0
 	for i := 0; i < trials; i++ {
 		edec := edge.EdgeOnInterest(tag, 0, testContentName, now)
-		if edec.Drop || !edec.BFHit {
+		if edec.Denied() || !edec.BFHit {
 			t.Fatalf("trial %d: edge decision = %+v, want BF-vouched forward", i, edec)
 		}
 		if edec.Flag != F {
 			t.Fatalf("trial %d: forwarded flag %g != FPP(BF_rE) %g", i, edec.Flag, F)
 		}
 		cdec := coreR.ContentOnInterest(tag, meta, edec.Flag, now)
-		if cdec.NACK {
+		if cdec.Denied() {
 			t.Fatalf("trial %d: valid tag NACKed: %v", i, cdec.Reason)
 		}
 		if cdec.Flag != F {

@@ -1,0 +1,209 @@
+package enforce
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/names"
+)
+
+// Router pairs an Engine with the one piece of I/O every scheme needs —
+// the signature validator — and exposes the protocol-shaped entry
+// points the planes call. It owns the revocation set the engine reads,
+// so control-plane pushes flow through ApplyRevocation and reach the
+// engine's OnRevocation hook.
+//
+// Router is safe for concurrent use: the Bloom filter is internally
+// atomic, the validator serialises duplicate verifications through a
+// singleflight, and the TACTIC backend's randomness stream is guarded
+// by a mutex (the only lock a decision function can take, held for one
+// Float64 draw). The discrete-event simulator still serialises all
+// accesses, so its deterministic rng draw order is unchanged.
+type Router struct {
+	id        string
+	engine    Engine
+	validator *core.TagValidator
+	rev       *core.RevocationSet
+}
+
+// NewRouter creates a router-side enforcement driver running the scheme
+// selected by cfg.Scheme.
+func NewRouter(id string, bf *bloom.Filter, validator *core.TagValidator, rng *rand.Rand, cfg core.Config) *Router {
+	rev := core.NewRevocationSet()
+	return &Router{
+		id:        id,
+		engine:    New(bf, rev, rng, cfg),
+		validator: validator,
+		rev:       rev,
+	}
+}
+
+// ID returns the router's identity (also its access-path entity ID).
+func (r *Router) ID() string { return r.id }
+
+// Engine exposes the decision core (for the golden-verdict harnesses
+// and scheme-aware metrics).
+func (r *Router) Engine() Engine { return r.engine }
+
+// Scheme identifies the enforcement backend in use.
+func (r *Router) Scheme() core.Scheme { return r.engine.Scheme() }
+
+// Bloom exposes the router's validation cache for metric collection.
+func (r *Router) Bloom() *bloom.Filter { return r.engine.Bloom() }
+
+// Validator exposes the router's validator for metric collection.
+func (r *Router) Validator() *core.TagValidator { return r.validator }
+
+// Revocations exposes the router's revocation set for metric reads;
+// control-plane updates should go through ApplyRevocation so the
+// engine observes them.
+func (r *Router) Revocations() *core.RevocationSet { return r.rev }
+
+// ApplyRevocation applies one pushed revocation-set update (full
+// snapshot or delta) and notifies the engine of every tag it names.
+// It reports whether the update advanced the set's version.
+func (r *Router) ApplyRevocation(version uint64, full bool, ids []core.TagID) bool {
+	if !r.rev.Apply(version, full, ids) {
+		return false
+	}
+	for _, id := range ids {
+		r.engine.OnRevocation(id)
+	}
+	return true
+}
+
+// Epoch returns the router's current validation-cache epoch.
+func (r *Router) Epoch() uint64 { return r.engine.Epoch() }
+
+// RotateEpoch advances the router to a new cache epoch (see
+// Engine.OnEpochRotate).
+func (r *Router) RotateEpoch(epoch uint64) bool { return r.engine.OnEpochRotate(epoch) }
+
+// --- Protocol 2: edge router ------------------------------------------------
+
+// EdgeOnInterest runs the edge On-Interest checkpoint to completion,
+// verifying inline when the engine asks for it.
+func (r *Router) EdgeOnInterest(t *core.Tag, requestAP core.AccessPath, contentName names.Name, now time.Time) Verdict {
+	dec := r.EdgeOnInterestFast(t, requestAP, contentName, now)
+	if dec.NeedsVerify() {
+		return r.EdgeVerifyMiss(t, now)
+	}
+	return dec
+}
+
+// EdgeOnInterestFast is the cheap half of EdgeOnInterest — everything
+// except the signature verification. When the verdict is ActionVerify
+// the caller must finish with EdgeVerifyMiss, either inline or, on the
+// live plane, after parking the Interest in the verification pool.
+func (r *Router) EdgeOnInterestFast(t *core.Tag, requestAP core.AccessPath, contentName names.Name, now time.Time) Verdict {
+	return r.engine.CheckInterest(InterestInput{
+		Op: OpEdgeInterest, Tag: t, RequestAP: requestAP, Name: contentName, Now: now,
+	})
+}
+
+// EdgeVerifyMiss completes an EdgeOnInterestFast verdict that reported
+// ActionVerify: re-check the cheap gates (a revocation push may have
+// landed while the Interest was parked), verify the tag's signature,
+// and fold the outcome into the engine.
+func (r *Router) EdgeVerifyMiss(t *core.Tag, now time.Time) Verdict {
+	if pre := r.engine.CheckInterest(InterestInput{
+		Op: OpEdgeInterest, Phase: PhasePreVerify, Tag: t, Now: now,
+	}); pre.Denied() {
+		return pre
+	}
+	err := r.validator.Validate(t, now)
+	return r.engine.CheckInterest(InterestInput{
+		Op: OpEdgeInterest, Phase: PhasePostVerify, Tag: t, Now: now, VerifyErr: err,
+	})
+}
+
+// EdgeOnTagResponse handles a registration response (a fresh tag T_u^new
+// coming from the producer) passing through the edge on its way to the
+// client (Protocol 2 lines 11-12).
+func (r *Router) EdgeOnTagResponse(t *core.Tag) { r.engine.OnTagIssued(t) }
+
+// EdgeOnData runs Protocol 2's On-Content checkpoint for the Interest's
+// primary tag; a denial means the (NACKed) response is dropped rather
+// than delivered to the client.
+func (r *Router) EdgeOnData(t *core.Tag, dataFlag float64, nack bool) Verdict {
+	return r.engine.CheckContent(ContentInput{
+		Op: OpEdgeData, Tag: t, Flag: dataFlag, Nack: nack,
+	})
+}
+
+// EdgeOnAggregatedData validates one aggregated PIT tag on content
+// arrival at the edge (Protocol 2 lines 22-23), verifying inline when
+// the engine asks for it. meta is the arriving content's access
+// metadata.
+func (r *Router) EdgeOnAggregatedData(t *core.Tag, meta core.ContentMeta, now time.Time) Verdict {
+	dec := r.engine.CheckContent(ContentInput{
+		Op: OpEdgeAggregate, Tag: t, Meta: meta, Now: now,
+	})
+	if !dec.NeedsVerify() {
+		return dec
+	}
+	err := r.validator.Validate(t, now)
+	return r.engine.CheckContent(ContentInput{
+		Op: OpEdgeAggregate, Phase: PhasePostVerify, Tag: t, Meta: meta, Now: now, VerifyErr: err,
+	})
+}
+
+// --- Protocol 3: content router ---------------------------------------------
+
+// ContentOnInterest runs the content-router checkpoint to completion,
+// verifying inline when the engine asks for it. The content is returned
+// even alongside a NACK so that valid requests aggregated in downstream
+// PITs can still be satisfied — the paper's deliberate bandwidth/abuse
+// trade-off (§5.B).
+func (r *Router) ContentOnInterest(t *core.Tag, meta core.ContentMeta, flag float64, now time.Time) Verdict {
+	dec := r.ContentOnInterestFast(t, meta, flag, now)
+	if dec.NeedsVerify() {
+		return r.ContentVerifyMiss(t, dec.Flag, now)
+	}
+	return dec
+}
+
+// ContentOnInterestFast is the cheap half of ContentOnInterest. When
+// the verdict is ActionVerify the caller must finish with
+// ContentVerifyMiss, passing the verdict's Flag (the effective F after
+// the DisableCollaboration ablation).
+func (r *Router) ContentOnInterestFast(t *core.Tag, meta core.ContentMeta, flag float64, now time.Time) Verdict {
+	return r.engine.CheckInterest(InterestInput{
+		Op: OpContent, Tag: t, Meta: meta, Flag: flag, Now: now,
+	})
+}
+
+// ContentVerifyMiss completes a ContentOnInterestFast verdict that
+// reported ActionVerify: re-check the cheap gates, verify the
+// signature, and fold the outcome into the engine.
+func (r *Router) ContentVerifyMiss(t *core.Tag, flag float64, now time.Time) Verdict {
+	if pre := r.engine.CheckInterest(InterestInput{
+		Op: OpContent, Phase: PhasePreVerify, Tag: t, Flag: flag, Now: now,
+	}); pre.Denied() {
+		return pre
+	}
+	err := r.validator.Validate(t, now)
+	return r.engine.CheckInterest(InterestInput{
+		Op: OpContent, Phase: PhasePostVerify, Tag: t, Flag: flag, Now: now, VerifyErr: err,
+	})
+}
+
+// --- Protocol 4: intermediate router -----------------------------------------
+
+// IntermediateOnAggregatedContent validates one aggregated PIT tuple
+// <T_w, F, InFace_w> when the content arrives (Protocol 4 lines 11-26),
+// verifying inline when the engine asks for it.
+func (r *Router) IntermediateOnAggregatedContent(t *core.Tag, meta core.ContentMeta, flag float64, now time.Time) Verdict {
+	dec := r.engine.CheckContent(ContentInput{
+		Op: OpAggregate, Tag: t, Meta: meta, Flag: flag, Now: now,
+	})
+	if !dec.NeedsVerify() {
+		return dec
+	}
+	err := r.validator.Validate(t, now)
+	return r.engine.CheckContent(ContentInput{
+		Op: OpAggregate, Phase: PhasePostVerify, Tag: t, Meta: meta, Flag: dec.Flag, Now: now, VerifyErr: err,
+	})
+}

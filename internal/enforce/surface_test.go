@@ -1,0 +1,156 @@
+package enforce
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/bloom"
+	"github.com/tactic-icn/tactic/internal/core"
+)
+
+// Surface and parked-packet coverage for both backends: accessors, the
+// stable string vocabularies, the PhasePreVerify re-checks, and the
+// unknown-op guards.
+
+func TestRouterSurfaceBothSchemes(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeTACTIC, core.SchemeIBAC} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			r, prov := testRouter(t, 1, core.Config{Scheme: scheme})
+			if r.ID() != "r1" {
+				t.Errorf("ID = %q", r.ID())
+			}
+			if r.Scheme() != scheme || r.Engine().Scheme() != scheme {
+				t.Errorf("scheme = %v / %v, want %v", r.Scheme(), r.Engine().Scheme(), scheme)
+			}
+			if r.Bloom() == nil || r.Validator() == nil || r.Revocations() == nil {
+				t.Fatal("nil accessor")
+			}
+			if r.Epoch() != 0 {
+				t.Errorf("fresh epoch = %d", r.Epoch())
+			}
+			if !r.RotateEpoch(1) || r.Epoch() != 1 {
+				t.Errorf("rotation to epoch 1 failed (epoch=%d)", r.Epoch())
+			}
+			if r.RotateEpoch(1) {
+				t.Error("duplicate epoch accepted")
+			}
+
+			// OnTagIssued: TACTIC pre-warms the cache with the fresh tag;
+			// IBAC has nothing to cache until a (token, name) authorizes.
+			tag := issueTestTag(t, prov, 1, 0, testTime(100))
+			r.EdgeOnTagResponse(tag)
+			wantWarm := scheme == core.SchemeTACTIC
+			if got := r.Bloom().Contains(tag.CacheKey()); got != wantWarm {
+				t.Errorf("cache contains issued tag = %t, want %t", got, wantWarm)
+			}
+		})
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	actions := map[Action]string{ActionDeliver: "deliver", ActionDeny: "deny", ActionVerify: "verify", Action(9): "action(?)"}
+	for a, want := range actions {
+		if a.String() != want {
+			t.Errorf("Action(%d).String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	stages := map[Stage]string{StageNone: "none", StageEdgeInterest: "edge-interest", StageContent: "content", StageEdgeData: "edge-data", StageAggregate: "aggregate", Stage(9): "stage(?)"}
+	for s, want := range stages {
+		if s.String() != want {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	v := Verdict{Action: ActionDeny, Stage: StageEdgeInterest, Reason: core.ErrTagExpired}
+	if v.NackCode() == 0 {
+		t.Error("denial with reason has NACK code 0")
+	}
+	if v.ReasonLabel() != "expired" {
+		t.Errorf("ReasonLabel = %q", v.ReasonLabel())
+	}
+	if (Verdict{}).ReasonLabel() != "" || (Verdict{}).NackCode() != 0 {
+		t.Error("delivery verdict has a reason label or NACK code")
+	}
+}
+
+// TestVerifyMissRevokedWhileParked: a revocation push lands while an
+// Interest sits in the verification pool; the PhasePreVerify re-check
+// must deny it before the signature work runs.
+func TestVerifyMissRevokedWhileParked(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeTACTIC, core.SchemeIBAC} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := core.Config{Scheme: scheme, EdgeValidateOnMiss: true}
+			r, prov := testRouter(t, 1, cfg)
+			now := testTime(10)
+			tag := issueTestTag(t, prov, 1, 0, testTime(100))
+
+			d := r.EdgeOnInterestFast(tag, 0, testContentName, now)
+			if !d.NeedsVerify() {
+				t.Fatalf("fast edge path settled without verification: %+v", d)
+			}
+			if !r.ApplyRevocation(1, false, []core.TagID{tag.ID()}) {
+				t.Fatal("revocation push rejected")
+			}
+			if d = r.EdgeVerifyMiss(tag, now); !d.Denied() || !errors.Is(d.Reason, core.ErrTagRevoked) {
+				t.Fatalf("parked edge Interest not denied as revoked: %+v", d)
+			}
+
+			// Same race on the content checkpoint.
+			r2, prov2 := testRouter(t, 2, cfg)
+			tag2 := issueTestTag(t, prov2, 1, 0, testTime(100))
+			meta := core.ContentMeta{Name: testContentName, Level: 1, ProviderKey: prov2.Locator()}
+			d = r2.ContentOnInterestFast(tag2, meta, 0, now)
+			if !d.NeedsVerify() {
+				t.Fatalf("fast content path settled without verification: %+v", d)
+			}
+			if !r2.ApplyRevocation(1, false, []core.TagID{tag2.ID()}) {
+				t.Fatal("revocation push rejected")
+			}
+			if d = r2.ContentVerifyMiss(tag2, d.Flag, now); !d.Denied() || !errors.Is(d.Reason, core.ErrTagRevoked) {
+				t.Fatalf("parked content Interest not denied as revoked: %+v", d)
+			}
+		})
+	}
+}
+
+// TestEngineUnknownOp: a malformed input (zero or mismatched Op) is
+// denied at StageNone rather than silently delivered.
+func TestEngineUnknownOp(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeTACTIC, core.SchemeIBAC} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			r, _ := testRouter(t, 1, core.Config{Scheme: scheme})
+			if v := r.Engine().CheckInterest(InterestInput{}); !v.Denied() || v.Stage != StageNone {
+				t.Errorf("zero-op CheckInterest: %+v", v)
+			}
+			if v := r.Engine().CheckContent(ContentInput{Op: OpEdgeInterest}); !v.Denied() || v.Stage != StageNone {
+				t.Errorf("mismatched-op CheckContent: %+v", v)
+			}
+		})
+	}
+}
+
+// TestIBACDisableRevocationCheck: the ablation reaches the IBAC backend
+// too — with it set, a pushed-revoked token verifies and delivers.
+func TestIBACDisableRevocationCheck(t *testing.T) {
+	r, prov := testRouter(t, 1, core.Config{Scheme: core.SchemeIBAC, DisableRevocationCheck: true})
+	now := testTime(10)
+	tag := issueTestTag(t, prov, 1, 0, testTime(100))
+	r.ApplyRevocation(1, false, []core.TagID{tag.ID()})
+	if d := r.EdgeOnInterest(tag, 0, testContentName, now); d.Denied() {
+		t.Fatalf("revocation ablation ignored by IBAC edge: %+v", d)
+	}
+}
+
+// TestRequestDrivenResetDegenerateShape: a filter whose FPP is already
+// at its maximum gets the minimum threshold of one lookup per reset
+// rather than zero (which would divide the cadence away).
+func TestRequestDrivenResetDegenerateShape(t *testing.T) {
+	bf, err := bloom.NewWithShape(8, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c cache
+	c.init(bf, core.Config{RequestDrivenReset: true})
+	if c.requestResetThreshold != 1 {
+		t.Fatalf("degenerate threshold = %d, want 1", c.requestResetThreshold)
+	}
+}

@@ -39,7 +39,7 @@ const (
 func (f *Forwarder) handleControl(m *ndn.Control, from *faceState) {
 	switch m.Kind {
 	case ndn.CtrlRevoke:
-		if !f.tactic.Revocations().Apply(m.Version, m.Full, m.Revoked) {
+		if !f.tactic.ApplyRevocation(m.Version, m.Full, m.Revoked) {
 			f.m.control(m.Kind, ctrlStale)
 			return
 		}
@@ -99,7 +99,7 @@ func (f *Forwarder) floodControl(m *ndn.Control, except ndn.FaceID) {
 // programmatic equivalent of receiving a CtrlRevoke frame (used by
 // drivers that host the issuance service in-process).
 func (f *Forwarder) ApplyRevocation(version uint64, full bool, revoked []core.TagID) bool {
-	if !f.tactic.Revocations().Apply(version, full, revoked) {
+	if !f.tactic.ApplyRevocation(version, full, revoked) {
 		return false
 	}
 	f.m.control(ndn.CtrlRevoke, ctrlApplied)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/enforce"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
 	"github.com/tactic-icn/tactic/internal/transport"
@@ -43,7 +44,7 @@ func fetchWithTag(t *testing.T, conn *transport.Conn, name names.Name, tag *core
 }
 
 // waitRevoked polls until every router's revocation set contains id.
-func waitRevoked(t *testing.T, id core.TagID, routers ...*core.Router) {
+func waitRevoked(t *testing.T, id core.TagID, routers ...*enforce.Router) {
 	t.Helper()
 	deadline := time.Now().Add(liveTimeout)
 	for {

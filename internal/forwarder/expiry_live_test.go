@@ -36,17 +36,17 @@ func TestExpiryBoundaryLive(t *testing.T) {
 	tactic := n.edgeFwd.Tactic()
 	requestAP := core.EmptyAccessPath.Accumulate("edge-0")
 	// The edge filter vouches while the tag is valid…
-	if dec := tactic.EdgeOnInterest(tag, requestAP, name, preExpiry); !dec.BFHit || dec.Drop {
+	if dec := tactic.EdgeOnInterest(tag, requestAP, name, preExpiry); !dec.BFHit || dec.Denied() {
 		t.Fatalf("pre-expiry edge decision = %+v, want BF hit", dec)
 	}
 	// …still at exactly T_e…
-	if dec := tactic.EdgeOnInterest(tag, requestAP, name, tag.Expiry); dec.Drop || !dec.BFHit {
+	if dec := tactic.EdgeOnInterest(tag, requestAP, name, tag.Expiry); dec.Denied() || !dec.BFHit {
 		t.Errorf("decision at exactly T_e = %+v, want BF-vouched forward", dec)
 	}
 	// …and one nanosecond later the pre-check fires before the filter
 	// is even consulted, although the entry is still set.
 	dec := tactic.EdgeOnInterest(tag, requestAP, name, tag.Expiry.Add(time.Nanosecond))
-	if !dec.Drop || !errors.Is(dec.Reason, core.ErrTagExpired) || dec.BFHit {
+	if !dec.Denied() || !errors.Is(dec.Reason, core.ErrTagExpired) || dec.BFHit {
 		t.Errorf("decision past T_e = %+v, want expired drop without BF consult", dec)
 	}
 

@@ -30,6 +30,7 @@ import (
 
 	"github.com/tactic-icn/tactic/internal/bloom"
 	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/enforce"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
 	"github.com/tactic-icn/tactic/internal/obs"
@@ -134,7 +135,7 @@ type faceState struct {
 // Forwarder is a real-time TACTIC router.
 type Forwarder struct {
 	cfg    Config
-	tactic *core.Router
+	tactic *enforce.Router
 	start  time.Time
 	m      *obsMetrics
 	ev     *obs.Events // nil-safe event log (cfg.Events)
@@ -240,7 +241,7 @@ func New(cfg Config) (*Forwarder, error) {
 	}
 	f := &Forwarder{
 		cfg:    cfg,
-		tactic: core.NewRouter(cfg.ID, bf, core.NewTagValidator(verifier), rand.New(rand.NewSource(seed)), cfg.Tactic),
+		tactic: enforce.NewRouter(cfg.ID, bf, core.NewTagValidator(verifier), rand.New(rand.NewSource(seed)), cfg.Tactic),
 		start:  time.Now(),
 		m:      newObsMetrics(cfg.Obs, cfg.Role),
 		ev:     cfg.Events,
@@ -506,7 +507,7 @@ func (f *Forwarder) Stats() Stats {
 
 // Tactic exposes the router state (Bloom filter, validator) for
 // inspection.
-func (f *Forwarder) Tactic() *core.Router { return f.tactic }
+func (f *Forwarder) Tactic() *enforce.Router { return f.tactic }
 
 // CSNames returns the names currently held in the content store, in
 // unspecified order. Consistent only on a quiescent forwarder; the
@@ -644,11 +645,11 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur t
 				sp.EventDur("bf_lookup", enfDur, "miss")
 			}
 		}
-		if dec.Drop {
+		if dec.Denied() {
 			f.nackInterest(i, from, dec.Reason, sp, inTC)
 			return
 		}
-		if dec.NeedVerify {
+		if dec.NeedsVerify() {
 			f.parkForVerify(&verifyJob{kind: verifyEdgeInterest, i: i, from: from,
 				now: now, sp: sp, inTC: inTC, sampled: sampled})
 			return
@@ -668,8 +669,8 @@ func (f *Forwarder) handleInterest(i *ndn.Interest, from *faceState, decodeDur t
 // finishContentHit sends the verdict for a content-store hit: the
 // content (alongside a NACK when the tag failed — the paper's §5.B
 // trade-off), or the content alone.
-func (f *Forwarder) finishContentHit(i *ndn.Interest, from *faceState, content *core.Content, dec core.ContentDecision, sp *obs.Span, inTC ndn.TraceContext, sampled bool) {
-	if dec.NACK {
+func (f *Forwarder) finishContentHit(i *ndn.Interest, from *faceState, content *core.Content, dec enforce.Verdict, sp *obs.Span, inTC ndn.TraceContext, sampled bool) {
+	if dec.Denied() {
 		f.stats.nacks.Add(1)
 		f.m.nack(dec.Reason)
 	} else {
@@ -682,11 +683,11 @@ func (f *Forwarder) finishContentHit(i *ndn.Interest, from *faceState, content *
 	}
 	f.send(from.id, &ndn.Data{
 		Name: i.Name, Content: content, Tag: i.Tag,
-		Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+		Flag: dec.Flag, Nack: dec.Denied(), NackReason: dec.Reason,
 		Trace: propagateTrace(inTC, sp),
 	})
 	observeStageSpan(f.m.stageEncodeSend, "encode_send", sendStart, sp)
-	if dec.NACK {
+	if dec.Denied() {
 		sp.End("nack:" + core.ReasonLabel(dec.Reason))
 	} else {
 		sp.End("cs_hit")
@@ -711,7 +712,7 @@ func (f *Forwarder) continueInterest(i *ndn.Interest, from *faceState, now time.
 				// probabilistic re-check fired; on F = 0 which check
 				// vouched for the tag.
 				switch {
-				case i.Flag != 0 && dec.NeedVerify:
+				case i.Flag != 0 && dec.NeedsVerify():
 					sp.Event("flag_check", "recheck")
 				case i.Flag != 0:
 					sp.Event("flag_check", "recheck_skipped")
@@ -719,7 +720,7 @@ func (f *Forwarder) continueInterest(i *ndn.Interest, from *faceState, now time.
 					sp.Event("bf_lookup", "hit")
 				}
 			}
-			if dec.NeedVerify {
+			if dec.NeedsVerify() {
 				f.parkForVerify(&verifyJob{kind: verifyContentHit, i: i, from: from,
 					content: content, flag: dec.Flag, now: now, sp: sp, inTC: inTC, sampled: sampled})
 				return
@@ -863,14 +864,14 @@ func (f *Forwarder) handleData(d *ndn.Data, from *faceState, decodeDur time.Dura
 			continue
 		}
 		dec := f.tactic.IntermediateOnAggregatedContent(rec.Tag, d.Content.Meta, rec.Flag, now)
-		if dec.NACK {
+		if dec.Denied() {
 			f.stats.nacks.Add(1)
 			f.m.nack(dec.Reason)
 			sp.Event("nack_aggregate", core.ReasonLabel(dec.Reason))
 		}
 		f.send(rec.InFace, &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: rec.Tag,
-			Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+			Flag: dec.Flag, Nack: dec.Denied(), NackReason: dec.Reason,
 			Trace: outTC,
 		})
 	}
@@ -895,9 +896,9 @@ func (f *Forwarder) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool, 
 	}
 	var deliver bool
 	if isPrimary {
-		deliver = f.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack)
+		deliver = !f.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack).Denied()
 	} else if d.Content != nil {
-		deliver = f.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now)
+		deliver = !f.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now).Denied()
 	}
 	if !deliver {
 		f.stats.drops.Add(1)

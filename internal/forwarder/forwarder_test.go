@@ -291,13 +291,20 @@ func TestLiveExpiredTagRejectedAfterTTL(t *testing.T) {
 	if _, err := alice.Fetch(name, liveTimeout); err != nil {
 		t.Fatal(err)
 	}
-	// Revoke and let the tag expire.
+	// Revoke, then poll until the tag has expired and the fetch fails:
+	// the stale tag is rejected and re-registration is refused. Polling
+	// (instead of sleeping past the 700 ms TTL) keeps the test synced to
+	// the expiry event on a loaded machine.
 	n.producer.Provider().Revoke(mustClientKey(t, alice))
-	time.Sleep(900 * time.Millisecond)
-	// The stale tag is rejected and re-registration is refused, so the
-	// fetch fails.
-	if _, err := alice.Fetch(n.prefix.MustAppend("report", "chunk1"), liveTimeout); err == nil {
-		t.Fatal("revoked client fetched after tag expiry")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := alice.Fetch(n.prefix.MustAppend("report", "chunk1"), liveTimeout); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("revoked client still fetching long after tag expiry")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

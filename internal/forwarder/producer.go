@@ -8,6 +8,7 @@ import (
 
 	"github.com/tactic-icn/tactic/internal/bloom"
 	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/enforce"
 	"github.com/tactic-icn/tactic/internal/ndn"
 	"github.com/tactic-icn/tactic/internal/obs"
 	"github.com/tactic-icn/tactic/internal/pki"
@@ -20,7 +21,7 @@ import (
 type Producer struct {
 	mu       sync.Mutex
 	provider *core.Provider
-	tactic   *core.Router
+	tactic   *enforce.Router
 	store    map[string]*core.Content
 	logf     func(format string, args ...any)
 	tracer   *obs.Tracer
@@ -35,15 +36,23 @@ type Producer struct {
 	wg     sync.WaitGroup
 }
 
-// NewProducer creates an origin server around a provider identity.
+// NewProducer creates an origin server around a provider identity,
+// enforcing with the default (TACTIC) scheme.
 func NewProducer(provider *core.Provider, registry *pki.Registry, logf func(string, ...any)) (*Producer, error) {
+	return NewProducerWithConfig(provider, registry, logf, core.Config{})
+}
+
+// NewProducerWithConfig creates an origin server running the given
+// enforcement configuration — the origin is a content router, so a
+// scheme selected for the plane must reach it too.
+func NewProducerWithConfig(provider *core.Provider, registry *pki.Registry, logf func(string, ...any), cfg core.Config) (*Producer, error) {
 	bf, err := bloom.NewPaper(500, 1e-4)
 	if err != nil {
 		return nil, err
 	}
 	return &Producer{
 		provider: provider,
-		tactic:   core.NewRouter("producer:"+provider.Prefix().String(), bf, core.NewTagValidator(registry), rand.New(rand.NewSource(time.Now().UnixNano())), core.Config{}),
+		tactic:   enforce.NewRouter("producer:"+provider.Prefix().String(), bf, core.NewTagValidator(registry), rand.New(rand.NewSource(time.Now().UnixNano())), cfg),
 		store:    make(map[string]*core.Content),
 		logf:     logf,
 		closed:   make(chan struct{}),
@@ -251,7 +260,7 @@ func (p *Producer) answer(i *ndn.Interest) *ndn.Data {
 		enfDur := time.Since(enfStart)
 		switch {
 		case dec.Verified:
-			sp.EventDur("verify", enfDur, verifyDetail(dec.NACK))
+			sp.EventDur("verify", enfDur, verifyDetail(dec.Denied()))
 		case dec.BFHit:
 			sp.EventDur("bf_lookup", enfDur, "hit")
 		default:
@@ -260,7 +269,7 @@ func (p *Producer) answer(i *ndn.Interest) *ndn.Data {
 		sp.Event("flag", formatFlag(dec.Flag))
 	}
 	outcome := "served"
-	if dec.NACK {
+	if dec.Denied() {
 		p.nacked++
 		outcome = "nack"
 	} else {
@@ -269,7 +278,7 @@ func (p *Producer) answer(i *ndn.Interest) *ndn.Data {
 	sp.End(outcome)
 	return &ndn.Data{
 		Name: i.Name, Content: content, Tag: i.Tag,
-		Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+		Flag: dec.Flag, Nack: dec.Denied(), NackReason: dec.Reason,
 		Trace: propagateTrace(i.Trace, sp),
 	}
 }

@@ -284,15 +284,23 @@ func TestLiveUDPFailover(t *testing.T) {
 		t.Fatalf("pre-kill delivery %d/%d; network unhealthy before the fault", preOK, batch)
 	}
 	preConnects := un.uplink.connects.Value()
+	preDowns := un.uplink.downs.Value()
 
 	un.killCore()
 	// Outage fetches fail (dropped datagrams or no_route while the
 	// uplink cycles); the client burns retransmits and survives.
 	outageOK := fetchRange(alice, un.prefix, batch, batch+5, 300*time.Millisecond)
 
-	// Let the idle timeout observe the silence and take the face down at
-	// least once before the core returns.
-	time.Sleep(600 * time.Millisecond)
+	// The idle timeout must observe the silence and take the face down
+	// at least once before the core returns (event-synced on the down
+	// counter rather than a wall-clock guess).
+	downDeadline := time.Now().Add(10 * time.Second)
+	for un.uplink.downs.Value() <= preDowns {
+		if time.Now().After(downDeadline) {
+			t.Fatalf("uplink never went down after core kill (downs=%d)", un.uplink.downs.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	un.startCore("udp://" + un.coreAddr)
 
 	// Recovery: the uplink needs one more idle cycle (at worst) to shed

@@ -217,9 +217,9 @@ func (p *verifyPool) run(job *verifyJob) {
 	case verifyEdgeInterest:
 		dec := f.tactic.EdgeVerifyMiss(job.i.Tag, job.now)
 		if job.sp != nil {
-			job.sp.Event("verify", verifyDetail(dec.Drop))
+			job.sp.Event("verify", verifyDetail(dec.Denied()))
 		}
-		if dec.Drop {
+		if dec.Denied() {
 			f.nackInterest(job.i, job.from, dec.Reason, job.sp, job.inTC)
 			return
 		}
@@ -231,7 +231,7 @@ func (p *verifyPool) run(job *verifyJob) {
 	case verifyContentHit:
 		dec := f.tactic.ContentVerifyMiss(job.i.Tag, job.flag, job.now)
 		if job.sp != nil {
-			job.sp.Event("verify", verifyDetail(dec.NACK))
+			job.sp.Event("verify", verifyDetail(dec.Denied()))
 		}
 		f.finishContentHit(job.i, job.from, job.content, dec, job.sp, job.inTC, job.sampled)
 	}

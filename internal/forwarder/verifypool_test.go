@@ -308,8 +308,13 @@ func TestVerifyPoolFlushOnShutdown(t *testing.T) {
 	closed := make(chan struct{})
 	go func() { e.fwd.Close(); close(closed) }()
 	// Close drains the workers first, so it cannot finish until the
-	// gated in-flight verification is released.
-	time.Sleep(20 * time.Millisecond)
+	// gated in-flight verification is released — assert it is still
+	// blocked, rather than sleeping and hoping it got stuck in time.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a verification was still gated")
+	case <-time.After(20 * time.Millisecond):
+	}
 	e.gate.release()
 	<-closed
 

@@ -31,7 +31,7 @@ func (n *Network) routers(fn func(*RouterNode)) {
 func (n *Network) PushRevocation(version uint64, full bool, ids []core.TagID) int {
 	applied := 0
 	n.routers(func(r *RouterNode) {
-		if r.tactic.Revocations().Apply(version, full, ids) {
+		if r.tactic.ApplyRevocation(version, full, ids) {
 			applied++
 		}
 	})

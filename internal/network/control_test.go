@@ -224,7 +224,7 @@ func TestSimRotateEpochs(t *testing.T) {
 	verifs := edgeA.Tactic().Validator().Verifications()
 	dec := edgeA.Tactic().EdgeOnInterest(tag, core.EmptyAccessPath.Accumulate(net.Graph.Nodes[1].ID),
 		names.MustParse("/prov0/obj0/chunk0"), engine.Now())
-	if dec.Drop || !dec.BFHit {
+	if dec.Denied() || !dec.BFHit {
 		t.Fatalf("post-rotation decision = %+v", dec)
 	}
 	if edgeA.Tactic().Validator().Verifications() != verifs {

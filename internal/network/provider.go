@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/enforce"
 	"github.com/tactic-icn/tactic/internal/names"
 	"github.com/tactic-icn/tactic/internal/ndn"
 	"github.com/tactic-icn/tactic/internal/pki"
@@ -19,7 +20,7 @@ type ProviderNode struct {
 	net      *Network
 	index    int
 	provider *core.Provider
-	tactic   *core.Router
+	tactic   *enforce.Router
 	store    map[string]*core.Content
 	rng      *rand.Rand
 	cfg      RouterConfig
@@ -44,7 +45,7 @@ func NewProviderNode(net *Network, index int, provider *core.Provider, verifier 
 		net:      net,
 		index:    index,
 		provider: provider,
-		tactic:   core.NewRouter(id, bf, core.NewTagValidator(verifier), rng, cfg.Tactic),
+		tactic:   enforce.NewRouter(id, bf, core.NewTagValidator(verifier), rng, cfg.Tactic),
 		store:    make(map[string]*core.Content),
 		rng:      rng,
 		cfg:      cfg,
@@ -91,12 +92,12 @@ func (p *ProviderNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 		sp.End("served", 0)
 		return
 	}
-	var dec core.ContentDecision
+	var dec enforce.Verdict
 	proc := p.chargeOpsSpan(sp, func() {
 		dec = p.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
 	})
 	outcome := "served"
-	if dec.NACK {
+	if dec.Denied() {
 		p.nacked++
 		outcome = "nack"
 	} else {
@@ -107,7 +108,7 @@ func (p *ProviderNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 		Content:    content,
 		Tag:        i.Tag,
 		Flag:       dec.Flag,
-		Nack:       dec.NACK,
+		Nack:       dec.Denied(),
 		NackReason: dec.Reason,
 		Trace:      NextHopTrace(inTC, sp),
 	}

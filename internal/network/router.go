@@ -7,6 +7,7 @@ import (
 
 	"github.com/tactic-icn/tactic/internal/bloom"
 	"github.com/tactic-icn/tactic/internal/core"
+	"github.com/tactic-icn/tactic/internal/enforce"
 	"github.com/tactic-icn/tactic/internal/metrics"
 	"github.com/tactic-icn/tactic/internal/ndn"
 	"github.com/tactic-icn/tactic/internal/pki"
@@ -75,7 +76,7 @@ type RouterNode struct {
 	net    *Network
 	index  int
 	isEdge bool
-	tactic *core.Router
+	tactic *enforce.Router
 	fib    *ndn.FIB
 	pit    *ndn.PIT
 	cs     *ndn.CS
@@ -92,7 +93,7 @@ type RouterNode struct {
 	// before "now" have retired and are pruned on the next admission
 	// check. Only populated when the admission budget is active.
 	verifyPending map[ndn.FaceID][]time.Time
-	opCount   uint64
+	opCount       uint64
 	// cpuBusyUntil serialises computational delays: a router is a
 	// single processing pipeline, so a burst of signature verifications
 	// (e.g. after a Bloom-filter reset) delays subsequent packets — the
@@ -115,7 +116,7 @@ func NewRouterNode(net *Network, index int, isEdge bool, verifier pki.Verifier, 
 		net:    net,
 		index:  index,
 		isEdge: isEdge,
-		tactic: core.NewRouter(id, bf, core.NewTagValidator(verifier), rng, cfg.Tactic),
+		tactic: enforce.NewRouter(id, bf, core.NewTagValidator(verifier), rng, cfg.Tactic),
 		fib:    ndn.NewFIB(),
 		pit:    ndn.NewPIT(),
 		cs:     ndn.NewCS(cfg.CSCapacity),
@@ -146,7 +147,7 @@ func (r *RouterNode) FIB() *ndn.FIB { return r.fib }
 func (r *RouterNode) Index() int { return r.index }
 
 // Tactic exposes the TACTIC state for tests and metrics.
-func (r *RouterNode) Tactic() *core.Router { return r.tactic }
+func (r *RouterNode) Tactic() *enforce.Router { return r.tactic }
 
 // IsEdge reports the router's role.
 func (r *RouterNode) IsEdge() bool { return r.isEdge }
@@ -287,11 +288,11 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 		// RNG-neutral — SampleOpsSplit draws per operation in class order
 		// (lookups, inserts, verifies), which is the same sequence the
 		// combined charge produced.
-		var dec core.EdgeInterestDecision
+		var dec enforce.Verdict
 		proc += r.chargeSpan(sp, func() {
 			dec = r.tactic.EdgeOnInterestFast(i.Tag, i.AccessPath, i.Name, now)
 		})
-		if dec.NeedVerify {
+		if dec.NeedsVerify() {
 			if !r.admitVerify(from, now) {
 				r.drop(reasonString(core.ErrOverload))
 				r.nacksSent++
@@ -307,7 +308,7 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 			})
 			r.noteVerify(from, now.Add(proc))
 		}
-		if dec.Drop {
+		if dec.Denied() {
 			r.drop(reasonString(dec.Reason))
 			r.nacksSent++
 			if r.cfg.Traitor != nil && errors.Is(dec.Reason, core.ErrAccessPathMismatch) {
@@ -333,12 +334,12 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 				return
 			}
 			// Content-router role: Protocol 3.
-			var dec core.ContentDecision
+			var dec enforce.Verdict
 			proc += r.chargeSpan(sp, func() {
 				dec = r.tactic.ContentOnInterest(i.Tag, content.Meta, i.Flag, now)
 			})
 			outcome := "cs_hit"
-			if dec.NACK {
+			if dec.Denied() {
 				r.nacksSent++
 				outcome = "cs_hit_nack"
 			}
@@ -347,7 +348,7 @@ func (r *RouterNode) HandleInterest(i *ndn.Interest, from ndn.FaceID) {
 				Content:    content,
 				Tag:        i.Tag,
 				Flag:       dec.Flag,
-				Nack:       dec.NACK,
+				Nack:       dec.Denied(),
 				NackReason: dec.Reason,
 				Trace:      NextHopTrace(inTC, sp),
 			}
@@ -474,16 +475,16 @@ func (r *RouterNode) HandleData(d *ndn.Data, from ndn.FaceID) {
 			}
 			continue
 		}
-		var dec core.AggregateDecision
+		var dec enforce.Verdict
 		proc := r.charge(func() {
 			dec = r.tactic.IntermediateOnAggregatedContent(rec.Tag, d.Content.Meta, rec.Flag, now)
 		})
-		if dec.NACK {
+		if dec.Denied() {
 			r.nacksSent++
 		}
 		out := &ndn.Data{
 			Name: d.Name, Content: d.Content, Tag: rec.Tag,
-			Flag: dec.Flag, Nack: dec.NACK, NackReason: dec.Reason,
+			Flag: dec.Flag, Nack: dec.Denied(), NackReason: dec.Reason,
 			Trace: outTC,
 		}
 		r.net.SendData(r.index, rec.InFace, out, proc)
@@ -531,12 +532,12 @@ func (r *RouterNode) edgeDeliver(d *ndn.Data, rec ndn.PITRecord, isPrimary bool,
 		return "delivered", 0
 	}
 	if isPrimary {
-		proc = r.chargeSpan(sp, func() { deliver = r.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack) })
+		proc = r.chargeSpan(sp, func() { deliver = !r.tactic.EdgeOnData(rec.Tag, d.Flag, d.Nack).Denied() })
 	} else {
 		// An aggregated record's validity is independent of the primary
 		// tag's NACK: the content rides along with NACKs precisely so
 		// that valid aggregated requests can still be satisfied.
-		proc = r.chargeSpan(sp, func() { deliver = r.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now) })
+		proc = r.chargeSpan(sp, func() { deliver = !r.tactic.EdgeOnAggregatedData(rec.Tag, d.Content.Meta, now).Denied() })
 	}
 	if !deliver {
 		r.drop("edge-nack-drop")

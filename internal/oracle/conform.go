@@ -14,6 +14,10 @@ import (
 // by flipping core.Config knobs on one plane, or the mirrored Knobs on
 // the oracle, and assert the harness reports the divergence.
 type Options struct {
+	// Scheme selects the enforcement backend for the whole run: it is
+	// copied into both plane configs and the reference model's knobs, so
+	// all three harnesses decide with the same engine semantics.
+	Scheme core.Scheme
 	// SimTactic / LiveTactic are the enforcement configs handed to the
 	// sim-plane routers and the live forwarders respectively.
 	SimTactic  core.Config
@@ -86,6 +90,11 @@ func RunScenario(scn *Scenario, opts Options) (*Report, error) {
 		return nil, err
 	}
 	simTactic, liveTactic, knobs := opts.SimTactic, opts.LiveTactic, opts.Knobs
+	if opts.Scheme != core.SchemeTACTIC {
+		simTactic.Scheme = opts.Scheme
+		liveTactic.Scheme = opts.Scheme
+		knobs.Scheme = opts.Scheme
+	}
 	if scn.Flood != nil {
 		// Flood scenarios verify at the edge — that is the hot path the
 		// admission budget protects — with the scenario's budget mirrored

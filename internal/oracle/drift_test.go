@@ -1,0 +1,123 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/tactic-icn/tactic/internal/core"
+)
+
+// Drift-injection acceptance tests for the internal/enforce seam: each
+// test plants a plausible plumbing bug — a plane silently running the
+// wrong scheme, or skipping a pre-check while the new backend is
+// selected — and asserts the conformance gate catches it with a
+// replayable, minimizable seed. These are the PR's "would tacticconform
+// actually notice?" proofs for the engine extraction.
+
+// driftCaught scans seeds until the bugged options diverge, then
+// asserts the catch is replayable, absent without the bug, and — when
+// minimize is set — shrinks under Minimize. clean is the bug-free
+// control for the same run shape. (Live-plane drifts skip minimization:
+// shrinking replays dozens of live topologies, and the sim-side drifts
+// already exercise the full catch→minimize workflow.)
+func driftCaught(t *testing.T, bugged, clean Options, maxSeed int64, minimize bool, what string) {
+	t.Helper()
+	var caught *Report
+	var seed int64
+	for s := int64(1); s <= maxSeed && caught == nil; s++ {
+		rep, err := RunSeed(s, bugged)
+		if err != nil {
+			t.Fatalf("RunSeed(%d): %v", s, err)
+		}
+		if rep.Diverged() {
+			caught, seed = rep, s
+		}
+	}
+	if caught == nil {
+		t.Fatalf("%s: %d seeds produced no divergence", what, maxSeed)
+	}
+	t.Logf("%s: seed %d caught it: %s", what, seed, caught.Divergences[0])
+
+	again, err := RunSeed(seed, bugged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Diverged() {
+		t.Fatalf("%s: seed %d did not reproduce the divergence", what, seed)
+	}
+	ctrl, err := RunSeed(seed, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Diverged() {
+		t.Fatalf("%s: seed %d diverges even without the bug: %v", what, seed, ctrl.Divergences)
+	}
+
+	if !minimize {
+		return
+	}
+	min, minRep, err := Minimize(caught.Scenario, bugged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minRep.Diverged() {
+		t.Fatalf("%s: minimized scenario no longer diverges", what)
+	}
+	if len(min.Requests) > len(caught.Scenario.Requests) {
+		t.Fatalf("%s: minimization grew the scenario: %d -> %d requests",
+			what, len(caught.Scenario.Requests), len(min.Requests))
+	}
+	t.Logf("%s: minimized %d requests to %d", what, len(caught.Scenario.Requests), len(min.Requests))
+}
+
+// TestSchemeDriftSimCaught: the sim plane silently constructs IBAC
+// engines while the oracle (and the operator) believe the run is
+// TACTIC. The borrowed-tag gap and the edge-settled forged denials make
+// the two schemes observably different, so the gate must flag it.
+func TestSchemeDriftSimCaught(t *testing.T) {
+	driftCaught(t,
+		Options{SimTactic: core.Config{Scheme: core.SchemeIBAC}, SkipLive: true},
+		Options{SkipLive: true},
+		20, true, "sim plane drifted to IBAC")
+}
+
+// TestSchemeDriftOracleCaught is the mirrored direction: the reference
+// model runs IBAC semantics against TACTIC planes — e.g. Options.Scheme
+// plumbing that updated the knobs but not the plane configs.
+func TestSchemeDriftOracleCaught(t *testing.T) {
+	driftCaught(t,
+		Options{Knobs: Knobs{Scheme: core.SchemeIBAC}, SkipLive: true},
+		Options{SkipLive: true},
+		20, true, "oracle drifted to IBAC")
+}
+
+// TestSchemeDriftLiveCaught: same drift on the live forwarder plane —
+// the -scheme flag reaching tacticd's sim config but not the live
+// forwarder construction would look exactly like this.
+func TestSchemeDriftLiveCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live plane in -short")
+	}
+	driftCaught(t,
+		Options{LiveTactic: core.Config{Scheme: core.SchemeIBAC}},
+		Options{},
+		8, false, "live plane drifted to IBAC")
+}
+
+// TestIBACInjectedPrecheckBugCaught: with IBAC selected everywhere, the
+// sim plane drops the Protocol 1 pre-checks from its plumbing. The gate
+// must have teeth for the new backend, not just TACTIC.
+func TestIBACInjectedPrecheckBugCaught(t *testing.T) {
+	driftCaught(t,
+		Options{Scheme: core.SchemeIBAC, SimTactic: core.Config{DisablePrecheck: true}, SkipLive: true},
+		Options{Scheme: core.SchemeIBAC, SkipLive: true},
+		20, true, "IBAC sim plane skipping pre-checks")
+}
+
+// TestIBACInjectedRevocationBugCaught: with IBAC selected everywhere,
+// the sim plane skips the revocation-set lookup.
+func TestIBACInjectedRevocationBugCaught(t *testing.T) {
+	driftCaught(t,
+		Options{Scheme: core.SchemeIBAC, SimTactic: core.Config{DisableRevocationCheck: true}, SkipLive: true},
+		Options{Scheme: core.SchemeIBAC, SkipLive: true},
+		20, true, "IBAC sim plane skipping revocation")
+}

@@ -210,7 +210,7 @@ func RunLive(scn *Scenario, info *topoInfo, tactic core.Config) (*PlaneResult, e
 	}
 	// Producers, attached to their single neighbouring router.
 	for p, idx := range info.providers {
-		prod, err := forwarder.NewProducer(mat.providers[p], mat.registry, nil)
+		prod, err := forwarder.NewProducerWithConfig(mat.providers[p], mat.registry, nil, tactic)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +259,7 @@ func RunLive(scn *Scenario, info *topoInfo, tactic core.Config) (*PlaneResult, e
 	// by internal/forwarder's live control-plane tests).
 	if len(mat.revoked) > 0 {
 		for _, f := range fwds {
-			f.Tactic().Revocations().Apply(1, true, mat.revoked)
+			f.Tactic().ApplyRevocation(1, true, mat.revoked)
 		}
 	}
 

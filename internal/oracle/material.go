@@ -87,6 +87,13 @@ func buildMaterial(scn *Scenario, info *topoInfo, expiryOf func(TagSpec) time.Ti
 			// has a distinct encoding, so each burst Interest presents a
 			// never-cached tag and forces a fresh signature check.
 			clientKey = clientKey.MustAppend(fmt.Sprintf("flood%d", spec.Serial))
+		} else if spec.Serial != 0 {
+			// Same for any other deliberately-serialled tag: two specs that
+			// agree on (user, provider, level, path, expiry) would otherwise
+			// materialize to the same tag identity, so revoking one would
+			// revoke both (hand-built scenarios, e.g. the golden matrix,
+			// need them distinct).
+			clientKey = clientKey.MustAppend(fmt.Sprintf("s%d", spec.Serial))
 		}
 		tag, err := core.IssueTag(signer, clientKey, spec.Level, ap, expiryOf(spec))
 		if err != nil {

@@ -51,6 +51,13 @@ func (s *RefSet) FPP() float64 { return s.fpRate }
 // symmetrically (bugging the oracle must diverge from a correct plane
 // exactly like bugging a plane diverges from the correct oracle).
 type Knobs struct {
+	// Scheme selects the enforcement backend the model mirrors:
+	// core.SchemeTACTIC (default) or core.SchemeIBAC. Under IBAC the
+	// validated-set keys bind (tag, name), the edge always settles a
+	// miss itself, access-path binding is off, no router trusts a
+	// downstream vouch (no flag-F re-check path), and the edge never
+	// learns tags from the data path.
+	Scheme core.Scheme
 	// FPRate is the false-positive probability of every RefSet.
 	FPRate float64
 	// Seed drives the false-positive and re-check draws; only consulted
@@ -180,6 +187,10 @@ type RefResult struct {
 // each tag appears at most once per step. CS end state is
 // order-independent by construction (see the package comment).
 func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error) {
+	ibac := knobs.Scheme == core.SchemeIBAC
+	// IBAC edges always settle a validated-set miss themselves — the
+	// scheme has no downstream vouching to defer to.
+	edgeValidates := knobs.EdgeValidateOnMiss || ibac
 	rng := rand.New(rand.NewSource(knobs.Seed ^ 0x0ac1e))
 	sets := make(map[string]*RefSet)
 	setFor := func(id string) *RefSet {
@@ -236,6 +247,10 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 		if r.Tag >= 0 {
 			t := scn.Tags[r.Tag]
 			tk = fmt.Sprintf("tag-%d", r.Tag)
+			if ibac {
+				// IBAC authorizes (token, name) pairs, not tokens.
+				tk = fmt.Sprintf("tag-%d|%s", r.Tag, name)
+			}
 			if !knobs.DisableEdgePrecheck {
 				if t.Provider != cSpec.Provider {
 					deny(StageEdgeInterest, "prefix_mismatch")
@@ -243,9 +258,11 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 					deny(StageEdgeInterest, "expired")
 				}
 			}
-			if out.Stage == StageDelivered && t.Kind != TagRoaming && t.HomeEdge != edgePos {
+			if out.Stage == StageDelivered && !ibac && t.Kind != TagRoaming && t.HomeEdge != edgePos {
 				// Roaming tags carry the AccessPathAny wildcard, so the
-				// binding check never fires for them.
+				// binding check never fires for them. IBAC tokens are
+				// location-independent: no binding check at all — the
+				// scheme's borrowed-token gap.
 				deny(StageEdgeInterest, "access_path")
 			}
 			if out.Stage == StageDelivered && t.Kind == TagRevoked && !knobs.DisableRevocationCheck {
@@ -260,7 +277,7 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 			if out.Stage == StageDelivered {
 				vouched = edgeSet.Contains(tk)
 			}
-			if out.Stage == StageDelivered && !vouched && knobs.EdgeValidateOnMiss {
+			if out.Stage == StageDelivered && !vouched && edgeValidates {
 				// The edge settles the miss itself. Admission first: the
 				// planes budget parked+in-flight verifications per face,
 				// which this per-request model mirrors as a per
@@ -326,7 +343,10 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 				}
 			}
 			if out.Stage == StageDelivered {
-				if !vouched {
+				if !vouched || ibac {
+					// IBAC routers never trust a downstream vouch: the
+					// resolution point always runs its own (token, name)
+					// check, F = 0 on every wire.
 					if !resSet.Contains(tk) {
 						if tagExpiredAt(scn, t, r.Step) {
 							deny(StageContent, "expired")
@@ -357,10 +377,12 @@ func RunReference(scn *Scenario, info *topoInfo, knobs Knobs) (*RefResult, error
 		// --- Protocol 2 (edge, on Data) ------------------------------------
 		if out.Stage == StageDelivered {
 			out.Delivered = true
-			if r.Tag >= 0 && !vouched && !out.ResolvedAtEdge {
+			if r.Tag >= 0 && !vouched && !out.ResolvedAtEdge && !ibac {
 				// Data arrived with flag 0: the edge learns the tag —
 				// validated upstream for private content, or *unvalidated*
 				// for Public content (TACTIC's unvalidated-insert hole).
+				// IBAC has no data-path learning: authorization happened
+				// at Interest time or not at all.
 				edgeSet.Add(tk)
 			}
 		}
